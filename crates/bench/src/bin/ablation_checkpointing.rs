@@ -1,0 +1,9 @@
+//! Regenerates the paper's ablation_checkpointing series. Pass `--quick` for a fast run.
+
+use sps_bench::common::Scale;
+use sps_bench::experiments::ablation::ablation_checkpointing as experiment;
+
+fn main() {
+    let scale = Scale::from_env();
+    experiment(scale, 2010).print();
+}

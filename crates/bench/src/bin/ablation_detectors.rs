@@ -1,0 +1,9 @@
+//! Detector ablation: heartbeat vs benchmarking vs trend prediction.
+//! Pass `--quick` for a fast run.
+
+use sps_bench::common::Scale;
+use sps_bench::experiments::detectors::ablation_detectors;
+
+fn main() {
+    ablation_detectors(Scale::from_env(), 2010).print();
+}

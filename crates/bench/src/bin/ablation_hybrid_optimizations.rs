@@ -1,0 +1,9 @@
+//! Ablation of the hybrid's §IV-B optimizations (pre-deployment, early
+//! connections, read-state-on-rollback). Pass `--quick` for a fast run.
+
+use sps_bench::common::Scale;
+use sps_bench::experiments::hybrid_opts::ablation_hybrid_optimizations;
+
+fn main() {
+    ablation_hybrid_optimizations(Scale::from_env(), 2010).print();
+}

@@ -1,0 +1,26 @@
+//! Runs every figure harness in sequence (the full evaluation).
+//! Pass `--quick` for a fast pass over all of them.
+
+use sps_bench::common::Scale;
+use sps_bench::experiments::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = 2010;
+    fig01_03::fig01(scale, seed).print();
+    fig01_03::fig02(scale, seed).print();
+    fig01_03::fig03(scale, seed).print();
+    fig04_05::fig04(scale, seed).print();
+    fig04_05::fig05(scale, seed).print();
+    fig06::fig06(scale, seed).print();
+    fig07_08::fig07(scale, seed).print();
+    fig07_08::fig08(scale, seed).print();
+    fig09_11::fig09(scale, seed).print();
+    fig09_11::fig10(scale, seed).print();
+    fig09_11::fig11(scale, seed).print();
+    fig12_13::fig12(scale, seed).print();
+    fig12_13::fig13(scale, seed).print();
+    ablation::ablation_checkpointing(scale, seed).print();
+    detectors::ablation_detectors(scale, seed).print();
+    hybrid_opts::ablation_hybrid_optimizations(scale, seed).print();
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's fig09 series. Pass `--quick` for a fast run.
+
+use sps_bench::common::Scale;
+use sps_bench::experiments::fig09_11::fig09 as experiment;
+
+fn main() {
+    let scale = Scale::from_env();
+    experiment(scale, 2010).print();
+}

@@ -1,0 +1,149 @@
+//! Shared scaffolding for the figure-reproduction harnesses.
+
+use sps_metrics::Table;
+
+/// Experiment scale: `quick` shrinks runs for CI/smoke use; `full` matches
+/// the parameters recorded in EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Short runs, fewer seeds.
+    Quick,
+    /// Paper-scale runs.
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from process args (`--quick`) or the `SPS_QUICK`
+    /// environment variable.
+    pub fn from_env() -> Scale {
+        let quick =
+            std::env::args().any(|a| a == "--quick") || std::env::var_os("SPS_QUICK").is_some();
+        if quick {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+
+    /// Picks between a full-scale and quick value.
+    pub fn pick<T>(self, full: T, quick: T) -> T {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => quick,
+        }
+    }
+}
+
+/// The uniform output of one experiment harness.
+#[derive(Debug)]
+pub struct Experiment {
+    /// Which figure this reproduces (e.g. "Figure 7").
+    pub figure: &'static str,
+    /// One-line title.
+    pub title: &'static str,
+    /// The regenerated series.
+    pub table: Table,
+    /// What the paper reports, for eyeball comparison.
+    pub paper_notes: Vec<String>,
+    /// What this run shows (computed summary claims).
+    pub measured_notes: Vec<String>,
+}
+
+impl Experiment {
+    /// Prints the experiment in the standard layout. If the `SPS_CSV_DIR`
+    /// environment variable is set, the table is also written there as
+    /// `<figure>.csv` (for plotting).
+    pub fn print(&self) {
+        if let Some(dir) = std::env::var_os("SPS_CSV_DIR") {
+            let name: String = self
+                .figure
+                .chars()
+                .map(|c| {
+                    if c.is_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '_'
+                    }
+                })
+                .collect();
+            let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
+            if let Err(e) = std::fs::write(&path, self.table.to_csv()) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        println!("== {} — {} ==", self.figure, self.title);
+        println!();
+        print!("{}", self.table);
+        println!();
+        if !self.paper_notes.is_empty() {
+            println!("paper:");
+            for n in &self.paper_notes {
+                println!("  - {n}");
+            }
+        }
+        if !self.measured_notes.is_empty() {
+            println!("measured:");
+            for n in &self.measured_notes {
+                println!("  - {n}");
+            }
+        }
+        println!();
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Full.pick(10, 2), 10);
+        assert_eq!(Scale::Quick.pick(10, 2), 2);
+    }
+
+    #[test]
+    fn csv_export_writes_a_file() {
+        let dir = std::env::temp_dir().join(format!("sps_csv_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("SPS_CSV_DIR", &dir);
+        let mut table = Table::new(vec!["x"]);
+        table.row(vec!["1".into()]);
+        let e = Experiment {
+            figure: "Figure 99",
+            title: "csv smoke",
+            table,
+            paper_notes: vec![],
+            measured_notes: vec![],
+        };
+        e.print();
+        std::env::remove_var("SPS_CSV_DIR");
+        let written = std::fs::read_to_string(dir.join("figure_99.csv")).unwrap();
+        assert_eq!(written, "x\n1\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

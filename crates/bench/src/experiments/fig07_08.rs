@@ -1,0 +1,192 @@
+//! Figures 7–8: recovery-time decomposition (§V-B).
+//!
+//! Recovery time = failure inception → first new output after the switch,
+//! decomposed into detection, redeployment (PS) / resume (Hybrid), and
+//! retransmission/reprocessing.
+//!
+//! * Fig 7 — vs heartbeat interval (checkpoint fixed at 500 ms): detection
+//!   dominates and grows linearly (3 intervals for PS, 1 for Hybrid);
+//!   Hybrid's detection is ~1/3 of PS's; pre-deployment cuts the middle
+//!   phase by ~75 %.
+//! * Fig 8 — vs checkpoint interval (heartbeat fixed at 100 ms):
+//!   retransmission/reprocessing grows with the interval while the other
+//!   phases are flat, so the total changes little.
+
+use sps_engine::SubjobId;
+use sps_ha::{HaMode, HaSimulation};
+use sps_metrics::{RecoveryDecomposition, RecoveryKind, Table};
+use sps_sim::{SimDuration, SimTime};
+use sps_workloads::{eval_chain_job, single_failure};
+
+use crate::common::{f2, Experiment, Scale};
+
+/// Runs one failure/recovery cycle and returns the decomposition sample.
+fn run_once(
+    mode: HaMode,
+    heartbeat_ms: u64,
+    ckpt_ms: u64,
+    offset_ms: u64,
+    seed: u64,
+) -> Option<sps_metrics::RecoveryTimeline> {
+    let job = eval_chain_job();
+    let mut sim = HaSimulation::builder(job)
+        .mode(HaMode::None)
+        .subjob_mode(SubjobId(1), mode)
+        .source_rate(1_000.0)
+        .seed(seed)
+        .log_sink_accepts(true)
+        .tune(|c| {
+            c.heartbeat_interval = SimDuration::from_millis(heartbeat_ms);
+            c.checkpoint_interval = SimDuration::from_millis(ckpt_ms);
+        })
+        .build();
+    let failure_at = SimTime::from_millis(5_000 + offset_ms);
+    sim.inject_spike_windows(
+        sps_cluster::MachineId(1),
+        &single_failure(failure_at, SimDuration::from_secs(10)),
+    );
+    sim.run_until(failure_at + SimDuration::from_secs(8));
+    sim.recovery_timeline(SubjobId(1), failure_at)
+}
+
+fn collect(
+    mode: HaMode,
+    heartbeat_ms: u64,
+    ckpt_ms: u64,
+    runs: u64,
+    seed: u64,
+) -> RecoveryDecomposition {
+    let kind = match mode {
+        HaMode::Passive => RecoveryKind::PassiveStandby,
+        HaMode::Hybrid => RecoveryKind::Hybrid,
+        other => panic!("recovery decomposition is defined for PS/Hybrid, not {other}"),
+    };
+    let mut decomp = RecoveryDecomposition::new(kind);
+    for i in 0..runs {
+        // Spread the failure inception across heartbeat/checkpoint phases.
+        let offset = i * 137 % heartbeat_ms.max(1) + i * 211 % ckpt_ms.max(1);
+        if let Some(t) = run_once(mode, heartbeat_ms, ckpt_ms, offset, seed + i) {
+            decomp.record(&t);
+        }
+    }
+    decomp
+}
+
+fn decomposition_table(sweep_label: &str) -> Table {
+    Table::new(vec![
+        sweep_label.to_string(),
+        "PS_detect_ms".into(),
+        "PS_redeploy_ms".into(),
+        "PS_retrans_ms".into(),
+        "PS_total_ms".into(),
+        "Hy_detect_ms".into(),
+        "Hy_resume_ms".into(),
+        "Hy_retrans_ms".into(),
+        "Hy_total_ms".into(),
+    ])
+}
+
+fn push_row(table: &mut Table, x: u64, ps: &RecoveryDecomposition, hy: &RecoveryDecomposition) {
+    table.row(vec![
+        x.to_string(),
+        f2(ps.mean_detection_ms()),
+        f2(ps.mean_deploy_or_resume_ms()),
+        f2(ps.mean_retrans_ms()),
+        f2(ps.mean_total_ms()),
+        f2(hy.mean_detection_ms()),
+        f2(hy.mean_deploy_or_resume_ms()),
+        f2(hy.mean_retrans_ms()),
+        f2(hy.mean_total_ms()),
+    ]);
+}
+
+/// Fig 7: recovery decomposition vs heartbeat interval.
+pub fn fig07(scale: Scale, seed: u64) -> Experiment {
+    let runs = scale.pick(5, 2);
+    let intervals: Vec<u64> = scale.pick(vec![100, 200, 300, 400, 500], vec![100, 300]);
+    let mut table = decomposition_table("heartbeat_ms");
+    let mut detect_ratio = Vec::new();
+    let mut redeploy_cut = Vec::new();
+    let mut total_ratio = Vec::new();
+    for &hb in &intervals {
+        let ps = collect(HaMode::Passive, hb, 500, runs, seed);
+        let hy = collect(HaMode::Hybrid, hb, 500, runs, seed);
+        detect_ratio.push(hy.mean_detection_ms() / ps.mean_detection_ms());
+        redeploy_cut.push(1.0 - hy.mean_deploy_or_resume_ms() / ps.mean_deploy_or_resume_ms());
+        total_ratio.push(hy.mean_total_ms() / ps.mean_total_ms());
+        push_row(&mut table, hb, &ps, &hy);
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    Experiment {
+        figure: "Figure 7",
+        title: "Recovery time decomposition vs heartbeat interval",
+        table,
+        paper_notes: vec![
+            "detection dominates recovery and grows linearly with the heartbeat interval".into(),
+            "Hybrid's detection time is about 1/3 of PS's (1 vs 3 misses)".into(),
+            "pre-deployment reduces the redeployment stage by ~75%".into(),
+            "Hybrid recovers in about 1/3 of PS's total recovery time".into(),
+        ],
+        measured_notes: vec![
+            format!("mean Hybrid/PS detection ratio: {:.2}", avg(&detect_ratio)),
+            format!(
+                "mean redeploy→resume reduction: {:.0}%",
+                avg(&redeploy_cut) * 100.0
+            ),
+            format!(
+                "mean Hybrid/PS total recovery ratio: {:.2}",
+                avg(&total_ratio)
+            ),
+        ],
+    }
+}
+
+/// Fig 8: recovery decomposition vs checkpoint interval.
+pub fn fig08(scale: Scale, seed: u64) -> Experiment {
+    let runs = scale.pick(5, 2);
+    let intervals: Vec<u64> = scale.pick(vec![100, 300, 500, 700, 900], vec![100, 900]);
+    let mut table = decomposition_table("checkpoint_ms");
+    let mut hy_retrans = Vec::new();
+    let mut hy_total = Vec::new();
+    for &ck in &intervals {
+        let ps = collect(HaMode::Passive, 100, ck, runs, seed);
+        let hy = collect(HaMode::Hybrid, 100, ck, runs, seed);
+        hy_retrans.push(hy.mean_retrans_ms());
+        hy_total.push(hy.mean_total_ms());
+        push_row(&mut table, ck, &ps, &hy);
+    }
+    Experiment {
+        figure: "Figure 8",
+        title: "Recovery time decomposition vs checkpoint interval",
+        table,
+        paper_notes: vec![
+            "retransmission/reprocessing tends to grow with the checkpoint interval".into(),
+            "the other phases are larger and flat, so total recovery changes little".into(),
+        ],
+        measured_notes: vec![
+            format!(
+                "Hybrid retrans/reproc across the sweep: {:.0} → {:.0} ms",
+                hy_retrans.first().copied().unwrap_or(0.0),
+                hy_retrans.last().copied().unwrap_or(0.0)
+            ),
+            format!(
+                "Hybrid total across the sweep: {:.0} → {:.0} ms",
+                hy_total.first().copied().unwrap_or(0.0),
+                hy_total.last().copied().unwrap_or(0.0)
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig07_quick_shows_hybrid_advantage() {
+        let e = fig07(Scale::Quick, 21);
+        assert_eq!(e.table.len(), 2);
+        // The detection-ratio note should report a value well below 1.
+        assert!(e.measured_notes[0].starts_with("mean Hybrid/PS detection ratio: 0."));
+    }
+}

@@ -1,0 +1,25 @@
+//! # sps-bench — the figure-reproduction harnesses
+//!
+//! One experiment per figure of Zhang et al. (ICDCS 2010), each exposed as
+//! a library function (returning an [`Experiment`](common::Experiment) with
+//! the regenerated series) and as a runnable binary (`cargo run --release
+//! -p sps-bench --bin figNN`). Pass `--quick` (or set `SPS_QUICK`) for a
+//! fast reduced run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
+pub mod common;
+
+/// The per-figure experiment modules.
+pub mod experiments {
+    pub mod ablation;
+    pub mod detectors;
+    pub mod fig01_03;
+    pub mod fig04_05;
+    pub mod fig06;
+    pub mod fig07_08;
+    pub mod fig09_11;
+    pub mod fig12_13;
+    pub mod hybrid_opts;
+}

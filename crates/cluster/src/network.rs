@@ -1,0 +1,251 @@
+//! The LAN model: per-message propagation latency plus per-link FIFO
+//! serialization at a configurable bandwidth.
+//!
+//! Like [`Machine`](crate::Machine), the network is passive: the sender asks
+//! for a delivery instant and schedules its own delivery event. Each ordered
+//! machine pair is an independent link whose serializer is busy until the
+//! previous message has been pushed out, so bursts queue rather than
+//! teleport. Loopback messages (same machine) pay only a small local cost.
+
+use std::collections::{HashMap, HashSet};
+
+use sps_sim::{SimDuration, SimTime};
+
+use crate::machine::MachineId;
+
+/// Configuration for [`Network`].
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// One-way propagation latency between distinct machines.
+    pub latency: SimDuration,
+    /// Link bandwidth in bytes per second (1 Gbps LAN by default).
+    pub bandwidth_bytes_per_sec: f64,
+    /// Delivery cost for loopback (same-machine) messages.
+    pub loopback_latency: SimDuration,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            // A switched 1 Gbps LAN, as in the paper's testbed.
+            latency: SimDuration::from_micros(150),
+            bandwidth_bytes_per_sec: 125_000_000.0, // 1 Gbps
+            loopback_latency: SimDuration::from_micros(2),
+        }
+    }
+}
+
+/// The delivery verdict for one send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// The message arrives at the given instant.
+    At(SimTime),
+    /// The message is lost (network partition).
+    Dropped,
+}
+
+impl Delivery {
+    /// The arrival instant, or `None` if the message was dropped.
+    pub fn time(self) -> Option<SimTime> {
+        match self {
+            Delivery::At(t) => Some(t),
+            Delivery::Dropped => None,
+        }
+    }
+}
+
+/// A full-duplex switched network between machines.
+///
+/// ```
+/// use sps_cluster::{Delivery, MachineId, Network, NetworkConfig};
+/// use sps_sim::SimTime;
+///
+/// let mut net = Network::new(NetworkConfig::default());
+/// let when = net.send(SimTime::ZERO, MachineId(0), MachineId(1), 1_000);
+/// assert!(matches!(when, Delivery::At(t) if t > SimTime::ZERO));
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    config: NetworkConfig,
+    /// Per ordered (src, dst) pair: when the link serializer frees up.
+    link_busy_until: HashMap<(MachineId, MachineId), SimTime>,
+    /// Unordered partitioned pairs; messages between them are dropped.
+    partitions: HashSet<(MachineId, MachineId)>,
+    messages_sent: u64,
+    messages_dropped: u64,
+    bytes_sent: u64,
+}
+
+impl Network {
+    /// Creates a network with the given configuration.
+    pub fn new(config: NetworkConfig) -> Self {
+        assert!(
+            config.bandwidth_bytes_per_sec > 0.0 && config.bandwidth_bytes_per_sec.is_finite(),
+            "bandwidth must be positive"
+        );
+        Network {
+            config,
+            link_busy_until: HashMap::new(),
+            partitions: HashSet::new(),
+            messages_sent: 0,
+            messages_dropped: 0,
+            bytes_sent: 0,
+        }
+    }
+
+    /// Sends `bytes` from `src` to `dst` at `now`; returns the delivery
+    /// verdict. The caller schedules the actual delivery event.
+    pub fn send(&mut self, now: SimTime, src: MachineId, dst: MachineId, bytes: u64) -> Delivery {
+        self.messages_sent += 1;
+        if self.is_partitioned(src, dst) {
+            self.messages_dropped += 1;
+            return Delivery::Dropped;
+        }
+        self.bytes_sent += bytes;
+        if src == dst {
+            return Delivery::At(now + self.config.loopback_latency);
+        }
+        let ser = SimDuration::from_secs_f64(bytes as f64 / self.config.bandwidth_bytes_per_sec);
+        let busy = self
+            .link_busy_until
+            .entry((src, dst))
+            .or_insert(SimTime::ZERO);
+        let start = if *busy > now { *busy } else { now };
+        let done_serializing = start + ser;
+        *busy = done_serializing;
+        Delivery::At(done_serializing + self.config.latency)
+    }
+
+    /// Cuts (or heals) the link between two machines, in both directions.
+    pub fn set_partitioned(&mut self, a: MachineId, b: MachineId, partitioned: bool) {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if partitioned {
+            self.partitions.insert(key);
+        } else {
+            self.partitions.remove(&key);
+        }
+    }
+
+    /// `true` if messages between `a` and `b` are currently dropped.
+    pub fn is_partitioned(&self, a: MachineId, b: MachineId) -> bool {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.partitions.contains(&key)
+    }
+
+    /// Total messages offered to the network.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Messages lost to partitions.
+    pub fn messages_dropped(&self) -> u64 {
+        self.messages_dropped
+    }
+
+    /// Total payload bytes accepted for delivery.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network {
+        Network::new(NetworkConfig {
+            latency: SimDuration::from_micros(100),
+            bandwidth_bytes_per_sec: 1_000_000.0, // 1 MB/s for easy numbers
+            loopback_latency: SimDuration::from_micros(1),
+        })
+    }
+
+    #[test]
+    fn latency_plus_serialization() {
+        let mut n = net();
+        // 1000 bytes at 1 MB/s = 1 ms serialization + 0.1 ms latency.
+        let d = n.send(SimTime::ZERO, MachineId(0), MachineId(1), 1_000);
+        assert_eq!(d, Delivery::At(SimTime::from_micros(1_100)));
+    }
+
+    #[test]
+    fn bursts_queue_on_the_link() {
+        let mut n = net();
+        let first = n.send(SimTime::ZERO, MachineId(0), MachineId(1), 1_000);
+        let second = n.send(SimTime::ZERO, MachineId(0), MachineId(1), 1_000);
+        assert_eq!(first, Delivery::At(SimTime::from_micros(1_100)));
+        // Second message waits for the first to serialize.
+        assert_eq!(second, Delivery::At(SimTime::from_micros(2_100)));
+    }
+
+    #[test]
+    fn distinct_links_are_independent() {
+        let mut n = net();
+        n.send(SimTime::ZERO, MachineId(0), MachineId(1), 1_000_000);
+        let other = n.send(SimTime::ZERO, MachineId(0), MachineId(2), 1_000);
+        assert_eq!(other, Delivery::At(SimTime::from_micros(1_100)));
+    }
+
+    #[test]
+    fn reverse_direction_is_independent() {
+        let mut n = net();
+        n.send(SimTime::ZERO, MachineId(0), MachineId(1), 1_000_000);
+        let reverse = n.send(SimTime::ZERO, MachineId(1), MachineId(0), 1_000);
+        assert_eq!(reverse, Delivery::At(SimTime::from_micros(1_100)));
+    }
+
+    #[test]
+    fn loopback_is_cheap_and_unqueued() {
+        let mut n = net();
+        let a = n.send(SimTime::ZERO, MachineId(3), MachineId(3), 1_000_000);
+        let b = n.send(SimTime::ZERO, MachineId(3), MachineId(3), 1_000_000);
+        assert_eq!(a, Delivery::At(SimTime::from_micros(1)));
+        assert_eq!(b, Delivery::At(SimTime::from_micros(1)));
+    }
+
+    #[test]
+    fn partitions_drop_both_directions() {
+        let mut n = net();
+        n.set_partitioned(MachineId(0), MachineId(1), true);
+        assert_eq!(
+            n.send(SimTime::ZERO, MachineId(0), MachineId(1), 10),
+            Delivery::Dropped
+        );
+        assert_eq!(
+            n.send(SimTime::ZERO, MachineId(1), MachineId(0), 10),
+            Delivery::Dropped
+        );
+        n.set_partitioned(MachineId(1), MachineId(0), false);
+        assert!(matches!(
+            n.send(SimTime::ZERO, MachineId(0), MachineId(1), 10),
+            Delivery::At(_)
+        ));
+        assert_eq!(n.messages_dropped(), 2);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut n = net();
+        n.send(SimTime::ZERO, MachineId(0), MachineId(1), 100);
+        n.send(SimTime::ZERO, MachineId(0), MachineId(1), 200);
+        assert_eq!(n.messages_sent(), 2);
+        assert_eq!(n.bytes_sent(), 300);
+    }
+
+    #[test]
+    fn idle_link_does_not_backdate() {
+        let mut n = net();
+        n.send(SimTime::ZERO, MachineId(0), MachineId(1), 1_000);
+        // Long after the link drained, delivery is measured from `now`.
+        let late = n.send(SimTime::from_secs(1), MachineId(0), MachineId(1), 1_000);
+        assert_eq!(
+            late,
+            Delivery::At(SimTime::from_secs(1) + SimDuration::from_micros(1_100))
+        );
+    }
+}

@@ -1,0 +1,647 @@
+//! Data-plane handlers: source generation, CPU-task completion routing,
+//! element delivery, and acknowledgment processing.
+
+use sps_cluster::{LoadComponent, MachineId};
+use sps_engine::{ConnectionId, DataElement, Dest, Replica, StreamId};
+use sps_metrics::MsgClass;
+use sps_sim::{Ctx, TimerGen};
+
+use crate::message::{Msg, ProducerAddr};
+use crate::world::{slot_of, unslot, Event, HaWorld, SjState, TaskTag};
+
+impl HaWorld {
+    // ---- sending and machine plumbing ----
+
+    /// Sends `msg` from `src` to `dst`, scheduling its delivery. Only
+    /// inter-machine traffic is counted (intra-machine hand-off is free in
+    /// the paper's overhead metric).
+    pub(crate) fn send_msg(
+        &mut self,
+        ctx: &mut Ctx<Event>,
+        src: MachineId,
+        dst: MachineId,
+        msg: Msg,
+        class: MsgClass,
+        elements: u64,
+    ) {
+        let bytes = msg.wire_bytes(self.cfg.element_bytes);
+        if let Some(at) = self
+            .cluster
+            .network_mut()
+            .send(ctx.now(), src, dst, bytes)
+            .time()
+        {
+            if src != dst {
+                self.counters.record(class, elements);
+            }
+            ctx.schedule_at(at, Event::Deliver { to: dst, msg });
+        }
+    }
+
+    /// Re-arms a machine's completion timer after any change to its task
+    /// set or load.
+    pub(crate) fn rearm_machine(&mut self, ctx: &mut Ctx<Event>, machine: MachineId) {
+        let idx = machine.0 as usize;
+        match self.cluster.machine(machine).next_completion() {
+            Some(at) => {
+                let gen = self.machine_timers[idx].arm();
+                ctx.schedule_at(
+                    at.max(ctx.now()),
+                    Event::MachineTick {
+                        machine: machine.0,
+                        gen,
+                    },
+                );
+            }
+            None => self.machine_timers[idx].cancel(),
+        }
+    }
+
+    /// Submits CPU work to a machine and re-arms its timer.
+    pub(crate) fn submit_task(
+        &mut self,
+        ctx: &mut Ctx<Event>,
+        machine: MachineId,
+        demand_secs: f64,
+        tag: TaskTag,
+    ) {
+        let submitted =
+            self.cluster
+                .machine_mut(machine)
+                .submit(ctx.now(), demand_secs, tag.encode());
+        if submitted.is_some() {
+            self.rearm_machine(ctx, machine);
+        }
+    }
+
+    /// A rolling estimate of a machine's recent utilization — an
+    /// exponentially weighted load average, like the OS statistic a real
+    /// scheduler's latency tracks. Smoothing matters: a half-second burst
+    /// that transiently saturates the CPU must not look like a sustained
+    /// load spike, or heartbeat false alarms become far more frequent than
+    /// the once-per-tens-of-minutes the paper reports.
+    pub(crate) fn estimate_load(&mut self, now: sps_sim::SimTime, machine: MachineId) -> f64 {
+        const ALPHA: f64 = 0.5;
+        self.cluster.machine_mut(machine).advance(now);
+        let busy = self.cluster.machine(machine).busy_integral();
+        let (last_t, last_busy, est) = self.load_est[machine.0 as usize];
+        let dt = now.saturating_since(last_t).as_secs_f64();
+        if dt < 0.01 {
+            return est; // window too small; reuse the previous estimate
+        }
+        let util = ((busy - last_busy) / dt).clamp(0.0, 1.0);
+        let ewma = (1.0 - ALPHA) * est + ALPHA * util;
+        self.load_est[machine.0 as usize] = (now, busy, ewma);
+        ewma
+    }
+
+    /// Submits a latency-sensitive task (heartbeat reply, benchmark probe)
+    /// after an OS wake-up delay sampled from the machine's current load.
+    ///
+    /// The delay's median is scaled by the *foreign* fraction of that load
+    /// (spikes, jitter, co-located apps): a machine saturated purely by its
+    /// own two or three stream-processing threads has a short run queue and
+    /// still schedules a tiny responder promptly, while a load-spike
+    /// program's thread herd starves it — the distinction that lets the
+    /// hybrid roll back while the primary is still draining backlog.
+    pub(crate) fn submit_latency_sensitive(
+        &mut self,
+        ctx: &mut Ctx<Event>,
+        machine: MachineId,
+        demand_secs: f64,
+        tag: TaskTag,
+    ) {
+        let load = self.estimate_load(ctx.now(), machine);
+        let foreign = self.cluster.machine(machine).background_share();
+        let foreign_frac = (foreign / load.max(foreign).max(1e-6)).clamp(0.0, 1.0);
+        let median = self.cfg.sched_latency.median_at(load).mul_f64(foreign_frac);
+        let delay = self
+            .cfg
+            .sched_latency
+            .clone()
+            .sample_with_median(ctx.rng(), median);
+        if std::env::var_os("SPS_DEBUG_SCHED").is_some() {
+            eprintln!(
+                "[sched] t={:.3} machine={} load={:.3} delay={}",
+                ctx.now().as_secs_f64(),
+                machine.0,
+                load,
+                delay
+            );
+        }
+        if delay.is_zero() {
+            self.submit_task(ctx, machine, demand_secs, tag);
+        } else {
+            ctx.schedule_in(
+                delay,
+                Event::SubmitTask {
+                    machine: machine.0,
+                    demand_secs,
+                    tag: tag.encode(),
+                },
+            );
+        }
+    }
+
+    /// Starts the next element on an instance if its loop can run.
+    pub(crate) fn try_start(&mut self, ctx: &mut Ctx<Event>, slot: usize) {
+        let machine = self.instance_machine[slot];
+        if !self.cluster.machine(machine).is_up() {
+            return;
+        }
+        let epoch = self.inst_epoch[slot];
+        let work = match self.instances[slot].as_mut().and_then(|i| i.start_next()) {
+            Some(w) => w,
+            None => return,
+        };
+        self.submit_task(
+            ctx,
+            machine,
+            work.demand_secs,
+            TaskTag::PeWork { slot, epoch },
+        );
+    }
+
+    // ---- source generation ----
+
+    pub(crate) fn on_source_tick(&mut self, ctx: &mut Ctx<Event>, source: u32, gen: TimerGen) {
+        let s = source as usize;
+        if !self.source_timers[s].fire(gen) {
+            return;
+        }
+        if !self.sources[s].is_running() {
+            return;
+        }
+        self.sources[s].generate(ctx.now(), ctx.rng());
+        self.dispatch_source_outputs(ctx, s);
+        let gap = self.sources[s].next_gap(ctx.now(), ctx.rng());
+        let g = self.source_timers[s].arm();
+        ctx.schedule_in(gap, Event::SourceTick { source, gen: g });
+    }
+
+    /// Drains every active connection of a source's queue and transmits.
+    pub(crate) fn dispatch_source_outputs(&mut self, ctx: &mut Ctx<Event>, s: usize) {
+        let src_machine = self.placement.sources[s];
+        let mut batch: Vec<(Dest, DataElement)> = Vec::new();
+        {
+            let dests: Vec<(usize, Dest)> = {
+                let q = self.sources[s].queue();
+                (0..q.connections().len())
+                    .filter(|&ci| q.connection(ConnectionId(ci)).active)
+                    .map(|ci| (ci, q.connection(ConnectionId(ci)).dest))
+                    .collect()
+            };
+            for (ci, dest) in dests {
+                // A partitioned link behaves like a stalled TCP connection:
+                // the send cursor stays put and the backlog flows on heal.
+                let dst = self.dest_machine(dest);
+                if self.cluster.network().is_partitioned(src_machine, dst) {
+                    continue;
+                }
+                for elem in self.sources[s].queue_mut().drain_sendable(ConnectionId(ci)) {
+                    batch.push((dest, elem));
+                }
+            }
+        }
+        for (dest, elem) in batch {
+            self.send_data(ctx, src_machine, false, dest, elem);
+        }
+    }
+
+    /// Transmits one element, classifying redundant copies and accounting
+    /// the hybrid's switch-over overhead (elements still sent to the
+    /// suspected primary, Fig 10).
+    pub(crate) fn send_data(
+        &mut self,
+        ctx: &mut Ctx<Event>,
+        src_machine: MachineId,
+        produced_by_secondary: bool,
+        dest: Dest,
+        elem: DataElement,
+    ) {
+        let dst = self.dest_machine(dest);
+        let mut class = if produced_by_secondary {
+            MsgClass::DupData
+        } else {
+            MsgClass::Data
+        };
+        if let Dest::Pe { inst, .. } = dest {
+            if inst.replica == Replica::Secondary {
+                class = MsgClass::DupData;
+            }
+            let sj = &mut self.subjobs[self.job.subjob_of(inst.pe).0 as usize];
+            if sj.state == SjState::SwitchedOver && dst == sj.primary_machine && src_machine != dst
+            {
+                sj.switch_overhead_elements += 1;
+            }
+        }
+        self.send_msg(
+            ctx,
+            src_machine,
+            dst,
+            Msg::Data { to: dest, elem },
+            class,
+            1,
+        );
+    }
+
+    /// Drains every connection of every output port of an instance and
+    /// transmits the new elements.
+    pub(crate) fn dispatch_outputs(&mut self, ctx: &mut Ctx<Event>, slot: usize) {
+        let (_, replica) = unslot(slot);
+        let src_machine = self.instance_machine[slot];
+        let mut batch: Vec<(Dest, DataElement)> = Vec::new();
+        {
+            let conns: Vec<(usize, usize, Dest)> = {
+                let inst = match self.instances[slot].as_ref() {
+                    Some(i) => i,
+                    None => return,
+                };
+                (0..inst.output_ports())
+                    .flat_map(|port| {
+                        (0..inst.output(port).connections().len()).filter_map(move |ci| {
+                            let c = inst.output(port).connection(ConnectionId(ci));
+                            c.active.then_some((port, ci, c.dest))
+                        })
+                    })
+                    .collect()
+            };
+            for (port, ci, dest) in conns {
+                // Stalled-TCP semantics across partitions: keep the cursor.
+                let dst = self.dest_machine(dest);
+                if self.cluster.network().is_partitioned(src_machine, dst) {
+                    continue;
+                }
+                let inst = self.instances[slot].as_mut().expect("checked");
+                for elem in inst.output_mut(port).drain_sendable(ConnectionId(ci)) {
+                    batch.push((dest, elem));
+                }
+            }
+        }
+        let produced_by_secondary = replica == Replica::Secondary;
+        for (dest, elem) in batch {
+            self.send_data(ctx, src_machine, produced_by_secondary, dest, elem);
+        }
+    }
+
+    // ---- machine tick: CPU task completions ----
+
+    pub(crate) fn on_machine_tick(&mut self, ctx: &mut Ctx<Event>, machine: u32, gen: TimerGen) {
+        let m = MachineId(machine);
+        if !self.machine_timers[machine as usize].fire(gen) {
+            return;
+        }
+        self.cluster.machine_mut(m).advance(ctx.now());
+        let finished = self.cluster.machine_mut(m).collect_finished();
+        for task in finished {
+            match TaskTag::decode(task.tag) {
+                TaskTag::PeWork { slot, epoch } => self.on_pe_work_done(ctx, slot, epoch),
+                TaskTag::HeartbeatReply { monitor, seq } => {
+                    self.on_heartbeat_reply_done(ctx, m, monitor, seq)
+                }
+                TaskTag::Benchmark { det } => self.on_benchmark_done(ctx, det),
+            }
+        }
+        self.rearm_machine(ctx, m);
+    }
+
+    fn on_pe_work_done(&mut self, ctx: &mut Ctx<Event>, slot: usize, epoch: u32) {
+        if self.inst_epoch[slot] != epoch || self.instances[slot].is_none() {
+            return; // stale completion from before a restore/redeploy
+        }
+        if !self.instances[slot]
+            .as_ref()
+            .expect("checked")
+            .has_inflight()
+        {
+            return;
+        }
+        let (pe, replica) = unslot(slot);
+        self.instances[slot]
+            .as_mut()
+            .expect("checked")
+            .finish_inflight(ctx.now());
+        self.dispatch_outputs(ctx, slot);
+
+        // Acknowledgment policy: the primary-role copy of a checkpointing
+        // subjob acknowledges via the checkpoint protocol (§III-B ordering);
+        // everyone else (NONE, AS copies, the hybrid secondary while
+        // switched over) sends batched acknowledgments on processing.
+        let sj_id = self.job.subjob_of(pe);
+        let sj = &self.subjobs[sj_id.0 as usize];
+        let checkpoint_acked = sj.mode.checkpoints() && replica == sj.primary_replica;
+        if !checkpoint_acked {
+            self.ack_backlog[slot] += 1;
+            if self.ack_backlog[slot] >= self.cfg.ack_every_elements as u64 {
+                self.ack_backlog[slot] = 0;
+                self.send_instance_acks(ctx, slot);
+            }
+        }
+
+        // Checkpoint pause handshake: the paused PE just quiesced.
+        let quiesced = self.instances[slot]
+            .as_ref()
+            .is_some_and(|i| i.is_quiescent());
+        if quiesced {
+            self.on_pe_quiesced(ctx, sj_id, pe, replica);
+        }
+
+        self.try_start(ctx, slot);
+    }
+
+    /// Sends cumulative acks for every input port of an instance, from its
+    /// current processed positions.
+    pub(crate) fn send_instance_acks(&mut self, ctx: &mut Ctx<Event>, slot: usize) {
+        let (pe, replica) = unslot(slot);
+        let from_machine = self.instance_machine[slot];
+        let ports = match self.instances[slot].as_ref() {
+            Some(i) => i.input_ports(),
+            None => return,
+        };
+        let positions: Vec<Vec<(StreamId, u64)>> = (0..ports)
+            .map(|p| {
+                self.instances[slot]
+                    .as_ref()
+                    .expect("checked")
+                    .input_positions(p)
+            })
+            .collect();
+        let from = |port| Dest::Pe {
+            inst: sps_engine::InstanceId { pe, replica },
+            port,
+        };
+        for (port, streams) in positions.into_iter().enumerate() {
+            for (stream, seq) in streams {
+                self.send_acks_for_stream(ctx, from_machine, from(port), stream, seq);
+            }
+        }
+    }
+
+    /// Sends an ack for one stream position to every serving producer copy.
+    pub(crate) fn send_acks_for_stream(
+        &mut self,
+        ctx: &mut Ctx<Event>,
+        from_machine: MachineId,
+        from: Dest,
+        stream: StreamId,
+        seq: u64,
+    ) {
+        if seq == 0 {
+            return; // nothing processed yet
+        }
+        for (addr, machine) in self.ack_targets(stream) {
+            self.send_msg(
+                ctx,
+                from_machine,
+                machine,
+                Msg::Ack {
+                    to: addr,
+                    from,
+                    seq,
+                },
+                MsgClass::Ack,
+                0,
+            );
+        }
+    }
+
+    /// The producer copies that should receive acks for `stream`.
+    pub(crate) fn ack_targets(&self, stream: StreamId) -> Vec<(ProducerAddr, MachineId)> {
+        match self.job.producer(stream) {
+            sps_engine::Producer::Source(src) => {
+                vec![(
+                    ProducerAddr::Source(src),
+                    self.placement.sources[src.0 as usize],
+                )]
+            }
+            sps_engine::Producer::Pe(pe, port) => Replica::BOTH
+                .into_iter()
+                .filter(|&r| self.slot_is_serving(slot_of(pe, r)))
+                .map(|r| {
+                    (
+                        ProducerAddr::Instance(sps_engine::InstanceId { pe, replica: r }, port),
+                        self.instance_machine[slot_of(pe, r)],
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    // ---- delivery ----
+
+    pub(crate) fn on_deliver(&mut self, ctx: &mut Ctx<Event>, to: MachineId, msg: Msg) {
+        if !self.cluster.machine(to).is_up() {
+            return; // fail-stopped machines receive nothing
+        }
+        match msg {
+            Msg::Data { to: dest, elem } => self.on_data(ctx, to, dest, elem),
+            Msg::Ack {
+                to: addr,
+                from,
+                seq,
+            } => self.on_ack(ctx, to, addr, from, seq),
+            Msg::Ping { monitor, seq } => {
+                let demand = self.cfg.heartbeat_reply_demand_secs;
+                self.submit_latency_sensitive(
+                    ctx,
+                    to,
+                    demand,
+                    TaskTag::HeartbeatReply { monitor, seq },
+                );
+            }
+            Msg::Pong { monitor, seq } => self.on_pong(ctx, monitor, seq),
+            Msg::Checkpoint {
+                subjob,
+                epoch,
+                ckpts,
+            } => self.on_checkpoint_arrival(ctx, to, subjob, epoch, ckpts),
+            Msg::CheckpointStored { subjob, epoch, pes } => {
+                self.on_checkpoint_stored(ctx, to, subjob, epoch, pes)
+            }
+            Msg::StateRead {
+                subjob,
+                epoch,
+                ckpts,
+            } => self.on_state_read(ctx, to, subjob, epoch, ckpts),
+            Msg::Control { .. } => {}
+        }
+    }
+
+    fn on_data(&mut self, ctx: &mut Ctx<Event>, at: MachineId, dest: Dest, elem: DataElement) {
+        match dest {
+            Dest::Pe { inst, port } => {
+                let slot = slot_of(inst.pe, inst.replica);
+                if self.instances[slot].is_none() || self.instance_machine[slot] != at {
+                    return; // stale delivery to a departed instance
+                }
+                self.instances[slot]
+                    .as_mut()
+                    .expect("checked")
+                    .offer(port, elem);
+                self.try_start(ctx, slot);
+            }
+            Dest::Sink(sink) => {
+                let s = sink.0 as usize;
+                if let Some(accept) = self.sinks[s].deliver(ctx.now(), elem) {
+                    let from_machine = self.placement.sinks[s];
+                    self.send_acks_for_stream(
+                        ctx,
+                        from_machine,
+                        Dest::Sink(sink),
+                        accept.stream,
+                        accept.processed_through,
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_ack(
+        &mut self,
+        ctx: &mut Ctx<Event>,
+        at: MachineId,
+        addr: ProducerAddr,
+        from: Dest,
+        seq: u64,
+    ) {
+        match addr {
+            ProducerAddr::Source(src) => {
+                let s = src.0 as usize;
+                if self.placement.sources[s] != at {
+                    return;
+                }
+                let q = self.sources[s].queue_mut();
+                if let Some(conn) = find_conn(q, from) {
+                    q.register_ack(conn, seq);
+                }
+            }
+            ProducerAddr::Instance(iid, port) => {
+                let slot = slot_of(iid.pe, iid.replica);
+                if self.instances[slot].is_none() || self.instance_machine[slot] != at {
+                    return;
+                }
+                let trimmed = {
+                    let inst = self.instances[slot].as_mut().expect("checked");
+                    match find_conn(inst.output(port), from) {
+                        Some(conn) => inst.register_ack(port, conn, seq),
+                        None => 0,
+                    }
+                };
+                if trimmed > 0 {
+                    // "For each PE, checkpoints happen immediately after its
+                    // output queue is trimmed."
+                    self.maybe_sweep_checkpoint(ctx, iid.pe, iid.replica);
+                }
+            }
+        }
+    }
+
+    fn on_heartbeat_reply_done(
+        &mut self,
+        ctx: &mut Ctx<Event>,
+        at: MachineId,
+        monitor: u32,
+        seq: u64,
+    ) {
+        let m = monitor as usize;
+        if m >= self.monitors.len() {
+            return;
+        }
+        let sj = &self.subjobs[self.monitors[m].subjob.0 as usize];
+        let Some(monitor_machine) = sj.secondary_machine else {
+            return;
+        };
+        self.send_msg(
+            ctx,
+            at,
+            monitor_machine,
+            Msg::Pong { monitor, seq },
+            MsgClass::Heartbeat,
+            0,
+        );
+    }
+
+    pub(crate) fn on_set_background(
+        &mut self,
+        ctx: &mut Ctx<Event>,
+        machine: u32,
+        component: LoadComponent,
+        share: f64,
+    ) {
+        let m = MachineId(machine);
+        self.cluster
+            .machine_mut(m)
+            .set_background(ctx.now(), component, share);
+        self.rearm_machine(ctx, m);
+    }
+}
+
+/// Finds the connection of `q` whose destination is `dest`.
+pub(crate) fn find_conn(q: &sps_engine::OutputQueue<Dest>, dest: Dest) -> Option<ConnectionId> {
+    q.connections()
+        .iter()
+        .position(|c| c.dest == dest)
+        .map(ConnectionId)
+}
+
+/// Schedules the initial events of a freshly built world: source ticks,
+/// heartbeat ticks, and (for timer-driven protocols) checkpoint timers.
+pub fn schedule_initial_events(world: &mut HaWorld, ctx: &mut Ctx<Event>) {
+    for s in 0..world.sources.len() {
+        let gap = world.sources[s].next_gap(ctx.now(), ctx.rng());
+        let gen = world.source_timers[s].arm();
+        ctx.schedule_in(
+            gap,
+            Event::SourceTick {
+                source: s as u32,
+                gen,
+            },
+        );
+    }
+    for m in 0..world.monitors.len() {
+        ctx.schedule_in(
+            world.cfg.heartbeat_interval,
+            Event::HeartbeatTick { monitor: m as u32 },
+        );
+    }
+    use crate::config::CheckpointProtocol;
+    match world.cfg.checkpoint_protocol {
+        CheckpointProtocol::Sweeping => {} // trim-driven, seeded by sink acks
+        CheckpointProtocol::Synchronous => {
+            for sj in 0..world.subjobs.len() {
+                if world.subjobs[sj].mode.checkpoints() {
+                    ctx.schedule_in(
+                        world.cfg.checkpoint_interval,
+                        Event::CheckpointTimer {
+                            subjob: sj as u32,
+                            pe: None,
+                        },
+                    );
+                }
+            }
+        }
+        CheckpointProtocol::Individual => {
+            for sj_idx in 0..world.subjobs.len() {
+                if !world.subjobs[sj_idx].mode.checkpoints() {
+                    continue;
+                }
+                let pes: Vec<_> = world
+                    .job
+                    .subjob_pes(sps_engine::SubjobId(sj_idx as u32))
+                    .to_vec();
+                let n = pes.len().max(1) as u64;
+                for (i, pe) in pes.into_iter().enumerate() {
+                    // Stagger the per-PE timers across the interval.
+                    let offset = world.cfg.checkpoint_interval * (i as u64) / n;
+                    ctx.schedule_in(
+                        world.cfg.checkpoint_interval + offset,
+                        Event::CheckpointTimer {
+                            subjob: sj_idx as u32,
+                            pe: Some(pe),
+                        },
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,924 @@
+//! Failure handling: heartbeat monitoring, the hybrid switch-over /
+//! rollback cycle, passive-standby migration, and fail-stop promotion.
+
+use sps_cluster::MachineId;
+use sps_engine::{Dest, InstanceId, PeCheckpoint, PeId, Producer, Replica, StreamId, SubjobId};
+use sps_metrics::MsgClass;
+use sps_sim::Ctx;
+
+use crate::config::HaMode;
+use crate::data_plane::find_conn;
+use crate::detect::{BenchAction, HbVerdict};
+use crate::message::Msg;
+use crate::world::{slot_of, Event, HaEvent, HaEventKind, HaWorld, SjState, SubjobPending};
+
+impl HaWorld {
+    fn log_event(&mut self, at: sps_sim::SimTime, subjob: SubjobId, kind: HaEventKind) {
+        self.ha_events.push(HaEvent { at, subjob, kind });
+    }
+
+    // ---- heartbeat ----
+
+    pub(crate) fn on_heartbeat_tick(&mut self, ctx: &mut Ctx<Event>, monitor: u32) {
+        // Periodic forever: reschedule first.
+        ctx.schedule_in(
+            self.cfg.heartbeat_interval,
+            Event::HeartbeatTick { monitor },
+        );
+        let m = monitor as usize;
+        let sj_idx = self.monitors[m].subjob.0 as usize;
+        let (mon_machine, target_machine) = {
+            let sj = &self.subjobs[sj_idx];
+            let Some(sec) = sj.secondary_machine else {
+                return;
+            };
+            (sec, sj.primary_machine)
+        };
+        if !self.cluster.machine(mon_machine).is_up() {
+            return;
+        }
+        let (seq, verdict) = self.monitors[m].hb.tick();
+        self.monitors[m].pings_sent += 1;
+        if let HbVerdict::Missed { streak } = verdict {
+            self.on_misses(ctx, monitor, streak);
+        }
+        // Keep pinging even while suspected: the reply is the hybrid's
+        // rollback trigger.
+        let (mon_machine, target_machine) = {
+            // Re-read: on_misses may have swapped roles.
+            let sj = &self.subjobs[sj_idx];
+            match sj.secondary_machine {
+                Some(sec) => (sec, sj.primary_machine),
+                None => (mon_machine, target_machine),
+            }
+        };
+        self.send_msg(
+            ctx,
+            mon_machine,
+            target_machine,
+            Msg::Ping { monitor, seq },
+            MsgClass::Heartbeat,
+            0,
+        );
+    }
+
+    fn on_misses(&mut self, ctx: &mut Ctx<Event>, monitor: u32, streak: u32) {
+        let m = monitor as usize;
+        let sj_id = self.monitors[m].subjob;
+        let sj_idx = sj_id.0 as usize;
+        let mode = self.subjobs[sj_idx].mode;
+        let state = self.subjobs[sj_idx].state;
+
+        if streak >= self.cfg.failstop_miss_threshold && mode == HaMode::Hybrid {
+            // `>=`, not `==`: if a promotion attempt could not act (e.g. a
+            // rollback was in flight when the machine died), the next miss
+            // retries it.
+            if streak == self.cfg.failstop_miss_threshold {
+                self.monitors[m].declarations.push(ctx.now());
+            }
+            self.promote(ctx, sj_id);
+            return;
+        }
+        match mode {
+            HaMode::Hybrid
+                if streak == self.cfg.hybrid_miss_threshold && state == SjState::Normal =>
+            {
+                self.monitors[m].declarations.push(ctx.now());
+                self.monitors[m].hb.mark_suspected();
+                self.hybrid_switchover(ctx, sj_id);
+            }
+            HaMode::Passive if streak == self.cfg.ps_miss_threshold && state == SjState::Normal => {
+                self.monitors[m].declarations.push(ctx.now());
+                self.monitors[m].hb.mark_suspected();
+                self.ps_recover(ctx, sj_id);
+            }
+            _ => {}
+        }
+    }
+
+    pub(crate) fn on_pong(&mut self, ctx: &mut Ctx<Event>, monitor: u32, seq: u64) {
+        let m = monitor as usize;
+        if m >= self.monitors.len() {
+            return;
+        }
+        let fresh_recovery = self.monitors[m].hb.pong(seq);
+        if std::env::var_os("SPS_DEBUG_SCHED").is_some() && fresh_recovery {
+            eprintln!("[pong-fresh] t={:.3} seq={seq}", ctx.now().as_secs_f64());
+        }
+        if !fresh_recovery {
+            return;
+        }
+        let sj_id = self.monitors[m].subjob;
+        let sj = &self.subjobs[sj_id.0 as usize];
+        if sj.mode != HaMode::Hybrid {
+            return; // PS commits to its migration; no rollback.
+        }
+        match sj.state {
+            // Resume still in flight: a false alarm caught early. Abort the
+            // switch-over outright — "our hybrid method can afford false
+            // alarms to certain extent".
+            SjState::SwitchingOver => {
+                let sj = &mut self.subjobs[sj_id.0 as usize];
+                sj.epoch += 1;
+                sj.state = SjState::Normal;
+            }
+            SjState::SwitchedOver => {
+                if self.cfg.read_state_on_rollback {
+                    self.hybrid_rollback_start(ctx, sj_id);
+                } else {
+                    self.hybrid_rollback_without_read(ctx, sj_id);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Rollback with the read-state optimization disabled: just suspend the
+    /// secondary and let the primary resume from its own (stale) state. It
+    /// must then process everything that arrived during the failure — the
+    /// catch-up cost §IV-B's "Read State on Rollback" eliminates.
+    fn hybrid_rollback_without_read(&mut self, ctx: &mut Ctx<Event>, sj_id: SubjobId) {
+        let standby = self.subjobs[sj_id.0 as usize].primary_replica.other();
+        self.log_event(ctx.now(), sj_id, HaEventKind::RollbackStarted);
+        let pes: Vec<PeId> = self.job.subjob_pes(sj_id).to_vec();
+        for &pe in &pes {
+            let slot = slot_of(pe, standby);
+            if let Some(inst) = self.instances[slot].as_mut() {
+                inst.abort_inflight();
+                inst.resume();
+                inst.set_suspended(true);
+                self.inst_epoch[slot] = self.inst_epoch[slot].wrapping_add(1);
+            }
+        }
+        for &pe in &pes {
+            self.deactivate_instance_io(pe, standby);
+        }
+        let sj = &mut self.subjobs[sj_id.0 as usize];
+        sj.pending = None;
+        sj.state = SjState::Normal;
+        self.log_event(ctx.now(), sj_id, HaEventKind::RollbackComplete);
+    }
+
+    // ---- hybrid switch-over ----
+
+    fn hybrid_switchover(&mut self, ctx: &mut Ctx<Event>, sj_id: SubjobId) {
+        let sj = &mut self.subjobs[sj_id.0 as usize];
+        if sj.secondary_machine.is_none() {
+            return; // standby lost and no spare: cannot switch
+        }
+        sj.epoch += 1;
+        sj.state = SjState::SwitchingOver;
+        let epoch = sj.epoch;
+        self.log_event(ctx.now(), sj_id, HaEventKind::Detected);
+        // With pre-deployment, "we only need to reset the flag to resume
+        // the processing loop" — a fraction of an on-demand deployment.
+        // Without the optimizations the respective costs come back.
+        let mut delay = if self.cfg.hybrid_predeploy {
+            self.cfg.resume_delay
+        } else {
+            self.cfg.deploy_delay
+        };
+        if !self.cfg.hybrid_early_connections {
+            delay += self.cfg.connect_delay;
+        }
+        ctx.schedule_in(
+            delay,
+            Event::SwitchoverComplete {
+                subjob: sj_id.0,
+                epoch,
+            },
+        );
+    }
+
+    pub(crate) fn on_switchover_complete(&mut self, ctx: &mut Ctx<Event>, subjob: u32, epoch: u64) {
+        {
+            let sj = &self.subjobs[subjob as usize];
+            if sj.is_stale(epoch) || sj.state != SjState::SwitchingOver {
+                return;
+            }
+        }
+        let sj_id = SubjobId(subjob);
+        let standby = self.subjobs[subjob as usize].primary_replica.other();
+        self.subjobs[subjob as usize].state = SjState::SwitchedOver;
+        let pes: Vec<PeId> = self.job.subjob_pes(sj_id).to_vec();
+        // Without pre-deployment the copy is created right now, from the
+        // stored checkpoints (the deploy delay was already paid).
+        if !self.cfg.hybrid_predeploy
+            && pes
+                .iter()
+                .any(|&pe| self.instances[slot_of(pe, standby)].is_none())
+        {
+            let machine = self.subjobs[subjob as usize]
+                .secondary_machine
+                .expect("guarded at switch-over");
+            self.deploy_standby_instances(sj_id, standby, machine, true);
+        }
+        // Without early connections they were just established on demand
+        // (the connect delay was already paid); make sure they exist.
+        self.ensure_standby_connections(sj_id, standby);
+        for &pe in &pes {
+            if let Some(inst) = self.instances[slot_of(pe, standby)].as_mut() {
+                inst.set_suspended(false);
+            }
+        }
+        // Early connections: "we just need to set that field to true".
+        for &pe in &pes {
+            self.activate_instance_io(ctx, pe, standby);
+        }
+        for &pe in &pes {
+            self.try_start(ctx, slot_of(pe, standby));
+        }
+        self.log_event(ctx.now(), sj_id, HaEventKind::SwitchoverComplete);
+    }
+
+    // ---- hybrid rollback ----
+
+    fn hybrid_rollback_start(&mut self, ctx: &mut Ctx<Event>, sj_id: SubjobId) {
+        let standby = self.subjobs[sj_id.0 as usize].primary_replica.other();
+        self.subjobs[sj_id.0 as usize].state = SjState::RollingBack;
+        self.log_event(ctx.now(), sj_id, HaEventKind::RollbackStarted);
+        // Pause the live secondary's PEs so their state can be read
+        // consistently.
+        let mut waiting = std::collections::BTreeSet::new();
+        for &pe in self.job.subjob_pes(sj_id) {
+            if let Some(inst) = self.instances[slot_of(pe, standby)].as_mut() {
+                if !inst.request_pause() {
+                    waiting.insert(pe);
+                }
+            }
+        }
+        if waiting.is_empty() {
+            self.do_rollback_read(ctx, sj_id);
+        } else {
+            self.subjobs[sj_id.0 as usize].pending = Some(SubjobPending::RollbackRead { waiting });
+        }
+    }
+
+    /// The live secondary is quiescent: snapshot it, suspend it, and ship
+    /// the state back to the primary ("Read State on Rollback").
+    pub(crate) fn do_rollback_read(&mut self, ctx: &mut Ctx<Event>, sj_id: SubjobId) {
+        let (standby, primary_machine, secondary_machine, epoch) = {
+            let sj = &self.subjobs[sj_id.0 as usize];
+            if sj.state != SjState::RollingBack {
+                return;
+            }
+            let Some(sec) = sj.secondary_machine else {
+                return;
+            };
+            (
+                sj.primary_replica.other(),
+                sj.primary_machine,
+                sec,
+                sj.epoch,
+            )
+        };
+        let pes: Vec<PeId> = self.job.subjob_pes(sj_id).to_vec();
+        let mut ckpts = Vec::with_capacity(pes.len());
+        let mut elements = 0u64;
+        for &pe in &pes {
+            let slot = slot_of(pe, standby);
+            let Some(inst) = self.instances[slot].as_mut() else {
+                continue;
+            };
+            let snap = inst.snapshot_with_backlog(ctx.now());
+            inst.resume();
+            inst.set_suspended(true);
+            elements += snap.element_count();
+            ckpts.push(snap);
+        }
+        // The suspended copy no longer participates in the data plane.
+        for &pe in &pes {
+            self.deactivate_instance_io(pe, standby);
+        }
+        let sj = &mut self.subjobs[sj_id.0 as usize];
+        sj.switch_overhead_elements += elements;
+        // The read-back state is also the freshest stored state.
+        for ckpt in &ckpts {
+            sj.stored.insert(ckpt.pe, ckpt.clone());
+        }
+        self.send_msg(
+            ctx,
+            secondary_machine,
+            primary_machine,
+            Msg::StateRead {
+                subjob: sj_id,
+                epoch,
+                ckpts,
+            },
+            MsgClass::StateTransfer,
+            elements,
+        );
+    }
+
+    /// The primary received the secondary's state: jump to it and resume
+    /// normal (passive-standby) operation.
+    pub(crate) fn on_state_read(
+        &mut self,
+        ctx: &mut Ctx<Event>,
+        at: MachineId,
+        sj_id: SubjobId,
+        epoch: u64,
+        ckpts: Vec<PeCheckpoint>,
+    ) {
+        {
+            let sj = &self.subjobs[sj_id.0 as usize];
+            if sj.is_stale(epoch) || sj.state != SjState::RollingBack || sj.primary_machine != at {
+                return;
+            }
+        }
+        let primary = self.subjobs[sj_id.0 as usize].primary_replica;
+        // "Read State on Rollback" is a fast-forward: adopt the secondary's
+        // state only where it is ahead of the primary's own progress. A
+        // marginally-degraded primary may have processed further than a
+        // secondary still catching up from its checkpoint — rolling such a
+        // PE backward would redo work on a busy machine for nothing.
+        let mut adopted = Vec::new();
+        for ckpt in &ckpts {
+            let slot = slot_of(ckpt.pe, primary);
+            let Some(inst) = self.instances[slot].as_mut() else {
+                continue;
+            };
+            let current: u64 = (0..inst.input_ports())
+                .flat_map(|p| inst.input_positions(p))
+                .map(|(_, seq)| seq)
+                .sum();
+            let snapshot: u64 = ckpt
+                .input_positions
+                .iter()
+                .flatten()
+                .map(|&(_, seq)| seq)
+                .sum();
+            if snapshot > current {
+                inst.restore(ckpt);
+                inst.resume(); // clear any stale checkpoint pause
+                self.inst_epoch[slot] = self.inst_epoch[slot].wrapping_add(1);
+                adopted.push(ckpt.pe);
+            }
+        }
+        {
+            let sj = &mut self.subjobs[sj_id.0 as usize];
+            sj.pe_ckpt_pausing.clear();
+            sj.pe_ckpt_inflight.clear();
+            sj.pending = None;
+            sj.state = SjState::Normal;
+        }
+        for &pe in &adopted {
+            self.activate_instance_io(ctx, pe, primary);
+        }
+        for &pe in &adopted {
+            self.try_start(ctx, slot_of(pe, primary));
+        }
+        self.log_event(ctx.now(), sj_id, HaEventKind::RollbackComplete);
+    }
+
+    // ---- passive-standby migration ----
+
+    fn ps_recover(&mut self, ctx: &mut Ctx<Event>, sj_id: SubjobId) {
+        let sj = &mut self.subjobs[sj_id.0 as usize];
+        if sj.secondary_machine.is_none() {
+            return;
+        }
+        sj.epoch += 1;
+        sj.state = SjState::Deploying;
+        let epoch = sj.epoch;
+        self.log_event(ctx.now(), sj_id, HaEventKind::Detected);
+        ctx.schedule_in(
+            self.cfg.deploy_delay,
+            Event::DeployComplete {
+                subjob: sj_id.0,
+                epoch,
+            },
+        );
+    }
+
+    pub(crate) fn on_deploy_complete(&mut self, ctx: &mut Ctx<Event>, subjob: u32, epoch: u64) {
+        {
+            let sj = &self.subjobs[subjob as usize];
+            if sj.is_stale(epoch) || sj.state != SjState::Deploying {
+                return;
+            }
+        }
+        let sj_id = SubjobId(subjob);
+        let standby = self.subjobs[subjob as usize].primary_replica.other();
+        let sec_machine = self.subjobs[subjob as usize]
+            .secondary_machine
+            .expect("guarded at ps_recover");
+        self.deploy_standby_instances(sj_id, standby, sec_machine, /*suspended:*/ true);
+        self.subjobs[subjob as usize].state = SjState::Connecting;
+        self.log_event(ctx.now(), sj_id, HaEventKind::PsDeployed);
+        ctx.schedule_in(
+            self.cfg.connect_delay,
+            Event::ConnectComplete { subjob, epoch },
+        );
+    }
+
+    pub(crate) fn on_connect_complete(&mut self, ctx: &mut Ctx<Event>, subjob: u32, epoch: u64) {
+        {
+            let sj = &self.subjobs[subjob as usize];
+            if sj.is_stale(epoch) || sj.state != SjState::Connecting {
+                return;
+            }
+        }
+        let sj_id = SubjobId(subjob);
+        let old_primary = self.subjobs[subjob as usize].primary_replica;
+        let new_primary = old_primary.other();
+        let pes: Vec<PeId> = self.job.subjob_pes(sj_id).to_vec();
+
+        // Retire the old copy: PS migrates, it does not roll back.
+        for &pe in &pes {
+            self.deactivate_instance_io(pe, old_primary);
+            let slot = slot_of(pe, old_primary);
+            self.instances[slot] = None;
+            self.inst_epoch[slot] = self.inst_epoch[slot].wrapping_add(1);
+        }
+
+        // Bring the new copy up.
+        for &pe in &pes {
+            let slot = slot_of(pe, new_primary);
+            if let Some(inst) = self.instances[slot].as_mut() {
+                inst.set_suspended(false);
+            }
+        }
+        for &pe in &pes {
+            self.activate_instance_io(ctx, pe, new_primary);
+        }
+        for &pe in &pes {
+            self.try_start(ctx, slot_of(pe, new_primary));
+        }
+
+        // Swap roles: the old primary machine becomes the checkpoint target
+        // for the next failure.
+        {
+            let sj = &mut self.subjobs[subjob as usize];
+            let old_machine = sj.primary_machine;
+            sj.primary_machine = sj.secondary_machine.expect("guarded");
+            sj.secondary_machine = Some(old_machine);
+            sj.primary_replica = new_primary;
+            sj.epoch += 1;
+            sj.state = SjState::Normal;
+            sj.stored.clear();
+            sj.pe_ckpt_pausing.clear();
+            sj.pe_ckpt_inflight.clear();
+            sj.pending = None;
+            sj.snap_positions.clear();
+            sj.last_ckpt_at.clear();
+        }
+        self.reset_monitor_of(sj_id);
+        self.log_event(ctx.now(), sj_id, HaEventKind::PsConnected);
+    }
+
+    // ---- fail-stop promotion (hybrid) ----
+
+    fn promote(&mut self, ctx: &mut Ctx<Event>, sj_id: SubjobId) {
+        // If the resume was still in flight, complete it logically first so
+        // the secondary is live before promotion.
+        if self.subjobs[sj_id.0 as usize].state == SjState::SwitchingOver {
+            let epoch = self.subjobs[sj_id.0 as usize].epoch;
+            self.on_switchover_complete(ctx, sj_id.0, epoch);
+        }
+        // A rollback that was in flight when the primary died left the
+        // secondary suspended and its state-read message undeliverable:
+        // resurrect the secondary before promoting it.
+        if self.subjobs[sj_id.0 as usize].state == SjState::RollingBack {
+            let standby = self.subjobs[sj_id.0 as usize].primary_replica.other();
+            let pes: Vec<PeId> = self.job.subjob_pes(sj_id).to_vec();
+            for &pe in &pes {
+                if let Some(inst) = self.instances[slot_of(pe, standby)].as_mut() {
+                    inst.resume();
+                    inst.set_suspended(false);
+                }
+            }
+            for &pe in &pes {
+                self.activate_instance_io(ctx, pe, standby);
+            }
+            for &pe in &pes {
+                self.try_start(ctx, slot_of(pe, standby));
+            }
+            let sj = &mut self.subjobs[sj_id.0 as usize];
+            sj.pending = None;
+            sj.state = SjState::SwitchedOver;
+        }
+        if self.subjobs[sj_id.0 as usize].state != SjState::SwitchedOver {
+            return;
+        }
+        let old_primary = self.subjobs[sj_id.0 as usize].primary_replica;
+        let pes: Vec<PeId> = self.job.subjob_pes(sj_id).to_vec();
+        for &pe in &pes {
+            self.deactivate_instance_io(pe, old_primary);
+            let slot = slot_of(pe, old_primary);
+            self.instances[slot] = None;
+            self.inst_epoch[slot] = self.inst_epoch[slot].wrapping_add(1);
+        }
+        let new_secondary_machine = {
+            let sj = &mut self.subjobs[sj_id.0 as usize];
+            sj.primary_replica = old_primary.other();
+            sj.primary_machine = sj
+                .secondary_machine
+                .expect("standby existed to switch over");
+            sj.epoch += 1;
+            sj.state = SjState::Normal;
+            sj.stored.clear();
+            sj.pe_ckpt_pausing.clear();
+            sj.pe_ckpt_inflight.clear();
+            sj.pending = None;
+            sj.snap_positions.clear();
+            sj.last_ckpt_at.clear();
+            sj.secondary_machine = self.placement.spares.pop();
+            sj.secondary_machine
+        };
+        self.reset_monitor_of(sj_id);
+        self.log_event(ctx.now(), sj_id, HaEventKind::Promoted);
+        if new_secondary_machine.is_some() {
+            let epoch = self.subjobs[sj_id.0 as usize].epoch;
+            ctx.schedule_in(
+                self.cfg.deploy_delay,
+                Event::SecondaryReady {
+                    subjob: sj_id.0,
+                    epoch,
+                },
+            );
+        }
+    }
+
+    pub(crate) fn on_secondary_ready(&mut self, ctx: &mut Ctx<Event>, subjob: u32, epoch: u64) {
+        let _ = ctx;
+        {
+            let sj = &self.subjobs[subjob as usize];
+            if sj.is_stale(epoch) || sj.state != SjState::Normal {
+                return;
+            }
+        }
+        let sj_id = SubjobId(subjob);
+        let standby = self.subjobs[subjob as usize].primary_replica.other();
+        let Some(sec_machine) = self.subjobs[subjob as usize].secondary_machine else {
+            return;
+        };
+        // A fresh suspended copy with early (inactive) connections; new
+        // checkpoints refresh it from now on.
+        self.deploy_standby_instances(sj_id, standby, sec_machine, true);
+        self.log_event(ctx.now(), sj_id, HaEventKind::SecondaryReady);
+    }
+
+    // ---- machine fail-stop injection ----
+
+    pub(crate) fn on_fail_stop(&mut self, ctx: &mut Ctx<Event>, machine: u32) {
+        let m = MachineId(machine);
+        self.cluster.machine_mut(m).fail(ctx.now());
+        self.rearm_machine(ctx, m);
+        for slot in 0..self.instances.len() {
+            if self.instance_machine[slot] == m {
+                if let Some(inst) = self.instances[slot].as_mut() {
+                    inst.abort_inflight();
+                }
+            }
+        }
+    }
+
+    // ---- benchmark detector ----
+
+    pub(crate) fn on_bench_sample(&mut self, ctx: &mut Ctx<Event>, det: u32) {
+        let d = det as usize;
+        let machine = self.bench_detectors[d].machine;
+        let interval = self.bench_detectors[d].det.config().sample_interval;
+        ctx.schedule_in(interval, Event::BenchSample { det });
+        if !self.cluster.machine(machine).is_up() {
+            return;
+        }
+        self.cluster.machine_mut(machine).advance(ctx.now());
+        let load = {
+            let machine_ref = self.cluster.machine(machine);
+            self.bench_detectors[d]
+                .monitor
+                .sample(machine_ref, ctx.now())
+        };
+        let now = ctx.now();
+        if let Some(p) = self.bench_detectors[d].predictor.as_mut() {
+            if p.on_sample(now, load) {
+                self.bench_detectors[d].predictor_declarations.push(now);
+            }
+        }
+        if let BenchAction::RunBenchmark { demand_secs } =
+            self.bench_detectors[d].det.on_sample(ctx.now(), load)
+        {
+            self.submit_latency_sensitive(
+                ctx,
+                machine,
+                demand_secs,
+                crate::world::TaskTag::Benchmark { det },
+            );
+        }
+    }
+
+    pub(crate) fn on_benchmark_done(&mut self, ctx: &mut Ctx<Event>, det: u32) {
+        let d = det as usize;
+        if d >= self.bench_detectors.len() {
+            return;
+        }
+        let now = ctx.now();
+        if self.bench_detectors[d].det.on_benchmark_done(now) {
+            self.bench_detectors[d].declarations.push(now);
+        }
+    }
+
+    // ---- connection/instances plumbing shared by the transitions ----
+
+    fn reset_monitor_of(&mut self, sj_id: SubjobId) {
+        for m in &mut self.monitors {
+            if m.subjob == sj_id {
+                m.hb = crate::detect::HeartbeatMonitor::new();
+            }
+        }
+    }
+
+    /// Deploys standby instances of a subjob's PEs on `machine` (PS
+    /// recovery, or a replacement secondary after promotion), restoring from
+    /// stored checkpoints and creating (inactive) connections on both sides.
+    fn deploy_standby_instances(
+        &mut self,
+        sj_id: SubjobId,
+        replica: Replica,
+        machine: MachineId,
+        suspended: bool,
+    ) {
+        let pes: Vec<PeId> = self.job.subjob_pes(sj_id).to_vec();
+        // 1. Create instances.
+        for &pe in &pes {
+            let slot = slot_of(pe, replica);
+            let out_streams: Vec<StreamId> = (0..self.job.out_ports(pe))
+                .map(|p| self.job.pe_stream(pe, p))
+                .collect();
+            let mut inst = sps_engine::PeInstance::new(
+                InstanceId { pe, replica },
+                self.job.pe(pe).operator.clone(),
+                self.job.in_ports(pe),
+                &out_streams,
+            );
+            for (port, stream) in self.job.input_streams(pe) {
+                inst.register_input_stream(port, stream);
+            }
+            if let Some(ckpt) = self.subjobs[sj_id.0 as usize].stored.get(&pe) {
+                inst.restore(ckpt);
+            }
+            inst.set_suspended(suspended);
+            self.instances[slot] = Some(inst);
+            self.instance_machine[slot] = machine;
+            self.inst_epoch[slot] = self.inst_epoch[slot].wrapping_add(1);
+        }
+        self.ensure_standby_connections(sj_id, replica);
+    }
+
+    /// Creates any missing connections on both sides of a subjob's standby
+    /// copy (inactive); used by deployment and by on-demand connection
+    /// establishment when the early-connection optimization is off.
+    fn ensure_standby_connections(&mut self, sj_id: SubjobId, replica: Replica) {
+        let pes: Vec<PeId> = self.job.subjob_pes(sj_id).to_vec();
+        // Input-side connections from upstream producers (cross-subjob
+        // and sources).
+        for &pe in &pes {
+            for (port, stream) in self.job.input_streams(pe) {
+                let dest = Dest::Pe {
+                    inst: InstanceId { pe, replica },
+                    port,
+                };
+                for (p_kind, _machine) in self.producer_copies(stream, pe, replica) {
+                    match p_kind {
+                        ProducerCopy::Source(s) => {
+                            let q = self.sources[s].queue_mut();
+                            if find_conn(q, dest).is_none() {
+                                q.connect(dest, false, false);
+                            }
+                        }
+                        ProducerCopy::Slot(pslot, pport) => {
+                            if let Some(pinst) = self.instances[pslot].as_mut() {
+                                if find_conn(pinst.output(pport), dest).is_none() {
+                                    pinst.connect_output(pport, dest, false, false);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Output-side connections to downstream consumers (inactive).
+        for &pe in &pes {
+            let slot = slot_of(pe, replica);
+            for port in 0..self.job.out_ports(pe) {
+                let stream = self.job.pe_stream(pe, port);
+                let consumers: Vec<sps_engine::Consumer> = self.job.consumers(stream).to_vec();
+                for consumer in consumers {
+                    let dests: Vec<Dest> = match consumer {
+                        sps_engine::Consumer::Sink(sink) => vec![Dest::Sink(sink)],
+                        sps_engine::Consumer::Pe(cpe, cport) => {
+                            if self.job.subjob_of(cpe) == sj_id {
+                                // Intra-subjob pipe: same replica only.
+                                vec![Dest::Pe {
+                                    inst: InstanceId { pe: cpe, replica },
+                                    port: cport,
+                                }]
+                            } else {
+                                Replica::BOTH
+                                    .into_iter()
+                                    .filter(|&r| self.instances[slot_of(cpe, r)].is_some())
+                                    .map(|r| Dest::Pe {
+                                        inst: InstanceId {
+                                            pe: cpe,
+                                            replica: r,
+                                        },
+                                        port: cport,
+                                    })
+                                    .collect()
+                            }
+                        }
+                    };
+                    for dest in dests {
+                        if let Some(inst) = self.instances[slot].as_mut() {
+                            if find_conn(inst.output(port), dest).is_none() {
+                                inst.connect_output(port, dest, false, false);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Activates the data path of one instance copy: upstream connections
+    /// are pointed at its restored input positions and switched on; its
+    /// output connections replay retained elements to serving consumers.
+    fn activate_instance_io(&mut self, ctx: &mut Ctx<Event>, pe: PeId, replica: Replica) {
+        let slot = slot_of(pe, replica);
+        if self.instances[slot].is_none() {
+            return;
+        }
+        // Inputs: point each feeding connection at the instance's restored
+        // position; retained elements beyond it will be retransmitted.
+        let input_streams = self.job.input_streams(pe);
+        for (port, stream) in input_streams {
+            let position = {
+                let inst = self.instances[slot].as_ref().expect("checked");
+                inst.input_positions(port)
+                    .into_iter()
+                    .find(|(s, _)| *s == stream)
+                    .map(|(_, p)| p)
+                    .unwrap_or(0)
+            };
+            let dest = Dest::Pe {
+                inst: InstanceId { pe, replica },
+                port,
+            };
+            let copies = self.producer_copies(stream, pe, replica);
+            for (p_kind, _machine) in copies {
+                match p_kind {
+                    ProducerCopy::Source(s) => {
+                        let q = self.sources[s].queue_mut();
+                        if let Some(conn) = find_conn(q, dest) {
+                            q.set_acked(conn, position);
+                            q.set_next_to_send(conn, (position + 1).max(q.trimmed_through() + 1));
+                            q.set_active(conn, true);
+                            q.set_counts_for_trim(conn, true);
+                        }
+                        self.dispatch_source_outputs(ctx, s);
+                    }
+                    ProducerCopy::Slot(pslot, pport) => {
+                        let flush = {
+                            match self.instances[pslot].as_mut() {
+                                Some(pinst) => {
+                                    let q = pinst.output_mut(pport);
+                                    if let Some(conn) = find_conn(q, dest) {
+                                        q.set_acked(conn, position);
+                                        q.set_next_to_send(
+                                            conn,
+                                            (position + 1).max(q.trimmed_through() + 1),
+                                        );
+                                        q.set_active(conn, true);
+                                        q.set_counts_for_trim(conn, true);
+                                        true
+                                    } else {
+                                        false
+                                    }
+                                }
+                                None => false,
+                            }
+                        };
+                        if flush {
+                            self.dispatch_outputs(ctx, pslot);
+                        }
+                    }
+                }
+            }
+        }
+        // Outputs: replay all retained elements to serving consumers
+        // (duplicates are eliminated downstream).
+        let out_ports = self.instances[slot]
+            .as_ref()
+            .expect("checked")
+            .output_ports();
+        for port in 0..out_ports {
+            let conn_count = {
+                let inst = self.instances[slot].as_ref().expect("checked");
+                inst.output(port).connections().len()
+            };
+            for ci in 0..conn_count {
+                let conn = sps_engine::ConnectionId(ci);
+                let dest = {
+                    let inst = self.instances[slot].as_ref().expect("checked");
+                    inst.output(port).connection(conn).dest
+                };
+                let serving = self.dest_is_serving(dest);
+                let inst = self.instances[slot].as_mut().expect("checked");
+                let q = inst.output_mut(port);
+                q.set_active(conn, serving);
+                q.set_counts_for_trim(conn, serving);
+                if serving {
+                    let from = q.trimmed_through() + 1;
+                    q.set_next_to_send(conn, from);
+                }
+            }
+        }
+        self.dispatch_outputs(ctx, slot);
+    }
+
+    /// Deactivates the data path of one instance copy (suspension,
+    /// retirement, rollback).
+    fn deactivate_instance_io(&mut self, pe: PeId, replica: Replica) {
+        let dest_ports: Vec<(usize, StreamId)> = self.job.input_streams(pe);
+        for (port, stream) in dest_ports {
+            let dest = Dest::Pe {
+                inst: InstanceId { pe, replica },
+                port,
+            };
+            for (p_kind, _machine) in self.producer_copies(stream, pe, replica) {
+                match p_kind {
+                    ProducerCopy::Source(s) => {
+                        let q = self.sources[s].queue_mut();
+                        if let Some(conn) = find_conn(q, dest) {
+                            q.set_active(conn, false);
+                            q.set_counts_for_trim(conn, false);
+                        }
+                    }
+                    ProducerCopy::Slot(pslot, pport) => {
+                        if let Some(pinst) = self.instances[pslot].as_mut() {
+                            let q = pinst.output_mut(pport);
+                            if let Some(conn) = find_conn(q, dest) {
+                                q.set_active(conn, false);
+                                q.set_counts_for_trim(conn, false);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let slot = slot_of(pe, replica);
+        if let Some(inst) = self.instances[slot].as_mut() {
+            for port in 0..inst.output_ports() {
+                for ci in 0..inst.output(port).connections().len() {
+                    let conn = sps_engine::ConnectionId(ci);
+                    inst.output_mut(port).set_active(conn, false);
+                    inst.output_mut(port).set_counts_for_trim(conn, false);
+                }
+            }
+        }
+    }
+
+    /// The producer copies that (may) feed input `stream` of `(pe,
+    /// replica)`: the source, or — for cross-subjob edges — every deployed
+    /// copy of the producing PE; for intra-subjob edges only the same
+    /// replica.
+    fn producer_copies(
+        &self,
+        stream: StreamId,
+        consumer_pe: PeId,
+        consumer_replica: Replica,
+    ) -> Vec<(ProducerCopy, MachineId)> {
+        match self.job.producer(stream) {
+            Producer::Source(s) => vec![(
+                ProducerCopy::Source(s.0 as usize),
+                self.placement.sources[s.0 as usize],
+            )],
+            Producer::Pe(ppe, pport) => {
+                let same_subjob = self.job.subjob_of(ppe) == self.job.subjob_of(consumer_pe);
+                Replica::BOTH
+                    .into_iter()
+                    .filter(|&r| !same_subjob || r == consumer_replica)
+                    .filter(|&r| self.instances[slot_of(ppe, r)].is_some())
+                    .map(|r| {
+                        let pslot = slot_of(ppe, r);
+                        (
+                            ProducerCopy::Slot(pslot, pport),
+                            self.instance_machine[pslot],
+                        )
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// A physical producer copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProducerCopy {
+    /// A source (index into the world's source table).
+    Source(usize),
+    /// An instance slot plus its output port.
+    Slot(usize, usize),
+}

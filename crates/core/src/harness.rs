@@ -1,0 +1,367 @@
+//! The public experiment harness: build a cluster-backed HA simulation,
+//! inject failures, run it, and collect a report.
+
+use sps_cluster::{JitterProfile, LoadComponent, MachineId, NetworkConfig, SpikeWindow};
+use sps_engine::{Job, SubjobId};
+use sps_metrics::{MsgCounters, RecoveryKind, RecoveryTimeline};
+use sps_sim::{SimDuration, SimTime, Simulation};
+
+use crate::config::{HaConfig, HaMode};
+use crate::data_plane::schedule_initial_events;
+use crate::detect::BenchmarkConfig;
+use crate::source::{PayloadGen, RateProfile};
+use crate::world::{Event, HaEventKind, HaWorld, Placement};
+
+/// Builder for an [`HaSimulation`].
+///
+/// ```
+/// use sps_engine::{Job, OperatorSpec};
+/// use sps_ha::{HaMode, HaSimulation};
+///
+/// let job = Job::chain("eval", &OperatorSpec::synthetic_default(), 8, 4);
+/// let mut sim = HaSimulation::builder(job)
+///     .mode(HaMode::Hybrid)
+///     .source_rate(1_000.0)
+///     .seed(42)
+///     .build();
+/// sim.run_for(sps_sim::SimDuration::from_secs(2));
+/// assert!(sim.world().sinks()[0].accepted() > 0);
+/// ```
+#[derive(Debug)]
+pub struct HaSimulationBuilder {
+    job: Job,
+    cfg: HaConfig,
+    modes: Vec<Option<HaMode>>,
+    placement: Option<Placement>,
+    source_profiles: Vec<(RateProfile, PayloadGen)>,
+    network: NetworkConfig,
+    seed: u64,
+    log_sink_accepts: bool,
+}
+
+impl HaSimulationBuilder {
+    /// Starts a builder over `job` with paper-default settings.
+    pub fn new(job: Job) -> Self {
+        let n_subjobs = job.subjob_count();
+        let n_sources = job.source_count();
+        HaSimulationBuilder {
+            modes: vec![None; n_subjobs],
+            source_profiles: vec![
+                (
+                    RateProfile::Constant { per_sec: 1_000.0 },
+                    PayloadGen::Synthetic,
+                );
+                n_sources
+            ],
+            job,
+            cfg: HaConfig::default(),
+            placement: None,
+            network: NetworkConfig::default(),
+            seed: 0,
+            log_sink_accepts: false,
+        }
+    }
+
+    /// Sets the default HA mode for every subjob.
+    pub fn mode(mut self, mode: HaMode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Overrides the mode of one subjob (the §V-B experiments protect a
+    /// single subjob).
+    pub fn subjob_mode(mut self, subjob: SubjobId, mode: HaMode) -> Self {
+        self.modes[subjob.0 as usize] = Some(mode);
+        self
+    }
+
+    /// Replaces the whole configuration.
+    pub fn config(mut self, cfg: HaConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Mutates the configuration in place.
+    pub fn tune(mut self, f: impl FnOnce(&mut HaConfig)) -> Self {
+        f(&mut self.cfg);
+        self
+    }
+
+    /// Overrides the placement (multiplexing experiments share one
+    /// secondary machine between subjobs).
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.placement = Some(placement);
+        self
+    }
+
+    /// Sets every source to a constant rate in elements/second.
+    pub fn source_rate(mut self, per_sec: f64) -> Self {
+        for p in &mut self.source_profiles {
+            *p = (RateProfile::Constant { per_sec }, PayloadGen::Synthetic);
+        }
+        self
+    }
+
+    /// Sets one source's rate profile and payload generator.
+    pub fn source_profile(mut self, source: usize, rate: RateProfile, payload: PayloadGen) -> Self {
+        self.source_profiles[source] = (rate, payload);
+        self
+    }
+
+    /// Seeds the simulation RNG.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the network model.
+    pub fn network(mut self, network: NetworkConfig) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Keeps a per-element sink accept log (needed by recovery-time
+    /// decomposition).
+    pub fn log_sink_accepts(mut self, log: bool) -> Self {
+        self.log_sink_accepts = log;
+        self
+    }
+
+    /// Builds the simulation, deploys everything, and schedules the initial
+    /// events.
+    pub fn build(self) -> HaSimulation {
+        let default_mode = self.cfg.mode;
+        let modes: Vec<HaMode> = self
+            .modes
+            .iter()
+            .map(|m| m.unwrap_or(default_mode))
+            .collect();
+        let placement = self
+            .placement
+            .unwrap_or_else(|| Placement::default_for(&self.job));
+        let world = HaWorld::new(
+            self.job,
+            self.cfg,
+            modes,
+            placement,
+            self.source_profiles,
+            self.network,
+            self.log_sink_accepts,
+        );
+        let mut sim = Simulation::new(world, self.seed);
+        let (world, ctx) = sim.parts_mut();
+        schedule_initial_events(world, ctx);
+        HaSimulation { sim }
+    }
+}
+
+/// A ready-to-run HA experiment.
+#[derive(Debug)]
+pub struct HaSimulation {
+    sim: Simulation<HaWorld>,
+}
+
+impl HaSimulation {
+    /// Starts a builder.
+    pub fn builder(job: Job) -> HaSimulationBuilder {
+        HaSimulationBuilder::new(job)
+    }
+
+    /// Runs for a span of simulated time.
+    pub fn run_for(&mut self, span: SimDuration) {
+        self.sim.run_for(span);
+    }
+
+    /// Runs until an absolute instant.
+    pub fn run_until(&mut self, at: SimTime) {
+        self.sim.run_until(at);
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The world under simulation.
+    pub fn world(&self) -> &HaWorld {
+        self.sim.world()
+    }
+
+    /// The world, exclusively (for quantile queries and ad-hoc probes).
+    pub fn world_mut(&mut self) -> &mut HaWorld {
+        self.sim.world_mut()
+    }
+
+    /// Schedules a transient-failure load schedule on a machine and records
+    /// it as ground truth.
+    pub fn inject_spike_windows(&mut self, machine: MachineId, windows: &[SpikeWindow]) {
+        for w in windows {
+            self.sim.schedule_at(
+                w.start,
+                Event::SetBackground {
+                    machine: machine.0,
+                    component: LoadComponent::Spike,
+                    share: w.share,
+                },
+            );
+            self.sim.schedule_at(
+                w.end,
+                Event::SetBackground {
+                    machine: machine.0,
+                    component: LoadComponent::Spike,
+                    share: 0.0,
+                },
+            );
+            self.sim
+                .world_mut()
+                .injected_spikes
+                .push((machine, w.start, w.end));
+        }
+    }
+
+    /// Schedules OS-jitter stalls on a machine over `[now, horizon)`
+    /// assuming the given ambient load (not recorded as ground truth — these
+    /// are the false-alarm source).
+    pub fn inject_jitter(
+        &mut self,
+        machine: MachineId,
+        profile: &JitterProfile,
+        horizon: SimTime,
+        ambient_load: f64,
+    ) {
+        let windows = {
+            let (world, ctx) = self.sim.parts_mut();
+            let mut rng = ctx.rng().fork(0x7177_0000 + machine.0 as u64);
+            let _ = world;
+            profile.generate(&mut rng, horizon, ambient_load)
+        };
+        for w in windows {
+            self.sim.schedule_at(
+                w.start,
+                Event::SetBackground {
+                    machine: machine.0,
+                    component: LoadComponent::Jitter,
+                    share: w.share,
+                },
+            );
+            self.sim.schedule_at(
+                w.end,
+                Event::SetBackground {
+                    machine: machine.0,
+                    component: LoadComponent::Jitter,
+                    share: 0.0,
+                },
+            );
+        }
+    }
+
+    /// Schedules a co-located-application load on a machine (the Fig 1
+    /// scenario).
+    pub fn set_colocated_load(&mut self, machine: MachineId, at: SimTime, share: f64) {
+        self.sim.schedule_at(
+            at,
+            Event::SetBackground {
+                machine: machine.0,
+                component: LoadComponent::CoLocated,
+                share,
+            },
+        );
+    }
+
+    /// Schedules a machine fail-stop.
+    pub fn fail_stop_at(&mut self, machine: MachineId, at: SimTime) {
+        self.sim
+            .schedule_at(at, Event::FailStop { machine: machine.0 });
+    }
+
+    /// Stops all sources at `at` (warm-down so in-flight elements drain).
+    pub fn stop_sources_at(&mut self, at: SimTime) {
+        self.sim.schedule_at(at, Event::StopSources);
+    }
+
+    /// Installs a benchmark detector on a machine and starts its sampling.
+    pub fn add_benchmark_detector(&mut self, machine: MachineId, config: BenchmarkConfig) -> u32 {
+        let interval = config.sample_interval;
+        let det = self.sim.world_mut().add_benchmark_detector(machine, config);
+        self.sim.schedule_in(interval, Event::BenchSample { det });
+        det
+    }
+
+    /// Summarizes the run.
+    pub fn report(&mut self) -> RunReport {
+        let now = self.sim.now();
+        let world = self.sim.world_mut();
+        let sink = &mut world.sinks_mut()[0];
+        let p99 = sink.latency_mut().quantile_ms(0.99).unwrap_or(0.0);
+        let sink = &world.sinks()[0];
+        RunReport {
+            duration: now.saturating_since(SimTime::ZERO),
+            sink_mean_delay_ms: sink.latency().mean_ms(),
+            sink_p99_delay_ms: p99,
+            sink_accepted: sink.accepted(),
+            sink_duplicates: sink.duplicates_dropped(),
+            counters: *world.counters(),
+            events_processed: self.sim.events_processed(),
+        }
+    }
+
+    /// Reconstructs the recovery timeline for the first failure declared at
+    /// or after `failure_at` on `subjob` (Figs 7–8): detection is the
+    /// `Detected` event, readiness the switch-over/connection completion,
+    /// and first output the first sink accept after readiness. Requires
+    /// [`HaSimulationBuilder::log_sink_accepts`].
+    pub fn recovery_timeline(
+        &self,
+        subjob: SubjobId,
+        failure_at: SimTime,
+    ) -> Option<RecoveryTimeline> {
+        let world = self.sim.world();
+        let events = world.ha_events();
+        let detected = events
+            .iter()
+            .find(|e| e.subjob == subjob && e.kind == HaEventKind::Detected && e.at >= failure_at)?
+            .at;
+        let (ready, kind) = events
+            .iter()
+            .filter(|e| e.subjob == subjob && e.at >= detected)
+            .find_map(|e| match e.kind {
+                HaEventKind::SwitchoverComplete => Some((e.at, RecoveryKind::Hybrid)),
+                HaEventKind::PsConnected => Some((e.at, RecoveryKind::PassiveStandby)),
+                _ => None,
+            })?;
+        let first_output = world.sinks()[0].first_accept_at_or_after(ready)?;
+        let ms = |t: SimTime| t.saturating_since(failure_at).as_millis_f64();
+        Some(RecoveryTimeline::new(
+            kind,
+            ms(detected),
+            ms(ready),
+            ms(first_output).max(ms(ready)),
+        ))
+    }
+}
+
+/// Aggregate results of one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Mean end-to-end element delay at the sink (ms).
+    pub sink_mean_delay_ms: f64,
+    /// 99th-percentile end-to-end delay (ms).
+    pub sink_p99_delay_ms: f64,
+    /// Elements accepted by the sink (deduplicated).
+    pub sink_accepted: u64,
+    /// Duplicate elements the sink dropped.
+    pub sink_duplicates: u64,
+    /// Message counters (the paper's element-unit overhead).
+    pub counters: MsgCounters,
+    /// Simulator events processed (run cost diagnostics).
+    pub events_processed: u64,
+}
+
+impl RunReport {
+    /// The paper's "message overhead (# of elements)".
+    pub fn total_overhead_elements(&self) -> u64 {
+        self.counters.total_elements()
+    }
+}

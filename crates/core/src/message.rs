@@ -1,0 +1,149 @@
+//! The message alphabet exchanged between machines.
+
+use sps_engine::{DataElement, Dest, InstanceId, PeCheckpoint, SourceId, SubjobId};
+
+/// Addresses the owner of an output queue (for acknowledgments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProducerAddr {
+    /// An external source's output queue.
+    Source(SourceId),
+    /// Output port `1` of PE instance `0`.
+    Instance(InstanceId, usize),
+}
+
+/// A network message. Sizes are derived per variant when sending.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// A data element bound for a PE input port or a sink.
+    Data {
+        /// Destination input.
+        to: Dest,
+        /// The element.
+        elem: DataElement,
+    },
+    /// A cumulative acknowledgment: every element of the connection's
+    /// stream with sequence number `<= seq` has been processed (and, under
+    /// checkpointing, its effects persisted) by the sender. The producer
+    /// finds the connection by the sender's identity.
+    Ack {
+        /// The output queue being acknowledged.
+        to: ProducerAddr,
+        /// Who is acknowledging (the connection's destination).
+        from: Dest,
+        /// Processed-through sequence number.
+        seq: u64,
+    },
+    /// Checkpoints of one or more PEs of a subjob, primary → secondary
+    /// machine. Sweeping/individual protocols send one PE per message;
+    /// the synchronous protocol bundles the whole subjob.
+    Checkpoint {
+        /// The subjob being checkpointed.
+        subjob: SubjobId,
+        /// Epoch guard: stale checkpoints from before a role change are
+        /// discarded.
+        epoch: u64,
+        /// The PE snapshots.
+        ckpts: Vec<PeCheckpoint>,
+    },
+    /// Secondary machine → primary: the checkpoint was stored; the primary
+    /// may now send the corresponding upstream acknowledgments (§III-B
+    /// ordering: ack only after the resulting states are checkpointed).
+    CheckpointStored {
+        /// The subjob.
+        subjob: SubjobId,
+        /// Epoch guard.
+        epoch: u64,
+        /// Which PEs were stored.
+        pes: Vec<sps_engine::PeId>,
+    },
+    /// Heartbeat ping, monitor → monitored machine.
+    Ping {
+        /// The monitor index.
+        monitor: u32,
+        /// Ping sequence number.
+        seq: u64,
+    },
+    /// Heartbeat reply, monitored machine → monitor.
+    Pong {
+        /// The monitor index.
+        monitor: u32,
+        /// Echoed ping sequence number.
+        seq: u64,
+    },
+    /// Hybrid rollback: the suspended secondary's state read back by the
+    /// recovering primary ("Read State on Rollback", §IV-B).
+    StateRead {
+        /// The subjob rolling back.
+        subjob: SubjobId,
+        /// Epoch guard.
+        epoch: u64,
+        /// Snapshots of the secondary's current state.
+        ckpts: Vec<PeCheckpoint>,
+    },
+    /// Control signalling (deploy/resume/activate requests); payload size
+    /// only.
+    Control {
+        /// A short label for tracing.
+        what: &'static str,
+    },
+}
+
+impl Msg {
+    /// Approximate wire size in bytes, given the configured element size.
+    pub fn wire_bytes(&self, element_bytes: u32) -> u64 {
+        match self {
+            Msg::Data { elem, .. } => elem.size_bytes as u64 + 32,
+            Msg::Ack { .. } => 48,
+            Msg::Checkpoint { ckpts, .. } | Msg::StateRead { ckpts, .. } => ckpts
+                .iter()
+                .map(|c| c.byte_size(element_bytes))
+                .sum::<u64>()
+                .max(64),
+            Msg::CheckpointStored { pes, .. } => 32 + 8 * pes.len() as u64,
+            Msg::Ping { .. } | Msg::Pong { .. } => 32,
+            Msg::Control { .. } => 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sps_engine::{PeId, StreamId};
+    use sps_sim::SimTime;
+
+    #[test]
+    fn wire_sizes_scale_with_content() {
+        let elem = DataElement {
+            stream: StreamId(0),
+            seq: 1,
+            created_at: SimTime::ZERO,
+            key: 0,
+            value: 0.0,
+            size_bytes: 256,
+        };
+        let data = Msg::Data {
+            to: Dest::Sink(sps_engine::SinkId(0)),
+            elem,
+        };
+        assert_eq!(data.wire_bytes(256), 288);
+        assert_eq!(Msg::Ping { monitor: 0, seq: 1 }.wire_bytes(256), 32);
+
+        let ckpt = PeCheckpoint {
+            pe: PeId(0),
+            operator_state: Default::default(),
+            state_elements: 20,
+            outputs: vec![],
+            input_positions: vec![],
+            input_backlog: vec![],
+            taken_at: SimTime::ZERO,
+        };
+        let msg = Msg::Checkpoint {
+            subjob: SubjobId(0),
+            epoch: 0,
+            ckpts: vec![ckpt],
+        };
+        // 20 state elements * 256 bytes + 64 header.
+        assert_eq!(msg.wire_bytes(256), 20 * 256 + 64);
+    }
+}

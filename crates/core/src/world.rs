@@ -1,0 +1,921 @@
+//! The HA world: every machine, instance, queue, detector, and protocol of
+//! one experiment, driven by the discrete-event kernel.
+//!
+//! This module defines the event alphabet, the per-subjob HA state machine,
+//! and construction/wiring; the protocol handlers live in sibling modules
+//! (`data_plane`, `checkpoint`, `failover`).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sps_cluster::{Cluster, LoadComponent, MachineId, NetworkConfig};
+use sps_engine::{
+    Consumer, Dest, InstanceId, Job, PeCheckpoint, PeId, Producer, Replica, SinkId, SourceId,
+    StreamId, SubjobId,
+};
+use sps_metrics::MsgCounters;
+use sps_sim::{Ctx, SimTime, TimerGen, TimerSlot, World};
+
+use crate::config::{HaConfig, HaMode};
+use crate::detect::{BenchmarkConfig, BenchmarkDetector, HeartbeatMonitor};
+use crate::message::Msg;
+use crate::sink::SinkRuntime;
+use crate::source::{PayloadGen, RateProfile, SourceRuntime};
+
+/// Where subjobs, sources, sinks, and standbys are placed.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Primary machine per subjob.
+    pub primaries: Vec<MachineId>,
+    /// Secondary (standby/checkpoint-target) machine per subjob; `None`
+    /// only for [`HaMode::None`] subjobs.
+    pub secondaries: Vec<Option<MachineId>>,
+    /// Machine per source.
+    pub sources: Vec<MachineId>,
+    /// Machine per sink.
+    pub sinks: Vec<MachineId>,
+    /// Spare machines for replacement secondaries after promotion.
+    pub spares: Vec<MachineId>,
+}
+
+impl Placement {
+    /// The paper's default layout for a job with `n` subjobs: source with
+    /// subjob 0 on machine 0, primaries on machines `0..n`, the sink on its
+    /// own machine, one dedicated secondary per subjob, and two spares.
+    pub fn default_for(job: &Job) -> Placement {
+        let n = job.subjob_count();
+        let primaries: Vec<MachineId> = (0..n as u32).map(MachineId).collect();
+        let sinks: Vec<MachineId> = (0..job.sink_count() as u32)
+            .map(|i| MachineId(n as u32 + i))
+            .collect();
+        let sec_base = n as u32 + job.sink_count() as u32;
+        let secondaries: Vec<Option<MachineId>> = (0..n as u32)
+            .map(|i| Some(MachineId(sec_base + i)))
+            .collect();
+        let spare_base = sec_base + n as u32;
+        let spares = vec![MachineId(spare_base), MachineId(spare_base + 1)];
+        Placement {
+            primaries,
+            secondaries,
+            sources: vec![MachineId(0); job.source_count()],
+            sinks,
+            spares,
+        }
+    }
+
+    /// The number of machines this placement requires.
+    pub fn machine_count(&self) -> usize {
+        let max = self
+            .primaries
+            .iter()
+            .chain(self.secondaries.iter().flatten())
+            .chain(self.sources.iter())
+            .chain(self.sinks.iter())
+            .chain(self.spares.iter())
+            .map(|m| m.0)
+            .max()
+            .unwrap_or(0);
+        max as usize + 1
+    }
+}
+
+/// The event alphabet of the HA world.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A source should emit its next element.
+    SourceTick {
+        /// Source index.
+        source: u32,
+        /// Timer guard.
+        gen: TimerGen,
+    },
+    /// A machine's earliest CPU task completes.
+    MachineTick {
+        /// Machine index.
+        machine: u32,
+        /// Timer guard.
+        gen: TimerGen,
+    },
+    /// A network message arrives at a machine.
+    Deliver {
+        /// Destination machine.
+        to: MachineId,
+        /// The message.
+        msg: Msg,
+    },
+    /// A monitor's heartbeat period elapsed.
+    HeartbeatTick {
+        /// Monitor index.
+        monitor: u32,
+    },
+    /// A synchronous (pe = `None`) or individual (pe = `Some`) checkpoint
+    /// timer fired.
+    CheckpointTimer {
+        /// Subjob index.
+        subjob: u32,
+        /// The PE, for individual checkpointing.
+        pe: Option<PeId>,
+    },
+    /// The hybrid secondary finished resuming.
+    SwitchoverComplete {
+        /// Subjob index.
+        subjob: u32,
+        /// Epoch guard.
+        epoch: u64,
+    },
+    /// Passive standby finished deploying the secondary copy.
+    DeployComplete {
+        /// Subjob index.
+        subjob: u32,
+        /// Epoch guard.
+        epoch: u64,
+    },
+    /// Passive standby finished connecting the deployed copy.
+    ConnectComplete {
+        /// Subjob index.
+        subjob: u32,
+        /// Epoch guard.
+        epoch: u64,
+    },
+    /// A replacement secondary (after promotion) is deployed and suspended.
+    SecondaryReady {
+        /// Subjob index.
+        subjob: u32,
+        /// Epoch guard.
+        epoch: u64,
+    },
+    /// Background-load change (spike/jitter/co-located app on/off).
+    SetBackground {
+        /// Machine index.
+        machine: u32,
+        /// Which load component changes.
+        component: LoadComponent,
+        /// New share for that component.
+        share: f64,
+    },
+    /// A machine fail-stops.
+    FailStop {
+        /// Machine index.
+        machine: u32,
+    },
+    /// A benchmark detector's CPU-sampling period elapsed.
+    BenchSample {
+        /// Detector index.
+        det: u32,
+    },
+    /// Stop all sources (experiment warm-down).
+    StopSources,
+    /// A deferred CPU-task submission (after an OS wake-up delay).
+    SubmitTask {
+        /// Machine index.
+        machine: u32,
+        /// CPU demand in seconds.
+        demand_secs: f64,
+        /// Encoded [`TaskTag`].
+        tag: u64,
+    },
+    /// A durable checkpoint finished its disk write at the secondary; the
+    /// store-acknowledgment can now be sent.
+    CheckpointPersisted {
+        /// Subjob index.
+        subjob: u32,
+        /// Epoch guard.
+        epoch: u64,
+        /// Which PEs were persisted.
+        pes: Vec<PeId>,
+    },
+}
+
+/// Tags identifying what a finished CPU task was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskTag {
+    /// A PE processing one element; payload is the instance slot plus the
+    /// slot's restore epoch (completions from before a restore/redeploy are
+    /// discarded — the old thread's result is thrown away).
+    PeWork {
+        /// Instance slot index.
+        slot: usize,
+        /// Slot restore epoch at submission time.
+        epoch: u32,
+    },
+    /// Producing a heartbeat reply.
+    HeartbeatReply {
+        /// Monitor index.
+        monitor: u32,
+        /// Ping sequence number.
+        seq: u64,
+    },
+    /// A benchmark-detector standard-set run.
+    Benchmark {
+        /// Detector index.
+        det: u32,
+    },
+}
+
+impl TaskTag {
+    /// Packs the tag into the machine's `u64` task tag.
+    pub fn encode(self) -> u64 {
+        match self {
+            TaskTag::PeWork { slot, epoch } => ((epoch as u64) << 24) | slot as u64,
+            TaskTag::HeartbeatReply { monitor, seq } => {
+                (1 << 56) | ((monitor as u64) << 40) | (seq & 0xFF_FFFF_FFFF)
+            }
+            TaskTag::Benchmark { det } => (2 << 56) | det as u64,
+        }
+    }
+
+    /// Unpacks a machine task tag.
+    pub fn decode(raw: u64) -> TaskTag {
+        match raw >> 56 {
+            0 => TaskTag::PeWork {
+                slot: (raw & 0xFF_FFFF) as usize,
+                epoch: ((raw >> 24) & 0xFFFF_FFFF) as u32,
+            },
+            1 => TaskTag::HeartbeatReply {
+                monitor: ((raw >> 40) & 0xFFFF) as u32,
+                seq: raw & 0xFF_FFFF_FFFF,
+            },
+            2 => TaskTag::Benchmark {
+                det: (raw & 0xFFFF_FFFF) as u32,
+            },
+            k => unreachable!("unknown task kind {k}"),
+        }
+    }
+}
+
+/// The life-cycle state of a subjob's HA machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SjState {
+    /// Primary serving; standby (if any) in its mode-defined role.
+    Normal,
+    /// Hybrid: resume of the suspended secondary is in flight.
+    SwitchingOver,
+    /// Hybrid: secondary active alongside the suspected primary.
+    SwitchedOver,
+    /// Hybrid: state read-back to the primary is in flight.
+    RollingBack,
+    /// Passive standby: deployment of the secondary copy is in flight.
+    Deploying,
+    /// Passive standby: connection establishment is in flight.
+    Connecting,
+}
+
+/// Pending multi-PE quiesce actions.
+#[derive(Debug, Clone)]
+pub enum SubjobPending {
+    /// Synchronous checkpoint: waiting for all PEs to pause.
+    SyncCheckpoint {
+        /// PEs not yet quiescent.
+        waiting: BTreeSet<PeId>,
+    },
+    /// Hybrid rollback: waiting for the live secondary's PEs to pause
+    /// before reading their state back.
+    RollbackRead {
+        /// PEs not yet quiescent.
+        waiting: BTreeSet<PeId>,
+    },
+}
+
+/// Notable HA transitions, for experiment post-processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaEventKind {
+    /// A transient failure was declared (PS: 3 misses, Hybrid: 1 miss).
+    Detected,
+    /// Hybrid switch-over completed (secondary live).
+    SwitchoverComplete,
+    /// Hybrid rollback started (fresh pong received).
+    RollbackStarted,
+    /// Hybrid rollback completed (primary restored and live).
+    RollbackComplete,
+    /// PS deployment completed.
+    PsDeployed,
+    /// PS connections established (new copy live).
+    PsConnected,
+    /// Fail-stop declared; secondary promoted to primary.
+    Promoted,
+    /// Replacement secondary deployed and suspended.
+    SecondaryReady,
+}
+
+/// One logged HA transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HaEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// Which subjob.
+    pub subjob: SubjobId,
+    /// What happened.
+    pub kind: HaEventKind,
+}
+
+/// Per-subjob HA state.
+#[derive(Debug)]
+pub struct SubjobHa {
+    /// The subjob's standby mode.
+    pub mode: HaMode,
+    /// Machine currently playing the primary role.
+    pub primary_machine: MachineId,
+    /// Machine currently playing the secondary role (absent for NONE, or
+    /// transiently after a promotion exhausted the spares).
+    pub secondary_machine: Option<MachineId>,
+    /// Which replica slot currently plays the primary role.
+    pub primary_replica: Replica,
+    /// Life-cycle state.
+    pub state: SjState,
+    /// Bumped at every transition; in-flight events carry the epoch they
+    /// were scheduled under and are dropped if stale.
+    pub epoch: u64,
+    /// Last checkpoint time per PE (throttles the sweeping protocol).
+    pub last_ckpt_at: BTreeMap<PeId, SimTime>,
+    /// PEs currently pausing for a per-PE checkpoint.
+    pub pe_ckpt_pausing: BTreeSet<PeId>,
+    /// PEs with a checkpoint sent but not yet stored.
+    pub pe_ckpt_inflight: BTreeSet<PeId>,
+    /// A pending multi-PE quiesce (synchronous checkpoint or rollback).
+    pub pending: Option<SubjobPending>,
+    /// Input positions cached at snapshot time, per PE: the acks to send
+    /// once the checkpoint is stored.
+    pub snap_positions: BTreeMap<PeId, Vec<Vec<(StreamId, u64)>>>,
+    /// Checkpoints stored on the secondary machine ("in memory", §IV-B).
+    pub stored: BTreeMap<PeId, PeCheckpoint>,
+    /// Elements sent to the suspected primary while switched over plus
+    /// state read back on rollback (Fig 10's overhead metric).
+    pub switch_overhead_elements: u64,
+}
+
+impl SubjobHa {
+    /// `true` when a role change or in-flight transition makes `epoch`
+    /// stale.
+    pub fn is_stale(&self, epoch: u64) -> bool {
+        epoch != self.epoch
+    }
+}
+
+/// One heartbeat monitor (per monitored subjob).
+#[derive(Debug)]
+pub struct MonitorRt {
+    /// The subjob this monitor protects.
+    pub subjob: SubjobId,
+    /// Detector state.
+    pub hb: HeartbeatMonitor,
+    /// Total pings sent.
+    pub pings_sent: u64,
+    /// Declarations made (any threshold).
+    pub declarations: Vec<SimTime>,
+}
+
+/// A benchmark detector deployed on one machine (detection experiments),
+/// optionally paired with a trend predictor fed by the same sample stream.
+#[derive(Debug)]
+pub struct BenchRt {
+    /// The machine it watches.
+    pub machine: MachineId,
+    /// Detector state.
+    pub det: BenchmarkDetector,
+    /// CPU sampling state.
+    pub monitor: sps_cluster::CpuMonitor,
+    /// Times of declarations.
+    pub declarations: Vec<SimTime>,
+    /// An optional Gu-et-al.-style trend predictor sharing the samples.
+    pub predictor: Option<crate::detect::TrendPredictor>,
+    /// Times of the predictor's declarations.
+    pub predictor_declarations: Vec<SimTime>,
+}
+
+/// The complete simulated system.
+#[derive(Debug)]
+pub struct HaWorld {
+    pub(crate) cfg: HaConfig,
+    pub(crate) job: Job,
+    pub(crate) placement: Placement,
+    pub(crate) cluster: Cluster,
+    pub(crate) machine_timers: Vec<TimerSlot>,
+    /// Instance slots: index = `pe * 2 + replica` (0 = primary slot).
+    pub(crate) instances: Vec<Option<sps_engine::PeInstance>>,
+    /// Machine hosting each instance slot.
+    pub(crate) instance_machine: Vec<MachineId>,
+    /// Restore epoch per slot; stale CPU-task completions are discarded.
+    pub(crate) inst_epoch: Vec<u32>,
+    /// Per-slot processed-element counters driving batched acknowledgments
+    /// from non-checkpointing instances.
+    pub(crate) ack_backlog: Vec<u64>,
+    /// Per-machine rolling utilization estimates (for scheduling-latency
+    /// sampling): `(last_time, last_busy_integral, estimate)`.
+    pub(crate) load_est: Vec<(SimTime, f64, f64)>,
+    pub(crate) sources: Vec<SourceRuntime>,
+    pub(crate) source_timers: Vec<TimerSlot>,
+    pub(crate) sinks: Vec<SinkRuntime>,
+    pub(crate) subjobs: Vec<SubjobHa>,
+    /// Per-subjob mode overrides applied at construction.
+    pub(crate) monitors: Vec<MonitorRt>,
+    pub(crate) bench_detectors: Vec<BenchRt>,
+    pub(crate) counters: MsgCounters,
+    pub(crate) ha_events: Vec<HaEvent>,
+    /// Ground-truth failure windows injected per machine.
+    pub(crate) injected_spikes: Vec<(MachineId, SimTime, SimTime)>,
+}
+
+impl HaWorld {
+    /// Builds a world: deploys instances per mode, wires every connection
+    /// (including the hybrid's early connections), and prepares detectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent placement (missing secondary for an HA mode
+    /// that needs one) or invalid configuration.
+    pub fn new(
+        job: Job,
+        cfg: HaConfig,
+        modes: Vec<HaMode>,
+        placement: Placement,
+        source_profiles: Vec<(RateProfile, PayloadGen)>,
+        network: NetworkConfig,
+        log_sink_accepts: bool,
+    ) -> Self {
+        cfg.validate();
+        assert_eq!(modes.len(), job.subjob_count(), "one mode per subjob");
+        assert_eq!(
+            placement.primaries.len(),
+            job.subjob_count(),
+            "one primary machine per subjob"
+        );
+        assert_eq!(
+            source_profiles.len(),
+            job.source_count(),
+            "one rate profile per source"
+        );
+
+        let mut cluster = Cluster::new(network);
+        cluster.add_machines(placement.machine_count());
+
+        let n_pes = job.pe_count();
+        let mut instances: Vec<Option<sps_engine::PeInstance>> =
+            (0..n_pes * 2).map(|_| None).collect();
+        let mut instance_machine = vec![MachineId(0); n_pes * 2];
+
+        // Deploy instances.
+        for pe in job.pe_ids() {
+            let sj = job.subjob_of(pe);
+            let mode = modes[sj.0 as usize];
+            let out_streams: Vec<StreamId> = (0..job.out_ports(pe))
+                .map(|p| job.pe_stream(pe, p))
+                .collect();
+            let make = |replica| {
+                let mut inst = sps_engine::PeInstance::new(
+                    InstanceId { pe, replica },
+                    job.pe(pe).operator.clone(),
+                    job.in_ports(pe),
+                    &out_streams,
+                );
+                for (port, stream) in job.input_streams(pe) {
+                    inst.register_input_stream(port, stream);
+                }
+                inst
+            };
+            let pri_slot = slot_of(pe, Replica::Primary);
+            instances[pri_slot] = Some(make(Replica::Primary));
+            instance_machine[pri_slot] = placement.primaries[sj.0 as usize];
+            let predeploys = match mode {
+                HaMode::Active => true,
+                HaMode::Hybrid => cfg.hybrid_predeploy,
+                _ => false,
+            };
+            if predeploys {
+                let sec = placement.secondaries[sj.0 as usize]
+                    .unwrap_or_else(|| panic!("{sj} mode {mode} needs a secondary machine"));
+                let sec_slot = slot_of(pe, Replica::Secondary);
+                let mut inst = make(Replica::Secondary);
+                // "we suspend this job immediately after its deployment".
+                inst.set_suspended(mode == HaMode::Hybrid);
+                instances[sec_slot] = Some(inst);
+                instance_machine[sec_slot] = sec;
+            }
+        }
+
+        // Sources and sinks.
+        let sources: Vec<SourceRuntime> = (0..job.source_count())
+            .map(|i| {
+                let (profile, payload) = source_profiles[i];
+                SourceRuntime::new(
+                    SourceId(i as u32),
+                    job.source_stream(SourceId(i as u32)),
+                    profile,
+                    payload,
+                    cfg.element_bytes,
+                )
+            })
+            .collect();
+        let sinks: Vec<SinkRuntime> = (0..job.sink_count())
+            .map(|i| SinkRuntime::new(SinkId(i as u32), log_sink_accepts))
+            .collect();
+
+        let mut world = HaWorld {
+            inst_epoch: vec![0; n_pes * 2],
+            ack_backlog: vec![0; n_pes * 2],
+            load_est: vec![(SimTime::ZERO, 0.0, 0.0); cluster.len()],
+            machine_timers: (0..cluster.len()).map(|_| TimerSlot::new()).collect(),
+            source_timers: (0..sources.len()).map(|_| TimerSlot::new()).collect(),
+            subjobs: Vec::new(),
+            monitors: Vec::new(),
+            bench_detectors: Vec::new(),
+            counters: MsgCounters::new(),
+            ha_events: Vec::new(),
+            injected_spikes: Vec::new(),
+            cfg,
+            placement,
+            cluster,
+            instances,
+            instance_machine,
+            sources,
+            sinks,
+            job,
+        };
+
+        // Subjob HA state.
+        for sj in world.job.subjob_ids() {
+            let mode = modes[sj.0 as usize];
+            world.subjobs.push(SubjobHa {
+                mode,
+                primary_machine: world.placement.primaries[sj.0 as usize],
+                secondary_machine: world.placement.secondaries[sj.0 as usize],
+                primary_replica: Replica::Primary,
+                state: SjState::Normal,
+                epoch: 0,
+                last_ckpt_at: BTreeMap::new(),
+                pe_ckpt_pausing: BTreeSet::new(),
+                pe_ckpt_inflight: BTreeSet::new(),
+                pending: None,
+                snap_positions: BTreeMap::new(),
+                stored: BTreeMap::new(),
+                switch_overhead_elements: 0,
+            });
+            if mode.monitors() {
+                world.monitors.push(MonitorRt {
+                    subjob: sj,
+                    hb: HeartbeatMonitor::new(),
+                    pings_sent: 0,
+                    declarations: Vec::new(),
+                });
+            }
+        }
+
+        world.wire_all();
+        world
+    }
+
+    /// Wires every stream's physical connections.
+    ///
+    /// Cross-subjob edges (and source edges) connect every deployed
+    /// producer copy to every deployed consumer copy — in active standby
+    /// that is the 2×2 pattern behind the paper's 4× traffic. Intra-subjob
+    /// edges are local pipes: same replica only. A connection starts active
+    /// (and trim-relevant) only when both endpoints are serving; the hybrid
+    /// secondary's connections are the paper's *early connections*, created
+    /// here with `is_active == false`.
+    fn wire_all(&mut self) {
+        for s in 0..self.job.stream_count() {
+            let stream = StreamId(s as u32);
+            let producer = self.job.producer(stream);
+            let consumers: Vec<Consumer> = self.job.consumers(stream).to_vec();
+            for consumer in consumers {
+                match consumer {
+                    Consumer::Pe(cpe, port) => {
+                        let same_subjob = match producer {
+                            Producer::Pe(ppe, _) => {
+                                self.job.subjob_of(ppe) == self.job.subjob_of(cpe)
+                            }
+                            Producer::Source(_) => false,
+                        };
+                        for c_rep in Replica::BOTH {
+                            let c_slot = slot_of(cpe, c_rep);
+                            if self.instances[c_slot].is_none() {
+                                continue;
+                            }
+                            // Without the early-connection optimization,
+                            // links touching a suspended standby are made
+                            // on demand at switch-over instead.
+                            if !self.cfg.hybrid_early_connections && !self.slot_is_serving(c_slot) {
+                                continue;
+                            }
+                            let dest = Dest::Pe {
+                                inst: InstanceId {
+                                    pe: cpe,
+                                    replica: c_rep,
+                                },
+                                port,
+                            };
+                            let replica_filter = same_subjob.then_some(c_rep);
+                            self.wire_producer_to(producer, dest, replica_filter);
+                        }
+                    }
+                    Consumer::Sink(sink) => {
+                        self.sinks[sink.0 as usize].register_stream(stream);
+                        self.wire_producer_to(producer, Dest::Sink(sink), None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Creates connections from the physical copies of `producer` to
+    /// `dest`; `replica_filter` restricts to one producer replica for
+    /// intra-subjob pipes.
+    fn wire_producer_to(
+        &mut self,
+        producer: Producer,
+        dest: Dest,
+        replica_filter: Option<Replica>,
+    ) {
+        let consumer_serving = self.dest_is_serving(dest);
+        match producer {
+            Producer::Source(src) => {
+                // Sources are single-copy and always serving.
+                let active = consumer_serving;
+                self.sources[src.0 as usize]
+                    .queue_mut()
+                    .connect(dest, active, active);
+            }
+            Producer::Pe(pe, port) => {
+                for p_rep in Replica::BOTH {
+                    if replica_filter.is_some_and(|only| only != p_rep) {
+                        continue;
+                    }
+                    let p_slot = slot_of(pe, p_rep);
+                    if self.instances[p_slot].is_none() {
+                        continue;
+                    }
+                    if !self.cfg.hybrid_early_connections && !self.slot_is_serving(p_slot) {
+                        continue;
+                    }
+                    let producer_serving = self.slot_is_serving(p_slot);
+                    let active = producer_serving && consumer_serving;
+                    self.instances[p_slot]
+                        .as_mut()
+                        .expect("checked above")
+                        .connect_output(port, dest, active, active);
+                }
+            }
+        }
+    }
+
+    /// `true` if the instance in `slot` exists and is not suspended.
+    pub(crate) fn slot_is_serving(&self, slot: usize) -> bool {
+        self.instances[slot]
+            .as_ref()
+            .is_some_and(|inst| !inst.is_suspended())
+    }
+
+    /// `true` if the destination is currently a serving consumer.
+    pub(crate) fn dest_is_serving(&self, dest: Dest) -> bool {
+        match dest {
+            Dest::Pe { inst, .. } => self.slot_is_serving(slot_of(inst.pe, inst.replica)),
+            Dest::Sink(_) => true,
+        }
+    }
+
+    /// The machine hosting a destination.
+    pub(crate) fn dest_machine(&self, dest: Dest) -> MachineId {
+        match dest {
+            Dest::Pe { inst, .. } => self.instance_machine[slot_of(inst.pe, inst.replica)],
+            Dest::Sink(s) => self.placement.sinks[s.0 as usize],
+        }
+    }
+
+    /// Installs a benchmark detector on `machine` (detection experiments).
+    pub fn add_benchmark_detector(&mut self, machine: MachineId, config: BenchmarkConfig) -> u32 {
+        let id = self.bench_detectors.len() as u32;
+        self.bench_detectors.push(BenchRt {
+            machine,
+            det: BenchmarkDetector::new(config),
+            monitor: sps_cluster::CpuMonitor::new(),
+            declarations: Vec::new(),
+            predictor: None,
+            predictor_declarations: Vec::new(),
+        });
+        id
+    }
+
+    /// Attaches a trend predictor to an installed benchmark detector; it is
+    /// fed the same CPU samples.
+    pub fn attach_predictor(&mut self, det: u32, config: crate::detect::PredictorConfig) {
+        self.bench_detectors[det as usize].predictor =
+            Some(crate::detect::TrendPredictor::new(config));
+    }
+
+    // ---- accessors used by harnesses ----
+
+    /// The job under test.
+    pub fn job(&self) -> &Job {
+        &self.job
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HaConfig {
+        &self.cfg
+    }
+
+    /// Message counters (element-unit overhead accounting).
+    pub fn counters(&self) -> &MsgCounters {
+        &self.counters
+    }
+
+    /// The sinks.
+    pub fn sinks(&self) -> &[SinkRuntime] {
+        &self.sinks
+    }
+
+    /// The sinks, exclusively (for latency quantile queries).
+    pub fn sinks_mut(&mut self) -> &mut [SinkRuntime] {
+        &mut self.sinks
+    }
+
+    /// The sources.
+    pub fn sources(&self) -> &[SourceRuntime] {
+        &self.sources
+    }
+
+    /// Logged HA transitions.
+    pub fn ha_events(&self) -> &[HaEvent] {
+        &self.ha_events
+    }
+
+    /// Per-subjob HA state.
+    pub fn subjob(&self, sj: SubjobId) -> &SubjobHa {
+        &self.subjobs[sj.0 as usize]
+    }
+
+    /// Heartbeat monitors.
+    pub fn monitors(&self) -> &[MonitorRt] {
+        &self.monitors
+    }
+
+    /// Benchmark detectors.
+    pub fn bench_detectors(&self) -> &[BenchRt] {
+        &self.bench_detectors
+    }
+
+    /// The cluster (machines + network).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The cluster, exclusively (fault-injection: partitions, capacities).
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// Ground-truth injected spike windows.
+    pub fn injected_spikes(&self) -> &[(MachineId, SimTime, SimTime)] {
+        &self.injected_spikes
+    }
+
+    /// One PE instance, if deployed.
+    pub fn instance(&self, pe: PeId, replica: Replica) -> Option<&sps_engine::PeInstance> {
+        self.instances[slot_of(pe, replica)].as_ref()
+    }
+}
+
+/// The instance-slot index of `(pe, replica)`.
+pub(crate) fn slot_of(pe: PeId, replica: Replica) -> usize {
+    pe.0 as usize * 2
+        + match replica {
+            Replica::Primary => 0,
+            Replica::Secondary => 1,
+        }
+}
+
+/// The `(pe, replica)` of an instance-slot index.
+pub(crate) fn unslot(slot: usize) -> (PeId, Replica) {
+    (
+        PeId((slot / 2) as u32),
+        if slot.is_multiple_of(2) {
+            Replica::Primary
+        } else {
+            Replica::Secondary
+        },
+    )
+}
+
+impl World for HaWorld {
+    type Event = Event;
+
+    fn handle(&mut self, ctx: &mut Ctx<Event>, event: Event) {
+        match event {
+            Event::SourceTick { source, gen } => self.on_source_tick(ctx, source, gen),
+            Event::MachineTick { machine, gen } => self.on_machine_tick(ctx, machine, gen),
+            Event::Deliver { to, msg } => self.on_deliver(ctx, to, msg),
+            Event::HeartbeatTick { monitor } => self.on_heartbeat_tick(ctx, monitor),
+            Event::CheckpointTimer { subjob, pe } => self.on_checkpoint_timer(ctx, subjob, pe),
+            Event::SwitchoverComplete { subjob, epoch } => {
+                self.on_switchover_complete(ctx, subjob, epoch)
+            }
+            Event::DeployComplete { subjob, epoch } => self.on_deploy_complete(ctx, subjob, epoch),
+            Event::ConnectComplete { subjob, epoch } => {
+                self.on_connect_complete(ctx, subjob, epoch)
+            }
+            Event::SecondaryReady { subjob, epoch } => self.on_secondary_ready(ctx, subjob, epoch),
+            Event::SetBackground {
+                machine,
+                component,
+                share,
+            } => self.on_set_background(ctx, machine, component, share),
+            Event::FailStop { machine } => self.on_fail_stop(ctx, machine),
+            Event::BenchSample { det } => self.on_bench_sample(ctx, det),
+            Event::StopSources => {
+                for s in &mut self.sources {
+                    s.stop();
+                }
+            }
+            Event::SubmitTask {
+                machine,
+                demand_secs,
+                tag,
+            } => {
+                let m = MachineId(machine);
+                if self.cluster.machine(m).is_up() {
+                    self.submit_task(ctx, m, demand_secs, TaskTag::decode(tag));
+                }
+            }
+            Event::CheckpointPersisted { subjob, epoch, pes } => {
+                self.on_checkpoint_persisted(ctx, subjob, epoch, pes)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sps_engine::OperatorSpec;
+
+    fn job() -> Job {
+        Job::chain("t", &OperatorSpec::synthetic_default(), 8, 4)
+    }
+
+    #[test]
+    fn slot_mapping_round_trips() {
+        for pe in 0..16u32 {
+            for replica in Replica::BOTH {
+                let slot = slot_of(PeId(pe), replica);
+                assert_eq!(unslot(slot), (PeId(pe), replica));
+            }
+        }
+        assert_eq!(slot_of(PeId(0), Replica::Primary), 0);
+        assert_eq!(slot_of(PeId(0), Replica::Secondary), 1);
+        assert_eq!(slot_of(PeId(1), Replica::Primary), 2);
+    }
+
+    #[test]
+    fn default_placement_layout() {
+        let p = Placement::default_for(&job());
+        assert_eq!(
+            p.primaries,
+            vec![MachineId(0), MachineId(1), MachineId(2), MachineId(3)]
+        );
+        assert_eq!(p.sinks, vec![MachineId(4)]);
+        assert_eq!(
+            p.secondaries,
+            vec![
+                Some(MachineId(5)),
+                Some(MachineId(6)),
+                Some(MachineId(7)),
+                Some(MachineId(8))
+            ]
+        );
+        assert_eq!(
+            p.sources,
+            vec![MachineId(0)],
+            "source co-located with subjob 0"
+        );
+        assert_eq!(p.spares.len(), 2);
+        assert_eq!(p.machine_count(), 11);
+    }
+
+    #[test]
+    fn machine_count_spans_custom_layouts() {
+        let mut p = Placement::default_for(&job());
+        p.secondaries[3] = Some(MachineId(40));
+        assert_eq!(p.machine_count(), 41);
+    }
+
+    #[test]
+    fn subjob_state_is_stale_after_epoch_bump() {
+        let sj = SubjobHa {
+            mode: HaMode::Hybrid,
+            primary_machine: MachineId(0),
+            secondary_machine: Some(MachineId(1)),
+            primary_replica: Replica::Primary,
+            state: SjState::Normal,
+            epoch: 3,
+            last_ckpt_at: BTreeMap::new(),
+            pe_ckpt_pausing: BTreeSet::new(),
+            pe_ckpt_inflight: BTreeSet::new(),
+            pending: None,
+            snap_positions: BTreeMap::new(),
+            stored: BTreeMap::new(),
+            switch_overhead_elements: 0,
+        };
+        assert!(!sj.is_stale(3));
+        assert!(sj.is_stale(2));
+        assert!(sj.is_stale(4));
+    }
+}

@@ -1,0 +1,324 @@
+//! End-to-end smoke tests of the HA runtime: data flows, checkpoints sweep,
+//! failures are detected, and every mode recovers without data loss.
+
+use sps_cluster::{MachineId, SpikeWindow};
+use sps_engine::{Job, OperatorSpec, PeId, Replica, SubjobId};
+use sps_ha::{HaEventKind, HaMode, HaSimulation};
+use sps_sim::{SimDuration, SimTime};
+
+fn chain_job() -> Job {
+    Job::chain("eval", &OperatorSpec::synthetic_default(), 8, 4)
+}
+
+fn spike(start_s: u64, end_s: u64) -> SpikeWindow {
+    SpikeWindow {
+        start: SimTime::from_secs(start_s),
+        end: SimTime::from_secs(end_s),
+        share: 1.0,
+    }
+}
+
+#[test]
+fn none_mode_delivers_everything_in_order() {
+    let mut sim = HaSimulation::builder(chain_job())
+        .mode(HaMode::None)
+        .source_rate(500.0)
+        .seed(1)
+        .build();
+    sim.stop_sources_at(SimTime::from_secs(4));
+    sim.run_for(SimDuration::from_secs(6));
+    let world = sim.world();
+    let produced = world.sources()[0].produced();
+    assert!(produced > 1_500, "source ran: {produced}");
+    assert_eq!(
+        world.sinks()[0].accepted(),
+        produced,
+        "selectivity-1 chain delivers every element"
+    );
+    assert_eq!(world.sinks()[0].duplicates_dropped(), 0);
+    let report = sim.report();
+    assert!(report.sink_mean_delay_ms > 0.0);
+    assert!(
+        report.sink_mean_delay_ms < 50.0,
+        "unloaded chain is fast, got {} ms",
+        report.sink_mean_delay_ms
+    );
+}
+
+#[test]
+fn active_standby_duplicates_and_dedups() {
+    let mut sim = HaSimulation::builder(chain_job())
+        .mode(HaMode::Active)
+        .source_rate(500.0)
+        .seed(2)
+        .build();
+    sim.stop_sources_at(SimTime::from_secs(3));
+    sim.run_for(SimDuration::from_secs(5));
+    let world = sim.world();
+    let produced = world.sources()[0].produced();
+    assert_eq!(world.sinks()[0].accepted(), produced, "no loss");
+    assert_eq!(
+        world.sinks()[0].duplicates_dropped(),
+        produced,
+        "the second copy's stream is fully deduplicated at the sink"
+    );
+}
+
+#[test]
+fn as_traffic_is_roughly_four_times_none() {
+    let run = |mode| {
+        let mut sim = HaSimulation::builder(chain_job())
+            .mode(mode)
+            .source_rate(1_000.0)
+            .seed(3)
+            .build();
+        sim.stop_sources_at(SimTime::from_secs(3));
+        sim.run_for(SimDuration::from_secs(4));
+        sim.report().total_overhead_elements()
+    };
+    let none = run(HaMode::None) as f64;
+    let active = run(HaMode::Active) as f64;
+    let ratio = active / none;
+    assert!(
+        (3.2..=4.3).contains(&ratio),
+        "AS/NONE traffic ratio should be ~4 (paper), got {ratio:.2}"
+    );
+}
+
+#[test]
+fn passive_standby_checkpoints_add_small_overhead() {
+    let run = |mode| {
+        let mut sim = HaSimulation::builder(chain_job())
+            .mode(mode)
+            .source_rate(1_000.0)
+            .seed(4)
+            .build();
+        sim.stop_sources_at(SimTime::from_secs(5));
+        sim.run_for(SimDuration::from_secs(6));
+        sim.report()
+    };
+    let none = run(HaMode::None);
+    let ps = run(HaMode::Passive);
+    assert_eq!(none.sink_accepted, ps.sink_accepted, "no loss either way");
+    let overhead = ps.counters.overhead_vs(&none.counters).unwrap();
+    assert!(
+        overhead > 0.0 && overhead < 0.35,
+        "sweeping checkpoint overhead should be small, got {:.1}%",
+        overhead * 100.0
+    );
+}
+
+#[test]
+fn hybrid_switches_over_and_rolls_back() {
+    let mut sim = HaSimulation::builder(chain_job())
+        .mode(HaMode::None)
+        .subjob_mode(SubjobId(1), HaMode::Hybrid)
+        .source_rate(500.0)
+        .seed(5)
+        .log_sink_accepts(true)
+        .build();
+    // Subjob 1's primary machine is machine 1 under the default placement.
+    sim.inject_spike_windows(MachineId(1), &[spike(2, 5)]);
+    sim.stop_sources_at(SimTime::from_secs(8));
+    sim.run_for(SimDuration::from_secs(10));
+
+    let world = sim.world();
+    let kinds: Vec<HaEventKind> = world
+        .ha_events()
+        .iter()
+        .filter(|e| e.subjob == SubjobId(1))
+        .map(|e| e.kind)
+        .collect();
+    assert!(
+        kinds.contains(&HaEventKind::Detected),
+        "failure detected: {kinds:?}"
+    );
+    assert!(
+        kinds.contains(&HaEventKind::SwitchoverComplete),
+        "switched over: {kinds:?}"
+    );
+    assert!(
+        kinds.contains(&HaEventKind::RollbackStarted)
+            && kinds.contains(&HaEventKind::RollbackComplete),
+        "rolled back after the spike: {kinds:?}"
+    );
+    // No data loss across switch-over and rollback.
+    let produced = world.sources()[0].produced();
+    assert_eq!(world.sinks()[0].accepted(), produced, "lossless recovery");
+
+    // Detection happened within a couple of heartbeat intervals of the
+    // failure (1-miss trigger at a 100 ms heartbeat).
+    let detected = world
+        .ha_events()
+        .iter()
+        .find(|e| e.kind == HaEventKind::Detected)
+        .unwrap()
+        .at;
+    let detect_ms = detected
+        .saturating_since(SimTime::from_secs(2))
+        .as_millis_f64();
+    assert!(
+        (50.0..600.0).contains(&detect_ms),
+        "hybrid detection latency ~1-3 heartbeats, got {detect_ms} ms"
+    );
+}
+
+#[test]
+fn passive_standby_migrates_on_transient_failure() {
+    let mut sim = HaSimulation::builder(chain_job())
+        .mode(HaMode::None)
+        .subjob_mode(SubjobId(1), HaMode::Passive)
+        .source_rate(500.0)
+        .seed(6)
+        .log_sink_accepts(true)
+        .build();
+    sim.inject_spike_windows(MachineId(1), &[spike(2, 5)]);
+    sim.stop_sources_at(SimTime::from_secs(8));
+    sim.run_for(SimDuration::from_secs(10));
+
+    let world = sim.world();
+    let kinds: Vec<HaEventKind> = world.ha_events().iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&HaEventKind::Detected), "{kinds:?}");
+    assert!(kinds.contains(&HaEventKind::PsDeployed), "{kinds:?}");
+    assert!(kinds.contains(&HaEventKind::PsConnected), "{kinds:?}");
+    assert!(
+        !kinds.contains(&HaEventKind::RollbackStarted),
+        "PS never rolls back: {kinds:?}"
+    );
+    let produced = world.sources()[0].produced();
+    assert_eq!(world.sinks()[0].accepted(), produced, "lossless migration");
+    // The subjob now runs on the former secondary machine.
+    let sj = world.subjob(SubjobId(1));
+    assert_eq!(sj.primary_replica, Replica::Secondary);
+}
+
+#[test]
+fn hybrid_recovers_faster_than_ps() {
+    let run = |mode| {
+        let mut sim = HaSimulation::builder(chain_job())
+            .mode(HaMode::None)
+            .subjob_mode(SubjobId(1), mode)
+            .source_rate(500.0)
+            .seed(7)
+            .log_sink_accepts(true)
+            .build();
+        sim.inject_spike_windows(MachineId(1), &[spike(2, 6)]);
+        sim.run_for(SimDuration::from_secs(8));
+        sim.recovery_timeline(SubjobId(1), SimTime::from_secs(2))
+            .expect("a recovery happened")
+    };
+    let hybrid = run(HaMode::Hybrid);
+    let ps = run(HaMode::Passive);
+    assert!(
+        hybrid.detection_ms() < ps.detection_ms(),
+        "1-miss vs 3-miss detection: {} vs {}",
+        hybrid.detection_ms(),
+        ps.detection_ms()
+    );
+    assert!(
+        hybrid.deploy_or_resume_ms() < ps.deploy_or_resume_ms(),
+        "resume vs redeploy: {} vs {}",
+        hybrid.deploy_or_resume_ms(),
+        ps.deploy_or_resume_ms()
+    );
+    assert!(
+        hybrid.total_ms() < 0.55 * ps.total_ms(),
+        "hybrid should cut recovery to ~1/3: {} vs {}",
+        hybrid.total_ms(),
+        ps.total_ms()
+    );
+}
+
+#[test]
+fn failstop_promotes_hybrid_secondary() {
+    let mut sim = HaSimulation::builder(chain_job())
+        .mode(HaMode::None)
+        .subjob_mode(SubjobId(2), HaMode::Hybrid)
+        .source_rate(500.0)
+        .seed(8)
+        .tune(|c| c.failstop_miss_threshold = 20)
+        .build();
+    // Machine 2 hosts subjob 2's primary; kill it outright.
+    sim.fail_stop_at(MachineId(2), SimTime::from_secs(2));
+    sim.stop_sources_at(SimTime::from_secs(8));
+    sim.run_for(SimDuration::from_secs(10));
+
+    let world = sim.world();
+    let kinds: Vec<HaEventKind> = world.ha_events().iter().map(|e| e.kind).collect();
+    assert!(
+        kinds.contains(&HaEventKind::SwitchoverComplete),
+        "{kinds:?}"
+    );
+    assert!(kinds.contains(&HaEventKind::Promoted), "{kinds:?}");
+    assert!(kinds.contains(&HaEventKind::SecondaryReady), "{kinds:?}");
+    let produced = world.sources()[0].produced();
+    assert_eq!(
+        world.sinks()[0].accepted(),
+        produced,
+        "fail-stop loses no acknowledged-retained data"
+    );
+    // The promoted subjob has a fresh standby on a spare machine.
+    let sj = world.subjob(SubjobId(2));
+    assert!(sj.secondary_machine.is_some());
+    assert!(world
+        .instance(PeId(4), Replica::Primary)
+        .is_some_and(|i| i.is_suspended()));
+}
+
+#[test]
+fn determinism_same_seed_same_run() {
+    // A bursty source consults the RNG, so the seed shapes the whole run.
+    let run = |seed| {
+        let mut sim = HaSimulation::builder(chain_job())
+            .mode(HaMode::Hybrid)
+            .source_profile(
+                0,
+                sps_ha::RateProfile::Bursty {
+                    base_per_sec: 200.0,
+                    burst_per_sec: 2_000.0,
+                    mean_on: SimDuration::from_millis(200),
+                    mean_off: SimDuration::from_millis(400),
+                },
+                sps_ha::PayloadGen::Synthetic,
+            )
+            .seed(seed)
+            .build();
+        sim.inject_spike_windows(MachineId(1), &[spike(1, 3)]);
+        sim.run_for(SimDuration::from_secs(5));
+        let r = sim.report();
+        (
+            r.sink_accepted,
+            r.total_overhead_elements(),
+            r.events_processed,
+            format!("{:.9}", r.sink_mean_delay_ms),
+        )
+    };
+    assert_eq!(run(42), run(42));
+    assert_ne!(run(42).2, run(43).2);
+}
+
+#[test]
+fn delay_rises_under_unmitigated_transient_failures() {
+    let run = |with_failures: bool| {
+        let mut sim = HaSimulation::builder(chain_job())
+            .mode(HaMode::None)
+            .source_rate(500.0)
+            .seed(9)
+            .build();
+        if with_failures {
+            sim.inject_spike_windows(
+                MachineId(1),
+                &[spike(1, 2), spike(3, 4), spike(5, 6), spike(7, 8)],
+            );
+        }
+        sim.stop_sources_at(SimTime::from_secs(9));
+        sim.run_for(SimDuration::from_secs(12));
+        sim.report().sink_mean_delay_ms
+    };
+    let calm = run(false);
+    let stormy = run(true);
+    assert!(
+        stormy > 3.0 * calm,
+        "unmitigated spikes must inflate delay: {calm:.2} -> {stormy:.2} ms"
+    );
+}

@@ -1,0 +1,674 @@
+//! Job topology: logical PEs, sources, sinks, edges, and the partition into
+//! subjobs.
+//!
+//! A *job* is a dataflow graph of logical PEs. The subset of a job's PEs
+//! placed on one machine is a *subjob* — the paper's unit of checkpointing,
+//! standby, and recovery. [`JobBuilder`] assembles and validates a
+//! topology into an immutable [`Job`] that the HA runtime deploys.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::element::{PeId, StreamId};
+use crate::operator::OperatorSpec;
+use crate::pe::SinkId;
+
+/// Identifies an external data source feeding a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SourceId(pub u32);
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "src{}", self.0)
+    }
+}
+
+/// Identifies a subjob (the PEs of one job on one machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubjobId(pub u32);
+
+impl fmt::Display for SubjobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sj{}", self.0)
+    }
+}
+
+/// The producer side of a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Producer {
+    /// An external source.
+    Source(SourceId),
+    /// An output port of a logical PE.
+    Pe(PeId, usize),
+}
+
+/// The consumer side of a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Consumer {
+    /// An input port of a logical PE.
+    Pe(PeId, usize),
+    /// An external sink.
+    Sink(SinkId),
+}
+
+/// A logical PE declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// The operator this PE runs.
+    pub operator: OperatorSpec,
+}
+
+/// Errors produced by [`JobBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildJobError {
+    /// The job declares no PEs.
+    NoPes,
+    /// The job declares no sources.
+    NoSources,
+    /// A PE input port is fed by no stream.
+    DisconnectedInput(PeId, usize),
+    /// A PE appears in zero or multiple subjobs.
+    BadPartition(PeId),
+    /// The subjob partition references an unknown PE.
+    UnknownPeInPartition(u32),
+    /// The dataflow graph contains a cycle.
+    Cyclic,
+    /// Port numbers on a PE are not contiguous from zero.
+    NonContiguousPorts(PeId),
+}
+
+impl fmt::Display for BuildJobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildJobError::NoPes => write!(f, "job has no processing elements"),
+            BuildJobError::NoSources => write!(f, "job has no sources"),
+            BuildJobError::DisconnectedInput(pe, port) => {
+                write!(f, "input port {port} of {pe} is not fed by any stream")
+            }
+            BuildJobError::BadPartition(pe) => {
+                write!(f, "{pe} must appear in exactly one subjob")
+            }
+            BuildJobError::UnknownPeInPartition(id) => {
+                write!(f, "subjob partition references unknown pe{id}")
+            }
+            BuildJobError::Cyclic => write!(f, "dataflow graph contains a cycle"),
+            BuildJobError::NonContiguousPorts(pe) => {
+                write!(f, "ports of {pe} are not contiguous from zero")
+            }
+        }
+    }
+}
+
+impl Error for BuildJobError {}
+
+#[derive(Debug, Clone, Copy)]
+enum RawEdge {
+    SourceToPe(SourceId, PeId, usize),
+    PeToPe(PeId, usize, PeId, usize),
+    PeToSink(PeId, usize, SinkId),
+}
+
+/// Assembles a [`Job`].
+///
+/// ```
+/// use sps_engine::{JobBuilder, OperatorSpec};
+///
+/// let mut b = JobBuilder::new("demo");
+/// let src = b.add_source("feed");
+/// let pe = b.add_pe("count", OperatorSpec::Counter { demand_secs: 1e-4 });
+/// let sink = b.add_sink("out");
+/// b.connect_source(src, pe, 0);
+/// b.connect_sink(pe, 0, sink);
+/// b.subjobs(vec![vec![pe]]);
+/// let job = b.build().expect("valid topology");
+/// assert_eq!(job.pe_count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct JobBuilder {
+    name: String,
+    pes: Vec<PeSpec>,
+    sources: Vec<String>,
+    sinks: Vec<String>,
+    edges: Vec<RawEdge>,
+    subjobs: Vec<Vec<PeId>>,
+}
+
+impl JobBuilder {
+    /// Starts a job named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        JobBuilder {
+            name: name.into(),
+            pes: Vec::new(),
+            sources: Vec::new(),
+            sinks: Vec::new(),
+            edges: Vec::new(),
+            subjobs: Vec::new(),
+        }
+    }
+
+    /// Declares a logical PE.
+    pub fn add_pe(&mut self, name: impl Into<String>, operator: OperatorSpec) -> PeId {
+        let id = PeId(self.pes.len() as u32);
+        self.pes.push(PeSpec {
+            name: name.into(),
+            operator,
+        });
+        id
+    }
+
+    /// Declares an external source.
+    pub fn add_source(&mut self, name: impl Into<String>) -> SourceId {
+        let id = SourceId(self.sources.len() as u32);
+        self.sources.push(name.into());
+        id
+    }
+
+    /// Declares an external sink.
+    pub fn add_sink(&mut self, name: impl Into<String>) -> SinkId {
+        let id = SinkId(self.sinks.len() as u32);
+        self.sinks.push(name.into());
+        id
+    }
+
+    /// Connects PE output `from_port` to PE input `to_port`.
+    pub fn connect(&mut self, from: PeId, from_port: usize, to: PeId, to_port: usize) {
+        self.edges
+            .push(RawEdge::PeToPe(from, from_port, to, to_port));
+    }
+
+    /// Connects a source to a PE input port.
+    pub fn connect_source(&mut self, source: SourceId, to: PeId, to_port: usize) {
+        self.edges.push(RawEdge::SourceToPe(source, to, to_port));
+    }
+
+    /// Connects a PE output port to a sink.
+    pub fn connect_sink(&mut self, from: PeId, from_port: usize, sink: SinkId) {
+        self.edges.push(RawEdge::PeToSink(from, from_port, sink));
+    }
+
+    /// Sets the partition of PEs into subjobs (index = subjob id).
+    pub fn subjobs(&mut self, subjobs: Vec<Vec<PeId>>) {
+        self.subjobs = subjobs;
+    }
+
+    /// Validates and freezes the topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildJobError`] describing the first structural problem
+    /// found (missing PEs/sources, disconnected inputs, bad partition,
+    /// cycles, non-contiguous ports).
+    pub fn build(self) -> Result<Job, BuildJobError> {
+        let n = self.pes.len();
+        if n == 0 {
+            return Err(BuildJobError::NoPes);
+        }
+        if self.sources.is_empty() {
+            return Err(BuildJobError::NoSources);
+        }
+
+        // Port shapes.
+        let mut in_ports = vec![0usize; n];
+        let mut out_ports = vec![0usize; n];
+        let mut in_seen: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut out_seen: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &self.edges {
+            match *e {
+                RawEdge::SourceToPe(_, to, port) => {
+                    in_ports[to.0 as usize] = in_ports[to.0 as usize].max(port + 1);
+                    in_seen[to.0 as usize].push(port);
+                }
+                RawEdge::PeToPe(from, fp, to, tp) => {
+                    out_ports[from.0 as usize] = out_ports[from.0 as usize].max(fp + 1);
+                    out_seen[from.0 as usize].push(fp);
+                    in_ports[to.0 as usize] = in_ports[to.0 as usize].max(tp + 1);
+                    in_seen[to.0 as usize].push(tp);
+                }
+                RawEdge::PeToSink(from, fp, _) => {
+                    out_ports[from.0 as usize] = out_ports[from.0 as usize].max(fp + 1);
+                    out_seen[from.0 as usize].push(fp);
+                }
+            }
+        }
+        for pe in 0..n {
+            for (count, seen) in [(in_ports[pe], &in_seen[pe]), (out_ports[pe], &out_seen[pe])] {
+                for p in 0..count {
+                    if !seen.contains(&p) {
+                        return Err(BuildJobError::NonContiguousPorts(PeId(pe as u32)));
+                    }
+                }
+            }
+            if in_ports[pe] == 0 {
+                return Err(BuildJobError::DisconnectedInput(PeId(pe as u32), 0));
+            }
+            // Every PE needs at least one output port so its work is
+            // observable; PEs feeding nothing keep port count 0 and are
+            // caught here.
+            if out_ports[pe] == 0 {
+                out_ports[pe] = 1;
+                out_seen[pe].push(0);
+            }
+        }
+
+        // Partition check.
+        let mut membership = vec![0u32; n];
+        for subjob in &self.subjobs {
+            for pe in subjob {
+                if pe.0 as usize >= n {
+                    return Err(BuildJobError::UnknownPeInPartition(pe.0));
+                }
+                membership[pe.0 as usize] += 1;
+            }
+        }
+        for (pe, &count) in membership.iter().enumerate() {
+            if count != 1 {
+                return Err(BuildJobError::BadPartition(PeId(pe as u32)));
+            }
+        }
+
+        // Cycle check (Kahn's algorithm over PE→PE edges).
+        let mut indeg = vec![0usize; n];
+        for e in &self.edges {
+            if let RawEdge::PeToPe(_, _, to, _) = e {
+                indeg[to.0 as usize] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut visited = 0;
+        while let Some(u) = queue.pop() {
+            visited += 1;
+            for e in &self.edges {
+                if let RawEdge::PeToPe(from, _, to, _) = e {
+                    if from.0 as usize == u {
+                        indeg[to.0 as usize] -= 1;
+                        if indeg[to.0 as usize] == 0 {
+                            queue.push(to.0 as usize);
+                        }
+                    }
+                }
+            }
+        }
+        if visited != n {
+            return Err(BuildJobError::Cyclic);
+        }
+
+        // Stream allocation: sources first, then (pe, out_port) in order.
+        let n_sources = self.sources.len() as u32;
+        let mut stream_base = vec![0u32; n];
+        let mut next = n_sources;
+        for pe in 0..n {
+            stream_base[pe] = next;
+            next += out_ports[pe] as u32;
+        }
+
+        // Consumers per stream.
+        let mut consumers: Vec<Vec<Consumer>> = vec![Vec::new(); next as usize];
+        for e in &self.edges {
+            match *e {
+                RawEdge::SourceToPe(src, to, port) => {
+                    consumers[src.0 as usize].push(Consumer::Pe(to, port));
+                }
+                RawEdge::PeToPe(from, fp, to, tp) => {
+                    let s = stream_base[from.0 as usize] as usize + fp;
+                    consumers[s].push(Consumer::Pe(to, tp));
+                }
+                RawEdge::PeToSink(from, fp, sink) => {
+                    let s = stream_base[from.0 as usize] as usize + fp;
+                    consumers[s].push(Consumer::Sink(sink));
+                }
+            }
+        }
+
+        // Subjob lookup.
+        let mut subjob_of = vec![SubjobId(0); n];
+        for (sj, members) in self.subjobs.iter().enumerate() {
+            for pe in members {
+                subjob_of[pe.0 as usize] = SubjobId(sj as u32);
+            }
+        }
+
+        Ok(Job {
+            name: self.name,
+            pes: self.pes,
+            sources: self.sources,
+            sinks: self.sinks,
+            in_ports,
+            out_ports,
+            stream_base,
+            consumers,
+            subjobs: self.subjobs,
+            subjob_of,
+        })
+    }
+}
+
+/// An immutable, validated job topology.
+#[derive(Debug, Clone)]
+pub struct Job {
+    name: String,
+    pes: Vec<PeSpec>,
+    sources: Vec<String>,
+    sinks: Vec<String>,
+    in_ports: Vec<usize>,
+    out_ports: Vec<usize>,
+    stream_base: Vec<u32>,
+    consumers: Vec<Vec<Consumer>>,
+    subjobs: Vec<Vec<PeId>>,
+    subjob_of: Vec<SubjobId>,
+}
+
+impl Job {
+    /// The paper's evaluation job: `n_pes` PEs in a chain, split into
+    /// `n_subjobs` equal subjobs, each PE running `operator`; one source
+    /// feeding the head, one sink consuming the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n_pes` is a positive multiple of `n_subjobs`.
+    pub fn chain(
+        name: impl Into<String>,
+        operator: &OperatorSpec,
+        n_pes: usize,
+        n_subjobs: usize,
+    ) -> Job {
+        assert!(
+            n_pes > 0 && n_subjobs > 0 && n_pes.is_multiple_of(n_subjobs),
+            "chain needs n_pes ({n_pes}) to be a positive multiple of n_subjobs ({n_subjobs})"
+        );
+        let mut b = JobBuilder::new(name);
+        let src = b.add_source("source");
+        let sink = b.add_sink("sink");
+        let pes: Vec<PeId> = (0..n_pes)
+            .map(|i| b.add_pe(format!("pe{i}"), operator.clone()))
+            .collect();
+        b.connect_source(src, pes[0], 0);
+        for pair in pes.windows(2) {
+            b.connect(pair[0], 0, pair[1], 0);
+        }
+        b.connect_sink(pes[n_pes - 1], 0, sink);
+        let per = n_pes / n_subjobs;
+        b.subjobs(pes.chunks(per).map(<[PeId]>::to_vec).collect());
+        b.build().expect("chain topology is always valid")
+    }
+
+    /// The job's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of logical PEs.
+    pub fn pe_count(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// A logical PE's declaration.
+    pub fn pe(&self, pe: PeId) -> &PeSpec {
+        &self.pes[pe.0 as usize]
+    }
+
+    /// All PE ids.
+    pub fn pe_ids(&self) -> impl Iterator<Item = PeId> + '_ {
+        (0..self.pes.len() as u32).map(PeId)
+    }
+
+    /// Number of sources.
+    pub fn source_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Number of sinks.
+    pub fn sink_count(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Input-port count of a PE.
+    pub fn in_ports(&self, pe: PeId) -> usize {
+        self.in_ports[pe.0 as usize]
+    }
+
+    /// Output-port count of a PE.
+    pub fn out_ports(&self, pe: PeId) -> usize {
+        self.out_ports[pe.0 as usize]
+    }
+
+    /// The stream produced by a source.
+    pub fn source_stream(&self, source: SourceId) -> StreamId {
+        StreamId(source.0)
+    }
+
+    /// The stream produced by a PE output port.
+    pub fn pe_stream(&self, pe: PeId, port: usize) -> StreamId {
+        debug_assert!(port < self.out_ports[pe.0 as usize]);
+        StreamId(self.stream_base[pe.0 as usize] + port as u32)
+    }
+
+    /// Total number of streams (sources + PE output ports).
+    pub fn stream_count(&self) -> usize {
+        self.consumers.len()
+    }
+
+    /// The consumers of a stream.
+    pub fn consumers(&self, stream: StreamId) -> &[Consumer] {
+        &self.consumers[stream.0 as usize]
+    }
+
+    /// The producer of a stream.
+    pub fn producer(&self, stream: StreamId) -> Producer {
+        let s = stream.0;
+        if (s as usize) < self.sources.len() {
+            return Producer::Source(SourceId(s));
+        }
+        for pe in 0..self.pes.len() {
+            let base = self.stream_base[pe];
+            let count = self.out_ports[pe] as u32;
+            if s >= base && s < base + count {
+                return Producer::Pe(PeId(pe as u32), (s - base) as usize);
+            }
+        }
+        unreachable!("stream {stream} out of range")
+    }
+
+    /// The streams feeding each input port of `pe`: `(port, stream)` pairs.
+    pub fn input_streams(&self, pe: PeId) -> Vec<(usize, StreamId)> {
+        let mut found = Vec::new();
+        for s in 0..self.consumers.len() {
+            for c in &self.consumers[s] {
+                if let Consumer::Pe(p, port) = c {
+                    if *p == pe {
+                        found.push((*port, StreamId(s as u32)));
+                    }
+                }
+            }
+        }
+        found.sort_unstable_by_key(|&(port, _)| port);
+        found
+    }
+
+    /// Number of subjobs.
+    pub fn subjob_count(&self) -> usize {
+        self.subjobs.len()
+    }
+
+    /// The PEs of a subjob.
+    pub fn subjob_pes(&self, subjob: SubjobId) -> &[PeId] {
+        &self.subjobs[subjob.0 as usize]
+    }
+
+    /// The subjob a PE belongs to.
+    pub fn subjob_of(&self, pe: PeId) -> SubjobId {
+        self.subjob_of[pe.0 as usize]
+    }
+
+    /// All subjob ids.
+    pub fn subjob_ids(&self) -> impl Iterator<Item = SubjobId> + '_ {
+        (0..self.subjobs.len() as u32).map(SubjobId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter() -> OperatorSpec {
+        OperatorSpec::Counter { demand_secs: 1e-4 }
+    }
+
+    #[test]
+    fn chain_topology_shape() {
+        let job = Job::chain("eval", &counter(), 8, 4);
+        assert_eq!(job.pe_count(), 8);
+        assert_eq!(job.subjob_count(), 4);
+        assert_eq!(job.subjob_pes(SubjobId(0)), &[PeId(0), PeId(1)]);
+        assert_eq!(job.subjob_pes(SubjobId(3)), &[PeId(6), PeId(7)]);
+        assert_eq!(job.subjob_of(PeId(5)), SubjobId(2));
+        assert_eq!(job.source_count(), 1);
+        assert_eq!(job.sink_count(), 1);
+        // 1 source stream + 8 PE output streams.
+        assert_eq!(job.stream_count(), 9);
+    }
+
+    #[test]
+    fn chain_streams_connect_in_order() {
+        let job = Job::chain("eval", &counter(), 3, 1);
+        let src = job.source_stream(SourceId(0));
+        assert_eq!(job.consumers(src), &[Consumer::Pe(PeId(0), 0)]);
+        let s0 = job.pe_stream(PeId(0), 0);
+        assert_eq!(job.consumers(s0), &[Consumer::Pe(PeId(1), 0)]);
+        let s2 = job.pe_stream(PeId(2), 0);
+        assert_eq!(job.consumers(s2), &[Consumer::Sink(SinkId(0))]);
+        assert_eq!(job.producer(s0), Producer::Pe(PeId(0), 0));
+        assert_eq!(job.producer(src), Producer::Source(SourceId(0)));
+        assert_eq!(job.input_streams(PeId(1)), vec![(0, s0)]);
+    }
+
+    #[test]
+    fn tree_topology_builds() {
+        // Two branches joining into one PE (a tree, §VII future work).
+        let mut b = JobBuilder::new("tree");
+        let s1 = b.add_source("left");
+        let s2 = b.add_source("right");
+        let a = b.add_pe("a", counter());
+        let c = b.add_pe("b", counter());
+        let join = b.add_pe("join", counter());
+        let sink = b.add_sink("out");
+        b.connect_source(s1, a, 0);
+        b.connect_source(s2, c, 0);
+        b.connect(a, 0, join, 0);
+        b.connect(c, 0, join, 1);
+        b.connect_sink(join, 0, sink);
+        b.subjobs(vec![vec![a, c], vec![join]]);
+        let job = b.build().unwrap();
+        assert_eq!(job.in_ports(join), 2);
+        assert_eq!(job.input_streams(join).len(), 2);
+    }
+
+    #[test]
+    fn fanout_stream_has_two_consumers() {
+        let mut b = JobBuilder::new("fanout");
+        let s = b.add_source("src");
+        let a = b.add_pe("a", counter());
+        let x = b.add_pe("x", counter());
+        let y = b.add_pe("y", counter());
+        let sink = b.add_sink("out");
+        b.connect_source(s, a, 0);
+        b.connect(a, 0, x, 0);
+        b.connect(a, 0, y, 0);
+        b.connect_sink(x, 0, sink);
+        b.connect_sink(y, 0, sink);
+        b.subjobs(vec![vec![a], vec![x, y]]);
+        let job = b.build().unwrap();
+        assert_eq!(job.consumers(job.pe_stream(a, 0)).len(), 2);
+    }
+
+    #[test]
+    fn build_rejects_empty_job() {
+        assert_eq!(
+            JobBuilder::new("x").build().unwrap_err(),
+            BuildJobError::NoPes
+        );
+    }
+
+    #[test]
+    fn build_rejects_missing_source() {
+        let mut b = JobBuilder::new("x");
+        b.add_pe("a", counter());
+        assert_eq!(b.build().unwrap_err(), BuildJobError::NoSources);
+    }
+
+    #[test]
+    fn build_rejects_disconnected_input() {
+        let mut b = JobBuilder::new("x");
+        b.add_source("s");
+        let a = b.add_pe("a", counter());
+        b.subjobs(vec![vec![a]]);
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildJobError::DisconnectedInput(a, 0)
+        );
+    }
+
+    #[test]
+    fn build_rejects_bad_partition() {
+        let mut b = JobBuilder::new("x");
+        let s = b.add_source("s");
+        let a = b.add_pe("a", counter());
+        b.connect_source(s, a, 0);
+        // No subjobs declared.
+        assert_eq!(b.build().unwrap_err(), BuildJobError::BadPartition(a));
+    }
+
+    #[test]
+    fn build_rejects_cycle() {
+        let mut b = JobBuilder::new("x");
+        let s = b.add_source("s");
+        let a = b.add_pe("a", counter());
+        let c = b.add_pe("b", counter());
+        b.connect_source(s, a, 0);
+        b.connect(a, 0, c, 1);
+        b.connect(c, 0, a, 1);
+        // Make port 0 of "b" also fed so ports are contiguous.
+        b.connect(a, 0, c, 0);
+        b.subjobs(vec![vec![a, c]]);
+        assert_eq!(b.build().unwrap_err(), BuildJobError::Cyclic);
+    }
+
+    #[test]
+    fn build_rejects_unknown_pe_in_partition() {
+        let mut b = JobBuilder::new("x");
+        let s = b.add_source("s");
+        let a = b.add_pe("a", counter());
+        b.connect_source(s, a, 0);
+        b.subjobs(vec![vec![a, PeId(9)]]);
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildJobError::UnknownPeInPartition(9)
+        );
+    }
+
+    #[test]
+    fn build_rejects_port_gap() {
+        let mut b = JobBuilder::new("x");
+        let s = b.add_source("s");
+        let a = b.add_pe("a", counter());
+        let j = b.add_pe("j", counter());
+        b.connect_source(s, a, 0);
+        b.connect(a, 0, j, 1); // port 0 of j never fed
+        b.subjobs(vec![vec![a, j]]);
+        assert_eq!(b.build().unwrap_err(), BuildJobError::NonContiguousPorts(j));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn chain_panics_on_indivisible_split() {
+        Job::chain("x", &counter(), 7, 4);
+    }
+
+    #[test]
+    fn errors_display_helpfully() {
+        let e = BuildJobError::DisconnectedInput(PeId(2), 1);
+        assert!(e.to_string().contains("pe2"));
+        assert!(BuildJobError::Cyclic.to_string().contains("cycle"));
+    }
+}

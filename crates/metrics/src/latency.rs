@@ -1,0 +1,143 @@
+//! End-to-end latency recording for data elements.
+//!
+//! The paper's headline metric (Figs 4–5) is the average end-to-end delay of
+//! data elements from source to sink. [`LatencyRecorder`] keeps both an
+//! online summary and an optional time series of `(arrival time,
+//! latency)` pairs so that delays *during* failure windows can be separated
+//! from normal-period delays (the "8-fold increase" observation in §V-B).
+
+use crate::cdf::Cdf;
+use crate::stats::OnlineStats;
+
+/// Records per-element end-to-end latencies, in milliseconds.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    stats: OnlineStats,
+    cdf: Cdf,
+    series: Vec<(f64, f64)>,
+    keep_series: bool,
+}
+
+impl LatencyRecorder {
+    /// Creates a recorder keeping only aggregate statistics.
+    pub fn new() -> Self {
+        LatencyRecorder::default()
+    }
+
+    /// Creates a recorder that also keeps the full `(arrival_s, latency_ms)`
+    /// time series for windowed analysis.
+    pub fn with_series() -> Self {
+        LatencyRecorder {
+            keep_series: true,
+            ..LatencyRecorder::default()
+        }
+    }
+
+    /// Records one element's latency, with its sink-arrival time.
+    pub fn record(&mut self, arrival_s: f64, latency_ms: f64) {
+        self.stats.record(latency_ms);
+        self.cdf.record(latency_ms);
+        if self.keep_series {
+            self.series.push((arrival_s, latency_ms));
+        }
+    }
+
+    /// Number of elements recorded.
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Mean latency in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Latency quantile in milliseconds (nearest rank), or `None` if empty.
+    pub fn quantile_ms(&mut self, q: f64) -> Option<f64> {
+        self.cdf.quantile(q)
+    }
+
+    /// Maximum latency in milliseconds, or `None` if empty.
+    pub fn max_ms(&self) -> Option<f64> {
+        self.stats.max()
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &OnlineStats {
+        &self.stats
+    }
+
+    /// Mean latency of elements arriving inside any of the given windows
+    /// versus outside them: `(inside_mean, outside_mean)`. Windows are
+    /// `(start_s, end_s)` pairs, half-open. Requires a series recorder.
+    ///
+    /// Returns zero means for empty partitions.
+    pub fn mean_inside_outside(&self, windows: &[(f64, f64)]) -> (f64, f64) {
+        let mut inside = OnlineStats::new();
+        let mut outside = OnlineStats::new();
+        for &(t, lat) in &self.series {
+            if windows.iter().any(|&(s, e)| s <= t && t < e) {
+                inside.record(lat);
+            } else {
+                outside.record(lat);
+            }
+        }
+        (inside.mean(), outside.mean())
+    }
+
+    /// The recorded `(arrival_s, latency_ms)` series (empty unless created
+    /// via [`LatencyRecorder::with_series`]).
+    pub fn series(&self) -> &[(f64, f64)] {
+        &self.series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_track_records() {
+        let mut r = LatencyRecorder::new();
+        r.record(0.0, 10.0);
+        r.record(1.0, 20.0);
+        r.record(2.0, 30.0);
+        assert_eq!(r.count(), 3);
+        assert_eq!(r.mean_ms(), 20.0);
+        assert_eq!(r.max_ms(), Some(30.0));
+        assert_eq!(r.quantile_ms(1.0), Some(30.0));
+        assert!(r.series().is_empty(), "series not kept by default");
+    }
+
+    #[test]
+    fn inside_outside_partition() {
+        let mut r = LatencyRecorder::with_series();
+        // Failure window [10, 20): slow elements inside.
+        r.record(5.0, 10.0);
+        r.record(12.0, 80.0);
+        r.record(15.0, 120.0);
+        r.record(25.0, 10.0);
+        let (inside, outside) = r.mean_inside_outside(&[(10.0, 20.0)]);
+        assert_eq!(inside, 100.0);
+        assert_eq!(outside, 10.0);
+    }
+
+    #[test]
+    fn inside_outside_handles_empty_partitions() {
+        let mut r = LatencyRecorder::with_series();
+        r.record(5.0, 10.0);
+        let (inside, outside) = r.mean_inside_outside(&[(100.0, 200.0)]);
+        assert_eq!(inside, 0.0);
+        assert_eq!(outside, 10.0);
+    }
+
+    #[test]
+    fn window_boundaries_are_half_open() {
+        let mut r = LatencyRecorder::with_series();
+        r.record(10.0, 1.0);
+        r.record(20.0, 2.0);
+        let (inside, outside) = r.mean_inside_outside(&[(10.0, 20.0)]);
+        assert_eq!(inside, 1.0);
+        assert_eq!(outside, 2.0);
+    }
+}

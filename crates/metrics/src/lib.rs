@@ -1,0 +1,36 @@
+//! # sps-metrics — measurement toolkit for the HA experiments
+//!
+//! Everything the paper's evaluation section measures, as reusable
+//! collectors:
+//!
+//! * [`OnlineStats`] — streaming mean/variance/extrema;
+//! * [`Cdf`] — empirical distributions and CDF curves (Figs 2–3);
+//! * [`LatencyRecorder`] — per-element end-to-end delay, with
+//!   inside/outside-failure-window partitioning (Figs 4–5, the "8-fold"
+//!   observation);
+//! * [`MsgCounters`] / [`MsgClass`] — message overhead in element units
+//!   (Figs 6, 10, 11);
+//! * [`RecoveryTimeline`] / [`RecoveryDecomposition`] — recovery-time
+//!   decomposition into detection / redeploy-or-resume / retransmit phases
+//!   (Figs 7–9);
+//! * [`Table`] and formatting helpers — the harnesses' printed output.
+//!
+//! This crate is dependency-free and knows nothing about the simulator, so
+//! any component can record into it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod cdf;
+mod counters;
+mod latency;
+mod recovery;
+mod report;
+mod stats;
+
+pub use cdf::Cdf;
+pub use counters::{MsgClass, MsgCounters};
+pub use latency::LatencyRecorder;
+pub use recovery::{RecoveryDecomposition, RecoveryKind, RecoveryTimeline};
+pub use report::{fmt_count, fmt_ms, fmt_pct, Table};
+pub use stats::OnlineStats;

@@ -1,0 +1,223 @@
+//! Recovery-time decomposition, as plotted in the paper's Figs 7–9.
+//!
+//! The paper defines recovery time as "the time from the inception of a
+//! transient failure to the producing of the first new output data after the
+//! switch", decomposed into failure detection, job redeployment (passive
+//! standby) or job resume (hybrid), and data retransmission / reprocessing.
+
+use std::fmt;
+
+use crate::stats::OnlineStats;
+
+/// Which standby design produced a recovery timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryKind {
+    /// Passive standby: the secondary is deployed on demand after detection.
+    PassiveStandby,
+    /// Hybrid: a pre-deployed suspended secondary is resumed.
+    Hybrid,
+}
+
+/// Milestones of one recovery, in milliseconds since the failure inception.
+///
+/// Milestones are cumulative offsets: `detected <= ready <= first_output`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryTimeline {
+    /// Which design recovered.
+    pub kind: RecoveryKind,
+    /// Failure inception → failure declared.
+    pub detected_ms: f64,
+    /// Failure inception → secondary deployed (PS) or resumed (Hybrid) and
+    /// connected.
+    pub ready_ms: f64,
+    /// Failure inception → first new output element produced downstream.
+    pub first_output_ms: f64,
+}
+
+impl RecoveryTimeline {
+    /// Creates a timeline, validating milestone ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the milestones are not non-decreasing or are negative/NaN.
+    pub fn new(kind: RecoveryKind, detected_ms: f64, ready_ms: f64, first_output_ms: f64) -> Self {
+        assert!(
+            detected_ms >= 0.0 && detected_ms <= ready_ms && ready_ms <= first_output_ms,
+            "milestones must satisfy 0 <= detected ({detected_ms}) <= ready ({ready_ms}) \
+             <= first_output ({first_output_ms})"
+        );
+        RecoveryTimeline {
+            kind,
+            detected_ms,
+            ready_ms,
+            first_output_ms,
+        }
+    }
+
+    /// The detection phase length (ms).
+    pub fn detection_ms(&self) -> f64 {
+        self.detected_ms
+    }
+
+    /// The redeployment (PS) or resume (Hybrid) phase length (ms).
+    pub fn deploy_or_resume_ms(&self) -> f64 {
+        self.ready_ms - self.detected_ms
+    }
+
+    /// The retransmission / reprocessing phase length (ms).
+    pub fn retrans_reprocess_ms(&self) -> f64 {
+        self.first_output_ms - self.ready_ms
+    }
+
+    /// Total recovery time (ms).
+    pub fn total_ms(&self) -> f64 {
+        self.first_output_ms
+    }
+}
+
+/// Mean decomposition across many recoveries of the same kind.
+#[derive(Debug, Clone)]
+pub struct RecoveryDecomposition {
+    kind: RecoveryKind,
+    detection: OnlineStats,
+    deploy_or_resume: OnlineStats,
+    retrans: OnlineStats,
+}
+
+impl RecoveryDecomposition {
+    /// Creates an empty decomposition for recoveries of `kind`.
+    pub fn new(kind: RecoveryKind) -> Self {
+        RecoveryDecomposition {
+            kind,
+            detection: OnlineStats::new(),
+            deploy_or_resume: OnlineStats::new(),
+            retrans: OnlineStats::new(),
+        }
+    }
+
+    /// Adds one recovery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeline.kind` differs from this decomposition's kind.
+    pub fn record(&mut self, timeline: &RecoveryTimeline) {
+        assert_eq!(
+            timeline.kind, self.kind,
+            "cannot mix recovery kinds in one decomposition"
+        );
+        self.detection.record(timeline.detection_ms());
+        self.deploy_or_resume.record(timeline.deploy_or_resume_ms());
+        self.retrans.record(timeline.retrans_reprocess_ms());
+    }
+
+    /// The design this decomposition describes.
+    pub fn kind(&self) -> RecoveryKind {
+        self.kind
+    }
+
+    /// Number of recoveries recorded.
+    pub fn count(&self) -> u64 {
+        self.detection.count()
+    }
+
+    /// Mean detection time (ms).
+    pub fn mean_detection_ms(&self) -> f64 {
+        self.detection.mean()
+    }
+
+    /// Mean redeployment/resume time (ms).
+    pub fn mean_deploy_or_resume_ms(&self) -> f64 {
+        self.deploy_or_resume.mean()
+    }
+
+    /// Mean retransmission/reprocessing time (ms).
+    pub fn mean_retrans_ms(&self) -> f64 {
+        self.retrans.mean()
+    }
+
+    /// Mean total recovery time (ms).
+    pub fn mean_total_ms(&self) -> f64 {
+        self.mean_detection_ms() + self.mean_deploy_or_resume_ms() + self.mean_retrans_ms()
+    }
+}
+
+impl fmt::Display for RecoveryDecomposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stage = match self.kind {
+            RecoveryKind::PassiveStandby => "redeploy",
+            RecoveryKind::Hybrid => "resume",
+        };
+        write!(
+            f,
+            "n={} detect={:.1}ms {}={:.1}ms retrans/reproc={:.1}ms total={:.1}ms",
+            self.count(),
+            self.mean_detection_ms(),
+            stage,
+            self.mean_deploy_or_resume_ms(),
+            self.mean_retrans_ms(),
+            self.mean_total_ms()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_decomposes() {
+        let t = RecoveryTimeline::new(RecoveryKind::Hybrid, 100.0, 150.0, 230.0);
+        assert_eq!(t.detection_ms(), 100.0);
+        assert_eq!(t.deploy_or_resume_ms(), 50.0);
+        assert_eq!(t.retrans_reprocess_ms(), 80.0);
+        assert_eq!(t.total_ms(), 230.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "milestones")]
+    fn unordered_milestones_rejected() {
+        RecoveryTimeline::new(RecoveryKind::Hybrid, 100.0, 50.0, 230.0);
+    }
+
+    #[test]
+    fn decomposition_averages() {
+        let mut d = RecoveryDecomposition::new(RecoveryKind::PassiveStandby);
+        d.record(&RecoveryTimeline::new(
+            RecoveryKind::PassiveStandby,
+            300.0,
+            500.0,
+            600.0,
+        ));
+        d.record(&RecoveryTimeline::new(
+            RecoveryKind::PassiveStandby,
+            100.0,
+            300.0,
+            400.0,
+        ));
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.mean_detection_ms(), 200.0);
+        assert_eq!(d.mean_deploy_or_resume_ms(), 200.0);
+        assert_eq!(d.mean_retrans_ms(), 100.0);
+        assert_eq!(d.mean_total_ms(), 500.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mix")]
+    fn kind_mismatch_rejected() {
+        let mut d = RecoveryDecomposition::new(RecoveryKind::Hybrid);
+        d.record(&RecoveryTimeline::new(
+            RecoveryKind::PassiveStandby,
+            1.0,
+            2.0,
+            3.0,
+        ));
+    }
+
+    #[test]
+    fn display_names_the_middle_stage() {
+        let d = RecoveryDecomposition::new(RecoveryKind::Hybrid);
+        assert!(d.to_string().contains("resume"));
+        let d = RecoveryDecomposition::new(RecoveryKind::PassiveStandby);
+        assert!(d.to_string().contains("redeploy"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the simulation kernel invariants.
+
+use proptest::prelude::*;
+use sps_sim::{Ctx, EventQueue, SimDuration, SimRng, SimTime, Simulation, World};
+
+proptest! {
+    /// Popping the event queue yields times in non-decreasing order, and
+    /// FIFO order among equal times, for arbitrary insertion patterns.
+    #[test]
+    fn event_queue_is_stable_and_ordered(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t >= lt, "time went backwards");
+                if t == lt {
+                    prop_assert!(idx > lidx, "FIFO violated among ties");
+                }
+            }
+            last = Some((t, idx));
+        }
+    }
+
+    /// The simulation clock never moves backwards and every scheduled event
+    /// is delivered exactly once.
+    #[test]
+    fn clock_is_monotone_and_delivery_exact(delays in proptest::collection::vec(0u64..10_000, 1..100)) {
+        struct Count(u64, SimTime);
+        impl World for Count {
+            type Event = ();
+            fn handle(&mut self, ctx: &mut Ctx<()>, _: ()) {
+                assert!(ctx.now() >= self.1, "clock moved backwards");
+                self.1 = ctx.now();
+                self.0 += 1;
+            }
+        }
+        let mut sim = Simulation::new(Count(0, SimTime::ZERO), 0);
+        for &d in &delays {
+            sim.schedule_in(SimDuration::from_nanos(d), ());
+        }
+        sim.run_to_completion();
+        prop_assert_eq!(sim.world().0, delays.len() as u64);
+    }
+
+    /// Time arithmetic: (t + d) - t == d for all representable pairs without
+    /// overflow.
+    #[test]
+    fn time_add_sub_round_trip(t in 0u64..u64::MAX / 2, d in 0u64..u64::MAX / 4) {
+        let time = SimTime::from_nanos(t);
+        let dur = SimDuration::from_nanos(d);
+        prop_assert_eq!((time + dur) - time, dur);
+    }
+
+    /// Forked RNG substreams are determined by (seed, stream) alone.
+    #[test]
+    fn rng_fork_is_pure(seed in any::<u64>(), stream in any::<u64>(), burn in 0usize..32) {
+        let mut a = SimRng::seed_from(seed);
+        let b = SimRng::seed_from(seed);
+        for _ in 0..burn {
+            let _ = a.next_u64();
+        }
+        prop_assert_eq!(a.fork(stream).seed(), b.fork(stream).seed());
+    }
+
+    /// Exponential and Pareto draws respect their support.
+    #[test]
+    fn distribution_support(seed in any::<u64>(), mean in 0.001f64..1e6) {
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.exp(mean) >= 0.0);
+            prop_assert!(rng.pareto(mean, 1.5) >= mean);
+        }
+    }
+}
+
+/// `run_until` splits are invisible: running to T in one call or in many
+/// arbitrary chunks produces the same world state.
+#[test]
+fn run_until_chunking_is_invisible() {
+    #[derive(Default)]
+    struct Acc(Vec<u64>);
+    impl World for Acc {
+        type Event = u64;
+        fn handle(&mut self, ctx: &mut Ctx<u64>, ev: u64) {
+            self.0
+                .push(ev * 1_000_000 + ctx.now().as_nanos() % 1_000_000);
+            if ev < 50 {
+                let jitter = ctx.rng().uniform_u64(1, 500);
+                ctx.schedule_in(SimDuration::from_nanos(jitter), ev + 1);
+            }
+        }
+    }
+
+    let run_one = || {
+        let mut sim = Simulation::new(Acc::default(), 77);
+        sim.schedule_in(SimDuration::ZERO, 0);
+        sim.run_until(SimTime::from_millis(10));
+        sim.into_world().0
+    };
+    let run_chunked = || {
+        let mut sim = Simulation::new(Acc::default(), 77);
+        sim.schedule_in(SimDuration::ZERO, 0);
+        for _ in 0..100 {
+            sim.run_for(SimDuration::from_micros(100));
+        }
+        sim.into_world().0
+    };
+    assert_eq!(run_one(), run_chunked());
+}

@@ -1,0 +1,29 @@
+//! # sps-workloads — workload generators and scenarios
+//!
+//! Everything the experiments and examples feed into the HA runtime:
+//!
+//! * [`eval_chain_job`] — the paper's §V-A evaluation job (8 PEs, 4
+//!   subjobs, synthetic computation, selectivity 1);
+//! * [`financial_job`] / [`traffic_job`] / [`tree_job`] — realistic
+//!   pipelines for the example applications (and the §VII tree extension);
+//! * [`multiplexed_placement`] — several primaries sharing one secondary
+//!   machine (Fig 5);
+//! * [`failure_load`] / [`single_failure`] — the §V-B transient-failure
+//!   loads;
+//! * [`ClusterStudy`] / [`run_weather_app`] — the §II-B measurement study
+//!   behind Figs 1–3, synthesized per the substitution notes in DESIGN.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod cluster_study;
+mod scenarios;
+
+pub use cluster_study::{
+    run_weather_app, sampled_utilization, ClusterStudy, ClusterStudyConfig, MachineStudy,
+    WeatherAppConfig, WeatherAppRun,
+};
+pub use scenarios::{
+    chain_job_with, eval_chain_job, failure_load, financial_job, marginal_spike_share,
+    multiplexed_placement, primary_machine_of, single_failure, traffic_job, tree_job,
+};

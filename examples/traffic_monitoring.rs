@@ -1,0 +1,101 @@
+//! Traffic-monitoring example: bursty camera feeds with three jobs sharing
+//! one standby machine (the paper's multiplexing gain, Fig 5).
+//!
+//! The paper's intro cites London's traffic cameras (8 TB/day). Bursty
+//! sensor feeds are exactly the traffic that makes benchmarking-style
+//! detection false-alarm; here the hybrid's heartbeat detector rides
+//! through bursts while three protected subjobs share a single secondary
+//! machine.
+//!
+//! ```sh
+//! cargo run --release --example traffic_monitoring
+//! ```
+
+use hybrid_ha::prelude::*;
+
+fn run(shared_secondary: bool, seed: u64) -> RunReport {
+    let job = eval_chain_job();
+    let shared = [1u32, 2, 3];
+    let placement = if shared_secondary {
+        multiplexed_placement(&job, &shared)
+    } else {
+        Placement::default_for(&job)
+    };
+    let primaries: Vec<MachineId> = shared
+        .iter()
+        .map(|&s| placement.primaries[s as usize])
+        .collect();
+    let mut builder = HaSimulation::builder(job)
+        .mode(HaMode::None)
+        .placement(placement)
+        .source_profile(
+            0,
+            RateProfile::Bursty {
+                base_per_sec: 400.0,
+                burst_per_sec: 1_600.0,
+                mean_on: SimDuration::from_millis(500),
+                mean_off: SimDuration::from_millis(1_500),
+            },
+            PayloadGen::Synthetic,
+        )
+        .seed(seed);
+    for &s in &shared {
+        builder = builder.subjob_mode(SubjobId(s), HaMode::Hybrid);
+    }
+    let mut sim = builder.build();
+    let horizon = SimTime::from_secs(40);
+    for (i, &m) in primaries.iter().enumerate() {
+        let mut rng = SimRng::seed_from(seed + 31 * i as u64);
+        sim.inject_spike_windows(
+            m,
+            &failure_load(
+                0.15,
+                SimDuration::from_secs(4),
+                marginal_spike_share(0.45),
+                horizon,
+                &mut rng,
+            ),
+        );
+    }
+    sim.run_until(horizon);
+    sim.report()
+}
+
+fn main() {
+    println!("camera-feed chain, bursty input, 15% failure time on three primaries\n");
+    let dedicated = run(false, 3);
+    let shared = run(true, 3);
+
+    let mut table = Table::new(vec![
+        "standby_layout",
+        "mean_delay_ms",
+        "p99_delay_ms",
+        "delivered",
+        "standby_machines",
+    ]);
+    table.row(vec![
+        "dedicated (3 machines)".into(),
+        format!("{:.2}", dedicated.sink_mean_delay_ms),
+        format!("{:.2}", dedicated.sink_p99_delay_ms),
+        dedicated.sink_accepted.to_string(),
+        "3".into(),
+    ]);
+    table.row(vec![
+        "multiplexed (1 machine)".into(),
+        format!("{:.2}", shared.sink_mean_delay_ms),
+        format!("{:.2}", shared.sink_p99_delay_ms),
+        shared.sink_accepted.to_string(),
+        "1".into(),
+    ]);
+    print!("{table}");
+    println!();
+    println!(
+        "sharing one secondary across three primaries costs {:.0}% extra mean delay \
+         while saving two standby machines (paper: <25% up to 20% failure time).",
+        (shared.sink_mean_delay_ms / dedicated.sink_mean_delay_ms - 1.0) * 100.0
+    );
+    assert_eq!(
+        shared.sink_accepted, dedicated.sink_accepted,
+        "both layouts are lossless"
+    );
+}

@@ -1,0 +1,132 @@
+//! Checkpoint-protocol tests: all three protocols recover correctly; the
+//! sweeping protocol carries the least checkpoint traffic (§III-B).
+
+use hybrid_ha::prelude::*;
+
+fn run(protocol: CheckpointProtocol, with_failure: bool, seed: u64) -> (u64, u64, u64) {
+    let mut sim = HaSimulation::builder(eval_chain_job())
+        .mode(HaMode::None)
+        .subjob_mode(SubjobId(1), HaMode::Passive)
+        .source_rate(800.0)
+        .seed(seed)
+        .tune(|c| c.checkpoint_protocol = protocol)
+        .build();
+    if with_failure {
+        sim.inject_spike_windows(
+            MachineId(1),
+            &single_failure(SimTime::from_secs(3), SimDuration::from_secs(3)),
+        );
+    }
+    sim.stop_sources_at(SimTime::from_secs(8));
+    sim.run_for(SimDuration::from_secs(12));
+    let produced = sim.world().sources()[0].produced();
+    let accepted = sim.world().sinks()[0].accepted();
+    let ckpt_elements = sim.world().counters().elements(MsgClass::Checkpoint);
+    (produced, accepted, ckpt_elements)
+}
+
+#[test]
+fn all_protocols_recover_losslessly() {
+    for protocol in [
+        CheckpointProtocol::Sweeping,
+        CheckpointProtocol::Synchronous,
+        CheckpointProtocol::Individual,
+    ] {
+        let (produced, accepted, ckpt) = run(protocol, true, 11);
+        assert_eq!(accepted, produced, "{protocol} lost elements");
+        assert!(ckpt > 0, "{protocol} checkpointed nothing");
+    }
+}
+
+#[test]
+fn sweeping_has_least_checkpoint_traffic() {
+    let (_, _, sweeping) = run(CheckpointProtocol::Sweeping, false, 12);
+    let (_, _, sync) = run(CheckpointProtocol::Synchronous, false, 12);
+    let (_, _, individual) = run(CheckpointProtocol::Individual, false, 12);
+    assert!(
+        (sweeping as f64) < 0.6 * sync as f64,
+        "sweeping {sweeping} vs synchronous {sync}"
+    );
+    assert!(
+        (sweeping as f64) < 0.6 * individual as f64,
+        "sweeping {sweeping} vs individual {individual}"
+    );
+}
+
+#[test]
+fn checkpoint_interval_bounds_retransmission() {
+    // A shorter interval means fresher standby state, so less data to
+    // retransmit/reprocess on switch-over.
+    let retrans = |ckpt_ms: u64| {
+        let mut sim = HaSimulation::builder(eval_chain_job())
+            .mode(HaMode::None)
+            .subjob_mode(SubjobId(1), HaMode::Hybrid)
+            .source_rate(800.0)
+            .seed(13)
+            .log_sink_accepts(true)
+            .tune(|c| c.checkpoint_interval = SimDuration::from_millis(ckpt_ms))
+            .build();
+        let failure_at = SimTime::from_secs(3);
+        sim.inject_spike_windows(
+            MachineId(1),
+            &single_failure(failure_at, SimDuration::from_secs(4)),
+        );
+        sim.run_for(SimDuration::from_secs(9));
+        sim.recovery_timeline(SubjobId(1), failure_at)
+            .expect("recovered")
+            .retrans_reprocess_ms()
+    };
+    let short = retrans(100);
+    let long = retrans(2_000);
+    assert!(
+        long > short,
+        "longer checkpoint interval retransmits more: {short} vs {long}"
+    );
+}
+
+#[test]
+fn checkpoints_stop_when_mode_does_not_need_them() {
+    for mode in [HaMode::None, HaMode::Active] {
+        let mut sim = HaSimulation::builder(eval_chain_job())
+            .mode(mode)
+            .source_rate(500.0)
+            .seed(14)
+            .build();
+        sim.run_for(SimDuration::from_secs(3));
+        assert_eq!(
+            sim.world().counters().elements(MsgClass::Checkpoint),
+            0,
+            "{mode} must not checkpoint"
+        );
+    }
+}
+
+#[test]
+fn checkpoint_traffic_scales_with_pe_count() {
+    // Fig 11's mechanism: each PE contributes its own checkpoint stream.
+    let ckpt_elements = |pes_per_subjob: usize| {
+        let job = Job::chain(
+            "scale",
+            &OperatorSpec::Synthetic {
+                selectivity: 1.0,
+                demand_secs: 4e-5,
+                state_elements: 20,
+            },
+            2 * pes_per_subjob,
+            2,
+        );
+        let mut sim = HaSimulation::builder(job)
+            .mode(HaMode::Passive)
+            .source_rate(800.0)
+            .seed(15)
+            .build();
+        sim.run_for(SimDuration::from_secs(5));
+        sim.world().counters().elements(MsgClass::Checkpoint)
+    };
+    let small = ckpt_elements(1);
+    let large = ckpt_elements(4);
+    assert!(
+        large as f64 > 2.5 * small as f64,
+        "4x the PEs should give roughly 4x checkpoint traffic: {small} vs {large}"
+    );
+}

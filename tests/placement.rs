@@ -1,0 +1,134 @@
+//! Placement-variation tests: dedicated source machines, protecting the
+//! head subjob, and builder validation.
+
+use hybrid_ha::prelude::*;
+
+/// A placement with the source on its own machine (machine 9), so the head
+/// subjob's machine can fail without touching the feed.
+fn dedicated_source_placement(job: &Job) -> Placement {
+    let mut p = Placement::default_for(job);
+    let dedicated = MachineId(p.machine_count() as u32);
+    for m in &mut p.sources {
+        *m = dedicated;
+    }
+    p
+}
+
+#[test]
+fn head_subjob_recovers_from_source_retention() {
+    // Protect subjob 0 and fail its machine outright: recovery has no
+    // upstream PE to retransmit from — the retained *source* queue is the
+    // only copy of the unacknowledged data.
+    let job = eval_chain_job();
+    let placement = dedicated_source_placement(&job);
+    let head_machine = placement.primaries[0];
+    let mut sim = HaSimulation::builder(job)
+        .mode(HaMode::None)
+        .subjob_mode(SubjobId(0), HaMode::Hybrid)
+        .placement(placement)
+        .source_rate(700.0)
+        .seed(81)
+        .build();
+    sim.inject_spike_windows(
+        head_machine,
+        &single_failure(SimTime::from_secs(2), SimDuration::from_secs(3)),
+    );
+    sim.stop_sources_at(SimTime::from_secs(7));
+    sim.run_for(SimDuration::from_secs(11));
+    let world = sim.world();
+    assert!(
+        world
+            .ha_events()
+            .iter()
+            .any(|e| e.kind == HaEventKind::SwitchoverComplete),
+        "head subjob switched over: {:?}",
+        world.ha_events()
+    );
+    assert_eq!(
+        world.sinks()[0].accepted(),
+        world.sources()[0].produced(),
+        "source retention covered the head subjob's recovery"
+    );
+}
+
+#[test]
+fn head_subjob_survives_failstop_with_dedicated_source() {
+    let job = eval_chain_job();
+    let placement = dedicated_source_placement(&job);
+    let head_machine = placement.primaries[0];
+    let mut sim = HaSimulation::builder(job)
+        .mode(HaMode::None)
+        .subjob_mode(SubjobId(0), HaMode::Hybrid)
+        .placement(placement)
+        .source_rate(700.0)
+        .seed(82)
+        .tune(|c| c.failstop_miss_threshold = 12)
+        .build();
+    sim.fail_stop_at(head_machine, SimTime::from_secs(2));
+    sim.stop_sources_at(SimTime::from_secs(7));
+    sim.run_for(SimDuration::from_secs(11));
+    let world = sim.world();
+    assert!(world
+        .ha_events()
+        .iter()
+        .any(|e| e.kind == HaEventKind::Promoted));
+    assert_eq!(
+        world.sinks()[0].accepted(),
+        world.sources()[0].produced(),
+        "promotion after head-machine death is lossless"
+    );
+}
+
+#[test]
+fn source_queue_is_trimmed_in_steady_state() {
+    // Retention must not grow without bound: the head subjob's
+    // checkpoint-driven acknowledgments trim the source queue.
+    let mut sim = HaSimulation::builder(eval_chain_job())
+        .mode(HaMode::Passive)
+        .source_rate(1_000.0)
+        .seed(83)
+        .build();
+    sim.run_for(SimDuration::from_secs(6));
+    let q = sim.world().sources()[0].queue();
+    assert!(
+        q.retained_len() < 2_500,
+        "source retention bounded by ~2 checkpoint intervals, got {}",
+        q.retained_len()
+    );
+    assert!(q.trimmed_through() > 3_000, "steady trimming happened");
+}
+
+#[test]
+#[should_panic(expected = "needs a secondary machine")]
+fn missing_secondary_machine_is_rejected_at_build() {
+    let job = eval_chain_job();
+    let mut placement = Placement::default_for(&job);
+    placement.secondaries[1] = None;
+    let _ = HaSimulation::builder(job)
+        .mode(HaMode::None)
+        .subjob_mode(SubjobId(1), HaMode::Hybrid)
+        .placement(placement)
+        .build();
+}
+
+#[test]
+#[should_panic(expected = "one mode per subjob")]
+fn wrong_mode_vector_is_rejected() {
+    // Constructing the world directly with a short mode vector must fail
+    // loudly (the builder normally guarantees the right length).
+    use hybrid_ha::ha::{HaConfig, HaWorld, PayloadGen, RateProfile};
+    let job = eval_chain_job();
+    let placement = Placement::default_for(&job);
+    let _ = HaWorld::new(
+        job,
+        HaConfig::default(),
+        vec![HaMode::None], // 1 mode for 4 subjobs
+        placement,
+        vec![(
+            RateProfile::Constant { per_sec: 100.0 },
+            PayloadGen::Synthetic,
+        )],
+        NetworkConfig::default(),
+        false,
+    );
+}

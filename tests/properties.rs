@@ -1,0 +1,101 @@
+//! Property-based end-to-end tests: random failure schedules and parameters
+//! must never break exactly-once delivery or determinism.
+
+use hybrid_ha::prelude::*;
+use proptest::prelude::*;
+
+fn run_schedule(
+    mode: HaMode,
+    schedule: &[(u64, u64, f64)],
+    rate: f64,
+    seed: u64,
+) -> (u64, u64, u64) {
+    let mut sim = HaSimulation::builder(eval_chain_job())
+        .mode(HaMode::None)
+        .subjob_mode(SubjobId(1), mode)
+        .source_rate(rate)
+        .seed(seed)
+        .build();
+    for &(start_ms, len_ms, share) in schedule {
+        sim.inject_spike_windows(
+            MachineId(1),
+            &[SpikeWindow {
+                start: SimTime::from_millis(start_ms),
+                end: SimTime::from_millis(start_ms + len_ms),
+                share,
+            }],
+        );
+    }
+    sim.stop_sources_at(SimTime::from_secs(8));
+    sim.run_for(SimDuration::from_secs(13));
+    let world = sim.world();
+    (
+        world.sources()[0].produced(),
+        world.sinks()[0].accepted(),
+        world.sinks()[0].duplicates_dropped(),
+    )
+}
+
+/// Strategy: up to 3 non-overlapping spikes inside the first 7 seconds.
+fn schedules() -> impl Strategy<Value = Vec<(u64, u64, f64)>> {
+    proptest::collection::vec((500u64..2_000, 200u64..1_500, 0.5f64..1.0), 1..4).prop_map(|raw| {
+        let mut t = 500;
+        raw.into_iter()
+            .map(|(gap, len, share)| {
+                let start = t + gap;
+                t = start + len;
+                (start, len.min(7_000u64.saturating_sub(start).max(1)), share)
+            })
+            .filter(|&(start, _, _)| start < 7_000)
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case is a full end-to-end simulation
+        .. ProptestConfig::default()
+    })]
+
+    /// Exactly-once delivery for the recovering modes under arbitrary
+    /// failure schedules.
+    #[test]
+    fn hybrid_is_exactly_once_under_random_failures(
+        schedule in schedules(),
+        seed in 0u64..1_000,
+    ) {
+        let (produced, accepted, _) = run_schedule(HaMode::Hybrid, &schedule, 700.0, seed);
+        prop_assert_eq!(accepted, produced, "schedule {:?}", schedule);
+    }
+
+    /// Same for passive standby.
+    #[test]
+    fn passive_is_exactly_once_under_random_failures(
+        schedule in schedules(),
+        seed in 0u64..1_000,
+    ) {
+        let (produced, accepted, _) = run_schedule(HaMode::Passive, &schedule, 700.0, seed);
+        prop_assert_eq!(accepted, produced, "schedule {:?}", schedule);
+    }
+
+    /// Active standby masks the same schedules with zero loss; duplicates
+    /// never leak past the dedup boundary into the accept count.
+    #[test]
+    fn active_standby_is_exactly_once(
+        schedule in schedules(),
+        seed in 0u64..1_000,
+    ) {
+        let (produced, accepted, _) = run_schedule(HaMode::Active, &schedule, 700.0, seed);
+        prop_assert_eq!(accepted, produced);
+    }
+
+    /// Bit-for-bit determinism: the same seed and schedule give the same
+    /// run, regardless of mode.
+    #[test]
+    fn runs_are_deterministic(seed in 0u64..200) {
+        let schedule = [(1_200u64, 900u64, 0.97f64)];
+        let a = run_schedule(HaMode::Hybrid, &schedule, 650.0, seed);
+        let b = run_schedule(HaMode::Hybrid, &schedule, 650.0, seed);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,170 @@
+//! Topology-shape tests beyond the paper's chain: fan-out (one stream, two
+//! consumers), trees with two sources, and recovery on each.
+
+use hybrid_ha::prelude::*;
+
+/// source → split → {left, right} → two sinks; the split subjob is
+/// protected.
+fn fanout_job() -> Job {
+    let mut b = JobBuilder::new("fanout");
+    let src = b.add_source("src");
+    let sink_l = b.add_sink("left-out");
+    let sink_r = b.add_sink("right-out");
+    let split = b.add_pe(
+        "split",
+        OperatorSpec::Map {
+            scale: 1.0,
+            offset: 0.0,
+            demand_secs: 2e-4,
+        },
+    );
+    let left = b.add_pe("left-count", OperatorSpec::Counter { demand_secs: 2e-4 });
+    let right = b.add_pe(
+        "right-agg",
+        OperatorSpec::WindowAggregate {
+            window: 4,
+            agg: AggKind::Sum,
+            demand_secs: 2e-4,
+        },
+    );
+    b.connect_source(src, split, 0);
+    b.connect(split, 0, left, 0);
+    b.connect(split, 0, right, 0);
+    b.connect_sink(left, 0, sink_l);
+    b.connect_sink(right, 0, sink_r);
+    b.subjobs(vec![vec![split], vec![left], vec![right]]);
+    b.build().expect("valid fan-out topology")
+}
+
+fn produced_and_sunk(sim: &HaSimulation) -> (u64, u64, u64) {
+    let produced = sim.world().sources().iter().map(|s| s.produced()).sum();
+    (
+        produced,
+        sim.world().sinks()[0].accepted(),
+        sim.world().sinks()[1].accepted(),
+    )
+}
+
+#[test]
+fn fanout_delivers_both_branches_without_failures() {
+    let mut sim = HaSimulation::builder(fanout_job())
+        .mode(HaMode::None)
+        .source_rate(800.0)
+        .seed(61)
+        .build();
+    sim.stop_sources_at(SimTime::from_secs(5));
+    sim.run_for(SimDuration::from_secs(8));
+    let (produced, left, right) = produced_and_sunk(&sim);
+    assert_eq!(left, produced, "counter branch is selectivity-1");
+    assert_eq!(right, produced / 4, "window-4 branch aggregates");
+}
+
+#[test]
+fn fanout_split_recovers_losslessly_under_hybrid() {
+    let mut sim = HaSimulation::builder(fanout_job())
+        .mode(HaMode::None)
+        .subjob_mode(SubjobId(0), HaMode::Hybrid)
+        .source_rate(800.0)
+        .seed(62)
+        .build();
+    // Subjob 0 (the split) is on machine 0 under the default placement.
+    sim.inject_spike_windows(
+        MachineId(0),
+        &single_failure(SimTime::from_secs(2), SimDuration::from_secs(2)),
+    );
+    sim.stop_sources_at(SimTime::from_secs(6));
+    sim.run_for(SimDuration::from_secs(10));
+    let (produced, left, right) = produced_and_sunk(&sim);
+    assert_eq!(left, produced, "left branch lossless across recovery");
+    assert_eq!(right, produced / 4, "right branch lossless across recovery");
+    assert!(sim
+        .world()
+        .ha_events()
+        .iter()
+        .any(|e| e.kind == HaEventKind::SwitchoverComplete));
+}
+
+#[test]
+fn fanout_trim_respects_the_slower_branch() {
+    // Make the right branch slow: the split's output queue may only trim
+    // to the slower consumer's acknowledged position.
+    let mut b = JobBuilder::new("skewed");
+    let src = b.add_source("src");
+    let sink_l = b.add_sink("fast");
+    let sink_r = b.add_sink("slow");
+    let split = b.add_pe(
+        "split",
+        OperatorSpec::Map {
+            scale: 1.0,
+            offset: 0.0,
+            demand_secs: 1e-4,
+        },
+    );
+    let fast = b.add_pe("fast", OperatorSpec::Counter { demand_secs: 1e-4 });
+    let slow = b.add_pe(
+        "slow",
+        OperatorSpec::Counter {
+            demand_secs: 1.5e-3,
+        },
+    );
+    b.connect_source(src, split, 0);
+    b.connect(split, 0, fast, 0);
+    b.connect(split, 0, slow, 0);
+    b.connect_sink(fast, 0, sink_l);
+    b.connect_sink(slow, 0, sink_r);
+    b.subjobs(vec![vec![split], vec![fast], vec![slow]]);
+    let job = b.build().expect("valid");
+
+    let mut sim = HaSimulation::builder(job)
+        .mode(HaMode::None)
+        .source_rate(900.0)
+        .seed(63)
+        .build();
+    sim.run_for(SimDuration::from_secs(3));
+    // The slow branch (1.5 ms/element at 900/s) is oversubscribed and
+    // lags; the split's retained queue must cover its position.
+    let split_inst = sim
+        .world()
+        .instance(PeId(0), Replica::Primary)
+        .expect("deployed");
+    let q = split_inst.output(0);
+    let acks: Vec<u64> = q.connections().iter().map(|c| c.acked).collect();
+    let min_ack = *acks.iter().min().unwrap();
+    let max_ack = *acks.iter().max().unwrap();
+    assert!(max_ack > min_ack + 100, "branches diverge: {acks:?}");
+    assert_eq!(
+        q.trimmed_through(),
+        min_ack,
+        "trim floor is the minimum across branches"
+    );
+    assert!(q.retained_len() as u64 >= max_ack - min_ack);
+}
+
+#[test]
+fn tree_with_two_sources_under_active_standby() {
+    let mut sim = HaSimulation::builder(tree_job())
+        .mode(HaMode::None)
+        .subjob_mode(SubjobId(2), HaMode::Active)
+        .source_rate(500.0)
+        .seed(64)
+        .build();
+    sim.inject_spike_windows(
+        MachineId(2),
+        &single_failure(SimTime::from_secs(2), SimDuration::from_secs(3)),
+    );
+    sim.stop_sources_at(SimTime::from_secs(6));
+    sim.run_for(SimDuration::from_secs(10));
+    let produced: u64 = sim.world().sources().iter().map(|s| s.produced()).sum();
+    assert_eq!(
+        sim.world().sinks()[0].accepted(),
+        produced,
+        "AS masks the join-stage failure"
+    );
+    assert!(sim.world().ha_events().is_empty(), "AS needs no events");
+    // Both join replicas consumed from both branches.
+    for replica in Replica::BOTH {
+        let inst = sim.world().instance(PeId(2), replica).expect("AS pair");
+        assert!(inst.processed_total() > 0, "{replica} worked");
+        assert_eq!(inst.input_ports(), 2);
+    }
+}
