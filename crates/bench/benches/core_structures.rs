@@ -1,8 +1,12 @@
-//! Criterion micro-benchmarks for the hot data structures: the event queue,
-//! the retaining/deduplicating stream queues, the processor-sharing machine,
-//! and checkpoint snapshot/restore.
+//! Micro-benchmarks for the hot data structures: the event queue, the
+//! retaining/deduplicating stream queues, the processor-sharing machine,
+//! and checkpoint snapshot/restore. Self-contained harness (`harness =
+//! false`): each case is warmed up, then timed over a fixed number of
+//! iterations with `std::time::Instant`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use sps_bench::timing::bench;
 use sps_cluster::{LoadComponent, Machine, MachineId};
 use sps_engine::{
     DataElement, InputQueue, InstanceId, OperatorSpec, OutputQueue, Payload, PeId, PeInstance,
@@ -21,88 +25,67 @@ fn elem(seq: u64) -> DataElement {
     }
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_queue");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..10_000u64 {
-                // Pseudo-random times exercise heap churn.
-                let t = (i * 2_654_435_761) % 1_000_000;
-                q.push(SimTime::from_nanos(t), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, v)) = q.pop() {
-                acc = acc.wrapping_add(v);
-            }
-            black_box(acc)
-        })
+fn bench_event_queue() {
+    bench("event_queue/push_pop_10k", 10_000, || {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            // Pseudo-random times exercise heap churn.
+            let t = (i * 2_654_435_761) % 1_000_000;
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        black_box(acc);
     });
-    g.finish();
 }
 
-fn bench_output_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("output_queue");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("produce_drain_ack_10k", |b| {
-        b.iter(|| {
-            let mut q: OutputQueue<u8> = OutputQueue::new(StreamId(0));
-            let conn = q.connect(0, true, true);
-            for i in 0..10_000u64 {
-                q.produce(Payload::new(i, i as f64), SimTime::ZERO);
-                if i % 16 == 15 {
-                    black_box(q.drain_sendable(conn));
-                    q.register_ack(conn, i - 8);
-                }
+fn bench_output_queue() {
+    bench("output_queue/produce_drain_ack_10k", 10_000, || {
+        let mut q: OutputQueue<u8> = OutputQueue::new(StreamId(0));
+        let conn = q.connect(0, true, true);
+        for i in 0..10_000u64 {
+            q.produce(Payload::new(i, i as f64), SimTime::ZERO);
+            if i % 16 == 15 {
+                black_box(q.drain_sendable(conn));
+                q.register_ack(conn, i - 8);
             }
-            black_box(q.retained_len())
-        })
+        }
+        black_box(q.retained_len());
     });
-    g.finish();
 }
 
-fn bench_input_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("input_queue");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("dedup_two_replicas_10k", |b| {
-        b.iter(|| {
-            let mut q = InputQueue::new();
-            q.register_stream(StreamId(0));
-            // Two replicas interleaved: every element offered twice.
-            for i in 1..=5_000u64 {
-                let _ = q.offer(elem(i));
-                let _ = q.offer(elem(i));
-            }
-            while q.take_next().is_some() {}
-            black_box(q.duplicates_dropped())
-        })
+fn bench_input_queue() {
+    bench("input_queue/dedup_two_replicas_10k", 10_000, || {
+        let mut q = InputQueue::new();
+        q.register_stream(StreamId(0));
+        // Two replicas interleaved: every element offered twice.
+        for i in 1..=5_000u64 {
+            let _ = q.offer(elem(i));
+            let _ = q.offer(elem(i));
+        }
+        while q.take_next().is_some() {}
+        black_box(q.duplicates_dropped());
     });
-    g.finish();
 }
 
-fn bench_machine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("machine");
-    g.throughput(Throughput::Elements(1_000));
-    g.bench_function("processor_sharing_1k_tasks", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(MachineId(0));
-            let mut now = SimTime::ZERO;
-            for i in 0..1_000u64 {
-                m.set_background(now, LoadComponent::Spike, (i % 10) as f64 / 20.0);
-                m.submit(now, 0.000_1, i).unwrap();
-                now = m.next_completion().unwrap();
-                m.advance(now);
-                black_box(m.collect_finished());
-            }
-            black_box(m.work_done())
-        })
+fn bench_machine() {
+    bench("machine/processor_sharing_1k_tasks", 1_000, || {
+        let mut m = Machine::new(MachineId(0));
+        let mut now = SimTime::ZERO;
+        for i in 0..1_000u64 {
+            m.set_background(now, LoadComponent::Spike, (i % 10) as f64 / 20.0);
+            m.submit(now, 0.000_1, i).unwrap();
+            now = m.next_completion().unwrap();
+            m.advance(now);
+            black_box(m.collect_finished());
+        }
+        black_box(m.work_done());
     });
-    g.finish();
 }
 
-fn bench_checkpoint(c: &mut Criterion) {
-    let mut g = c.benchmark_group("checkpoint");
+fn bench_checkpoint() {
     let make = || {
         let mut inst = PeInstance::new(
             InstanceId {
@@ -124,42 +107,32 @@ fn bench_checkpoint(c: &mut Criterion) {
         inst
     };
     let inst = make();
-    g.bench_function("snapshot_200_retained", |b| {
-        b.iter(|| black_box(inst.snapshot(SimTime::ZERO)))
+    bench("checkpoint/snapshot_200_retained", 1, || {
+        black_box(inst.snapshot(SimTime::ZERO));
     });
     let ckpt = inst.snapshot(SimTime::ZERO);
-    g.bench_function("restore_200_retained", |b| {
-        let mut target = make();
-        b.iter(|| {
-            target.restore(black_box(&ckpt));
-        })
+    let mut target = make();
+    bench("checkpoint/restore_200_retained", 1, || {
+        target.restore(black_box(&ckpt));
     });
-    g.finish();
 }
 
-fn bench_operator(c: &mut Criterion) {
-    let mut g = c.benchmark_group("operator");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("synthetic_process_10k", |b| {
-        let mut op = OperatorSpec::synthetic_default().build();
-        let mut out = sps_engine::Emitter::default();
-        b.iter(|| {
-            for i in 0..10_000u64 {
-                op.process(0, &elem(i), &mut out);
-                black_box(out.take());
-            }
-        })
+fn bench_operator() {
+    let mut op = OperatorSpec::synthetic_default().build();
+    let mut out = sps_engine::Emitter::default();
+    bench("operator/synthetic_process_10k", 10_000, || {
+        for i in 0..10_000u64 {
+            op.process(0, &elem(i), &mut out);
+            black_box(out.take());
+        }
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_output_queue,
-    bench_input_queue,
-    bench_machine,
-    bench_checkpoint,
-    bench_operator
-);
-criterion_main!(benches);
+fn main() {
+    bench_event_queue();
+    bench_output_queue();
+    bench_input_queue();
+    bench_machine();
+    bench_checkpoint();
+    bench_operator();
+}

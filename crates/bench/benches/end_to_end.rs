@@ -1,53 +1,48 @@
-//! Criterion end-to-end benchmarks: simulator throughput for one second of
-//! the paper's evaluation job under each HA mode, and one full hybrid
-//! switch-over/rollback cycle.
+//! End-to-end benchmarks: simulator throughput for one second of the
+//! paper's evaluation job under each HA mode, and one full hybrid
+//! switch-over/rollback cycle. Self-contained harness (`harness = false`)
+//! timed with `std::time::Instant`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sps_bench::timing::bench;
 use sps_engine::SubjobId;
 use sps_ha::{HaMode, HaSimulation};
 use sps_sim::{SimDuration, SimTime};
 use sps_workloads::{eval_chain_job, single_failure};
 
-fn bench_modes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_1s_at_1k_els");
-    g.sample_size(10);
+fn bench_modes() {
     for mode in HaMode::ALL {
-        g.bench_function(mode.to_string(), |b| {
-            b.iter(|| {
-                let mut sim = HaSimulation::builder(eval_chain_job())
-                    .mode(mode)
-                    .source_rate(1_000.0)
-                    .seed(1)
-                    .build();
-                sim.run_for(SimDuration::from_secs(1));
-                black_box(sim.report().sink_accepted)
-            })
+        bench(&format!("simulate_1s_at_1k_els/{mode}"), 1_000, || {
+            let mut sim = HaSimulation::builder(eval_chain_job())
+                .mode(mode)
+                .source_rate(1_000.0)
+                .seed(1)
+                .build();
+            sim.run_for(SimDuration::from_secs(1));
+            black_box(sim.report().sink_accepted);
         });
     }
-    g.finish();
 }
 
-fn bench_switchover_cycle(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hybrid_cycle");
-    g.sample_size(10);
-    g.bench_function("failure_switch_rollback", |b| {
-        b.iter(|| {
-            let mut sim = HaSimulation::builder(eval_chain_job())
-                .mode(HaMode::None)
-                .subjob_mode(SubjobId(1), HaMode::Hybrid)
-                .source_rate(1_000.0)
-                .seed(2)
-                .build();
-            sim.inject_spike_windows(
-                sps_cluster::MachineId(1),
-                &single_failure(SimTime::from_millis(500), SimDuration::from_secs(1)),
-            );
-            sim.run_for(SimDuration::from_secs(3));
-            black_box(sim.world().ha_events().len())
-        })
+fn bench_switchover_cycle() {
+    bench("hybrid_cycle/failure_switch_rollback", 1, || {
+        let mut sim = HaSimulation::builder(eval_chain_job())
+            .mode(HaMode::None)
+            .subjob_mode(SubjobId(1), HaMode::Hybrid)
+            .source_rate(1_000.0)
+            .seed(2)
+            .build();
+        sim.inject_spike_windows(
+            sps_cluster::MachineId(1),
+            &single_failure(SimTime::from_millis(500), SimDuration::from_secs(1)),
+        );
+        sim.run_for(SimDuration::from_secs(3));
+        black_box(sim.world().ha_events().len());
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_modes, bench_switchover_cycle);
-criterion_main!(benches);
+fn main() {
+    bench_modes();
+    bench_switchover_cycle();
+}

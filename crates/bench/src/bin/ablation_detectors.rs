@@ -3,7 +3,9 @@
 
 use sps_bench::common::Scale;
 use sps_bench::experiments::detectors::ablation_detectors;
+use sps_bench::trace_capture;
 
 fn main() {
     ablation_detectors(Scale::from_env(), 2010).print();
+    trace_capture::maybe_capture(2010);
 }

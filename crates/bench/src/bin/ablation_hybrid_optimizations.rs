@@ -3,7 +3,9 @@
 
 use sps_bench::common::Scale;
 use sps_bench::experiments::hybrid_opts::ablation_hybrid_optimizations;
+use sps_bench::trace_capture;
 
 fn main() {
     ablation_hybrid_optimizations(Scale::from_env(), 2010).print();
+    trace_capture::maybe_capture(2010);
 }

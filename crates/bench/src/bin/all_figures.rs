@@ -3,6 +3,7 @@
 
 use sps_bench::common::Scale;
 use sps_bench::experiments::*;
+use sps_bench::trace_capture;
 
 fn main() {
     let scale = Scale::from_env();
@@ -23,4 +24,5 @@ fn main() {
     ablation::ablation_checkpointing(scale, seed).print();
     detectors::ablation_detectors(scale, seed).print();
     hybrid_opts::ablation_hybrid_optimizations(scale, seed).print();
+    trace_capture::maybe_capture(2010);
 }

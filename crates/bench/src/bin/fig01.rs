@@ -2,8 +2,10 @@
 
 use sps_bench::common::Scale;
 use sps_bench::experiments::fig01_03::fig01 as experiment;
+use sps_bench::trace_capture;
 
 fn main() {
     let scale = Scale::from_env();
     experiment(scale, 2010).print();
+    trace_capture::maybe_capture(2010);
 }

@@ -3,6 +3,7 @@
 
 use sps_bench::common::Scale;
 use sps_bench::experiments::fig04_05::{failure_period_inflation, fig04};
+use sps_bench::trace_capture;
 
 fn main() {
     let scale = Scale::from_env();
@@ -13,4 +14,5 @@ fn main() {
          {outside:.1} ms outside failure windows ({:.1}x; paper reports over 8x at 85% CPU)",
         inside / outside.max(1e-9)
     );
+    trace_capture::maybe_capture(2010);
 }

@@ -10,6 +10,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod common;
+pub mod timing;
+pub mod trace_capture;
 
 /// The per-figure experiment modules.
 pub mod experiments {

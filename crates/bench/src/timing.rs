@@ -1,0 +1,33 @@
+//! A tiny self-contained timing harness for the `harness = false` bench
+//! targets. The container has no external benchmarking framework, so each
+//! case is warmed up once and then timed over a fixed iteration count with
+//! [`std::time::Instant`]; the per-iteration mean and total are printed in
+//! a stable one-line format.
+
+use std::time::Instant;
+
+/// Run `f` once as warm-up, then `iters_hint`-scaled timed repetitions,
+/// and print `name: <mean per iter> (<n> iters, <total>)`.
+///
+/// `work_units` is the nominal number of inner operations one call of `f`
+/// performs; it only affects the printed per-unit figure, not the timing
+/// loop itself.
+pub fn bench<F: FnMut()>(name: &str, work_units: u64, mut f: F) {
+    // Warm-up: populate caches and fault in lazily-initialised state.
+    f();
+    // Calibrate: aim for ~0.2s of total measured time, between 3 and 200
+    // repetitions.
+    let probe = Instant::now();
+    f();
+    let once = probe.elapsed().max(std::time::Duration::from_nanos(1));
+    let reps = (0.2 / once.as_secs_f64()).clamp(3.0, 200.0) as u32;
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    let total = start.elapsed();
+    let per_call = total / reps;
+    let per_unit = total.as_nanos() as f64 / (reps as u128 * work_units.max(1) as u128) as f64;
+    println!("{name}: {per_call:?}/call, {per_unit:.1} ns/unit ({reps} calls, total {total:?})");
+}

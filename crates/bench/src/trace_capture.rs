@@ -1,0 +1,134 @@
+//! The `--trace-out` flight-recorder capture: an instrumented hybrid run
+//! whose JSONL dump exercises every trace event kind.
+//!
+//! Figure binaries call [`trace_out_path`] after printing their tables; when
+//! the user passed `--trace-out <path>` (or set `SPS_TRACE_OUT`), they run
+//! [`capture_hybrid_trace`] and write the dump there. The capture run is
+//! separate from the figure runs, so figure numbers are never produced from
+//! an instrumented simulation.
+
+use std::path::PathBuf;
+
+use sps_cluster::{MachineId, SpikeWindow};
+use sps_engine::SubjobId;
+use sps_ha::{BenchmarkConfig, HaMode, HaSimulation};
+use sps_sim::SimTime;
+use sps_trace::SharedRecorder;
+use sps_workloads::eval_chain_job;
+
+/// Reads the trace dump destination from `--trace-out <path>` in the
+/// process args, falling back to the `SPS_TRACE_OUT` environment variable.
+/// `None` disables tracing entirely (the default).
+pub fn trace_out_path() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            if let Some(p) = args.next() {
+                return Some(PathBuf::from(p));
+            }
+        } else if let Some(p) = a.strip_prefix("--trace-out=") {
+            return Some(PathBuf::from(p));
+        }
+    }
+    std::env::var_os("SPS_TRACE_OUT").map(PathBuf::from)
+}
+
+/// Runs a fully instrumented hybrid scenario and returns the recorder.
+///
+/// The scenario is chosen to touch every [`sps_trace::TraceEvent`] kind in
+/// ~12 simulated seconds:
+///
+/// * steady traffic → element send/recv, acks, checkpoints, heartbeats,
+///   queue high-water marks, periodic machine/PE snapshots;
+/// * a benchmark detector on the protected machine → probes and verdicts;
+/// * a 1 s full-CPU spike (10 missed heartbeats, below the lowered
+///   fail-stop threshold of 15) → failure inject/detect, switch-over, then
+///   rollback once the primary's heartbeat replies resume;
+/// * a fail-stop → element drops at the dead machine, then promotion after
+///   15 missed heartbeats.
+pub fn capture_hybrid_trace(seed: u64) -> SharedRecorder {
+    let recorder = SharedRecorder::default();
+    let job = eval_chain_job();
+    let mut sim = HaSimulation::builder(job)
+        .mode(HaMode::None)
+        .subjob_mode(SubjobId(1), HaMode::Hybrid)
+        .source_rate(1_000.0)
+        .seed(seed)
+        .tune(|c| c.failstop_miss_threshold = 15)
+        .trace_sink(Box::new(recorder.clone()))
+        .build();
+    sim.add_benchmark_detector(MachineId(1), BenchmarkConfig::default());
+    // Transient failure: switch-over on the first miss, rollback on recovery.
+    sim.inject_spike_windows(
+        MachineId(1),
+        &[SpikeWindow {
+            start: SimTime::from_secs(1),
+            end: SimTime::from_secs(2),
+            share: 1.0,
+        }],
+    );
+    // Permanent failure: in-flight elements drop, then the secondary is
+    // promoted after 15 missed heartbeats.
+    sim.fail_stop_at(MachineId(1), SimTime::from_secs(4));
+    sim.stop_sources_at(SimTime::from_secs(8));
+    sim.run_until(SimTime::from_secs(10));
+    recorder
+}
+
+/// If `--trace-out`/`SPS_TRACE_OUT` is set, runs the capture scenario and
+/// writes its JSONL dump there, reporting the record count on stdout.
+pub fn maybe_capture(seed: u64) {
+    let Some(path) = trace_out_path() else {
+        return;
+    };
+    let recorder = capture_hybrid_trace(seed);
+    let (records, evicted) = recorder.with(|r| (r.len(), r.evicted()));
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            if let Err(e) = recorder.export_jsonl(&mut f) {
+                eprintln!("warning: could not write trace to {}: {e}", path.display());
+            } else {
+                println!(
+                    "trace: {records} records written to {} ({evicted} evicted)",
+                    path.display()
+                );
+            }
+        }
+        Err(e) => eprintln!("warning: could not create {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn capture_covers_every_event_kind() {
+        let recorder = capture_hybrid_trace(2010);
+        let kinds: BTreeSet<&'static str> =
+            recorder.with(|r| r.records().map(|rec| rec.event.kind()).collect());
+        for kind in [
+            "element_send",
+            "element_recv",
+            "element_drop",
+            "ack",
+            "checkpoint_start",
+            "checkpoint_sent",
+            "checkpoint_stored",
+            "heartbeat_ping",
+            "heartbeat_pong",
+            "heartbeat_miss",
+            "bench_probe",
+            "bench_verdict",
+            "failure_inject",
+            "failure_detect",
+            "recovery",
+            "queue_high_water",
+            "machine_snapshot",
+            "pe_snapshot",
+        ] {
+            assert!(kinds.contains(kind), "missing event kind {kind}: {kinds:?}");
+        }
+    }
+}

@@ -23,9 +23,11 @@ use sps_engine::{PeCheckpoint, PeId, Replica, SubjobId};
 use sps_metrics::MsgClass;
 use sps_sim::Ctx;
 
+use sps_trace::TraceEvent;
+
 use crate::config::{CheckpointProtocol, HaMode};
 use crate::message::Msg;
-use crate::world::{slot_of, Event, HaWorld, SjState, SubjobPending};
+use crate::world::{replica_code, slot_of, Event, HaWorld, SjState, SubjobPending};
 
 impl HaWorld {
     /// Sweeping trigger: called whenever an instance's output queue was
@@ -106,6 +108,13 @@ impl HaWorld {
             Some(inst) => inst.request_pause(),
             None => return,
         };
+        self.tracer.emit(
+            ctx.now(),
+            TraceEvent::CheckpointStart {
+                pe: pe.0,
+                replica: replica_code(replica),
+            },
+        );
         if quiescent {
             self.snapshot_and_send(ctx, sj_id, vec![pe]);
         } else {
@@ -135,6 +144,13 @@ impl HaWorld {
                 if !inst.request_pause() {
                     waiting.insert(pe);
                 }
+                self.tracer.emit(
+                    ctx.now(),
+                    TraceEvent::CheckpointStart {
+                        pe: pe.0,
+                        replica: replica_code(replica),
+                    },
+                );
             }
         }
         if waiting.is_empty() {
@@ -200,6 +216,15 @@ impl HaWorld {
             let ckpt = inst.snapshot(ctx.now());
             inst.resume();
             elements += ckpt.element_count();
+            self.tracer.emit(
+                ctx.now(),
+                TraceEvent::CheckpointSent {
+                    pe: pe.0,
+                    replica: replica_code(replica),
+                    elements: ckpt.element_count() as u32,
+                    bytes: ckpt.byte_size(self.cfg.element_bytes),
+                },
+            );
             let sj = &mut self.subjobs[sj_id.0 as usize];
             sj.last_ckpt_at.insert(pe, ctx.now());
             sj.snap_positions.insert(pe, ckpt.input_positions.clone());
@@ -339,6 +364,13 @@ impl HaWorld {
         let replica = self.subjobs[sj_id.0 as usize].primary_replica;
         for pe in pes {
             self.subjobs[sj_id.0 as usize].pe_ckpt_inflight.remove(&pe);
+            self.tracer.emit(
+                ctx.now(),
+                TraceEvent::CheckpointStored {
+                    pe: pe.0,
+                    replica: replica_code(replica),
+                },
+            );
             let Some(positions) = self.subjobs[sj_id.0 as usize]
                 .snap_positions
                 .get(&pe)

@@ -147,6 +147,10 @@ pub struct HaConfig {
     pub durable_checkpoints: bool,
     /// Disk write latency when `durable_checkpoints` is set.
     pub disk_latency: SimDuration,
+    /// Telemetry snapshot period (per-machine load, per-PE queue depths).
+    /// The sampler only runs when a trace sink is installed; zero disables
+    /// it entirely.
+    pub trace_sample_interval: SimDuration,
 }
 
 impl Default for HaConfig {
@@ -171,6 +175,7 @@ impl Default for HaConfig {
             sched_latency: SchedLatency::default(),
             durable_checkpoints: false,
             disk_latency: SimDuration::from_millis(8),
+            trace_sample_interval: SimDuration::from_millis(100),
         }
     }
 }

@@ -2,12 +2,17 @@
 //! element delivery, and acknowledgment processing.
 
 use sps_cluster::{LoadComponent, MachineId};
-use sps_engine::{ConnectionId, DataElement, Dest, Replica, StreamId};
+use sps_engine::{ConnectionId, DataElement, Dest, Offer, Replica, StreamId};
 use sps_metrics::MsgClass;
 use sps_sim::{Ctx, TimerGen};
+use sps_trace::{DropReason, TraceEvent};
 
 use crate::message::{Msg, ProducerAddr};
-use crate::world::{slot_of, unslot, Event, HaWorld, SjState, TaskTag};
+use crate::world::{replica_code, slot_of, unslot, Event, HaWorld, SjState, TaskTag};
+
+/// The `pe` field of trace events emitted for a source (sources have no
+/// PE id).
+const TRACE_SOURCE_PE: u32 = u32::MAX;
 
 impl HaWorld {
     // ---- sending and machine plumbing ----
@@ -120,15 +125,6 @@ impl HaWorld {
             .sched_latency
             .clone()
             .sample_with_median(ctx.rng(), median);
-        if std::env::var_os("SPS_DEBUG_SCHED").is_some() {
-            eprintln!(
-                "[sched] t={:.3} machine={} load={:.3} delay={}",
-                ctx.now().as_secs_f64(),
-                machine.0,
-                load,
-                delay
-            );
-        }
         if delay.is_zero() {
             self.submit_task(ctx, machine, demand_secs, tag);
         } else {
@@ -198,7 +194,23 @@ impl HaWorld {
                 if self.cluster.network().is_partitioned(src_machine, dst) {
                     continue;
                 }
-                for elem in self.sources[s].queue_mut().drain_sendable(ConnectionId(ci)) {
+                let drained: Vec<DataElement> = self.sources[s]
+                    .queue_mut()
+                    .drain_sendable(ConnectionId(ci))
+                    .into_iter()
+                    .collect();
+                if let Some(last) = drained.last() {
+                    let (stream, last_seq, n) = (last.stream.0, last.seq, drained.len() as u32);
+                    self.tracer
+                        .emit_data(ctx.now(), || TraceEvent::ElementSend {
+                            pe: TRACE_SOURCE_PE,
+                            replica: 0,
+                            stream,
+                            elements: n,
+                            last_seq,
+                        });
+                }
+                for elem in drained {
                     batch.push((dest, elem));
                 }
             }
@@ -248,7 +260,7 @@ impl HaWorld {
     /// Drains every connection of every output port of an instance and
     /// transmits the new elements.
     pub(crate) fn dispatch_outputs(&mut self, ctx: &mut Ctx<Event>, slot: usize) {
-        let (_, replica) = unslot(slot);
+        let (pe, replica) = unslot(slot);
         let src_machine = self.instance_machine[slot];
         let mut batch: Vec<(Dest, DataElement)> = Vec::new();
         {
@@ -273,7 +285,23 @@ impl HaWorld {
                     continue;
                 }
                 let inst = self.instances[slot].as_mut().expect("checked");
-                for elem in inst.output_mut(port).drain_sendable(ConnectionId(ci)) {
+                let drained: Vec<DataElement> = inst
+                    .output_mut(port)
+                    .drain_sendable(ConnectionId(ci))
+                    .into_iter()
+                    .collect();
+                if let Some(last) = drained.last() {
+                    let (stream, last_seq, n) = (last.stream.0, last.seq, drained.len() as u32);
+                    self.tracer
+                        .emit_data(ctx.now(), || TraceEvent::ElementSend {
+                            pe: pe.0,
+                            replica: replica_code(replica),
+                            stream,
+                            elements: n,
+                            last_seq,
+                        });
+                }
+                for elem in drained {
                     batch.push((dest, elem));
                 }
             }
@@ -431,7 +459,18 @@ impl HaWorld {
 
     pub(crate) fn on_deliver(&mut self, ctx: &mut Ctx<Event>, to: MachineId, msg: Msg) {
         if !self.cluster.machine(to).is_up() {
-            return; // fail-stopped machines receive nothing
+            // Fail-stopped machines receive nothing.
+            if matches!(msg, Msg::Data { .. }) {
+                self.tracer.emit(
+                    ctx.now(),
+                    TraceEvent::ElementDrop {
+                        machine: to.0,
+                        elements: 1,
+                        reason: DropReason::MachineDown,
+                    },
+                );
+            }
+            return;
         }
         match msg {
             Msg::Data { to: dest, elem } => self.on_data(ctx, to, dest, elem),
@@ -472,12 +511,48 @@ impl HaWorld {
             Dest::Pe { inst, port } => {
                 let slot = slot_of(inst.pe, inst.replica);
                 if self.instances[slot].is_none() || self.instance_machine[slot] != at {
-                    return; // stale delivery to a departed instance
+                    // Stale delivery to a departed instance.
+                    self.tracer.emit(
+                        ctx.now(),
+                        TraceEvent::ElementDrop {
+                            machine: at.0,
+                            elements: 1,
+                            reason: DropReason::StaleEpoch,
+                        },
+                    );
+                    return;
                 }
-                self.instances[slot]
+                let stream = elem.stream.0;
+                let offer = self.instances[slot]
                     .as_mut()
                     .expect("checked")
                     .offer(port, elem);
+                let now = ctx.now();
+                self.tracer.emit_data(now, || {
+                    let (accepted, stashed, duplicates) = match offer {
+                        Offer::Accepted(n) => (n as u32, 0, 0),
+                        Offer::Stashed => (0, 1, 0),
+                        Offer::Duplicate => (0, 0, 1),
+                    };
+                    TraceEvent::ElementRecv {
+                        pe: inst.pe.0,
+                        replica: replica_code(inst.replica),
+                        stream,
+                        accepted,
+                        stashed,
+                        duplicates,
+                    }
+                });
+                if offer == Offer::Duplicate {
+                    self.tracer.emit(
+                        now,
+                        TraceEvent::ElementDrop {
+                            machine: at.0,
+                            elements: 1,
+                            reason: DropReason::Duplicate,
+                        },
+                    );
+                }
                 self.try_start(ctx, slot);
             }
             Dest::Sink(sink) => {
@@ -513,6 +588,11 @@ impl HaWorld {
                 let q = self.sources[s].queue_mut();
                 if let Some(conn) = find_conn(q, from) {
                     q.register_ack(conn, seq);
+                    self.tracer.emit_data(ctx.now(), || TraceEvent::Ack {
+                        pe: TRACE_SOURCE_PE,
+                        replica: 0,
+                        through_seq: seq,
+                    });
                 }
             }
             ProducerAddr::Instance(iid, port) => {
@@ -520,6 +600,11 @@ impl HaWorld {
                 if self.instances[slot].is_none() || self.instance_machine[slot] != at {
                     return;
                 }
+                self.tracer.emit_data(ctx.now(), || TraceEvent::Ack {
+                    pe: iid.pe.0,
+                    replica: replica_code(iid.replica),
+                    through_seq: seq,
+                });
                 let trimmed = {
                     let inst = self.instances[slot].as_mut().expect("checked");
                     match find_conn(inst.output(port), from) {
@@ -569,6 +654,15 @@ impl HaWorld {
         share: f64,
     ) {
         let m = MachineId(machine);
+        if component == LoadComponent::Spike && share > 0.0 {
+            self.tracer.emit(
+                ctx.now(),
+                TraceEvent::FailureInject {
+                    machine,
+                    fail_stop: false,
+                },
+            );
+        }
         self.cluster
             .machine_mut(m)
             .set_background(ctx.now(), component, share);
@@ -603,6 +697,11 @@ pub fn schedule_initial_events(world: &mut HaWorld, ctx: &mut Ctx<Event>) {
             world.cfg.heartbeat_interval,
             Event::HeartbeatTick { monitor: m as u32 },
         );
+    }
+    // The telemetry sampler runs only when a trace sink is installed, so
+    // untraced runs keep an identical event schedule.
+    if world.tracer.is_enabled() && !world.cfg.trace_sample_interval.is_zero() {
+        ctx.schedule_in(world.cfg.trace_sample_interval, Event::TraceSample);
     }
     use crate::config::CheckpointProtocol;
     match world.cfg.checkpoint_protocol {

@@ -6,15 +6,17 @@ use sps_engine::{Dest, InstanceId, PeCheckpoint, PeId, Producer, Replica, Stream
 use sps_metrics::MsgClass;
 use sps_sim::Ctx;
 
+use sps_trace::TraceEvent;
+
 use crate::config::HaMode;
 use crate::data_plane::find_conn;
 use crate::detect::{BenchAction, HbVerdict};
 use crate::message::Msg;
-use crate::world::{slot_of, Event, HaEvent, HaEventKind, HaWorld, SjState, SubjobPending};
+use crate::world::{slot_of, Event, HaEventKind, HaWorld, SjState, SubjobPending};
 
 impl HaWorld {
     fn log_event(&mut self, at: sps_sim::SimTime, subjob: SubjobId, kind: HaEventKind) {
-        self.ha_events.push(HaEvent { at, subjob, kind });
+        self.tracer.emit_phase(at, subjob.0, kind);
     }
 
     // ---- heartbeat ----
@@ -52,6 +54,11 @@ impl HaWorld {
                 None => (mon_machine, target_machine),
             }
         };
+        self.tracer
+            .emit_data(ctx.now(), || TraceEvent::HeartbeatPing {
+                machine: target_machine.0,
+                seq,
+            });
         self.send_msg(
             ctx,
             mon_machine,
@@ -68,6 +75,14 @@ impl HaWorld {
         let sj_idx = sj_id.0 as usize;
         let mode = self.subjobs[sj_idx].mode;
         let state = self.subjobs[sj_idx].state;
+        let suspect = self.subjobs[sj_idx].primary_machine;
+        self.tracer.emit(
+            ctx.now(),
+            TraceEvent::HeartbeatMiss {
+                machine: suspect.0,
+                streak,
+            },
+        );
 
         if streak >= self.cfg.failstop_miss_threshold && mode == HaMode::Hybrid {
             // `>=`, not `==`: if a promotion attempt could not act (e.g. a
@@ -75,6 +90,7 @@ impl HaWorld {
             // retries it.
             if streak == self.cfg.failstop_miss_threshold {
                 self.monitors[m].declarations.push(ctx.now());
+                self.emit_failure_detect(ctx, suspect, sj_id, streak);
             }
             self.promote(ctx, sj_id);
             return;
@@ -84,16 +100,35 @@ impl HaWorld {
                 if streak == self.cfg.hybrid_miss_threshold && state == SjState::Normal =>
             {
                 self.monitors[m].declarations.push(ctx.now());
+                self.emit_failure_detect(ctx, suspect, sj_id, streak);
                 self.monitors[m].hb.mark_suspected();
                 self.hybrid_switchover(ctx, sj_id);
             }
             HaMode::Passive if streak == self.cfg.ps_miss_threshold && state == SjState::Normal => {
                 self.monitors[m].declarations.push(ctx.now());
+                self.emit_failure_detect(ctx, suspect, sj_id, streak);
                 self.monitors[m].hb.mark_suspected();
                 self.ps_recover(ctx, sj_id);
             }
             _ => {}
         }
+    }
+
+    fn emit_failure_detect(
+        &mut self,
+        ctx: &mut Ctx<Event>,
+        machine: MachineId,
+        sj_id: SubjobId,
+        streak: u32,
+    ) {
+        self.tracer.emit(
+            ctx.now(),
+            TraceEvent::FailureDetect {
+                machine: machine.0,
+                subjob: sj_id.0,
+                miss_streak: streak,
+            },
+        );
     }
 
     pub(crate) fn on_pong(&mut self, ctx: &mut Ctx<Event>, monitor: u32, seq: u64) {
@@ -102,9 +137,13 @@ impl HaWorld {
             return;
         }
         let fresh_recovery = self.monitors[m].hb.pong(seq);
-        if std::env::var_os("SPS_DEBUG_SCHED").is_some() && fresh_recovery {
-            eprintln!("[pong-fresh] t={:.3} seq={seq}", ctx.now().as_secs_f64());
-        }
+        let ponger = self.subjobs[self.monitors[m].subjob.0 as usize].primary_machine;
+        self.tracer
+            .emit_data(ctx.now(), || TraceEvent::HeartbeatPong {
+                machine: ponger.0,
+                seq,
+                cleared_suspicion: fresh_recovery,
+            });
         if !fresh_recovery {
             return;
         }
@@ -563,6 +602,13 @@ impl HaWorld {
 
     pub(crate) fn on_fail_stop(&mut self, ctx: &mut Ctx<Event>, machine: u32) {
         let m = MachineId(machine);
+        self.tracer.emit(
+            ctx.now(),
+            TraceEvent::FailureInject {
+                machine,
+                fail_stop: true,
+            },
+        );
         self.cluster.machine_mut(m).fail(ctx.now());
         self.rearm_machine(ctx, m);
         for slot in 0..self.instances.len() {
@@ -600,6 +646,9 @@ impl HaWorld {
         if let BenchAction::RunBenchmark { demand_secs } =
             self.bench_detectors[d].det.on_sample(ctx.now(), load)
         {
+            self.bench_detectors[d].last_probe_at = Some(now);
+            self.tracer
+                .emit(now, TraceEvent::BenchProbe { machine: machine.0 });
             self.submit_latency_sensitive(
                 ctx,
                 machine,
@@ -615,9 +664,23 @@ impl HaWorld {
             return;
         }
         let now = ctx.now();
-        if self.bench_detectors[d].det.on_benchmark_done(now) {
+        let overloaded = self.bench_detectors[d].det.on_benchmark_done(now);
+        if overloaded {
             self.bench_detectors[d].declarations.push(now);
         }
+        let machine = self.bench_detectors[d].machine;
+        let latency_ns = self.bench_detectors[d]
+            .last_probe_at
+            .map(|at| now.saturating_since(at).as_nanos())
+            .unwrap_or(0);
+        self.tracer.emit(
+            now,
+            TraceEvent::BenchVerdict {
+                machine: machine.0,
+                latency_ns,
+                overloaded,
+            },
+        );
     }
 
     // ---- connection/instances plumbing shared by the transitions ----

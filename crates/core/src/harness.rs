@@ -1,10 +1,13 @@
 //! The public experiment harness: build a cluster-backed HA simulation,
 //! inject failures, run it, and collect a report.
 
+use std::fmt;
+
 use sps_cluster::{JitterProfile, LoadComponent, MachineId, NetworkConfig, SpikeWindow};
 use sps_engine::{Job, SubjobId};
 use sps_metrics::{MsgCounters, RecoveryKind, RecoveryTimeline};
 use sps_sim::{SimDuration, SimTime, Simulation};
+use sps_trace::TraceSink;
 
 use crate::config::{HaConfig, HaMode};
 use crate::data_plane::schedule_initial_events;
@@ -27,7 +30,6 @@ use crate::world::{Event, HaEventKind, HaWorld, Placement};
 /// sim.run_for(sps_sim::SimDuration::from_secs(2));
 /// assert!(sim.world().sinks()[0].accepted() > 0);
 /// ```
-#[derive(Debug)]
 pub struct HaSimulationBuilder {
     job: Job,
     cfg: HaConfig,
@@ -37,6 +39,19 @@ pub struct HaSimulationBuilder {
     network: NetworkConfig,
     seed: u64,
     log_sink_accepts: bool,
+    trace_sinks: Vec<Box<dyn TraceSink>>,
+}
+
+impl fmt::Debug for HaSimulationBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HaSimulationBuilder")
+            .field("cfg", &self.cfg)
+            .field("modes", &self.modes)
+            .field("seed", &self.seed)
+            .field("log_sink_accepts", &self.log_sink_accepts)
+            .field("trace_sinks", &self.trace_sinks.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl HaSimulationBuilder {
@@ -59,6 +74,7 @@ impl HaSimulationBuilder {
             network: NetworkConfig::default(),
             seed: 0,
             log_sink_accepts: false,
+            trace_sinks: Vec::new(),
         }
     }
 
@@ -127,6 +143,14 @@ impl HaSimulationBuilder {
         self
     }
 
+    /// Installs a trace sink (e.g. a [`sps_trace::SharedRecorder`]); the
+    /// telemetry sampler starts automatically when at least one sink is
+    /// installed.
+    pub fn trace_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.trace_sinks.push(sink);
+        self
+    }
+
     /// Builds the simulation, deploys everything, and schedules the initial
     /// events.
     pub fn build(self) -> HaSimulation {
@@ -139,7 +163,7 @@ impl HaSimulationBuilder {
         let placement = self
             .placement
             .unwrap_or_else(|| Placement::default_for(&self.job));
-        let world = HaWorld::new(
+        let mut world = HaWorld::new(
             self.job,
             self.cfg,
             modes,
@@ -148,6 +172,9 @@ impl HaSimulationBuilder {
             self.network,
             self.log_sink_accepts,
         );
+        for sink in self.trace_sinks {
+            world.tracer_mut().add_sink(sink);
+        }
         let mut sim = Simulation::new(world, self.seed);
         let (world, ctx) = sim.parts_mut();
         schedule_initial_events(world, ctx);

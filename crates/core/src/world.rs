@@ -14,6 +14,7 @@ use sps_engine::{
 };
 use sps_metrics::MsgCounters;
 use sps_sim::{Ctx, SimTime, TimerGen, TimerSlot, World};
+use sps_trace::{TraceEvent, Tracer};
 
 use crate::config::{HaConfig, HaMode};
 use crate::detect::{BenchmarkConfig, BenchmarkDetector, HeartbeatMonitor};
@@ -164,6 +165,9 @@ pub enum Event {
     },
     /// Stop all sources (experiment warm-down).
     StopSources,
+    /// The periodic telemetry sampler fired (only scheduled when a trace
+    /// sink is installed).
+    TraceSample,
     /// A deferred CPU-task submission (after an OS wake-up delay).
     SubmitTask {
         /// Machine index.
@@ -276,25 +280,11 @@ pub enum SubjobPending {
 }
 
 /// Notable HA transitions, for experiment post-processing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum HaEventKind {
-    /// A transient failure was declared (PS: 3 misses, Hybrid: 1 miss).
-    Detected,
-    /// Hybrid switch-over completed (secondary live).
-    SwitchoverComplete,
-    /// Hybrid rollback started (fresh pong received).
-    RollbackStarted,
-    /// Hybrid rollback completed (primary restored and live).
-    RollbackComplete,
-    /// PS deployment completed.
-    PsDeployed,
-    /// PS connections established (new copy live).
-    PsConnected,
-    /// Fail-stop declared; secondary promoted to primary.
-    Promoted,
-    /// Replacement secondary deployed and suspended.
-    SecondaryReady,
-}
+///
+/// This is the trace layer's [`sps_trace::RecoveryPhase`] — the control
+/// plane logs phases on the trace bus, and [`HaWorld::ha_events`] is
+/// derived from that log.
+pub use sps_trace::RecoveryPhase as HaEventKind;
 
 /// One logged HA transition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -379,6 +369,8 @@ pub struct BenchRt {
     pub predictor: Option<crate::detect::TrendPredictor>,
     /// Times of the predictor's declarations.
     pub predictor_declarations: Vec<SimTime>,
+    /// When the most recent benchmark probe task was submitted (tracing).
+    pub last_probe_at: Option<SimTime>,
 }
 
 /// The complete simulated system.
@@ -409,7 +401,16 @@ pub struct HaWorld {
     pub(crate) monitors: Vec<MonitorRt>,
     pub(crate) bench_detectors: Vec<BenchRt>,
     pub(crate) counters: MsgCounters,
-    pub(crate) ha_events: Vec<HaEvent>,
+    /// The trace bus. Control-plane recovery phases are always logged
+    /// here; data-plane events only flow when a sink is installed.
+    pub(crate) tracer: Tracer,
+    /// Telemetry-sampler bookkeeping, per machine: `(last_sample_time,
+    /// busy_integral_at_last_sample)`. Strictly read-only with respect to
+    /// the simulation (separate from `load_est`, which feeds scheduling).
+    pub(crate) trace_busy: Vec<(SimTime, f64)>,
+    /// Last queue high-water marks emitted per instance slot:
+    /// `(input, output)`; only growth produces a new trace event.
+    pub(crate) trace_queue_hw: Vec<(u64, u64)>,
     /// Ground-truth failure windows injected per machine.
     pub(crate) injected_spikes: Vec<(MachineId, SimTime, SimTime)>,
 }
@@ -518,7 +519,9 @@ impl HaWorld {
             monitors: Vec::new(),
             bench_detectors: Vec::new(),
             counters: MsgCounters::new(),
-            ha_events: Vec::new(),
+            tracer: Tracer::new(),
+            trace_busy: vec![(SimTime::ZERO, 0.0); cluster.len()],
+            trace_queue_hw: vec![(0, 0); n_pes * 2],
             injected_spikes: Vec::new(),
             cfg,
             placement,
@@ -690,6 +693,7 @@ impl HaWorld {
             declarations: Vec::new(),
             predictor: None,
             predictor_declarations: Vec::new(),
+            last_probe_at: None,
         });
         id
     }
@@ -733,9 +737,28 @@ impl HaWorld {
         &self.sources
     }
 
-    /// Logged HA transitions.
-    pub fn ha_events(&self) -> &[HaEvent] {
-        &self.ha_events
+    /// Logged HA transitions, derived from the trace bus's control-plane
+    /// phase log.
+    pub fn ha_events(&self) -> Vec<HaEvent> {
+        self.tracer
+            .phases()
+            .iter()
+            .map(|p| HaEvent {
+                at: p.at,
+                subjob: SubjobId(p.subjob),
+                kind: p.phase,
+            })
+            .collect()
+    }
+
+    /// The trace bus.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The trace bus, exclusively (to install sinks).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
 
     /// Per-subjob HA state.
@@ -771,6 +794,98 @@ impl HaWorld {
     /// One PE instance, if deployed.
     pub fn instance(&self, pe: PeId, replica: Replica) -> Option<&sps_engine::PeInstance> {
         self.instances[slot_of(pe, replica)].as_ref()
+    }
+
+    // ---- periodic telemetry sampler ----
+
+    /// The sim-timer-driven snapshot sampler: per-machine CPU/background
+    /// load and per-PE queue depth/backlog, plus queue high-water growth.
+    /// Strictly read-only — it never advances machines, touches the
+    /// scheduling load estimate, or draws randomness, so an instrumented
+    /// run stays bit-identical to an uninstrumented one.
+    pub(crate) fn on_trace_sample(&mut self, ctx: &mut Ctx<Event>) {
+        ctx.schedule_in(self.cfg.trace_sample_interval, Event::TraceSample);
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let now = ctx.now();
+        for m in 0..self.cluster.len() {
+            let machine = self.cluster.machine(MachineId(m as u32));
+            // `busy_integral` is current as of the machine's last advance;
+            // under steady traffic that lags by at most one task.
+            let busy = machine.busy_integral();
+            let (last_t, last_busy) = self.trace_busy[m];
+            let dt = now.saturating_since(last_t).as_secs_f64();
+            let cpu_load = if dt > 0.0 {
+                ((busy - last_busy) / dt).max(0.0)
+            } else {
+                0.0
+            };
+            self.trace_busy[m] = (now, busy);
+            self.tracer.emit(
+                now,
+                TraceEvent::MachineSnapshot {
+                    machine: m as u32,
+                    cpu_load,
+                    background: machine.background_share(),
+                    run_queue: machine.active_tasks() as u32,
+                },
+            );
+        }
+        for slot in 0..self.instances.len() {
+            let Some(inst) = self.instances[slot].as_ref() else {
+                continue;
+            };
+            let (pe, replica) = unslot(slot);
+            let rep = replica_code(replica);
+            let input_depth = inst.input_depth();
+            let output_backlog = inst.output_backlog();
+            let in_hw = inst.input_high_water();
+            let out_hw = inst.output_high_water();
+            let processed_total = inst.processed_total();
+            self.tracer.emit(
+                now,
+                TraceEvent::PeSnapshot {
+                    pe: pe.0,
+                    replica: rep,
+                    input_depth,
+                    output_backlog,
+                    processed_total,
+                },
+            );
+            let (prev_in, prev_out) = self.trace_queue_hw[slot];
+            if in_hw > prev_in {
+                self.tracer.emit(
+                    now,
+                    TraceEvent::QueueHighWater {
+                        pe: pe.0,
+                        replica: rep,
+                        input: true,
+                        depth: in_hw,
+                    },
+                );
+            }
+            if out_hw > prev_out {
+                self.tracer.emit(
+                    now,
+                    TraceEvent::QueueHighWater {
+                        pe: pe.0,
+                        replica: rep,
+                        input: false,
+                        depth: out_hw,
+                    },
+                );
+            }
+            self.trace_queue_hw[slot] = (in_hw.max(prev_in), out_hw.max(prev_out));
+        }
+    }
+}
+
+/// The trace-layer encoding of a replica: 0 primary, 1 secondary.
+pub(crate) fn replica_code(replica: Replica) -> u8 {
+    match replica {
+        Replica::Primary => 0,
+        Replica::Secondary => 1,
     }
 }
 
@@ -820,6 +935,7 @@ impl World for HaWorld {
             } => self.on_set_background(ctx, machine, component, share),
             Event::FailStop { machine } => self.on_fail_stop(ctx, machine),
             Event::BenchSample { det } => self.on_bench_sample(ctx, det),
+            Event::TraceSample => self.on_trace_sample(ctx),
             Event::StopSources => {
                 for s in &mut self.sources {
                     s.stop();

@@ -1,25 +1,28 @@
-//! Property-based tests for the detector state machines.
+//! Randomized property tests for the detector state machines, driven by
+//! seeded [`SimRng`] loops.
 
-use proptest::prelude::*;
 use sps_ha::{HbVerdict, HeartbeatMonitor, PredictorConfig, TrendPredictor};
-use sps_sim::SimTime;
+use sps_sim::{SimRng, SimTime};
 
-proptest! {
-    /// The miss streak equals the number of ticks since the last timely
-    /// reply, for arbitrary reply patterns.
-    #[test]
-    fn miss_streak_counts_unanswered_ticks(replies in proptest::collection::vec(any::<bool>(), 1..200)) {
+/// The miss streak equals the number of ticks since the last timely reply,
+/// for arbitrary reply patterns.
+#[test]
+fn miss_streak_counts_unanswered_ticks() {
+    let mut rng = SimRng::seed_from(0x517E);
+    for _case in 0..48 {
+        let n = rng.uniform_u64(1, 200);
+        let replies: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
         let mut m = HeartbeatMonitor::new();
         let mut expected_streak = 0u32;
         for (i, &answered) in replies.iter().enumerate() {
             let (seq, verdict) = m.tick();
-            prop_assert_eq!(seq, i as u64 + 1, "sequence numbers are dense");
+            assert_eq!(seq, i as u64 + 1, "sequence numbers are dense");
             if i == 0 {
-                prop_assert_eq!(verdict, HbVerdict::Ok, "nothing outstanding yet");
+                assert_eq!(verdict, HbVerdict::Ok, "nothing outstanding yet");
             } else {
                 match verdict {
-                    HbVerdict::Ok => prop_assert_eq!(expected_streak, 0),
-                    HbVerdict::Missed { streak } => prop_assert_eq!(streak, expected_streak),
+                    HbVerdict::Ok => assert_eq!(expected_streak, 0),
+                    HbVerdict::Missed { streak } => assert_eq!(streak, expected_streak),
                 }
             }
             if answered {
@@ -30,11 +33,16 @@ proptest! {
             }
         }
     }
+}
 
-    /// Suspicion can only be cleared by a fresh post-suspicion pong; stale
-    /// or pre-suspicion pongs never clear it.
-    #[test]
-    fn suspicion_clears_only_on_fresh_evidence(pre_ticks in 1u64..50, gap in 3u64..50) {
+/// Suspicion can only be cleared by a fresh post-suspicion pong; stale or
+/// pre-suspicion pongs never clear it.
+#[test]
+fn suspicion_clears_only_on_fresh_evidence() {
+    let mut rng = SimRng::seed_from(0x5E5E);
+    for _case in 0..48 {
+        let pre_ticks = rng.uniform_u64(1, 50);
+        let gap = rng.uniform_u64(3, 50);
         let mut m = HeartbeatMonitor::new();
         let mut pre_seqs = Vec::new();
         for _ in 0..pre_ticks {
@@ -48,38 +56,48 @@ proptest! {
         }
         // Every pre-suspicion pong is rejected.
         for &s in &pre_seqs {
-            prop_assert!(!m.pong(s), "pre-suspicion pong must not clear");
-            prop_assert!(m.is_suspected());
+            assert!(!m.pong(s), "pre-suspicion pong must not clear");
+            assert!(m.is_suspected());
         }
         // An old post-suspicion pong (answered seconds late) is rejected...
-        prop_assert!(!m.pong(post_seqs[0]), "stale post-suspicion pong");
+        assert!(!m.pong(post_seqs[0]), "stale post-suspicion pong");
         // ...but a reply to one of the latest two pings clears it.
-        prop_assert!(m.pong(*post_seqs.last().unwrap()));
-        prop_assert!(!m.is_suspected());
+        assert!(m.pong(*post_seqs.last().unwrap()));
+        assert!(!m.is_suspected());
     }
+}
 
-    /// The trend predictor never declares while loads stay below its floor,
-    /// for arbitrary sub-floor sample streams.
-    #[test]
-    fn predictor_quiet_below_floor(samples in proptest::collection::vec(0.0f64..0.49, 1..300)) {
+/// The trend predictor never declares while loads stay below its floor, for
+/// arbitrary sub-floor sample streams.
+#[test]
+fn predictor_quiet_below_floor() {
+    let mut rng = SimRng::seed_from(0xF100);
+    for _case in 0..32 {
+        let n = rng.uniform_u64(1, 300);
         let mut p = TrendPredictor::new(PredictorConfig::default());
-        for (i, &load) in samples.iter().enumerate() {
-            let declared = p.on_sample(SimTime::from_millis(i as u64 * 50), load);
-            prop_assert!(!declared, "sample {i} at load {load} declared");
+        for i in 0..n {
+            let load = rng.uniform(0.0, 0.49);
+            let declared = p.on_sample(SimTime::from_millis(i * 50), load);
+            assert!(!declared, "sample {i} at load {load} declared");
         }
-        prop_assert_eq!(p.declarations(), 0);
+        assert_eq!(p.declarations(), 0);
     }
+}
 
-    /// A saturated stream always eventually declares (within the window
-    /// plus one sample).
-    #[test]
-    fn predictor_declares_on_saturation(window in 2usize..16) {
-        let config = PredictorConfig { window, ..PredictorConfig::default() };
+/// A saturated stream always eventually declares (within the window plus
+/// one sample).
+#[test]
+fn predictor_declares_on_saturation() {
+    for window in 2usize..16 {
+        let config = PredictorConfig {
+            window,
+            ..PredictorConfig::default()
+        };
         let mut p = TrendPredictor::new(config);
         let mut declared = false;
         for i in 0..window + 2 {
             declared |= p.on_sample(SimTime::from_millis(i as u64 * 50), 1.0);
         }
-        prop_assert!(declared, "flat saturation projects to >= threshold");
+        assert!(declared, "flat saturation projects to >= threshold");
     }
 }

@@ -321,6 +321,36 @@ impl PeInstance {
         self.processed_total
     }
 
+    // ---- telemetry accessors ----
+
+    /// Pending input elements summed over all ports.
+    pub fn input_depth(&self) -> u64 {
+        self.inputs.iter().map(|q| q.pending_len() as u64).sum()
+    }
+
+    /// Retained (unacknowledged) output elements summed over all ports.
+    pub fn output_backlog(&self) -> u64 {
+        self.outputs.iter().map(|q| q.retained_len() as u64).sum()
+    }
+
+    /// Largest pending-input depth ever observed on any port.
+    pub fn input_high_water(&self) -> u64 {
+        self.inputs
+            .iter()
+            .map(|q| q.high_water() as u64)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Largest retained-output backlog ever observed on any port.
+    pub fn output_high_water(&self) -> u64 {
+        self.outputs
+            .iter()
+            .map(|q| q.high_water() as u64)
+            .max()
+            .unwrap_or(0)
+    }
+
     // ---- suspension (hybrid standby) ----
 
     /// Sets the suspension flag; suspended instances start no work.

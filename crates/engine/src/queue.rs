@@ -60,6 +60,8 @@ pub struct OutputQueue<D> {
     trimmed: u64,
     connections: Vec<Connection<D>>,
     produced_total: u64,
+    /// Largest retained-backlog depth ever observed.
+    high_water: usize,
 }
 
 /// The checkpointable part of an output queue (per §III-B, checkpoint
@@ -93,6 +95,7 @@ impl<D> OutputQueue<D> {
             trimmed: FIRST_SEQ - 1,
             connections: Vec::new(),
             produced_total: 0,
+            high_water: 0,
         }
     }
 
@@ -129,6 +132,7 @@ impl<D> OutputQueue<D> {
         self.next_seq += 1;
         self.produced_total += 1;
         self.retained.push_back(elem);
+        self.high_water = self.high_water.max(self.retained.len());
         elem
     }
 
@@ -234,6 +238,11 @@ impl<D> OutputQueue<D> {
         self.retained.len()
     }
 
+    /// Largest retained-backlog depth ever observed (telemetry).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
     /// Highest trimmed sequence number.
     pub fn trimmed_through(&self) -> u64 {
         self.trimmed
@@ -310,6 +319,8 @@ pub struct InputQueue {
     pending: VecDeque<DataElement>,
     duplicates_dropped: u64,
     accepted_total: u64,
+    /// Largest pending-queue depth ever observed.
+    high_water: usize,
 }
 
 impl InputQueue {
@@ -354,6 +365,7 @@ impl InputQueue {
             accepted += 1;
         }
         self.accepted_total += accepted as u64;
+        self.high_water = self.high_water.max(self.pending.len());
         Offer::Accepted(accepted)
     }
 
@@ -395,6 +407,11 @@ impl InputQueue {
     /// Number of accepted-but-unprocessed elements.
     pub fn pending_len(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Largest pending-queue depth ever observed (telemetry).
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// A copy of the accepted-but-unprocessed elements, in order (the input

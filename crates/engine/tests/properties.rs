@@ -1,12 +1,12 @@
-//! Property-based tests for engine invariants: queue retention/trimming,
-//! duplicate elimination, and checkpoint/restore equivalence.
+//! Randomized property tests for engine invariants: queue
+//! retention/trimming, duplicate elimination, and checkpoint/restore
+//! equivalence. Driven by seeded [`SimRng`] loops.
 
-use proptest::prelude::*;
 use sps_engine::{
     DataElement, InputQueue, InstanceId, Offer, OperatorSpec, OutputQueue, Payload, PeId,
     PeInstance, Replica, StreamId,
 };
-use sps_sim::SimTime;
+use sps_sim::{SimRng, SimTime};
 
 fn elem(stream: u32, seq: u64, value: f64) -> DataElement {
     DataElement {
@@ -19,45 +19,49 @@ fn elem(stream: u32, seq: u64, value: f64) -> DataElement {
     }
 }
 
-proptest! {
-    /// Retention: an output queue never trims an element past the minimum
-    /// acknowledged position of its trim-relevant consumers, and retained
-    /// sequence numbers are always the contiguous suffix above the trim
-    /// floor.
-    #[test]
-    fn output_queue_retention_invariant(
-        ops in proptest::collection::vec((0usize..2, 0u64..40), 1..120)
-    ) {
+/// Retention: an output queue never trims an element past the minimum
+/// acknowledged position of its trim-relevant consumers, and retained
+/// sequence numbers are always the contiguous suffix above the trim floor.
+#[test]
+fn output_queue_retention_invariant() {
+    let mut rng = SimRng::seed_from(0x0077);
+    for _case in 0..48 {
+        let ops = rng.uniform_u64(1, 120);
         let mut q: OutputQueue<u8> = OutputQueue::new(StreamId(0));
         let a = q.connect(0, true, true);
         let b = q.connect(1, true, true);
         let mut acked = [0u64, 0];
-        for (which, val) in ops {
+        for _ in 0..ops {
+            let which = rng.uniform_u64(0, 2);
+            let val = rng.uniform_u64(0, 40);
             if which == 0 {
                 q.produce(Payload::new(0, 0.0), SimTime::ZERO);
             } else {
-                let conn = if val % 2 == 0 { a } else { b };
+                let conn = if val.is_multiple_of(2) { a } else { b };
                 let idx = (val % 2) as usize;
                 let target = (acked[idx] + val / 2).min(q.next_seq() - 1);
                 acked[idx] = acked[idx].max(target);
                 q.register_ack(conn, target);
             }
             let floor = acked[0].min(acked[1]);
-            prop_assert_eq!(q.trimmed_through(), floor.min(q.next_seq() - 1));
-            prop_assert_eq!(
+            assert_eq!(q.trimmed_through(), floor.min(q.next_seq() - 1));
+            assert_eq!(
                 q.retained_len() as u64,
                 q.next_seq() - 1 - q.trimmed_through(),
                 "retained is exactly the unacked suffix"
             );
         }
     }
+}
 
-    /// Duplicate elimination: offering any multiset of sequence numbers
-    /// (each appearing at least once) accepts each exactly once, in order.
-    #[test]
-    fn input_queue_accepts_each_seq_once(
-        mut seqs in proptest::collection::vec(1u64..30, 1..150)
-    ) {
+/// Duplicate elimination: offering any multiset of sequence numbers (each
+/// appearing at least once) accepts each exactly once, in order.
+#[test]
+fn input_queue_accepts_each_seq_once() {
+    let mut rng = SimRng::seed_from(0xDEDC);
+    for _case in 0..48 {
+        let n = rng.uniform_u64(1, 150);
+        let mut seqs: Vec<u64> = (0..n).map(|_| rng.uniform_u64(1, 30)).collect();
         // Ensure contiguity 1..=max by appending the full range, then the
         // random multiset acts as duplicates/reorderings.
         let max = *seqs.iter().max().unwrap();
@@ -68,20 +72,23 @@ proptest! {
             let _ = q.offer(elem(0, *s, *s as f64));
         }
         let taken: Vec<u64> = std::iter::from_fn(|| q.take_next().map(|e| e.seq)).collect();
-        prop_assert_eq!(taken, (1..=max).collect::<Vec<_>>());
+        assert_eq!(taken, (1..=max).collect::<Vec<_>>());
     }
+}
 
-    /// Checkpoint/restore equivalence: processing a prefix, checkpointing,
-    /// restoring into a fresh instance, and replaying the suffix yields the
-    /// same outputs as processing everything in one instance. This is the
-    /// engine-level core of the paper's recovery-correctness guarantee for
-    /// deterministic stateful PEs.
-    #[test]
-    fn restore_then_replay_equals_straight_run(
-        values in proptest::collection::vec(-100.0f64..100.0, 2..60),
-        cut_frac in 0.1f64..0.9,
-        window in 1u64..5,
-    ) {
+/// Checkpoint/restore equivalence: processing a prefix, checkpointing,
+/// restoring into a fresh instance, and replaying the suffix yields the
+/// same outputs as processing everything in one instance. This is the
+/// engine-level core of the paper's recovery-correctness guarantee for
+/// deterministic stateful PEs.
+#[test]
+fn restore_then_replay_equals_straight_run() {
+    let mut rng = SimRng::seed_from(0xCE9A);
+    for _case in 0..32 {
+        let n_values = rng.uniform_u64(2, 60);
+        let values: Vec<f64> = (0..n_values).map(|_| rng.uniform(-100.0, 100.0)).collect();
+        let cut_frac = rng.uniform(0.1, 0.9);
+        let window = rng.uniform_u64(1, 5);
         let spec = OperatorSpec::WindowAggregate {
             window,
             agg: sps_engine::AggKind::Sum,
@@ -89,7 +96,10 @@ proptest! {
         };
         let build = || {
             let mut inst = PeInstance::new(
-                InstanceId { pe: PeId(0), replica: Replica::Primary },
+                InstanceId {
+                    pe: PeId(0),
+                    replica: Replica::Primary,
+                },
                 spec.clone(),
                 1,
                 &[StreamId(9)],
@@ -126,19 +136,21 @@ proptest! {
         // Retransmission overlaps: resend from 1 (all dups below cut).
         got.extend(run(&mut recovered, 1..=n));
 
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    /// Gap stashing: elements offered in any permutation are processed in
-    /// sequence order once contiguous.
-    #[test]
-    fn permuted_arrivals_processed_in_order(n in 1u64..40, seed in any::<u64>()) {
+/// Gap stashing: elements offered in any permutation are processed in
+/// sequence order once contiguous.
+#[test]
+fn permuted_arrivals_processed_in_order() {
+    let mut rng = SimRng::seed_from(0x9A95);
+    for _case in 0..48 {
+        let n = rng.uniform_u64(1, 40);
         let mut order: Vec<u64> = (1..=n).collect();
-        // Fisher-Yates with a tiny LCG for determinism without rand.
-        let mut state = seed | 1;
+        // Fisher-Yates over the deterministic stream.
         for i in (1..order.len()).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let j = (state >> 33) as usize % (i + 1);
+            let j = rng.uniform_u64(0, i as u64 + 1) as usize;
             order.swap(i, j);
         }
         let mut q = InputQueue::new();
@@ -148,12 +160,12 @@ proptest! {
             match q.offer(elem(0, s, 0.0)) {
                 Offer::Accepted(k) => accepted += k,
                 Offer::Stashed => {}
-                Offer::Duplicate => prop_assert!(false, "no duplicates offered"),
+                Offer::Duplicate => panic!("no duplicates offered"),
             }
         }
-        prop_assert_eq!(accepted as u64, n);
+        assert_eq!(accepted as u64, n);
         let taken: Vec<u64> = std::iter::from_fn(|| q.take_next().map(|e| e.seq)).collect();
-        prop_assert_eq!(taken, (1..=n).collect::<Vec<_>>());
+        assert_eq!(taken, (1..=n).collect::<Vec<_>>());
     }
 }
 

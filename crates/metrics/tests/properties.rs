@@ -1,31 +1,45 @@
-//! Property-based tests for the metrics collectors.
+//! Randomized property tests for the metrics collectors, driven by seeded
+//! loops (the dev-dependency on `sps-sim` supplies the deterministic RNG;
+//! the library itself stays dependency-free).
 
-use proptest::prelude::*;
 use sps_metrics::{Cdf, MsgClass, MsgCounters, OnlineStats};
+use sps_sim::SimRng;
 
-proptest! {
-    /// Welford merging is equivalent to single-pass accumulation, for any
-    /// split point.
-    #[test]
-    fn stats_merge_any_split(xs in proptest::collection::vec(-1e6f64..1e6, 2..200), split_frac in 0.0f64..1.0) {
+fn random_vec(rng: &mut SimRng, len_lo: u64, len_hi: u64, lo: f64, hi: f64) -> Vec<f64> {
+    let n = rng.uniform_u64(len_lo, len_hi);
+    (0..n).map(|_| rng.uniform(lo, hi)).collect()
+}
+
+/// Welford merging is equivalent to single-pass accumulation, for any split
+/// point.
+#[test]
+fn stats_merge_any_split() {
+    let mut rng = SimRng::seed_from(0x5713);
+    for _case in 0..64 {
+        let xs = random_vec(&mut rng, 2, 200, -1e6, 1e6);
+        let split_frac = rng.unit();
         let split = ((xs.len() as f64 * split_frac) as usize).min(xs.len());
         let whole: OnlineStats = xs.iter().copied().collect();
         let mut left: OnlineStats = xs[..split].iter().copied().collect();
         let right: OnlineStats = xs[split..].iter().copied().collect();
         left.merge(&right);
-        prop_assert_eq!(left.count(), whole.count());
-        prop_assert!((left.mean() - whole.mean()).abs() <= 1e-6 * whole.mean().abs().max(1.0));
-        prop_assert!(
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() <= 1e-6 * whole.mean().abs().max(1.0));
+        assert!(
             (left.population_variance() - whole.population_variance()).abs()
                 <= 1e-5 * whole.population_variance().abs().max(1.0)
         );
-        prop_assert_eq!(left.min(), whole.min());
-        prop_assert_eq!(left.max(), whole.max());
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
     }
+}
 
-    /// Quantiles are monotone in q and bounded by the extrema.
-    #[test]
-    fn cdf_quantiles_are_monotone(xs in proptest::collection::vec(-1e3f64..1e3, 1..200)) {
+/// Quantiles are monotone in q and bounded by the extrema.
+#[test]
+fn cdf_quantiles_are_monotone() {
+    let mut rng = SimRng::seed_from(0xCDF1);
+    for _case in 0..64 {
+        let xs = random_vec(&mut rng, 1, 200, -1e3, 1e3);
         let mut cdf: Cdf = xs.iter().copied().collect();
         let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
         let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -33,37 +47,49 @@ proptest! {
         for i in 0..=10 {
             let q = i as f64 / 10.0;
             let v = cdf.quantile(q).expect("non-empty");
-            prop_assert!(v >= prev, "quantiles must not decrease");
-            prop_assert!((min..=max).contains(&v));
+            assert!(v >= prev, "quantiles must not decrease");
+            assert!((min..=max).contains(&v));
             prev = v;
         }
     }
+}
 
-    /// `fraction_at_most` agrees with a direct count and is monotone.
-    #[test]
-    fn cdf_fraction_matches_count(xs in proptest::collection::vec(-100f64..100.0, 1..100), probe in -120f64..120.0) {
+/// `fraction_at_most` agrees with a direct count and is monotone.
+#[test]
+fn cdf_fraction_matches_count() {
+    let mut rng = SimRng::seed_from(0xCDF2);
+    for _case in 0..64 {
+        let xs = random_vec(&mut rng, 1, 100, -100.0, 100.0);
+        let probe = rng.uniform(-120.0, 120.0);
         let mut cdf: Cdf = xs.iter().copied().collect();
         let expected = xs.iter().filter(|&&x| x <= probe).count() as f64 / xs.len() as f64;
-        prop_assert!((cdf.fraction_at_most(probe) - expected).abs() < 1e-12);
+        assert!((cdf.fraction_at_most(probe) - expected).abs() < 1e-12);
     }
+}
 
-    /// Counter addition is commutative and preserves element totals.
-    #[test]
-    fn counters_add_commutes(records in proptest::collection::vec((0usize..7, 0u64..1000), 0..50)) {
+/// Counter addition is commutative and preserves element totals.
+#[test]
+fn counters_add_commutes() {
+    let mut rng = SimRng::seed_from(0xC017);
+    for _case in 0..64 {
         let classes = MsgClass::ALL;
+        let n = rng.uniform_u64(0, 50);
+        let records: Vec<(usize, u64)> = (0..n)
+            .map(|_| (rng.uniform_u64(0, 7) as usize, rng.uniform_u64(0, 1000)))
+            .collect();
         let mut a = MsgCounters::new();
         let mut b = MsgCounters::new();
         for (i, &(class_idx, elements)) in records.iter().enumerate() {
             let target = if i % 2 == 0 { &mut a } else { &mut b };
             target.record(classes[class_idx], elements);
         }
-        prop_assert_eq!(a + b, b + a);
+        assert_eq!(a + b, b + a);
         let total = (a + b).total_elements();
         let expected: u64 = records
             .iter()
             .filter(|(ci, _)| classes[*ci].is_element_class())
             .map(|&(_, e)| e)
             .sum();
-        prop_assert_eq!(total, expected);
+        assert_eq!(total, expected);
     }
 }

@@ -1,13 +1,20 @@
 //! Seeded randomness for simulations.
 //!
-//! [`SimRng`] wraps a deterministic PRNG and adds the distributions the
-//! cluster and workload models need (exponential, Pareto, log-normal,
-//! truncated normal) without pulling in `rand_distr`. Substreams created via
-//! [`SimRng::fork`] are independent of the order in which the parent stream
-//! is consumed, so adding a new consumer does not perturb existing runs.
+//! [`SimRng`] is a self-contained deterministic PRNG (xoshiro256++) plus the
+//! distributions the cluster and workload models need (exponential, Pareto,
+//! log-normal, truncated normal) without pulling in external crates.
+//! Substreams created via [`SimRng::fork`] are independent of the order in
+//! which the parent stream is consumed, so adding a new consumer does not
+//! perturb existing runs.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// SplitMix64 step: expands a 64-bit seed into well-mixed state words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A deterministic random-number generator for simulation components.
 ///
@@ -20,17 +27,21 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
     seed: u64,
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
-            seed,
-        }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { state, seed }
     }
 
     /// The seed this generator was created from.
@@ -53,14 +64,26 @@ impl SimRng {
         SimRng::seed_from(z)
     }
 
-    /// The next raw 64-bit value.
+    /// The next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let result = self.state[0]
+            .wrapping_add(self.state[3])
+            .rotate_left(23)
+            .wrapping_add(self.state[0]);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
     }
 
     /// A uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform float in `[lo, hi)`.
@@ -76,7 +99,7 @@ impl SimRng {
         if lo == hi {
             lo
         } else {
-            self.inner.gen_range(lo..hi)
+            lo + (hi - lo) * self.unit()
         }
     }
 
@@ -87,7 +110,16 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "invalid uniform_u64 bounds [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        // Debiased multiply-shift (Lemire): rejection keeps the draw exact.
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (span as u128);
+            if (m as u64) >= threshold {
+                return lo + (m >> 64) as u64;
+            }
+        }
     }
 
     /// `true` with probability `p` (clamped to `[0, 1]`).
@@ -167,21 +199,6 @@ impl SimRng {
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +253,27 @@ mod tests {
             assert!((2.0..3.0).contains(&x));
         }
         assert_eq!(rng.uniform(5.0, 5.0), 5.0);
+    }
+
+    #[test]
+    fn uniform_u64_covers_range_without_bias_artifacts() {
+        let mut rng = SimRng::seed_from(29);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let x = rng.uniform_u64(3, 10);
+            assert!((3..10).contains(&x));
+            seen[(x - 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every bucket hit: {seen:?}");
+    }
+
+    #[test]
+    fn unit_stays_in_half_open_interval() {
+        let mut rng = SimRng::seed_from(31);
+        for _ in 0..10_000 {
+            let x = rng.unit();
+            assert!((0.0..1.0).contains(&x));
+        }
     }
 
     #[test]

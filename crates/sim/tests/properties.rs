@@ -1,77 +1,99 @@
-//! Property-based tests for the simulation kernel invariants.
+//! Randomized property tests for the simulation kernel invariants, driven
+//! by seeded [`SimRng`] loops so they need no external test framework.
 
-use proptest::prelude::*;
 use sps_sim::{Ctx, EventQueue, SimDuration, SimRng, SimTime, Simulation, World};
 
-proptest! {
-    /// Popping the event queue yields times in non-decreasing order, and
-    /// FIFO order among equal times, for arbitrary insertion patterns.
-    #[test]
-    fn event_queue_is_stable_and_ordered(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+/// Popping the event queue yields times in non-decreasing order, and FIFO
+/// order among equal times, for arbitrary insertion patterns.
+#[test]
+fn event_queue_is_stable_and_ordered() {
+    let mut rng = SimRng::seed_from(0xE0E0);
+    for _case in 0..64 {
+        let n = rng.uniform_u64(1, 200) as usize;
         let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.push(SimTime::from_nanos(t), i);
+        for i in 0..n {
+            q.push(SimTime::from_nanos(rng.uniform_u64(0, 1_000)), i);
         }
         let mut last: Option<(SimTime, usize)> = None;
         while let Some((t, idx)) = q.pop() {
             if let Some((lt, lidx)) = last {
-                prop_assert!(t >= lt, "time went backwards");
+                assert!(t >= lt, "time went backwards");
                 if t == lt {
-                    prop_assert!(idx > lidx, "FIFO violated among ties");
+                    assert!(idx > lidx, "FIFO violated among ties");
                 }
             }
             last = Some((t, idx));
         }
     }
+}
 
-    /// The simulation clock never moves backwards and every scheduled event
-    /// is delivered exactly once.
-    #[test]
-    fn clock_is_monotone_and_delivery_exact(delays in proptest::collection::vec(0u64..10_000, 1..100)) {
-        struct Count(u64, SimTime);
-        impl World for Count {
-            type Event = ();
-            fn handle(&mut self, ctx: &mut Ctx<()>, _: ()) {
-                assert!(ctx.now() >= self.1, "clock moved backwards");
-                self.1 = ctx.now();
-                self.0 += 1;
-            }
+/// The simulation clock never moves backwards and every scheduled event is
+/// delivered exactly once.
+#[test]
+fn clock_is_monotone_and_delivery_exact() {
+    struct Count(u64, SimTime);
+    impl World for Count {
+        type Event = ();
+        fn handle(&mut self, ctx: &mut Ctx<()>, _: ()) {
+            assert!(ctx.now() >= self.1, "clock moved backwards");
+            self.1 = ctx.now();
+            self.0 += 1;
         }
+    }
+    let mut rng = SimRng::seed_from(0xC10C);
+    for _case in 0..32 {
+        let n = rng.uniform_u64(1, 100);
         let mut sim = Simulation::new(Count(0, SimTime::ZERO), 0);
-        for &d in &delays {
-            sim.schedule_in(SimDuration::from_nanos(d), ());
+        for _ in 0..n {
+            sim.schedule_in(SimDuration::from_nanos(rng.uniform_u64(0, 10_000)), ());
         }
         sim.run_to_completion();
-        prop_assert_eq!(sim.world().0, delays.len() as u64);
+        assert_eq!(sim.world().0, n);
     }
+}
 
-    /// Time arithmetic: (t + d) - t == d for all representable pairs without
-    /// overflow.
-    #[test]
-    fn time_add_sub_round_trip(t in 0u64..u64::MAX / 2, d in 0u64..u64::MAX / 4) {
+/// Time arithmetic: (t + d) - t == d for representable pairs without
+/// overflow.
+#[test]
+fn time_add_sub_round_trip() {
+    let mut rng = SimRng::seed_from(0x7151);
+    for _case in 0..1_000 {
+        let t = rng.uniform_u64(0, u64::MAX / 2);
+        let d = rng.uniform_u64(0, u64::MAX / 4);
         let time = SimTime::from_nanos(t);
         let dur = SimDuration::from_nanos(d);
-        prop_assert_eq!((time + dur) - time, dur);
+        assert_eq!((time + dur) - time, dur);
     }
+}
 
-    /// Forked RNG substreams are determined by (seed, stream) alone.
-    #[test]
-    fn rng_fork_is_pure(seed in any::<u64>(), stream in any::<u64>(), burn in 0usize..32) {
+/// Forked RNG substreams are determined by (seed, stream) alone.
+#[test]
+fn rng_fork_is_pure() {
+    let mut rng = SimRng::seed_from(0xF0F0);
+    for _case in 0..200 {
+        let seed = rng.next_u64();
+        let stream = rng.next_u64();
+        let burn = rng.uniform_u64(0, 32);
         let mut a = SimRng::seed_from(seed);
         let b = SimRng::seed_from(seed);
         for _ in 0..burn {
             let _ = a.next_u64();
         }
-        prop_assert_eq!(a.fork(stream).seed(), b.fork(stream).seed());
+        assert_eq!(a.fork(stream).seed(), b.fork(stream).seed());
     }
+}
 
-    /// Exponential and Pareto draws respect their support.
-    #[test]
-    fn distribution_support(seed in any::<u64>(), mean in 0.001f64..1e6) {
+/// Exponential and Pareto draws respect their support.
+#[test]
+fn distribution_support() {
+    let mut outer = SimRng::seed_from(0xD157);
+    for _case in 0..64 {
+        let seed = outer.next_u64();
+        let mean = outer.uniform(0.001, 1e6);
         let mut rng = SimRng::seed_from(seed);
         for _ in 0..32 {
-            prop_assert!(rng.exp(mean) >= 0.0);
-            prop_assert!(rng.pareto(mean, 1.5) >= mean);
+            assert!(rng.exp(mean) >= 0.0);
+            assert!(rng.pareto(mean, 1.5) >= mean);
         }
     }
 }

@@ -1,0 +1,528 @@
+//! The typed trace-event model and its JSONL encoding.
+//!
+//! Every observable action in the simulator maps to one [`TraceEvent`]
+//! variant. Events carry only primitive fields (ids, counts, sizes,
+//! sim-times as nanoseconds) so they can be encoded to JSON Lines without
+//! a serialisation framework and compared byte-for-byte across runs.
+
+use std::fmt::Write as _;
+
+use sps_sim::SimTime;
+
+/// Why a data-plane element was dropped instead of delivered/accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DropReason {
+    /// The destination machine was failed-stop at delivery time.
+    MachineDown,
+    /// The delivery raced a completed switch-over/rollback and carried a
+    /// stale epoch.
+    StaleEpoch,
+    /// The receiving input queue had already accepted this sequence number
+    /// (duplicate from a redundant replica or a retransmission overlap).
+    Duplicate,
+}
+
+impl DropReason {
+    /// Stable lower-snake name used in the JSONL encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropReason::MachineDown => "machine_down",
+            DropReason::StaleEpoch => "stale_epoch",
+            DropReason::Duplicate => "duplicate",
+        }
+    }
+}
+
+/// A named phase of a recovery cycle, as logged on the control plane.
+///
+/// This is the single source of truth for recovery phases: `sps-ha`
+/// re-exports it as `HaEventKind`, and the recovery-time decomposition in
+/// `sps-metrics` is derived from spans of these phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RecoveryPhase {
+    /// A transient failure was declared (PS: 3 misses, Hybrid: 1 miss).
+    Detected,
+    /// Hybrid switch-over completed (secondary live).
+    SwitchoverComplete,
+    /// Hybrid rollback started (fresh pong received).
+    RollbackStarted,
+    /// Hybrid rollback completed (primary restored and live).
+    RollbackComplete,
+    /// PS deployment completed.
+    PsDeployed,
+    /// PS connections established (new copy live).
+    PsConnected,
+    /// Fail-stop declared; secondary promoted to primary.
+    Promoted,
+    /// Replacement secondary deployed and suspended.
+    SecondaryReady,
+}
+
+impl RecoveryPhase {
+    /// Stable lower-snake name used in the JSONL encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecoveryPhase::Detected => "detected",
+            RecoveryPhase::SwitchoverComplete => "switchover_complete",
+            RecoveryPhase::RollbackStarted => "rollback_started",
+            RecoveryPhase::RollbackComplete => "rollback_complete",
+            RecoveryPhase::PsDeployed => "ps_deployed",
+            RecoveryPhase::PsConnected => "ps_connected",
+            RecoveryPhase::Promoted => "promoted",
+            RecoveryPhase::SecondaryReady => "secondary_ready",
+        }
+    }
+}
+
+/// One typed, sim-time-free trace event. The timestamp lives in the
+/// enclosing [`TraceRecord`] so the event payload stays reusable.
+///
+/// Field conventions: `machine` is a machine index, `pe` a processing
+/// element id, `replica` is `0` for primary / `1` for secondary, `subjob`
+/// a subjob index, and times are sim-time nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A data element (or batch) left an instance's output queue.
+    ElementSend {
+        /// Sending PE id.
+        pe: u32,
+        /// Sending replica (0 primary, 1 secondary).
+        replica: u8,
+        /// Stream the elements belong to.
+        stream: u32,
+        /// Number of elements in the message.
+        elements: u32,
+        /// Highest sequence number in the batch.
+        last_seq: u64,
+    },
+    /// A data message was accepted by the receiving instance.
+    ElementRecv {
+        /// Receiving PE id.
+        pe: u32,
+        /// Receiving replica.
+        replica: u8,
+        /// Stream the elements belong to.
+        stream: u32,
+        /// Elements newly accepted for processing.
+        accepted: u32,
+        /// Elements stashed waiting for a sequence gap to fill.
+        stashed: u32,
+        /// Elements rejected as duplicates.
+        duplicates: u32,
+    },
+    /// A data-plane message was dropped instead of delivered.
+    ElementDrop {
+        /// Destination machine index.
+        machine: u32,
+        /// Elements lost with the message.
+        elements: u32,
+        /// Why the message was dropped.
+        reason: DropReason,
+    },
+    /// A downstream acknowledged element receipt back upstream.
+    Ack {
+        /// The PE whose output queue is being acknowledged.
+        pe: u32,
+        /// Replica of that PE.
+        replica: u8,
+        /// Acknowledged-through sequence number.
+        through_seq: u64,
+    },
+    /// A checkpoint began for one PE instance.
+    CheckpointStart {
+        /// PE being checkpointed.
+        pe: u32,
+        /// Replica being checkpointed.
+        replica: u8,
+    },
+    /// A checkpoint message (state snapshot) was produced and sent.
+    CheckpointSent {
+        /// PE whose state was captured.
+        pe: u32,
+        /// Replica whose state was captured.
+        replica: u8,
+        /// Retained elements captured in the snapshot.
+        elements: u32,
+        /// Serialised size of the checkpoint message.
+        bytes: u64,
+    },
+    /// A checkpoint reached stable storage / the standby.
+    CheckpointStored {
+        /// PE whose checkpoint completed.
+        pe: u32,
+        /// Replica whose checkpoint completed.
+        replica: u8,
+    },
+    /// A heartbeat ping was sent to a monitored machine.
+    HeartbeatPing {
+        /// Monitored machine index.
+        machine: u32,
+        /// Ping sequence number.
+        seq: u64,
+    },
+    /// A heartbeat reply came back fresh (clears suspicion if any).
+    HeartbeatPong {
+        /// Replying machine index.
+        machine: u32,
+        /// Sequence number being answered.
+        seq: u64,
+        /// Whether this pong cleared an active suspicion.
+        cleared_suspicion: bool,
+    },
+    /// A heartbeat tick found outstanding unanswered pings.
+    HeartbeatMiss {
+        /// Monitored machine index.
+        machine: u32,
+        /// Consecutive misses so far.
+        streak: u32,
+    },
+    /// A benchmark detector probe task was submitted.
+    BenchProbe {
+        /// Probed machine index.
+        machine: u32,
+    },
+    /// A benchmark detector probe completed and produced a verdict.
+    BenchVerdict {
+        /// Probed machine index.
+        machine: u32,
+        /// Measured probe latency in sim nanoseconds.
+        latency_ns: u64,
+        /// Whether the probe declared the machine overloaded.
+        overloaded: bool,
+    },
+    /// A failure (spike window or fail-stop) was injected by the harness.
+    FailureInject {
+        /// Affected machine index.
+        machine: u32,
+        /// `true` for a permanent fail-stop, `false` for a load spike.
+        fail_stop: bool,
+    },
+    /// The control plane declared a machine failed/overloaded.
+    FailureDetect {
+        /// Declared machine index.
+        machine: u32,
+        /// Affected subjob index.
+        subjob: u32,
+        /// Consecutive heartbeat misses at declaration time.
+        miss_streak: u32,
+    },
+    /// A recovery phase boundary on the control plane.
+    Recovery {
+        /// Affected subjob index.
+        subjob: u32,
+        /// Which phase boundary was crossed.
+        phase: RecoveryPhase,
+    },
+    /// A queue reached a new high-water mark (only growth is reported).
+    QueueHighWater {
+        /// Owning PE id.
+        pe: u32,
+        /// Owning replica.
+        replica: u8,
+        /// `true` for the input queue, `false` for the output queue.
+        input: bool,
+        /// The new high-water depth in elements.
+        depth: u64,
+    },
+    /// A periodic telemetry snapshot of one machine.
+    MachineSnapshot {
+        /// Machine index.
+        machine: u32,
+        /// Mean total utilisation over the last sample interval (0..=1+).
+        cpu_load: f64,
+        /// Background (injected) share at snapshot time.
+        background: f64,
+        /// Runnable simulated tasks at snapshot time.
+        run_queue: u32,
+    },
+    /// A periodic telemetry snapshot of one PE instance.
+    PeSnapshot {
+        /// PE id.
+        pe: u32,
+        /// Replica.
+        replica: u8,
+        /// Pending input elements (accepted + stashed).
+        input_depth: u64,
+        /// Retained output elements (sent but unacknowledged).
+        output_backlog: u64,
+        /// Total elements processed so far.
+        processed_total: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable lower-snake event-kind name used in the JSONL encoding.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::ElementSend { .. } => "element_send",
+            TraceEvent::ElementRecv { .. } => "element_recv",
+            TraceEvent::ElementDrop { .. } => "element_drop",
+            TraceEvent::Ack { .. } => "ack",
+            TraceEvent::CheckpointStart { .. } => "checkpoint_start",
+            TraceEvent::CheckpointSent { .. } => "checkpoint_sent",
+            TraceEvent::CheckpointStored { .. } => "checkpoint_stored",
+            TraceEvent::HeartbeatPing { .. } => "heartbeat_ping",
+            TraceEvent::HeartbeatPong { .. } => "heartbeat_pong",
+            TraceEvent::HeartbeatMiss { .. } => "heartbeat_miss",
+            TraceEvent::BenchProbe { .. } => "bench_probe",
+            TraceEvent::BenchVerdict { .. } => "bench_verdict",
+            TraceEvent::FailureInject { .. } => "failure_inject",
+            TraceEvent::FailureDetect { .. } => "failure_detect",
+            TraceEvent::Recovery { .. } => "recovery",
+            TraceEvent::QueueHighWater { .. } => "queue_high_water",
+            TraceEvent::MachineSnapshot { .. } => "machine_snapshot",
+            TraceEvent::PeSnapshot { .. } => "pe_snapshot",
+        }
+    }
+
+    /// `true` for the high-rate data-plane kinds that are only emitted when
+    /// a sink asked for them (see `TraceSink::wants_data_plane`).
+    pub fn is_data_plane(&self) -> bool {
+        matches!(
+            self,
+            TraceEvent::ElementSend { .. }
+                | TraceEvent::ElementRecv { .. }
+                | TraceEvent::Ack { .. }
+                | TraceEvent::HeartbeatPing { .. }
+                | TraceEvent::HeartbeatPong { .. }
+        )
+    }
+}
+
+/// A timestamped trace event: what happened, and at which sim-time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// Simulated time of the event.
+    pub at: SimTime,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// Encode as one JSON object (one JSONL line, without the newline).
+    ///
+    /// Keys are emitted in a fixed order (`t`, `kind`, then payload fields
+    /// in declaration order) so identical runs give byte-identical dumps.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(
+            s,
+            "{{\"t\":{},\"kind\":\"{}\"",
+            self.at.as_nanos(),
+            self.event.kind()
+        );
+        match self.event {
+            TraceEvent::ElementSend {
+                pe,
+                replica,
+                stream,
+                elements,
+                last_seq,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"pe\":{pe},\"replica\":{replica},\"stream\":{stream},\"elements\":{elements},\"last_seq\":{last_seq}"
+                );
+            }
+            TraceEvent::ElementRecv {
+                pe,
+                replica,
+                stream,
+                accepted,
+                stashed,
+                duplicates,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"pe\":{pe},\"replica\":{replica},\"stream\":{stream},\"accepted\":{accepted},\"stashed\":{stashed},\"duplicates\":{duplicates}"
+                );
+            }
+            TraceEvent::ElementDrop {
+                machine,
+                elements,
+                reason,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"machine\":{machine},\"elements\":{elements},\"reason\":\"{}\"",
+                    reason.as_str()
+                );
+            }
+            TraceEvent::Ack {
+                pe,
+                replica,
+                through_seq,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"pe\":{pe},\"replica\":{replica},\"through_seq\":{through_seq}"
+                );
+            }
+            TraceEvent::CheckpointStart { pe, replica } => {
+                let _ = write!(s, ",\"pe\":{pe},\"replica\":{replica}");
+            }
+            TraceEvent::CheckpointSent {
+                pe,
+                replica,
+                elements,
+                bytes,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"pe\":{pe},\"replica\":{replica},\"elements\":{elements},\"bytes\":{bytes}"
+                );
+            }
+            TraceEvent::CheckpointStored { pe, replica } => {
+                let _ = write!(s, ",\"pe\":{pe},\"replica\":{replica}");
+            }
+            TraceEvent::HeartbeatPing { machine, seq } => {
+                let _ = write!(s, ",\"machine\":{machine},\"seq\":{seq}");
+            }
+            TraceEvent::HeartbeatPong {
+                machine,
+                seq,
+                cleared_suspicion,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"machine\":{machine},\"seq\":{seq},\"cleared_suspicion\":{cleared_suspicion}"
+                );
+            }
+            TraceEvent::HeartbeatMiss { machine, streak } => {
+                let _ = write!(s, ",\"machine\":{machine},\"streak\":{streak}");
+            }
+            TraceEvent::BenchProbe { machine } => {
+                let _ = write!(s, ",\"machine\":{machine}");
+            }
+            TraceEvent::BenchVerdict {
+                machine,
+                latency_ns,
+                overloaded,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"machine\":{machine},\"latency_ns\":{latency_ns},\"overloaded\":{overloaded}"
+                );
+            }
+            TraceEvent::FailureInject { machine, fail_stop } => {
+                let _ = write!(s, ",\"machine\":{machine},\"fail_stop\":{fail_stop}");
+            }
+            TraceEvent::FailureDetect {
+                machine,
+                subjob,
+                miss_streak,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"machine\":{machine},\"subjob\":{subjob},\"miss_streak\":{miss_streak}"
+                );
+            }
+            TraceEvent::Recovery { subjob, phase } => {
+                let _ = write!(s, ",\"subjob\":{subjob},\"phase\":\"{}\"", phase.as_str());
+            }
+            TraceEvent::QueueHighWater {
+                pe,
+                replica,
+                input,
+                depth,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"pe\":{pe},\"replica\":{replica},\"input\":{input},\"depth\":{depth}"
+                );
+            }
+            TraceEvent::MachineSnapshot {
+                machine,
+                cpu_load,
+                background,
+                run_queue,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"machine\":{machine},\"cpu_load\":{},\"background\":{},\"run_queue\":{run_queue}",
+                    fmt_f64(cpu_load),
+                    fmt_f64(background)
+                );
+            }
+            TraceEvent::PeSnapshot {
+                pe,
+                replica,
+                input_depth,
+                output_backlog,
+                processed_total,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"pe\":{pe},\"replica\":{replica},\"input_depth\":{input_depth},\"output_backlog\":{output_backlog},\"processed_total\":{processed_total}"
+                );
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Deterministic float formatting for the JSONL encoding: fixed six
+/// decimal places, so the same value always serialises identically and
+/// never in exponent notation.
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        // JSON has no Inf/NaN; clamp to a sentinel.
+        String::from("null")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_encoding_is_stable_and_wellformed() {
+        let rec = TraceRecord {
+            at: SimTime::from_millis(1_500),
+            event: TraceEvent::Recovery {
+                subjob: 1,
+                phase: RecoveryPhase::Detected,
+            },
+        };
+        assert_eq!(
+            rec.to_json(),
+            "{\"t\":1500000000,\"kind\":\"recovery\",\"subjob\":1,\"phase\":\"detected\"}"
+        );
+    }
+
+    #[test]
+    fn float_fields_are_fixed_precision() {
+        let rec = TraceRecord {
+            at: SimTime::ZERO,
+            event: TraceEvent::MachineSnapshot {
+                machine: 3,
+                cpu_load: 0.5,
+                background: 1.0 / 3.0,
+                run_queue: 2,
+            },
+        };
+        let json = rec.to_json();
+        assert!(json.contains("\"cpu_load\":0.500000"), "{json}");
+        assert!(json.contains("\"background\":0.333333"), "{json}");
+    }
+
+    #[test]
+    fn data_plane_classification() {
+        let send = TraceEvent::ElementSend {
+            pe: 0,
+            replica: 0,
+            stream: 0,
+            elements: 1,
+            last_seq: 1,
+        };
+        assert!(send.is_data_plane());
+        let rec = TraceEvent::Recovery {
+            subjob: 0,
+            phase: RecoveryPhase::Promoted,
+        };
+        assert!(!rec.is_data_plane());
+    }
+}

@@ -1,0 +1,33 @@
+//! # sps-trace — sim-time-aware tracing for the hybrid-HA simulator
+//!
+//! A typed observability layer threaded through the simulator:
+//!
+//! * [`TraceEvent`] / [`TraceRecord`] — the typed, sim-time-stamped event
+//!   vocabulary: element send/receive/drop, acks, checkpoint lifecycle,
+//!   heartbeat and benchmark-probe activity, failure injection/detection,
+//!   recovery phases, queue high-water marks, and periodic snapshots;
+//! * [`Tracer`] / [`TraceSink`] — the event bus. Zero sinks means the
+//!   data-plane hot path costs one branch; control-plane recovery phases
+//!   are always kept (they feed the recovery-time decomposition);
+//! * [`FlightRecorder`] / [`SharedRecorder`] — a bounded ring of the most
+//!   recent records with JSONL export (`--trace-out` on the bench bins);
+//! * [`Telemetry`] / [`recovery_spans`] — distilling records into
+//!   per-machine load and per-PE queue-depth time-series and per-subjob
+//!   recovery spans.
+//!
+//! The crate depends only on `sps-sim` (for [`sps_sim::SimTime`]) and
+//! `sps-metrics` (for CDFs over telemetry series); the engine and cluster
+//! layers stay trace-agnostic and are sampled from above.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod event;
+mod recorder;
+mod series;
+mod sink;
+
+pub use event::{DropReason, RecoveryPhase, TraceEvent, TraceRecord};
+pub use recorder::{FlightRecorder, SharedRecorder, DEFAULT_CAPACITY};
+pub use series::{recovery_spans, RecoverySpan, Telemetry};
+pub use sink::{PhaseRecord, TraceSink, Tracer};

@@ -1,0 +1,199 @@
+//! The flight recorder: a bounded in-memory ring of the most recent trace
+//! records, exportable as JSON Lines.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::rc::Rc;
+
+use crate::event::TraceRecord;
+use crate::sink::TraceSink;
+
+/// Default ring capacity: enough for several seconds of a fully
+/// instrumented run of the paper's evaluation job.
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// A bounded ring buffer of trace records. When full, the oldest record is
+/// evicted (and counted), so the recorder always holds the most recent
+/// window — the "flight recorder" model.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    wants_data_plane: bool,
+    buf: VecDeque<TraceRecord>,
+    evicted: u64,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` records (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            wants_data_plane: true,
+            buf: VecDeque::new(),
+            evicted: 0,
+        }
+    }
+
+    /// Restrict the recorder to control-plane events only.
+    pub fn control_plane_only(mut self) -> Self {
+        self.wants_data_plane = false;
+        self
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum records held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records evicted because the ring was full.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.buf.iter()
+    }
+
+    /// Append one record, evicting the oldest if at capacity.
+    pub fn push(&mut self, record: TraceRecord) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(record);
+    }
+
+    /// Write the retained records as JSON Lines (one object per line,
+    /// oldest first).
+    pub fn export_jsonl(&self, w: &mut impl Write) -> io::Result<()> {
+        for rec in &self.buf {
+            writeln!(w, "{}", rec.to_json())?;
+        }
+        Ok(())
+    }
+
+    /// The JSONL dump as a string (used by the determinism tests).
+    pub fn to_jsonl_string(&self) -> String {
+        let mut out = String::new();
+        for rec in &self.buf {
+            out.push_str(&rec.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    fn wants_data_plane(&self) -> bool {
+        self.wants_data_plane
+    }
+    fn record(&mut self, record: &TraceRecord) {
+        self.push(*record);
+    }
+}
+
+/// A cloneable handle to a [`FlightRecorder`], so the simulation can own
+/// the sink while the harness keeps a reference for export after the run.
+#[derive(Debug, Clone, Default)]
+pub struct SharedRecorder(Rc<RefCell<FlightRecorder>>);
+
+impl SharedRecorder {
+    /// A shared recorder with the given ring capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self(Rc::new(RefCell::new(FlightRecorder::with_capacity(
+            capacity,
+        ))))
+    }
+
+    /// Run `f` with the underlying recorder borrowed.
+    pub fn with<R>(&self, f: impl FnOnce(&FlightRecorder) -> R) -> R {
+        f(&self.0.borrow())
+    }
+
+    /// The JSONL dump of the underlying recorder.
+    pub fn to_jsonl_string(&self) -> String {
+        self.0.borrow().to_jsonl_string()
+    }
+
+    /// Write the underlying recorder's records as JSON Lines.
+    pub fn export_jsonl(&self, w: &mut impl Write) -> io::Result<()> {
+        self.0.borrow().export_jsonl(w)
+    }
+}
+
+impl TraceSink for SharedRecorder {
+    fn wants_data_plane(&self) -> bool {
+        self.0.borrow().wants_data_plane
+    }
+    fn record(&mut self, record: &TraceRecord) {
+        self.0.borrow_mut().push(*record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use sps_sim::SimTime;
+
+    fn ping(seq: u64) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::from_nanos(seq),
+            event: TraceEvent::HeartbeatPing { machine: 0, seq },
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_window() {
+        let mut r = FlightRecorder::with_capacity(3);
+        for seq in 0..5 {
+            r.push(ping(seq));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.evicted(), 2);
+        let seqs: Vec<u64> = r.records().map(|rec| rec.at.as_nanos()).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn jsonl_export_is_one_object_per_line() {
+        let mut r = FlightRecorder::with_capacity(8);
+        r.push(ping(1));
+        r.push(ping(2));
+        let dump = r.to_jsonl_string();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        let mut bytes = Vec::new();
+        r.export_jsonl(&mut bytes).unwrap();
+        assert_eq!(String::from_utf8(bytes).unwrap(), dump);
+    }
+
+    #[test]
+    fn shared_recorder_sees_sink_writes() {
+        let shared = SharedRecorder::with_capacity(4);
+        let mut as_sink = shared.clone();
+        as_sink.record(&ping(7));
+        assert_eq!(shared.with(|r| r.len()), 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! Turning raw trace records into analysable material: per-machine and
+//! per-PE telemetry time-series, and recovery-cycle span decomposition.
+
+use std::collections::BTreeMap;
+
+use sps_metrics::Cdf;
+use sps_sim::SimTime;
+
+use crate::event::{RecoveryPhase, TraceEvent, TraceRecord};
+use crate::sink::PhaseRecord;
+
+/// One labelled interval of a recovery cycle, with sim-time bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoverySpan {
+    /// Which subjob the cycle belongs to.
+    pub subjob: u32,
+    /// Span start (exclusive boundary of the previous span).
+    pub start: SimTime,
+    /// Span end — the phase event that closes the span.
+    pub end: SimTime,
+    /// The phase boundary that closes the span.
+    pub phase: RecoveryPhase,
+}
+
+impl RecoverySpan {
+    /// Span length in milliseconds.
+    pub fn millis(&self) -> f64 {
+        (self.end - self.start).as_secs_f64() * 1e3
+    }
+}
+
+/// Decompose a phase log into per-subjob recovery spans.
+///
+/// Each phase event closes one span that starts at the previous phase
+/// event of the same subjob (or at `origin` — typically the failure
+/// injection time — for the first). By construction the spans of one
+/// subjob are monotone and non-overlapping.
+pub fn recovery_spans(phases: &[PhaseRecord], origin: SimTime) -> Vec<RecoverySpan> {
+    let mut last: BTreeMap<u32, SimTime> = BTreeMap::new();
+    let mut spans = Vec::with_capacity(phases.len());
+    for p in phases {
+        let start = *last.get(&p.subjob).unwrap_or(&origin);
+        spans.push(RecoverySpan {
+            subjob: p.subjob,
+            start,
+            end: p.at,
+            phase: p.phase,
+        });
+        last.insert(p.subjob, p.at);
+    }
+    spans
+}
+
+/// One `(secs, input_depth, output_backlog)` queue-depth sample.
+type QueueSample = (f64, u64, u64);
+
+/// Aggregated telemetry distilled from a stream of trace records: machine
+/// load and PE queue-depth time-series, plus failure/recovery landmarks.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    /// Per-machine `(secs, cpu_load)` samples, in arrival order.
+    machine_load: BTreeMap<u32, Vec<(f64, f64)>>,
+    /// Per-(pe, replica) queue-depth samples.
+    pe_queues: BTreeMap<(u32, u8), Vec<QueueSample>>,
+    /// Failure injections `(at, machine, fail_stop)`.
+    injects: Vec<(SimTime, u32, bool)>,
+    /// Recovery phase boundaries, reconstructed from `recovery` records.
+    phases: Vec<PhaseRecord>,
+    /// Elements dropped, by reason string.
+    drops: BTreeMap<&'static str, u64>,
+}
+
+impl Telemetry {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one record into the telemetry.
+    pub fn ingest(&mut self, record: &TraceRecord) {
+        let secs = record.at.as_secs_f64();
+        match record.event {
+            TraceEvent::MachineSnapshot {
+                machine, cpu_load, ..
+            } => {
+                self.machine_load
+                    .entry(machine)
+                    .or_default()
+                    .push((secs, cpu_load));
+            }
+            TraceEvent::PeSnapshot {
+                pe,
+                replica,
+                input_depth,
+                output_backlog,
+                ..
+            } => {
+                self.pe_queues.entry((pe, replica)).or_default().push((
+                    secs,
+                    input_depth,
+                    output_backlog,
+                ));
+            }
+            TraceEvent::FailureInject { machine, fail_stop } => {
+                self.injects.push((record.at, machine, fail_stop));
+            }
+            TraceEvent::Recovery { subjob, phase } => {
+                self.phases.push(PhaseRecord {
+                    at: record.at,
+                    subjob,
+                    phase,
+                });
+            }
+            TraceEvent::ElementDrop {
+                reason, elements, ..
+            } => {
+                *self.drops.entry(reason.as_str()).or_default() += elements as u64;
+            }
+            _ => {}
+        }
+    }
+
+    /// Fold every record of an iterator.
+    pub fn ingest_all<'a>(&mut self, records: impl IntoIterator<Item = &'a TraceRecord>) {
+        for r in records {
+            self.ingest(r);
+        }
+    }
+
+    /// The `(secs, cpu_load)` series for one machine.
+    pub fn machine_load_series(&self, machine: u32) -> &[(f64, f64)] {
+        self.machine_load
+            .get(&machine)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The `(secs, input_depth, output_backlog)` series for one instance.
+    pub fn pe_queue_series(&self, pe: u32, replica: u8) -> &[(f64, u64, u64)] {
+        self.pe_queues
+            .get(&(pe, replica))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Machines that produced at least one snapshot.
+    pub fn machines(&self) -> impl Iterator<Item = u32> + '_ {
+        self.machine_load.keys().copied()
+    }
+
+    /// The load distribution of one machine as an empirical CDF.
+    pub fn machine_load_cdf(&self, machine: u32) -> Cdf {
+        let mut cdf = Cdf::new();
+        for &(_, load) in self.machine_load_series(machine) {
+            cdf.record(load);
+        }
+        cdf
+    }
+
+    /// Failure injections seen, `(at, machine, fail_stop)`.
+    pub fn injects(&self) -> &[(SimTime, u32, bool)] {
+        &self.injects
+    }
+
+    /// Recovery phase boundaries seen.
+    pub fn phases(&self) -> &[PhaseRecord] {
+        &self.phases
+    }
+
+    /// Total elements dropped for a given reason string.
+    pub fn dropped(&self, reason: &str) -> u64 {
+        self.drops.get(reason).copied().unwrap_or(0)
+    }
+
+    /// Recovery spans anchored at the first failure injection (or time
+    /// zero when none was recorded).
+    pub fn recovery_spans(&self) -> Vec<RecoverySpan> {
+        let origin = self
+            .injects
+            .first()
+            .map(|&(at, _, _)| at)
+            .unwrap_or(SimTime::ZERO);
+        recovery_spans(&self.phases, origin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DropReason;
+
+    fn phase(at_ms: u64, subjob: u32, phase: RecoveryPhase) -> PhaseRecord {
+        PhaseRecord {
+            at: SimTime::from_millis(at_ms),
+            subjob,
+            phase,
+        }
+    }
+
+    #[test]
+    fn spans_chain_per_subjob_and_are_monotone() {
+        let phases = [
+            phase(100, 1, RecoveryPhase::Detected),
+            phase(150, 1, RecoveryPhase::SwitchoverComplete),
+            phase(400, 1, RecoveryPhase::RollbackStarted),
+            phase(460, 1, RecoveryPhase::RollbackComplete),
+        ];
+        let spans = recovery_spans(&phases, SimTime::from_millis(40));
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[0].start, SimTime::from_millis(40));
+        for w in spans.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "spans chain without gaps");
+            assert!(w[0].start <= w[0].end);
+        }
+        assert!((spans[0].millis() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spans_of_different_subjobs_are_independent() {
+        let phases = [
+            phase(100, 1, RecoveryPhase::Detected),
+            phase(120, 2, RecoveryPhase::Detected),
+            phase(300, 2, RecoveryPhase::PsDeployed),
+            phase(150, 1, RecoveryPhase::SwitchoverComplete),
+        ];
+        let spans = recovery_spans(&phases, SimTime::ZERO);
+        let sj1: Vec<_> = spans.iter().filter(|s| s.subjob == 1).collect();
+        assert_eq!(sj1[1].start, SimTime::from_millis(100));
+        let sj2: Vec<_> = spans.iter().filter(|s| s.subjob == 2).collect();
+        assert_eq!(sj2[1].start, SimTime::from_millis(120));
+    }
+
+    #[test]
+    fn telemetry_collects_series_and_drops() {
+        let mut t = Telemetry::new();
+        t.ingest(&TraceRecord {
+            at: SimTime::from_secs(1),
+            event: TraceEvent::MachineSnapshot {
+                machine: 2,
+                cpu_load: 0.75,
+                background: 0.5,
+                run_queue: 3,
+            },
+        });
+        t.ingest(&TraceRecord {
+            at: SimTime::from_secs(2),
+            event: TraceEvent::ElementDrop {
+                machine: 2,
+                elements: 5,
+                reason: DropReason::MachineDown,
+            },
+        });
+        assert_eq!(t.machine_load_series(2), &[(1.0, 0.75)]);
+        assert_eq!(t.dropped("machine_down"), 5);
+        assert_eq!(t.machine_load_cdf(2).len(), 1);
+    }
+}

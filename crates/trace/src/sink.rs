@@ -1,0 +1,202 @@
+//! The trace bus: the [`TraceSink`] consumer trait and the [`Tracer`]
+//! that simulator components emit into.
+//!
+//! Cost model: with no sinks installed, every data-plane emission is one
+//! branch on a cached `bool` — the event payload is built inside a closure
+//! that never runs. Control-plane recovery phases are additionally kept in
+//! an always-on in-memory log (they are rare — a handful per failure), so
+//! recovery timelines can be reconstructed even when tracing is off.
+
+use std::fmt;
+
+use sps_sim::SimTime;
+
+use crate::event::{RecoveryPhase, TraceEvent, TraceRecord};
+
+/// One recovery-phase boundary from the always-on control-plane log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseRecord {
+    /// When the phase boundary was crossed.
+    pub at: SimTime,
+    /// Which subjob the recovery cycle belongs to.
+    pub subjob: u32,
+    /// Which boundary was crossed.
+    pub phase: RecoveryPhase,
+}
+
+/// A consumer of trace records. Implementations must be cheap: they run
+/// synchronously inside the simulator's event handlers.
+pub trait TraceSink {
+    /// Whether this sink wants the high-rate data-plane kinds
+    /// (element send/recv, acks, heartbeat ping/pong). Sinks that only
+    /// care about control-plane structure return `false` and keep the
+    /// simulator's hot path untouched.
+    fn wants_data_plane(&self) -> bool {
+        true
+    }
+
+    /// Consume one record. Called in sim-time order.
+    fn record(&mut self, record: &TraceRecord);
+}
+
+/// The event bus: fans records out to sinks and keeps the bounded
+/// control-plane phase log.
+#[derive(Default)]
+pub struct Tracer {
+    sinks: Vec<Box<dyn TraceSink>>,
+    /// Cached `any(sink.wants_data_plane())`: the one branch on the
+    /// disabled hot path.
+    any_data: bool,
+    phases: Vec<PhaseRecord>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("sinks", &self.sinks.len())
+            .field("any_data", &self.any_data)
+            .field("phases", &self.phases.len())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer with no sinks: phases are still logged, everything else is
+    /// a no-op.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a sink. All subsequent emissions fan out to it.
+    pub fn add_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.any_data |= sink.wants_data_plane();
+        self.sinks.push(sink);
+    }
+
+    /// Whether any sink is installed.
+    pub fn is_enabled(&self) -> bool {
+        !self.sinks.is_empty()
+    }
+
+    /// Whether any installed sink wants data-plane events. Components may
+    /// consult this to skip expensive bookkeeping that only feeds tracing.
+    #[inline]
+    pub fn data_plane_enabled(&self) -> bool {
+        self.any_data
+    }
+
+    /// Emit a control-plane event to all interested sinks.
+    pub fn emit(&mut self, at: SimTime, event: TraceEvent) {
+        if self.sinks.is_empty() {
+            return;
+        }
+        let record = TraceRecord { at, event };
+        let data = event.is_data_plane();
+        for sink in &mut self.sinks {
+            if !data || sink.wants_data_plane() {
+                sink.record(&record);
+            }
+        }
+    }
+
+    /// Emit a data-plane event, building the payload lazily. With tracing
+    /// disabled this is a single branch and the closure never runs.
+    #[inline]
+    pub fn emit_data(&mut self, at: SimTime, build: impl FnOnce() -> TraceEvent) {
+        if self.any_data {
+            self.emit(at, build());
+        }
+    }
+
+    /// Record a recovery-phase boundary. Always logged (this feeds the
+    /// recovery-time decomposition), and mirrored to sinks as a
+    /// [`TraceEvent::Recovery`] record.
+    pub fn emit_phase(&mut self, at: SimTime, subjob: u32, phase: RecoveryPhase) {
+        self.phases.push(PhaseRecord { at, subjob, phase });
+        self.emit(at, TraceEvent::Recovery { subjob, phase });
+    }
+
+    /// The control-plane phase log, in emission (= sim-time) order.
+    pub fn phases(&self) -> &[PhaseRecord] {
+        &self.phases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counting {
+        data: bool,
+        seen: Vec<&'static str>,
+    }
+
+    impl TraceSink for Counting {
+        fn wants_data_plane(&self) -> bool {
+            self.data
+        }
+        fn record(&mut self, record: &TraceRecord) {
+            self.seen.push(record.event.kind());
+        }
+    }
+
+    #[test]
+    fn phases_are_logged_even_without_sinks() {
+        let mut t = Tracer::new();
+        t.emit_phase(SimTime::from_millis(10), 1, RecoveryPhase::Detected);
+        assert!(!t.is_enabled());
+        assert_eq!(t.phases().len(), 1);
+        assert_eq!(t.phases()[0].phase, RecoveryPhase::Detected);
+    }
+
+    #[test]
+    fn data_plane_closure_is_skipped_when_disabled() {
+        let mut t = Tracer::new();
+        let mut built = false;
+        t.emit_data(SimTime::ZERO, || {
+            built = true;
+            TraceEvent::Ack {
+                pe: 0,
+                replica: 0,
+                through_seq: 1,
+            }
+        });
+        assert!(!built, "payload must not be built with tracing off");
+
+        // A control-only sink still doesn't enable the data plane.
+        t.add_sink(Box::new(Counting {
+            data: false,
+            seen: Vec::new(),
+        }));
+        assert!(t.is_enabled());
+        assert!(!t.data_plane_enabled());
+    }
+
+    #[test]
+    fn data_plane_events_skip_control_only_sinks() {
+        let mut t = Tracer::new();
+        t.add_sink(Box::new(Counting {
+            data: false,
+            seen: Vec::new(),
+        }));
+        t.add_sink(Box::new(Counting {
+            data: true,
+            seen: Vec::new(),
+        }));
+        assert!(t.data_plane_enabled());
+        t.emit_data(SimTime::ZERO, || TraceEvent::HeartbeatPing {
+            machine: 0,
+            seq: 1,
+        });
+        t.emit(
+            SimTime::ZERO,
+            TraceEvent::FailureInject {
+                machine: 0,
+                fail_stop: false,
+            },
+        );
+        // Can't easily read back through Box<dyn>; this test mainly pins
+        // that mixed sinks don't panic and flags stay correct.
+    }
+}

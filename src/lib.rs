@@ -22,6 +22,7 @@
 //! | [`cluster`] | `sps-cluster` | machines (processor sharing, load spikes, jitter, wake-up latency), LAN |
 //! | [`engine`] | `sps-engine` | elements, operators, retaining/deduplicating queues, PEs, jobs |
 //! | [`metrics`] | `sps-metrics` | stats, CDFs, message counters, recovery decomposition |
+//! | [`trace`] | `sps-trace` | typed sim-time event bus, flight recorder, telemetry series |
 //! | [`ha`] | `sps-ha` | **the paper's contribution**: NONE/AS/PS/Hybrid, sweeping checkpointing, detectors, switch-over/rollback/promotion |
 //! | [`workloads`] | `sps-workloads` | evaluation job, example pipelines, failure loads, cluster study |
 //!
@@ -63,6 +64,7 @@ pub use sps_engine as engine;
 pub use sps_ha as ha;
 pub use sps_metrics as metrics;
 pub use sps_sim as sim;
+pub use sps_trace as trace;
 pub use sps_workloads as workloads;
 
 /// The most commonly used items, re-exported flat.
@@ -80,6 +82,10 @@ pub mod prelude {
     };
     pub use sps_metrics::{Cdf, MsgClass, OnlineStats, RecoveryKind, Table};
     pub use sps_sim::{SimDuration, SimRng, SimTime};
+    pub use sps_trace::{
+        FlightRecorder, RecoveryPhase, RecoverySpan, SharedRecorder, Telemetry, TraceEvent,
+        TraceRecord, TraceSink,
+    };
     pub use sps_workloads::{
         eval_chain_job, failure_load, financial_job, marginal_spike_share, multiplexed_placement,
         single_failure, traffic_job, tree_job,

@@ -34,8 +34,12 @@ fn run_ten_minutes(seed: u64) -> (usize, u64, u64) {
 
 #[test]
 fn false_alarms_are_rare_and_harmless_at_sixty_percent_load() {
+    // Seeds chosen so the Pareto duration draws include at least one stall
+    // comfortably longer than the 110 ms heartbeat interval: a stall only
+    // converts into a missed heartbeat when a full ping deadline falls
+    // inside it, so marginal (~120 ms) stalls convert by phase luck alone.
     let mut total_fa = 0;
-    for seed in [71, 72, 73] {
+    for seed in [66, 90, 151] {
         let (fa, produced, accepted) = run_ten_minutes(seed);
         total_fa += fa;
         // "our hybrid method can afford false alarms to certain extent,

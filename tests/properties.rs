@@ -1,8 +1,8 @@
-//! Property-based end-to-end tests: random failure schedules and parameters
-//! must never break exactly-once delivery or determinism.
+//! Randomized end-to-end tests: random failure schedules and parameters
+//! must never break exactly-once delivery or determinism. Driven by seeded
+//! [`SimRng`] loops.
 
 use hybrid_ha::prelude::*;
-use proptest::prelude::*;
 
 fn run_schedule(
     mode: HaMode,
@@ -36,66 +36,69 @@ fn run_schedule(
     )
 }
 
-/// Strategy: up to 3 non-overlapping spikes inside the first 7 seconds.
-fn schedules() -> impl Strategy<Value = Vec<(u64, u64, f64)>> {
-    proptest::collection::vec((500u64..2_000, 200u64..1_500, 0.5f64..1.0), 1..4).prop_map(|raw| {
-        let mut t = 500;
-        raw.into_iter()
-            .map(|(gap, len, share)| {
-                let start = t + gap;
-                t = start + len;
-                (start, len.min(7_000u64.saturating_sub(start).max(1)), share)
-            })
-            .filter(|&(start, _, _)| start < 7_000)
-            .collect()
-    })
+/// Up to 3 non-overlapping spikes inside the first 7 seconds.
+fn random_schedule(rng: &mut SimRng) -> Vec<(u64, u64, f64)> {
+    let count = rng.uniform_u64(1, 4);
+    let mut t = 500u64;
+    let mut schedule = Vec::new();
+    for _ in 0..count {
+        let gap = rng.uniform_u64(500, 2_000);
+        let len = rng.uniform_u64(200, 1_500);
+        let share = rng.uniform(0.5, 1.0);
+        let start = t + gap;
+        t = start + len;
+        if start < 7_000 {
+            let len = len.min(7_000u64.saturating_sub(start).max(1));
+            schedule.push((start, len, share));
+        }
+    }
+    schedule
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 12, // each case is a full end-to-end simulation
-        .. ProptestConfig::default()
-    })]
-
-    /// Exactly-once delivery for the recovering modes under arbitrary
-    /// failure schedules.
-    #[test]
-    fn hybrid_is_exactly_once_under_random_failures(
-        schedule in schedules(),
-        seed in 0u64..1_000,
-    ) {
-        let (produced, accepted, _) = run_schedule(HaMode::Hybrid, &schedule, 700.0, seed);
-        prop_assert_eq!(accepted, produced, "schedule {:?}", schedule);
+fn exactly_once_under_random_failures(mode: HaMode, salt: u64) {
+    // Each case is a full end-to-end simulation: keep the count small.
+    let mut rng = SimRng::seed_from(0xE2E0 ^ salt);
+    for case in 0..4 {
+        let schedule = random_schedule(&mut rng);
+        let seed = rng.uniform_u64(0, 1_000);
+        let (produced, accepted, _) = run_schedule(mode, &schedule, 700.0, seed);
+        assert_eq!(
+            accepted, produced,
+            "{mode} case {case} schedule {schedule:?}"
+        );
     }
+}
 
-    /// Same for passive standby.
-    #[test]
-    fn passive_is_exactly_once_under_random_failures(
-        schedule in schedules(),
-        seed in 0u64..1_000,
-    ) {
-        let (produced, accepted, _) = run_schedule(HaMode::Passive, &schedule, 700.0, seed);
-        prop_assert_eq!(accepted, produced, "schedule {:?}", schedule);
-    }
+/// Exactly-once delivery for the recovering modes under arbitrary failure
+/// schedules.
+#[test]
+fn hybrid_is_exactly_once_under_random_failures() {
+    exactly_once_under_random_failures(HaMode::Hybrid, 1);
+}
 
-    /// Active standby masks the same schedules with zero loss; duplicates
-    /// never leak past the dedup boundary into the accept count.
-    #[test]
-    fn active_standby_is_exactly_once(
-        schedule in schedules(),
-        seed in 0u64..1_000,
-    ) {
-        let (produced, accepted, _) = run_schedule(HaMode::Active, &schedule, 700.0, seed);
-        prop_assert_eq!(accepted, produced);
-    }
+/// Same for passive standby.
+#[test]
+fn passive_is_exactly_once_under_random_failures() {
+    exactly_once_under_random_failures(HaMode::Passive, 2);
+}
 
-    /// Bit-for-bit determinism: the same seed and schedule give the same
-    /// run, regardless of mode.
-    #[test]
-    fn runs_are_deterministic(seed in 0u64..200) {
+/// Active standby masks the same schedules with zero loss; duplicates never
+/// leak past the dedup boundary into the accept count.
+#[test]
+fn active_standby_is_exactly_once() {
+    exactly_once_under_random_failures(HaMode::Active, 3);
+}
+
+/// Bit-for-bit determinism: the same seed and schedule give the same run,
+/// regardless of mode.
+#[test]
+fn runs_are_deterministic() {
+    let mut rng = SimRng::seed_from(0xDE7E);
+    for _case in 0..3 {
+        let seed = rng.uniform_u64(0, 200);
         let schedule = [(1_200u64, 900u64, 0.97f64)];
         let a = run_schedule(HaMode::Hybrid, &schedule, 650.0, seed);
         let b = run_schedule(HaMode::Hybrid, &schedule, 650.0, seed);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }

@@ -1,0 +1,231 @@
+//! The tracing layer's end-to-end contracts: deterministic dumps, faithful
+//! recovery-span decomposition, and read-only (non-perturbing) sampling.
+
+use hybrid_ha::prelude::*;
+
+/// An instrumented hybrid run with one transient failure, returning the
+/// recorder's JSONL dump.
+fn traced_run(seed: u64) -> String {
+    let recorder = SharedRecorder::default();
+    let job = eval_chain_job();
+    let mut sim = HaSimulation::builder(job)
+        .mode(HaMode::None)
+        .subjob_mode(SubjobId(1), HaMode::Hybrid)
+        .source_rate(1_000.0)
+        .seed(seed)
+        .trace_sink(Box::new(recorder.clone()))
+        .build();
+    sim.inject_spike_windows(
+        MachineId(1),
+        &[SpikeWindow {
+            start: SimTime::from_secs(1),
+            end: SimTime::from_secs(2),
+            share: 1.0,
+        }],
+    );
+    sim.stop_sources_at(SimTime::from_secs(4));
+    sim.run_until(SimTime::from_secs(5));
+    recorder.to_jsonl_string()
+}
+
+#[test]
+fn same_seed_gives_byte_identical_trace_dumps() {
+    let a = traced_run(99);
+    let b = traced_run(99);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "traced simulation must be deterministic");
+}
+
+#[test]
+fn different_seeds_give_different_dumps() {
+    // Sanity check on the determinism test itself: the dump actually
+    // depends on the randomness, so byte-equality above is meaningful.
+    assert_ne!(traced_run(99), traced_run(100));
+}
+
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    // Identical scenario with and without a sink: the trace layer must be
+    // purely observational, so the headline numbers agree exactly.
+    let run = |traced: bool| {
+        let mut builder = HaSimulation::builder(eval_chain_job())
+            .mode(HaMode::Hybrid)
+            .source_rate(1_000.0)
+            .seed(7);
+        if traced {
+            builder = builder.trace_sink(Box::new(SharedRecorder::default()));
+        }
+        let mut sim = builder.build();
+        sim.inject_spike_windows(
+            MachineId(1),
+            &[SpikeWindow {
+                start: SimTime::from_secs(1),
+                end: SimTime::from_secs(3),
+                share: 1.0,
+            }],
+        );
+        sim.stop_sources_at(SimTime::from_secs(5));
+        sim.run_until(SimTime::from_secs(7));
+        // Not `events_processed`: the sampler adds its own timer events.
+        // Everything physical must be bit-identical.
+        let r = sim.report();
+        (
+            r.sink_accepted,
+            r.sink_duplicates,
+            r.sink_mean_delay_ms.to_bits(),
+            r.sink_p99_delay_ms.to_bits(),
+        )
+    };
+    assert_eq!(run(false), run(true));
+}
+
+/// One fail-stop under the given mode; returns the recovery spans observed
+/// by a telemetry fold over the trace.
+fn failstop_spans(mode: HaMode) -> Vec<RecoverySpan> {
+    let recorder = SharedRecorder::default();
+    let job = eval_chain_job();
+    let mut sim = HaSimulation::builder(job)
+        .mode(HaMode::None)
+        .subjob_mode(SubjobId(1), mode)
+        .source_rate(1_000.0)
+        .seed(42)
+        .tune(|c| c.failstop_miss_threshold = 10)
+        .trace_sink(Box::new(recorder.clone()))
+        .build();
+    sim.fail_stop_at(MachineId(1), SimTime::from_secs(2));
+    sim.stop_sources_at(SimTime::from_secs(6));
+    sim.run_until(SimTime::from_secs(8));
+    let mut telemetry = Telemetry::new();
+    recorder.with(|r| {
+        let records: Vec<TraceRecord> = r.records().copied().collect();
+        telemetry.ingest_all(records.iter());
+    });
+    assert_eq!(
+        telemetry.injects(),
+        &[(SimTime::from_secs(2), 1, true)],
+        "exactly the injected fail-stop is recorded as ground truth"
+    );
+    telemetry.recovery_spans()
+}
+
+fn assert_chained_and_monotone(spans: &[RecoverySpan]) {
+    for w in spans.windows(2) {
+        assert_eq!(w[0].end, w[1].start, "spans chain without gaps/overlap");
+    }
+    for s in spans {
+        assert!(s.start <= s.end, "span bounds are ordered: {s:?}");
+    }
+}
+
+#[test]
+fn active_standby_has_no_detection_spans() {
+    // AS runs both replicas and never monitors, so a fail-stop produces no
+    // recovery phases at all — downstream dedup just keeps consuming the
+    // surviving replica.
+    let spans = failstop_spans(HaMode::Active);
+    assert!(spans.is_empty(), "AS must not emit phases: {spans:?}");
+}
+
+#[test]
+fn passive_standby_decomposes_into_detect_deploy_connect() {
+    let spans = failstop_spans(HaMode::Passive);
+    let phases: Vec<RecoveryPhase> = spans.iter().map(|s| s.phase).collect();
+    assert_eq!(
+        phases,
+        vec![
+            RecoveryPhase::Detected,
+            RecoveryPhase::PsDeployed,
+            RecoveryPhase::PsConnected,
+        ],
+        "PS recovery is detect → deploy → connect"
+    );
+    let detections = spans
+        .iter()
+        .filter(|s| s.phase == RecoveryPhase::Detected)
+        .count();
+    assert_eq!(detections, 1, "exactly one detection span");
+    assert_chained_and_monotone(&spans);
+    // The detection span starts at the failure and covers 3 heartbeat
+    // intervals (PS declares on the third consecutive miss).
+    assert_eq!(spans[0].start, SimTime::from_secs(2));
+    assert!(
+        (spans[0].millis() - 300.0).abs() < 50.0,
+        "PS detection ≈ 3 × 100 ms heartbeats, got {:.1} ms",
+        spans[0].millis()
+    );
+}
+
+#[test]
+fn hybrid_decomposes_into_detect_switchover_then_promotion() {
+    let spans = failstop_spans(HaMode::Hybrid);
+    let phases: Vec<RecoveryPhase> = spans.iter().map(|s| s.phase).collect();
+    assert_eq!(
+        phases,
+        vec![
+            RecoveryPhase::Detected,
+            RecoveryPhase::SwitchoverComplete,
+            RecoveryPhase::Promoted,
+            RecoveryPhase::SecondaryReady,
+        ],
+        "hybrid fail-stop is detect → switch-over → promote → new secondary"
+    );
+    let detections = spans
+        .iter()
+        .filter(|s| s.phase == RecoveryPhase::Detected)
+        .count();
+    assert_eq!(detections, 1, "exactly one detection span");
+    assert_chained_and_monotone(&spans);
+    // Hybrid declares on the first miss: detection ≈ 1 heartbeat interval.
+    assert_eq!(spans[0].start, SimTime::from_secs(2));
+    assert!(
+        (spans[0].millis() - 100.0).abs() < 50.0,
+        "hybrid detection ≈ 1 × 100 ms heartbeat, got {:.1} ms",
+        spans[0].millis()
+    );
+    // Switch-over (resume of the pre-deployed secondary) ≈ resume_delay.
+    assert!(
+        (spans[1].millis() - 50.0).abs() < 25.0,
+        "switch-over ≈ 50 ms resume, got {:.1} ms",
+        spans[1].millis()
+    );
+}
+
+#[test]
+fn queue_snapshots_cover_every_deployed_instance() {
+    let recorder = SharedRecorder::default();
+    let job = eval_chain_job();
+    let mut sim = HaSimulation::builder(job)
+        .mode(HaMode::Hybrid)
+        .source_rate(500.0)
+        .seed(5)
+        .trace_sink(Box::new(recorder.clone()))
+        .build();
+    sim.stop_sources_at(SimTime::from_secs(2));
+    sim.run_until(SimTime::from_secs(3));
+    let mut telemetry = Telemetry::new();
+    recorder.with(|r| {
+        let records: Vec<TraceRecord> = r.records().copied().collect();
+        telemetry.ingest_all(records.iter());
+    });
+    // All 8 chain PEs are hybrid-protected: primary (0) and secondary (1)
+    // instances must both appear in the periodic PE snapshots.
+    for pe in 0..8u32 {
+        for replica in [0u8, 1] {
+            assert!(
+                !telemetry.pe_queue_series(pe, replica).is_empty(),
+                "no snapshots for pe {pe} replica {replica}"
+            );
+        }
+    }
+    // Machine load series exist and stay in [0, 1].
+    let machines: Vec<u32> = telemetry.machines().collect();
+    assert!(!machines.is_empty());
+    for m in machines {
+        for &(_, load) in telemetry.machine_load_series(m) {
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&load),
+                "load {load} out of range"
+            );
+        }
+    }
+}
