@@ -9,7 +9,7 @@
 
 use std::path::PathBuf;
 
-use sps_cluster::{MachineId, SpikeWindow};
+use sps_cluster::{ChaosPlan, FaultProfile, MachineId, SpikeWindow};
 use sps_engine::SubjobId;
 use sps_ha::{BenchmarkConfig, HaMode, HaSimulation};
 use sps_sim::SimTime;
@@ -45,16 +45,37 @@ pub fn trace_out_path() -> Option<PathBuf> {
 ///   fail-stop threshold of 15) → failure inject/detect, switch-over, then
 ///   rollback once the primary's heartbeat replies resume;
 /// * a fail-stop → element drops at the dead machine, then promotion after
-///   15 missed heartbeats.
+///   15 missed heartbeats;
+/// * a chaos loss/duplication window under the reliable control layer →
+///   chaos steps, net drops, duplicated deliveries, and retransmissions.
 pub fn capture_hybrid_trace(seed: u64) -> SharedRecorder {
     let recorder = SharedRecorder::default();
     let job = eval_chain_job();
+    let chaos = ChaosPlan::default()
+        .loss_window(
+            SimTime::from_millis(2_500),
+            SimTime::from_millis(3_500),
+            FaultProfile::loss(0.05).with_duplication(0.05),
+        )
+        // Heavy loss on the checkpoint link (primary m1 → secondary m6)
+        // guarantees at least one reliable-layer retransmission.
+        .link_window(
+            SimTime::from_millis(2_500),
+            SimTime::from_millis(3_500),
+            MachineId(1),
+            MachineId(6),
+            FaultProfile::loss(0.5),
+        );
     let mut sim = HaSimulation::builder(job)
         .mode(HaMode::None)
         .subjob_mode(SubjobId(1), HaMode::Hybrid)
         .source_rate(1_000.0)
         .seed(seed)
-        .tune(|c| c.failstop_miss_threshold = 15)
+        .tune(|c| {
+            c.failstop_miss_threshold = 15;
+            c.reliable_control = true;
+        })
+        .chaos(chaos)
         .trace_sink(Box::new(recorder.clone()))
         .build();
     sim.add_benchmark_detector(MachineId(1), BenchmarkConfig::default());
@@ -127,6 +148,10 @@ mod tests {
             "queue_high_water",
             "machine_snapshot",
             "pe_snapshot",
+            "net_drop",
+            "net_duplicate",
+            "retransmit",
+            "chaos_phase",
         ] {
             assert!(kinds.contains(kind), "missing event kind {kind}: {kinds:?}");
         }

@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod chaos;
 mod cluster;
 mod jitter;
 mod load;
@@ -39,6 +40,7 @@ mod monitor;
 mod network;
 mod sched;
 
+pub use chaos::{BurstLoss, ChaosAction, ChaosPlan, ChaosStep, FaultProfile};
 pub use cluster::Cluster;
 pub use jitter::JitterProfile;
 pub use load::{total_failure_time, Dist, SpikeProfile, SpikeWindow};

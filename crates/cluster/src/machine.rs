@@ -313,6 +313,24 @@ impl Machine {
         self.up = true;
     }
 
+    /// Gray failure: advances to `now`, then degrades (or restores) the CPU
+    /// capacity while the machine keeps running. Unlike a fail-stop the
+    /// machine still answers heartbeats — just slowly — which is the
+    /// hard-to-detect regime chaos campaigns exercise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive and finite.
+    pub fn degrade(&mut self, now: SimTime, capacity: f64) {
+        self.advance(now);
+        self.set_capacity(capacity);
+    }
+
+    /// The current CPU capacity (1.0 = healthy).
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
     /// Overrides the CPU capacity (default 1.0).
     ///
     /// # Panics

@@ -1,16 +1,40 @@
 //! The LAN model: per-message propagation latency plus per-link FIFO
-//! serialization at a configurable bandwidth.
+//! serialization at a configurable bandwidth, with optional chaos faults.
 //!
 //! Like [`Machine`](crate::Machine), the network is passive: the sender asks
-//! for a delivery instant and schedules its own delivery event. Each ordered
-//! machine pair is an independent link whose serializer is busy until the
-//! previous message has been pushed out, so bursts queue rather than
-//! teleport. Loopback messages (same machine) pay only a small local cost.
+//! for a delivery verdict and schedules its own delivery event(s). Each
+//! ordered machine pair is an independent link whose serializer is busy
+//! until the previous message has been pushed out, so bursts queue rather
+//! than teleport. Loopback messages (same machine) pay only a small local
+//! cost.
+//!
+//! # Fault injection
+//!
+//! A [`FaultProfile`] installed on a directed link (or as the network-wide
+//! default) adds probabilistic loss, Gilbert–Elliott loss bursts, delivery
+//! jitter (reordering), duplication, and delay inflation. All draws come
+//! from a dedicated chaos RNG stream and happen **only** for sends covered
+//! by a profile, so runs without chaos consume no randomness and stay
+//! bit-identical to pre-chaos builds.
+//!
+//! # Counter semantics
+//!
+//! * [`Network::messages_sent`] / [`Network::bytes_sent`] count all traffic
+//!   **offered** to the network, delivered or not.
+//! * [`Network::messages_dropped`] / [`Network::bytes_dropped`] count the
+//!   offered traffic that was **lost** (partition or chaos);
+//!   [`Network::chaos_dropped`] is the chaos-only portion.
+//! * Delivered traffic is therefore `sent - dropped`
+//!   ([`Network::messages_delivered`] / [`Network::bytes_delivered`]).
+//! * A duplicated message counts once in `messages_sent` and once in
+//!   [`Network::messages_duplicated`]; the extra copy is bookkept by the
+//!   receiver, not here.
 
 use std::collections::{HashMap, HashSet};
 
-use sps_sim::{SimDuration, SimTime};
+use sps_sim::{SimDuration, SimRng, SimTime};
 
+use crate::chaos::FaultProfile;
 use crate::machine::MachineId;
 
 /// Configuration for [`Network`].
@@ -40,16 +64,32 @@ impl Default for NetworkConfig {
 pub enum Delivery {
     /// The message arrives at the given instant.
     At(SimTime),
-    /// The message is lost (network partition).
+    /// The message arrives twice (chaos duplication).
+    Duplicated {
+        /// The original arrival.
+        first: SimTime,
+        /// The duplicate's arrival.
+        second: SimTime,
+    },
+    /// The message is lost (network partition or chaos loss).
     Dropped,
 }
 
 impl Delivery {
-    /// The arrival instant, or `None` if the message was dropped.
+    /// The (first) arrival instant, or `None` if the message was dropped.
     pub fn time(self) -> Option<SimTime> {
         match self {
             Delivery::At(t) => Some(t),
+            Delivery::Duplicated { first, .. } => Some(first),
             Delivery::Dropped => None,
+        }
+    }
+
+    /// The duplicate's arrival instant, if the message was duplicated.
+    pub fn duplicate_time(self) -> Option<SimTime> {
+        match self {
+            Delivery::Duplicated { second, .. } => Some(second),
+            _ => None,
         }
     }
 }
@@ -71,9 +111,21 @@ pub struct Network {
     link_busy_until: HashMap<(MachineId, MachineId), SimTime>,
     /// Unordered partitioned pairs; messages between them are dropped.
     partitions: HashSet<(MachineId, MachineId)>,
+    /// Per ordered (src, dst) pair: installed chaos fault profile.
+    link_faults: HashMap<(MachineId, MachineId), FaultProfile>,
+    /// Profile applied to links without a per-link profile.
+    default_faults: Option<FaultProfile>,
+    /// Ordered links currently in the Gilbert–Elliott bad state.
+    burst_bad: HashSet<(MachineId, MachineId)>,
+    /// Dedicated RNG stream for chaos draws; consumed only for sends that
+    /// an active profile covers.
+    chaos_rng: SimRng,
     messages_sent: u64,
     messages_dropped: u64,
+    chaos_dropped: u64,
+    messages_duplicated: u64,
     bytes_sent: u64,
+    bytes_dropped: u64,
 }
 
 impl Network {
@@ -87,25 +139,52 @@ impl Network {
             config,
             link_busy_until: HashMap::new(),
             partitions: HashSet::new(),
+            link_faults: HashMap::new(),
+            default_faults: None,
+            burst_bad: HashSet::new(),
+            chaos_rng: SimRng::seed_from(0),
             messages_sent: 0,
             messages_dropped: 0,
+            chaos_dropped: 0,
+            messages_duplicated: 0,
             bytes_sent: 0,
+            bytes_dropped: 0,
         }
     }
 
     /// Sends `bytes` from `src` to `dst` at `now`; returns the delivery
-    /// verdict. The caller schedules the actual delivery event.
+    /// verdict. The caller schedules the actual delivery event(s) — both of
+    /// them for [`Delivery::Duplicated`].
     pub fn send(&mut self, now: SimTime, src: MachineId, dst: MachineId, bytes: u64) -> Delivery {
+        // Offered-traffic counters always move together (see module docs).
         self.messages_sent += 1;
+        self.bytes_sent += bytes;
         if self.is_partitioned(src, dst) {
             self.messages_dropped += 1;
+            self.bytes_dropped += bytes;
             return Delivery::Dropped;
         }
-        self.bytes_sent += bytes;
+        let profile = if src == dst {
+            None // loopback never traverses a faulty link
+        } else {
+            self.profile_for(src, dst)
+        };
+        if let Some(p) = profile {
+            if self.chaos_loses(src, dst, &p) {
+                self.messages_dropped += 1;
+                self.chaos_dropped += 1;
+                self.bytes_dropped += bytes;
+                return Delivery::Dropped;
+            }
+        }
         if src == dst {
             return Delivery::At(now + self.config.loopback_latency);
         }
-        let ser = SimDuration::from_secs_f64(bytes as f64 / self.config.bandwidth_bytes_per_sec);
+        let delay_factor = profile.map_or(1.0, |p| p.delay_factor);
+        let ser = SimDuration::from_secs_f64(
+            bytes as f64 / self.config.bandwidth_bytes_per_sec * delay_factor,
+        );
+        let latency = SimDuration::from_secs_f64(self.config.latency.as_secs_f64() * delay_factor);
         let busy = self
             .link_busy_until
             .entry((src, dst))
@@ -113,7 +192,95 @@ impl Network {
         let start = if *busy > now { *busy } else { now };
         let done_serializing = start + ser;
         *busy = done_serializing;
-        Delivery::At(done_serializing + self.config.latency)
+        let mut arrival = done_serializing + latency;
+        if let Some(p) = profile {
+            if p.jitter > SimDuration::ZERO {
+                arrival +=
+                    SimDuration::from_secs_f64(self.chaos_rng.uniform(0.0, p.jitter.as_secs_f64()));
+            }
+            if p.duplicate_prob > 0.0 && self.chaos_rng.chance(p.duplicate_prob) {
+                self.messages_duplicated += 1;
+                // The duplicate trails the original by one propagation delay.
+                return Delivery::Duplicated {
+                    first: arrival,
+                    second: arrival + latency,
+                };
+            }
+        }
+        Delivery::At(arrival)
+    }
+
+    /// Runs the loss draws for one covered send: Gilbert–Elliott chain
+    /// first (state re-drawn per message), then independent loss.
+    fn chaos_loses(&mut self, src: MachineId, dst: MachineId, p: &FaultProfile) -> bool {
+        if let Some(b) = &p.burst {
+            let was_bad = self.burst_bad.contains(&(src, dst));
+            let bad_now = if was_bad {
+                !self.chaos_rng.chance(b.bad_to_good)
+            } else {
+                self.chaos_rng.chance(b.good_to_bad)
+            };
+            if bad_now {
+                self.burst_bad.insert((src, dst));
+            } else {
+                self.burst_bad.remove(&(src, dst));
+            }
+            if bad_now && self.chaos_rng.chance(b.bad_loss_prob) {
+                return true;
+            }
+        }
+        p.loss_prob > 0.0 && self.chaos_rng.chance(p.loss_prob)
+    }
+
+    /// Reseeds the chaos RNG stream. Call before installing any profiles so
+    /// campaigns are reproducible per simulation seed.
+    pub fn reseed_chaos(&mut self, seed: u64) {
+        self.chaos_rng = SimRng::seed_from(seed);
+    }
+
+    /// Installs `profile` on the directed link `src -> dst` only. Install
+    /// both directions for a symmetric fault; a single direction with
+    /// [`FaultProfile::blackhole`] models a one-way partition.
+    pub fn set_link_faults(&mut self, src: MachineId, dst: MachineId, profile: FaultProfile) {
+        profile.validate();
+        self.link_faults.insert((src, dst), profile);
+    }
+
+    /// Removes any profile from the directed link `src -> dst` and resets
+    /// its burst state.
+    pub fn clear_link_faults(&mut self, src: MachineId, dst: MachineId) {
+        self.link_faults.remove(&(src, dst));
+        self.burst_bad.remove(&(src, dst));
+    }
+
+    /// Sets (or with `None` clears) the profile applied to every inter-machine
+    /// link that has no per-link profile. Clearing resets all burst state on
+    /// links without their own profile.
+    pub fn set_default_faults(&mut self, profile: Option<FaultProfile>) {
+        if let Some(p) = &profile {
+            p.validate();
+        }
+        if profile.is_none() {
+            let link_faults = &self.link_faults;
+            self.burst_bad.retain(|link| link_faults.contains_key(link));
+        }
+        self.default_faults = profile;
+    }
+
+    /// The profile covering the directed link `src -> dst`, if any.
+    pub fn profile_for(&self, src: MachineId, dst: MachineId) -> Option<FaultProfile> {
+        self.link_faults
+            .get(&(src, dst))
+            .copied()
+            .or(self.default_faults)
+    }
+
+    /// Removes all per-link and default fault profiles and burst state.
+    /// Partitions are untouched (they are topology, not chaos).
+    pub fn clear_all_faults(&mut self) {
+        self.link_faults.clear();
+        self.default_faults = None;
+        self.burst_bad.clear();
     }
 
     /// Cuts (or heals) the link between two machines, in both directions.
@@ -132,19 +299,45 @@ impl Network {
         self.partitions.contains(&key)
     }
 
-    /// Total messages offered to the network.
+    /// Total messages offered to the network (delivered or not).
     pub fn messages_sent(&self) -> u64 {
         self.messages_sent
     }
 
-    /// Messages lost to partitions.
+    /// Messages lost to partitions or chaos faults.
     pub fn messages_dropped(&self) -> u64 {
         self.messages_dropped
     }
 
-    /// Total payload bytes accepted for delivery.
+    /// Messages lost to chaos faults alone (subset of
+    /// [`Network::messages_dropped`]).
+    pub fn chaos_dropped(&self) -> u64 {
+        self.chaos_dropped
+    }
+
+    /// Messages that arrived twice due to chaos duplication.
+    pub fn messages_duplicated(&self) -> u64 {
+        self.messages_duplicated
+    }
+
+    /// Messages actually delivered (`sent - dropped`).
+    pub fn messages_delivered(&self) -> u64 {
+        self.messages_sent - self.messages_dropped
+    }
+
+    /// Total payload bytes offered to the network (delivered or not).
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent
+    }
+
+    /// Payload bytes lost to partitions or chaos faults.
+    pub fn bytes_dropped(&self) -> u64 {
+        self.bytes_dropped
+    }
+
+    /// Payload bytes actually delivered (`sent - dropped`).
+    pub fn bytes_delivered(&self) -> u64 {
+        self.bytes_sent - self.bytes_dropped
     }
 
     /// The network configuration.
@@ -156,6 +349,7 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::BurstLoss;
 
     fn net() -> Network {
         Network::new(NetworkConfig {
@@ -229,12 +423,22 @@ mod tests {
     }
 
     #[test]
-    fn counters_accumulate() {
+    fn counters_use_offered_semantics() {
         let mut n = net();
         n.send(SimTime::ZERO, MachineId(0), MachineId(1), 100);
         n.send(SimTime::ZERO, MachineId(0), MachineId(1), 200);
         assert_eq!(n.messages_sent(), 2);
         assert_eq!(n.bytes_sent(), 300);
+        // Partitioned traffic still counts as offered, and the loss shows
+        // up symmetrically in both dropped counters.
+        n.set_partitioned(MachineId(0), MachineId(1), true);
+        n.send(SimTime::ZERO, MachineId(0), MachineId(1), 400);
+        assert_eq!(n.messages_sent(), 3);
+        assert_eq!(n.bytes_sent(), 700);
+        assert_eq!(n.messages_dropped(), 1);
+        assert_eq!(n.bytes_dropped(), 400);
+        assert_eq!(n.messages_delivered(), 2);
+        assert_eq!(n.bytes_delivered(), 300);
     }
 
     #[test]
@@ -247,5 +451,253 @@ mod tests {
             late,
             Delivery::At(SimTime::from_secs(1) + SimDuration::from_micros(1_100))
         );
+    }
+
+    #[test]
+    fn partition_round_trip_is_symmetric() {
+        // Cut with (a, b), heal with (b, a); cut twice, heal once — the
+        // unordered-pair normalization must make all of these agree.
+        let mut n = net();
+        let (a, b) = (MachineId(4), MachineId(2));
+        assert!(!n.is_partitioned(a, b));
+        n.set_partitioned(a, b, true);
+        n.set_partitioned(a, b, true); // idempotent cut
+        assert!(n.is_partitioned(a, b));
+        assert!(n.is_partitioned(b, a));
+        n.set_partitioned(b, a, false); // heal via the swapped pair
+        assert!(!n.is_partitioned(a, b));
+        assert!(!n.is_partitioned(b, a));
+        assert!(matches!(n.send(SimTime::ZERO, a, b, 10), Delivery::At(_)));
+        n.set_partitioned(b, a, false); // idempotent heal
+        assert!(!n.is_partitioned(a, b));
+    }
+
+    #[test]
+    fn fifo_serialization_under_contention() {
+        // Back-to-back sends on one ordered link serialize strictly FIFO:
+        // each message starts where the previous one finished, regardless
+        // of message size ordering.
+        let mut n = net();
+        let sizes = [5_000u64, 1_000, 3_000, 500];
+        let mut expected_done = SimTime::ZERO;
+        let mut last_arrival = SimTime::ZERO;
+        for &bytes in &sizes {
+            expected_done += SimDuration::from_micros(bytes); // 1 MB/s
+            let d = n.send(SimTime::ZERO, MachineId(0), MachineId(1), bytes);
+            let arrival = d.time().unwrap();
+            assert_eq!(arrival, expected_done + SimDuration::from_micros(100));
+            assert!(arrival > last_arrival, "FIFO order preserved");
+            last_arrival = arrival;
+        }
+        // A later send on the still-busy link queues behind the backlog...
+        let mid = n.send(
+            SimTime::from_micros(2_000),
+            MachineId(0),
+            MachineId(1),
+            1_000,
+        );
+        assert_eq!(
+            mid.time().unwrap(),
+            expected_done + SimDuration::from_micros(1_000 + 100)
+        );
+        // ...while the reverse direction is idle and unaffected.
+        let rev = n.send(
+            SimTime::from_micros(2_000),
+            MachineId(1),
+            MachineId(0),
+            1_000,
+        );
+        assert_eq!(
+            rev.time().unwrap(),
+            SimTime::from_micros(2_000 + 1_000 + 100)
+        );
+    }
+
+    #[test]
+    fn no_faults_means_no_rng_draws() {
+        // Chaos must be pay-for-play: with no profiles installed the RNG is
+        // untouched, so pre-chaos runs replay bit-identically.
+        let mut a = net();
+        let mut b = net();
+        b.reseed_chaos(12345);
+        for i in 0..50 {
+            let da = a.send(SimTime::from_millis(i), MachineId(0), MachineId(1), 100 + i);
+            let db = b.send(SimTime::from_millis(i), MachineId(0), MachineId(1), 100 + i);
+            assert_eq!(da, db);
+        }
+        assert_eq!(a.chaos_dropped(), 0);
+        assert_eq!(a.messages_duplicated(), 0);
+    }
+
+    #[test]
+    fn blackhole_link_drops_one_direction_only() {
+        let mut n = net();
+        n.set_link_faults(MachineId(0), MachineId(1), FaultProfile::blackhole());
+        assert_eq!(
+            n.send(SimTime::ZERO, MachineId(0), MachineId(1), 10),
+            Delivery::Dropped
+        );
+        assert!(matches!(
+            n.send(SimTime::ZERO, MachineId(1), MachineId(0), 10),
+            Delivery::At(_)
+        ));
+        assert_eq!(n.chaos_dropped(), 1);
+        assert_eq!(n.messages_dropped(), 1);
+        n.clear_link_faults(MachineId(0), MachineId(1));
+        assert!(matches!(
+            n.send(SimTime::ZERO, MachineId(0), MachineId(1), 10),
+            Delivery::At(_)
+        ));
+    }
+
+    #[test]
+    fn default_faults_cover_all_links_until_cleared() {
+        let mut n = net();
+        n.reseed_chaos(7);
+        n.set_default_faults(Some(FaultProfile::loss(1.0)));
+        assert_eq!(
+            n.send(SimTime::ZERO, MachineId(2), MachineId(9), 10),
+            Delivery::Dropped
+        );
+        // Loopback is never subject to chaos.
+        assert!(matches!(
+            n.send(SimTime::ZERO, MachineId(2), MachineId(2), 10),
+            Delivery::At(_)
+        ));
+        n.set_default_faults(None);
+        assert!(matches!(
+            n.send(SimTime::ZERO, MachineId(2), MachineId(9), 10),
+            Delivery::At(_)
+        ));
+    }
+
+    #[test]
+    fn per_link_profile_overrides_default() {
+        let mut n = net();
+        n.set_default_faults(Some(FaultProfile::loss(1.0)));
+        n.set_link_faults(MachineId(0), MachineId(1), FaultProfile::default());
+        assert!(matches!(
+            n.send(SimTime::ZERO, MachineId(0), MachineId(1), 10),
+            Delivery::At(_)
+        ));
+        assert_eq!(
+            n.send(SimTime::ZERO, MachineId(0), MachineId(2), 10),
+            Delivery::Dropped
+        );
+    }
+
+    #[test]
+    fn loss_rate_is_approximately_honoured() {
+        let mut n = net();
+        n.reseed_chaos(42);
+        n.set_default_faults(Some(FaultProfile::loss(0.1)));
+        let total = 20_000u64;
+        for i in 0..total {
+            n.send(SimTime::from_millis(i), MachineId(0), MachineId(1), 10);
+        }
+        let rate = n.chaos_dropped() as f64 / total as f64;
+        assert!((rate - 0.1).abs() < 0.01, "observed loss rate {rate}");
+    }
+
+    #[test]
+    fn burst_loss_clusters_drops() {
+        let mut n = net();
+        n.reseed_chaos(99);
+        n.set_default_faults(Some(FaultProfile::default().with_burst(BurstLoss {
+            good_to_bad: 0.02,
+            bad_to_good: 0.2,
+            bad_loss_prob: 1.0,
+        })));
+        let total = 20_000u64;
+        let mut outcomes = Vec::with_capacity(total as usize);
+        for i in 0..total {
+            let d = n.send(SimTime::from_millis(i), MachineId(0), MachineId(1), 10);
+            outcomes.push(d == Delivery::Dropped);
+        }
+        let drops = outcomes.iter().filter(|&&d| d).count() as f64;
+        // Stationary bad-state share is 0.02 / (0.02 + 0.2) ~ 9 %.
+        let rate = drops / total as f64;
+        assert!((0.05..0.15).contains(&rate), "burst loss rate {rate}");
+        // Burstiness: drops are followed by drops far more often than the
+        // marginal rate would predict.
+        let mut after_drop = 0.0;
+        let mut after_drop_dropped = 0.0;
+        for w in outcomes.windows(2) {
+            if w[0] {
+                after_drop += 1.0;
+                if w[1] {
+                    after_drop_dropped += 1.0;
+                }
+            }
+        }
+        let conditional = after_drop_dropped / after_drop;
+        assert!(
+            conditional > 2.0 * rate,
+            "drops should cluster: P(drop|drop) = {conditional:.3}, P(drop) = {rate:.3}"
+        );
+    }
+
+    #[test]
+    fn jitter_can_reorder_messages() {
+        let mut n = net();
+        n.reseed_chaos(5);
+        n.set_default_faults(Some(
+            FaultProfile::default().with_jitter(SimDuration::from_micros(5_000)),
+        ));
+        let mut arrivals = Vec::new();
+        for i in 0..40u64 {
+            let d = n.send(SimTime::ZERO, MachineId(0), MachineId(1), 100 + i);
+            arrivals.push(d.time().unwrap());
+        }
+        assert!(
+            arrivals.windows(2).any(|w| w[1] < w[0]),
+            "5 ms jitter on ~0.1 ms spacing must reorder something"
+        );
+    }
+
+    #[test]
+    fn duplication_yields_two_arrivals() {
+        let mut n = net();
+        n.reseed_chaos(11);
+        n.set_default_faults(Some(FaultProfile::default().with_duplication(1.0)));
+        let d = n.send(SimTime::ZERO, MachineId(0), MachineId(1), 1_000);
+        match d {
+            Delivery::Duplicated { first, second } => {
+                assert_eq!(first, SimTime::from_micros(1_100));
+                assert_eq!(second, SimTime::from_micros(1_200));
+                assert_eq!(d.time(), Some(first));
+                assert_eq!(d.duplicate_time(), Some(second));
+            }
+            other => panic!("expected duplication, got {other:?}"),
+        }
+        assert_eq!(n.messages_duplicated(), 1);
+        assert_eq!(n.messages_dropped(), 0);
+    }
+
+    #[test]
+    fn delay_factor_inflates_delivery() {
+        let mut n = net();
+        n.set_link_faults(
+            MachineId(0),
+            MachineId(1),
+            FaultProfile::default().with_delay_factor(10.0),
+        );
+        let d = n.send(SimTime::ZERO, MachineId(0), MachineId(1), 1_000);
+        // (1 ms serialization + 0.1 ms latency) x 10.
+        assert_eq!(d, Delivery::At(SimTime::from_micros(11_000)));
+    }
+
+    #[test]
+    fn chaos_is_reproducible_per_seed() {
+        let run = |seed: u64| {
+            let mut n = net();
+            n.reseed_chaos(seed);
+            n.set_default_faults(Some(FaultProfile::loss(0.2).with_duplication(0.1)));
+            (0..200u64)
+                .map(|i| n.send(SimTime::from_millis(i), MachineId(0), MachineId(1), 64))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1234), run(1234));
+        assert_ne!(run(1234), run(5678));
     }
 }

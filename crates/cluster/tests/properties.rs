@@ -97,7 +97,9 @@ fn network_is_causal_and_fifo() {
                     assert!(t >= last, "link reordered messages");
                     last = t;
                 }
-                Delivery::Dropped => panic!("no partitions configured"),
+                Delivery::Dropped | Delivery::Duplicated { .. } => {
+                    panic!("no partitions or chaos configured")
+                }
             }
         }
     }

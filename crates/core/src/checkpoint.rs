@@ -237,7 +237,7 @@ impl HaWorld {
         if ckpts.is_empty() {
             return;
         }
-        self.send_msg(
+        self.send_reliable(
             ctx,
             primary_machine,
             secondary_machine,
@@ -296,7 +296,7 @@ impl HaWorld {
                 },
             );
         } else {
-            self.send_msg(
+            self.send_reliable(
                 ctx,
                 at,
                 primary_machine,
@@ -330,7 +330,7 @@ impl HaWorld {
         if !self.cluster.machine(sec).is_up() {
             return;
         }
-        self.send_msg(
+        self.send_reliable(
             ctx,
             sec,
             primary,

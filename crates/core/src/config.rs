@@ -151,6 +151,29 @@ pub struct HaConfig {
     /// The sampler only runs when a trace sink is installed; zero disables
     /// it entirely.
     pub trace_sample_interval: SimDuration,
+    /// Reliability hardening for lossy networks: wrap control-plane
+    /// messages (checkpoint transfer, store acks, rollback state reads) in
+    /// sequence-numbered envelopes with retransmission and receiver-side
+    /// deduplication, and run the periodic data-plane retransmit sweep.
+    /// Off by default — the envelope adds wire bytes, so enabling it shifts
+    /// serialization timings; chaos campaigns switch it on explicitly.
+    /// Heartbeat pings/pongs are deliberately *not* covered: they are
+    /// periodic and self-correcting, and a lost pong is exactly the
+    /// false-alarm the hybrid protocol is designed to absorb.
+    pub reliable_control: bool,
+    /// Initial retransmission timeout for reliable control messages.
+    pub rel_rto_initial: SimDuration,
+    /// Retransmission timeout cap (exponential backoff doubles the RTO per
+    /// attempt up to this bound).
+    pub rel_rto_max: SimDuration,
+    /// Retransmission attempts before a reliable message is abandoned (the
+    /// periodic protocols re-drive any state it carried).
+    pub rel_max_retries: u32,
+    /// Period of the data-plane retransmit sweep: stalled connections with
+    /// sent-but-unacknowledged elements and no progress over a full period
+    /// have their send cursor rewound to the acknowledged position and the
+    /// retained elements replayed (receivers deduplicate).
+    pub rel_sweep_interval: SimDuration,
 }
 
 impl Default for HaConfig {
@@ -176,6 +199,11 @@ impl Default for HaConfig {
             durable_checkpoints: false,
             disk_latency: SimDuration::from_millis(8),
             trace_sample_interval: SimDuration::from_millis(100),
+            reliable_control: false,
+            rel_rto_initial: SimDuration::from_millis(50),
+            rel_rto_max: SimDuration::from_millis(800),
+            rel_max_retries: 12,
+            rel_sweep_interval: SimDuration::from_millis(100),
         }
     }
 }
@@ -223,6 +251,24 @@ impl HaConfig {
         );
         assert!(self.ack_every_elements >= 1, "ack batch must be >= 1");
         assert!(self.element_bytes >= 1, "element size must be >= 1 byte");
+        if self.reliable_control {
+            assert!(
+                !self.rel_rto_initial.is_zero(),
+                "reliable RTO must be positive"
+            );
+            assert!(
+                self.rel_rto_max >= self.rel_rto_initial,
+                "reliable RTO cap must be >= the initial RTO"
+            );
+            assert!(
+                self.rel_max_retries >= 1,
+                "reliable delivery needs at least one retry"
+            );
+            assert!(
+                !self.rel_sweep_interval.is_zero(),
+                "retransmit sweep interval must be positive"
+            );
+        }
     }
 }
 
@@ -265,6 +311,28 @@ mod tests {
     fn validate_rejects_inverted_thresholds() {
         let c = HaConfig {
             failstop_miss_threshold: 2,
+            ..HaConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn reliability_defaults_off_but_validate_when_enabled() {
+        let c = HaConfig::default();
+        assert!(!c.reliable_control, "envelopes change wire sizes: opt-in");
+        let on = HaConfig {
+            reliable_control: true,
+            ..HaConfig::default()
+        };
+        on.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "RTO cap")]
+    fn validate_rejects_inverted_rto_bounds() {
+        let c = HaConfig {
+            reliable_control: true,
+            rel_rto_max: SimDuration::from_millis(1),
             ..HaConfig::default()
         };
         c.validate();

@@ -19,7 +19,8 @@ impl HaWorld {
 
     /// Sends `msg` from `src` to `dst`, scheduling its delivery. Only
     /// inter-machine traffic is counted (intra-machine hand-off is free in
-    /// the paper's overhead metric).
+    /// the paper's overhead metric). Lost sends emit a [`TraceEvent::NetDrop`]
+    /// and chaos-duplicated sends schedule a second delivery.
     pub(crate) fn send_msg(
         &mut self,
         ctx: &mut Ctx<Event>,
@@ -30,17 +31,168 @@ impl HaWorld {
         elements: u64,
     ) {
         let bytes = msg.wire_bytes(self.cfg.element_bytes);
-        if let Some(at) = self
-            .cluster
-            .network_mut()
-            .send(ctx.now(), src, dst, bytes)
-            .time()
-        {
-            if src != dst {
-                self.counters.record(class, elements);
-            }
-            ctx.schedule_at(at, Event::Deliver { to: dst, msg });
+        let delivery = self.cluster.network_mut().send(ctx.now(), src, dst, bytes);
+        let Some(at) = delivery.time() else {
+            // Partitioned links never reach the chaos draws, so any drop on
+            // a partitioned pair is the partition's.
+            let chaos = !self.cluster.network().is_partitioned(src, dst);
+            self.tracer.emit(
+                ctx.now(),
+                TraceEvent::NetDrop {
+                    src: src.0,
+                    dst: dst.0,
+                    bytes,
+                    chaos,
+                },
+            );
+            return;
+        };
+        if src != dst {
+            self.counters.record(class, elements);
         }
+        if let Some(second) = delivery.duplicate_time() {
+            self.tracer.emit(
+                ctx.now(),
+                TraceEvent::NetDuplicate {
+                    src: src.0,
+                    dst: dst.0,
+                    bytes,
+                },
+            );
+            ctx.schedule_at(
+                second,
+                Event::Deliver {
+                    to: dst,
+                    msg: msg.clone(),
+                },
+            );
+        }
+        ctx.schedule_at(at, Event::Deliver { to: dst, msg });
+    }
+
+    /// Sends a control-plane message under the reliable layer when it is
+    /// enabled: assigns a transmission id, records it in flight, and arms
+    /// the retransmission timer. Loopback sends (and runs without
+    /// [`crate::HaConfig::reliable_control`]) bypass the envelope.
+    pub(crate) fn send_reliable(
+        &mut self,
+        ctx: &mut Ctx<Event>,
+        src: MachineId,
+        dst: MachineId,
+        msg: Msg,
+        class: MsgClass,
+        elements: u64,
+    ) {
+        if !self.cfg.reliable_control || src == dst {
+            self.send_msg(ctx, src, dst, msg, class, elements);
+            return;
+        }
+        let tx = self.rel_next_tx;
+        self.rel_next_tx += 1;
+        self.rel_inflight.insert(
+            tx,
+            crate::world::RelPending {
+                src,
+                dst,
+                msg: msg.clone(),
+                class,
+                attempt: 0,
+            },
+        );
+        self.send_msg(
+            ctx,
+            src,
+            dst,
+            Msg::Reliable {
+                tx,
+                from: src,
+                inner: Box::new(msg),
+            },
+            class,
+            elements,
+        );
+        ctx.schedule_in(self.cfg.rel_rto_initial, Event::RelRetransmit { tx });
+    }
+
+    /// A reliable message's retransmission timer fired: resend with
+    /// exponential backoff unless it was acknowledged, its sender died, its
+    /// payload went stale, or the retry budget ran out.
+    pub(crate) fn on_rel_retransmit(&mut self, ctx: &mut Ctx<Event>, tx: u64) {
+        let Some(pending) = self.rel_inflight.get(&tx) else {
+            return; // acknowledged (or already cancelled)
+        };
+        let give_up = pending.attempt >= self.cfg.rel_max_retries
+            || !self.cluster.machine(pending.src).is_up()
+            || self.rel_payload_is_stale(&pending.msg);
+        if give_up {
+            self.rel_inflight.remove(&tx);
+            return;
+        }
+        let (src, dst, msg, class, attempt) = {
+            let p = self.rel_inflight.get_mut(&tx).expect("checked above");
+            p.attempt += 1;
+            (p.src, p.dst, p.msg.clone(), p.class, p.attempt)
+        };
+        self.tracer.emit(
+            ctx.now(),
+            TraceEvent::Retransmit {
+                src: src.0,
+                dst: dst.0,
+                tx,
+                attempt,
+            },
+        );
+        // Retransmissions carry no *new* elements: the overhead metric
+        // counts each logical transfer once (the network byte counters
+        // still see every attempt).
+        self.send_msg(
+            ctx,
+            src,
+            dst,
+            Msg::Reliable {
+                tx,
+                from: src,
+                inner: Box::new(msg),
+            },
+            class,
+            0,
+        );
+        let mut rto = self.cfg.rel_rto_initial * (1u64 << attempt.min(16));
+        if rto > self.cfg.rel_rto_max {
+            rto = self.cfg.rel_rto_max;
+        }
+        ctx.schedule_in(rto, Event::RelRetransmit { tx });
+    }
+
+    /// `true` when a reliable payload's epoch guard says the protocol moved
+    /// on (a role change makes retransmitting it pointless).
+    fn rel_payload_is_stale(&self, msg: &Msg) -> bool {
+        match msg {
+            Msg::Checkpoint { subjob, epoch, .. }
+            | Msg::CheckpointStored { subjob, epoch, .. }
+            | Msg::StateRead { subjob, epoch, .. } => {
+                self.subjobs[subjob.0 as usize].is_stale(*epoch)
+            }
+            _ => false,
+        }
+    }
+
+    /// A reliable envelope arrived: always (re-)acknowledge — the previous
+    /// ack may itself have been lost — and process the payload only on its
+    /// first arrival.
+    fn on_reliable(
+        &mut self,
+        ctx: &mut Ctx<Event>,
+        to: MachineId,
+        from: MachineId,
+        tx: u64,
+        inner: Msg,
+    ) {
+        self.send_msg(ctx, to, from, Msg::RelAck { tx }, MsgClass::Ack, 0);
+        if !self.rel_seen.insert(tx) {
+            return; // retransmission or chaos duplicate of a processed tx
+        }
+        self.on_deliver(ctx, to, inner);
     }
 
     /// Re-arms a machine's completion timer after any change to its task
@@ -502,6 +654,10 @@ impl HaWorld {
                 epoch,
                 ckpts,
             } => self.on_state_read(ctx, to, subjob, epoch, ckpts),
+            Msg::Reliable { tx, from, inner } => self.on_reliable(ctx, to, from, tx, *inner),
+            Msg::RelAck { tx } => {
+                self.rel_inflight.remove(&tx);
+            }
             Msg::Control { .. } => {}
         }
     }
@@ -552,11 +708,24 @@ impl HaWorld {
                             reason: DropReason::Duplicate,
                         },
                     );
+                    // Under the reliable layer a duplicate is usually a
+                    // sweep retransmission whose original ack was lost:
+                    // re-ack from the current positions so the producer
+                    // trims and stops resending. Checkpoint-acked primaries
+                    // must not — their acks may only follow stored
+                    // checkpoints (§III-B ordering).
+                    if self.cfg.reliable_control {
+                        let sj = &self.subjobs[self.job.subjob_of(inst.pe).0 as usize];
+                        if !(sj.mode.checkpoints() && inst.replica == sj.primary_replica) {
+                            self.send_instance_acks(ctx, slot);
+                        }
+                    }
                 }
                 self.try_start(ctx, slot);
             }
             Dest::Sink(sink) => {
                 let s = sink.0 as usize;
+                let (stream, seq) = (elem.stream, elem.seq);
                 if let Some(accept) = self.sinks[s].deliver(ctx.now(), elem) {
                     let from_machine = self.placement.sinks[s];
                     self.send_acks_for_stream(
@@ -566,6 +735,23 @@ impl HaWorld {
                         accept.stream,
                         accept.processed_through,
                     );
+                } else if self.cfg.reliable_control {
+                    // Rejected arrival: a duplicate (behind the processed
+                    // position — likely a retransmission whose ack was
+                    // lost) or stashed out of order. Re-ack only the
+                    // former; cumulative acks are monotone, so resending
+                    // the current position is always safe.
+                    let through = self.sinks[s].processed_through(stream);
+                    if through >= seq {
+                        let from_machine = self.placement.sinks[s];
+                        self.send_acks_for_stream(
+                            ctx,
+                            from_machine,
+                            Dest::Sink(sink),
+                            stream,
+                            through,
+                        );
+                    }
                 }
             }
         }
@@ -668,6 +854,113 @@ impl HaWorld {
             .set_background(ctx.now(), component, share);
         self.rearm_machine(ctx, m);
     }
+
+    // ---- data-plane retransmission sweep ----
+
+    /// Records one sweep observation of a connection and decides whether
+    /// it is stalled: it has unacknowledged elements in flight, its
+    /// `(acked, next_to_send)` pair is unchanged since the previous sweep,
+    /// and the destination is reachable. Partitioned or dead destinations
+    /// only record the observation, so the first sweep after a heal can
+    /// rewind immediately.
+    fn sweep_observe(
+        &mut self,
+        key: (bool, usize, usize, usize),
+        src: MachineId,
+        dest: Dest,
+        active: bool,
+        acked: u64,
+        next: u64,
+    ) -> bool {
+        if !active || next <= acked + 1 {
+            // Nothing unacknowledged in flight; forget the history so a
+            // future stall needs two fresh observations.
+            self.rel_sweep_prev.remove(&key);
+            return false;
+        }
+        let dst = self.dest_machine(dest);
+        let reachable =
+            self.cluster.machine(dst).is_up() && !self.cluster.network().is_partitioned(src, dst);
+        let stalled = self.rel_sweep_prev.insert(key, (acked, next)) == Some((acked, next));
+        stalled && reachable
+    }
+
+    /// Periodic data-plane retransmission sweep (scheduled only when
+    /// [`crate::HaConfig::reliable_control`] is on). Chaos losses silently
+    /// advance a producer's send cursor past elements that never arrived
+    /// (or whose acks were lost); any connection that made no progress
+    /// over a full sweep interval rewinds to its first unacknowledged
+    /// element and re-dispatches. Receivers deduplicate by sequence
+    /// number, so an over-eager rewind costs bandwidth, never correctness.
+    pub(crate) fn on_retransmit_sweep(&mut self, ctx: &mut Ctx<Event>) {
+        ctx.schedule_in(self.cfg.rel_sweep_interval, Event::RetransmitSweep);
+        for s in 0..self.sources.len() {
+            let machine = self.placement.sources[s];
+            if !self.cluster.machine(machine).is_up() {
+                continue;
+            }
+            let obs: Vec<(usize, Dest, bool, u64, u64)> = {
+                let q = self.sources[s].queue();
+                (0..q.connections().len())
+                    .map(|ci| {
+                        let c = q.connection(ConnectionId(ci));
+                        (ci, c.dest, c.active, c.acked, c.next_to_send)
+                    })
+                    .collect()
+            };
+            let mut rewound = false;
+            for (ci, dest, active, acked, next) in obs {
+                if !self.sweep_observe((false, s, 0, ci), machine, dest, active, acked, next) {
+                    continue;
+                }
+                let q = self.sources[s].queue_mut();
+                let target = (acked + 1).max(q.trimmed_through() + 1);
+                if target < next {
+                    q.set_next_to_send(ConnectionId(ci), target);
+                    rewound = true;
+                }
+            }
+            if rewound {
+                self.dispatch_source_outputs(ctx, s);
+            }
+        }
+        for slot in 0..self.instances.len() {
+            let machine = self.instance_machine[slot];
+            if self.instances[slot].is_none() || !self.cluster.machine(machine).is_up() {
+                continue;
+            }
+            let obs: Vec<(usize, usize, Dest, bool, u64, u64)> = {
+                let inst = self.instances[slot].as_ref().expect("checked");
+                (0..inst.output_ports())
+                    .flat_map(|port| {
+                        let q = inst.output(port);
+                        (0..q.connections().len()).map(move |ci| {
+                            let c = q.connection(ConnectionId(ci));
+                            (port, ci, c.dest, c.active, c.acked, c.next_to_send)
+                        })
+                    })
+                    .collect()
+            };
+            let mut rewound = false;
+            for (port, ci, dest, active, acked, next) in obs {
+                if !self.sweep_observe((true, slot, port, ci), machine, dest, active, acked, next) {
+                    continue;
+                }
+                let q = self.instances[slot]
+                    .as_mut()
+                    .expect("checked")
+                    .output_mut(port);
+                let target = (acked + 1).max(q.trimmed_through() + 1);
+                if target < next {
+                    q.set_next_to_send(ConnectionId(ci), target);
+                    rewound = true;
+                }
+            }
+            if rewound {
+                self.dispatch_outputs(ctx, slot);
+            }
+        }
+    }
 }
 
 /// Finds the connection of `q` whose destination is `dest`.
@@ -702,6 +995,11 @@ pub fn schedule_initial_events(world: &mut HaWorld, ctx: &mut Ctx<Event>) {
     // untraced runs keep an identical event schedule.
     if world.tracer.is_enabled() && !world.cfg.trace_sample_interval.is_zero() {
         ctx.schedule_in(world.cfg.trace_sample_interval, Event::TraceSample);
+    }
+    // The retransmission sweep exists only under the reliable layer, so
+    // default runs keep an identical event schedule.
+    if world.cfg.reliable_control && !world.cfg.rel_sweep_interval.is_zero() {
+        ctx.schedule_in(world.cfg.rel_sweep_interval, Event::RetransmitSweep);
     }
     use crate::config::CheckpointProtocol;
     match world.cfg.checkpoint_protocol {

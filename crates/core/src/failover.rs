@@ -335,7 +335,7 @@ impl HaWorld {
         for ckpt in &ckpts {
             sj.stored.insert(ckpt.pe, ckpt.clone());
         }
-        self.send_msg(
+        self.send_reliable(
             ctx,
             secondary_machine,
             primary_machine,

@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use sps_cluster::{JitterProfile, LoadComponent, MachineId, NetworkConfig, SpikeWindow};
+use sps_cluster::{ChaosPlan, JitterProfile, LoadComponent, MachineId, NetworkConfig, SpikeWindow};
 use sps_engine::{Job, SubjobId};
 use sps_metrics::{MsgCounters, RecoveryKind, RecoveryTimeline};
 use sps_sim::{SimDuration, SimTime, Simulation};
@@ -40,6 +40,7 @@ pub struct HaSimulationBuilder {
     seed: u64,
     log_sink_accepts: bool,
     trace_sinks: Vec<Box<dyn TraceSink>>,
+    chaos: Option<ChaosPlan>,
 }
 
 impl fmt::Debug for HaSimulationBuilder {
@@ -50,6 +51,7 @@ impl fmt::Debug for HaSimulationBuilder {
             .field("seed", &self.seed)
             .field("log_sink_accepts", &self.log_sink_accepts)
             .field("trace_sinks", &self.trace_sinks.len())
+            .field("chaos", &self.chaos.as_ref().map(|p| p.steps().len()))
             .finish_non_exhaustive()
     }
 }
@@ -75,6 +77,7 @@ impl HaSimulationBuilder {
             seed: 0,
             log_sink_accepts: false,
             trace_sinks: Vec::new(),
+            chaos: None,
         }
     }
 
@@ -151,6 +154,17 @@ impl HaSimulationBuilder {
         self
     }
 
+    /// Installs a chaos plan: its steps are scheduled at their instants and
+    /// the network's fault RNG is reseeded from a deterministic fork of the
+    /// simulation seed. Enabling chaos does *not* switch on the reliable
+    /// control layer — campaigns that want retransmission set
+    /// [`HaConfig::reliable_control`](crate::HaConfig) via
+    /// [`tune`](Self::tune).
+    pub fn chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
     /// Builds the simulation, deploys everything, and schedules the initial
     /// events.
     pub fn build(self) -> HaSimulation {
@@ -178,6 +192,18 @@ impl HaSimulationBuilder {
         let mut sim = Simulation::new(world, self.seed);
         let (world, ctx) = sim.parts_mut();
         schedule_initial_events(world, ctx);
+        if let Some(plan) = self.chaos {
+            // An independent RNG stream for the network's fault draws, so
+            // chaos never perturbs the main schedule's randomness.
+            let chaos_seed = sps_sim::SimRng::seed_from(self.seed)
+                .fork(0xC4A0_5EED)
+                .next_u64();
+            world.cluster_mut().network_mut().reseed_chaos(chaos_seed);
+            world.chaos_steps = plan.steps().to_vec();
+            for (i, step) in world.chaos_steps.iter().enumerate() {
+                ctx.schedule_at(step.at, Event::ChaosStep { step: i as u32 });
+            }
+        }
         HaSimulation { sim }
     }
 }

@@ -1,5 +1,6 @@
 //! The message alphabet exchanged between machines.
 
+use sps_cluster::MachineId;
 use sps_engine::{DataElement, Dest, InstanceId, PeCheckpoint, SourceId, SubjobId};
 
 /// Addresses the owner of an output queue (for acknowledgments).
@@ -86,6 +87,24 @@ pub enum Msg {
         /// A short label for tracing.
         what: &'static str,
     },
+    /// A sequence-numbered reliable envelope around a control-plane message
+    /// (checkpoint transfer, store-acknowledgment, state read-back). The
+    /// sender keeps the payload in flight and retransmits with exponential
+    /// backoff until a [`Msg::RelAck`] arrives; the receiver deduplicates by
+    /// `tx` so retransmissions are idempotent.
+    Reliable {
+        /// Globally unique transmission id (assigned by the sending world).
+        tx: u64,
+        /// The sending machine — where the receiver directs its ack.
+        from: MachineId,
+        /// The wrapped message.
+        inner: Box<Msg>,
+    },
+    /// Receiver → sender acknowledgment of one reliable transmission.
+    RelAck {
+        /// The acknowledged transmission id.
+        tx: u64,
+    },
 }
 
 impl Msg {
@@ -102,6 +121,9 @@ impl Msg {
             Msg::CheckpointStored { pes, .. } => 32 + 8 * pes.len() as u64,
             Msg::Ping { .. } | Msg::Pong { .. } => 32,
             Msg::Control { .. } => 64,
+            // Envelope: tx + sender header around the payload.
+            Msg::Reliable { inner, .. } => 16 + inner.wire_bytes(element_bytes),
+            Msg::RelAck { .. } => 40,
         }
     }
 }
@@ -145,5 +167,14 @@ mod tests {
         };
         // 20 state elements * 256 bytes + 64 header.
         assert_eq!(msg.wire_bytes(256), 20 * 256 + 64);
+
+        // The reliable envelope adds a fixed header over the payload.
+        let wrapped = Msg::Reliable {
+            tx: 7,
+            from: MachineId(1),
+            inner: Box::new(msg),
+        };
+        assert_eq!(wrapped.wire_bytes(256), 16 + 20 * 256 + 64);
+        assert_eq!(Msg::RelAck { tx: 7 }.wire_bytes(256), 40);
     }
 }

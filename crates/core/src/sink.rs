@@ -96,6 +96,19 @@ impl SinkRuntime {
         self.accepted
     }
 
+    /// The sink's processed-through position for one stream (0 before any
+    /// element of it was accepted). Used to distinguish duplicates (behind
+    /// this position, safe to re-acknowledge) from stashed out-of-order
+    /// arrivals.
+    pub fn processed_through(&self, stream: StreamId) -> u64 {
+        self.input
+            .positions()
+            .into_iter()
+            .find(|&(s, _)| s == stream)
+            .map(|(_, seq)| seq)
+            .unwrap_or(0)
+    }
+
     /// Duplicates dropped (active-standby redundancy, retransmissions).
     pub fn duplicates_dropped(&self) -> u64 {
         self.input.duplicates_dropped()

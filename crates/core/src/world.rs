@@ -7,14 +7,15 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use sps_cluster::{Cluster, LoadComponent, MachineId, NetworkConfig};
+use sps_cluster::{ChaosAction, ChaosStep, Cluster, LoadComponent, MachineId, NetworkConfig};
 use sps_engine::{
     Consumer, Dest, InstanceId, Job, PeCheckpoint, PeId, Producer, Replica, SinkId, SourceId,
     StreamId, SubjobId,
 };
+use sps_metrics::MsgClass;
 use sps_metrics::MsgCounters;
 use sps_sim::{Ctx, SimTime, TimerGen, TimerSlot, World};
-use sps_trace::{TraceEvent, Tracer};
+use sps_trace::{ChaosKind, TraceEvent, Tracer};
 
 use crate::config::{HaConfig, HaMode};
 use crate::detect::{BenchmarkConfig, BenchmarkDetector, HeartbeatMonitor};
@@ -187,6 +188,20 @@ pub enum Event {
         /// Which PEs were persisted.
         pes: Vec<PeId>,
     },
+    /// A reliable control message's retransmission timer fired.
+    RelRetransmit {
+        /// The transmission id; a no-op if it was acked or cancelled.
+        tx: u64,
+    },
+    /// The periodic data-plane retransmit sweep fired (only scheduled when
+    /// [`crate::HaConfig::reliable_control`] is on): stalled connections
+    /// replay their unacknowledged retained elements.
+    RetransmitSweep,
+    /// One step of the installed [`sps_cluster::ChaosPlan`] is due.
+    ChaosStep {
+        /// Index into the plan's step list.
+        step: u32,
+    },
 }
 
 /// Tags identifying what a finished CPU task was.
@@ -340,6 +355,22 @@ impl SubjobHa {
     }
 }
 
+/// One in-flight reliable control transmission, kept by the sender until
+/// acknowledged, cancelled (stale epoch, dead sender), or abandoned.
+#[derive(Debug, Clone)]
+pub(crate) struct RelPending {
+    /// Sending machine.
+    pub src: MachineId,
+    /// Destination machine.
+    pub dst: MachineId,
+    /// The wrapped payload, re-sent verbatim on each attempt.
+    pub msg: Msg,
+    /// Overhead class of the payload (for per-class byte accounting).
+    pub class: MsgClass,
+    /// Retransmissions performed so far.
+    pub attempt: u32,
+}
+
 /// One heartbeat monitor (per monitored subjob).
 #[derive(Debug)]
 pub struct MonitorRt {
@@ -413,6 +444,20 @@ pub struct HaWorld {
     pub(crate) trace_queue_hw: Vec<(u64, u64)>,
     /// Ground-truth failure windows injected per machine.
     pub(crate) injected_spikes: Vec<(MachineId, SimTime, SimTime)>,
+    /// The installed chaos plan's steps; [`Event::ChaosStep`] indexes here.
+    pub(crate) chaos_steps: Vec<ChaosStep>,
+    /// Next reliable transmission id.
+    pub(crate) rel_next_tx: u64,
+    /// In-flight reliable control messages, by transmission id.
+    pub(crate) rel_inflight: BTreeMap<u64, RelPending>,
+    /// Transmission ids already processed at their receiver (dedup for
+    /// retransmissions and chaos duplication). Ids are globally unique, so
+    /// one set covers every machine.
+    pub(crate) rel_seen: BTreeSet<u64>,
+    /// Last `(acked, next_to_send)` observed by the retransmit sweep per
+    /// connection, keyed by `(is_instance, source-or-slot, port, conn)`;
+    /// a stalled connection is one that repeats its previous observation.
+    pub(crate) rel_sweep_prev: BTreeMap<(bool, usize, usize, usize), (u64, u64)>,
 }
 
 impl HaWorld {
@@ -523,6 +568,11 @@ impl HaWorld {
             trace_busy: vec![(SimTime::ZERO, 0.0); cluster.len()],
             trace_queue_hw: vec![(0, 0); n_pes * 2],
             injected_spikes: Vec::new(),
+            chaos_steps: Vec::new(),
+            rel_next_tx: 0,
+            rel_inflight: BTreeMap::new(),
+            rel_seen: BTreeSet::new(),
+            rel_sweep_prev: BTreeMap::new(),
             cfg,
             placement,
             cluster,
@@ -879,6 +929,65 @@ impl HaWorld {
             self.trace_queue_hw[slot] = (in_hw.max(prev_in), out_hw.max(prev_out));
         }
     }
+
+    // ---- chaos plan ----
+
+    /// Applies one due step of the installed chaos plan.
+    pub(crate) fn on_chaos_step(&mut self, ctx: &mut Ctx<Event>, step: u32) {
+        let Some(s) = self.chaos_steps.get(step as usize).copied() else {
+            return;
+        };
+        const NONE: u32 = u32::MAX;
+        let (kind, a, b) = match &s.action {
+            ChaosAction::LinkFaults { src, dst, .. } => (ChaosKind::LinkFaults, src.0, dst.0),
+            ChaosAction::ClearLinkFaults { src, dst } => (ChaosKind::ClearLinkFaults, src.0, dst.0),
+            ChaosAction::DefaultFaults { profile: Some(_) } => {
+                (ChaosKind::DefaultFaults, NONE, NONE)
+            }
+            ChaosAction::DefaultFaults { profile: None } => {
+                (ChaosKind::ClearDefaultFaults, NONE, NONE)
+            }
+            ChaosAction::Partition { a, b } => (ChaosKind::Partition, a.0, b.0),
+            ChaosAction::Heal { a, b } => (ChaosKind::Heal, a.0, b.0),
+            ChaosAction::FailStop { machine } => (ChaosKind::FailStop, machine.0, NONE),
+            ChaosAction::GrayDegrade { machine, .. } => (ChaosKind::GrayDegrade, machine.0, NONE),
+        };
+        self.tracer.emit(
+            ctx.now(),
+            TraceEvent::ChaosPhase {
+                step,
+                action: kind,
+                a,
+                b,
+            },
+        );
+        match s.action {
+            ChaosAction::LinkFaults { src, dst, profile } => {
+                self.cluster
+                    .network_mut()
+                    .set_link_faults(src, dst, profile);
+            }
+            ChaosAction::ClearLinkFaults { src, dst } => {
+                self.cluster.network_mut().clear_link_faults(src, dst);
+            }
+            ChaosAction::DefaultFaults { profile } => {
+                self.cluster.network_mut().set_default_faults(profile);
+            }
+            ChaosAction::Partition { a, b } => {
+                self.cluster.network_mut().set_partitioned(a, b, true);
+            }
+            ChaosAction::Heal { a, b } => {
+                self.cluster.network_mut().set_partitioned(a, b, false);
+            }
+            ChaosAction::FailStop { machine } => self.on_fail_stop(ctx, machine.0),
+            ChaosAction::GrayDegrade { machine, capacity } => {
+                self.cluster
+                    .machine_mut(machine)
+                    .degrade(ctx.now(), capacity);
+                self.rearm_machine(ctx, machine);
+            }
+        }
+    }
 }
 
 /// The trace-layer encoding of a replica: 0 primary, 1 secondary.
@@ -954,6 +1063,9 @@ impl World for HaWorld {
             Event::CheckpointPersisted { subjob, epoch, pes } => {
                 self.on_checkpoint_persisted(ctx, subjob, epoch, pes)
             }
+            Event::RelRetransmit { tx } => self.on_rel_retransmit(ctx, tx),
+            Event::RetransmitSweep => self.on_retransmit_sweep(ctx),
+            Event::ChaosStep { step } => self.on_chaos_step(ctx, step),
         }
     }
 }

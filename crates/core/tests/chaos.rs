@@ -1,0 +1,324 @@
+//! Chaos campaigns: the HA protocols must deliver every element exactly
+//! once to the sink — and settle back to normal operation — under lossy,
+//! reordering, duplicating, and partitioned networks, including correlated
+//! machine fail-stops (the ISSUE acceptance scenario).
+
+use sps_cluster::{BurstLoss, ChaosPlan, FaultProfile, MachineId};
+use sps_engine::{Job, OperatorSpec, PeId, Replica, SubjobId};
+use sps_ha::{HaEventKind, HaMode, HaSimulation, SjState};
+use sps_sim::{SimDuration, SimTime};
+use sps_trace::{SharedRecorder, Telemetry};
+
+fn chain_job() -> Job {
+    Job::chain("eval", &OperatorSpec::synthetic_default(), 8, 4)
+}
+
+/// The ISSUE's baseline chaos weather: ~2% independent loss with
+/// Gilbert–Elliott bursts and a little delivery jitter on every link.
+fn lossy_weather() -> FaultProfile {
+    FaultProfile::loss(0.02)
+        .with_burst(BurstLoss {
+            good_to_bad: 0.01,
+            bad_to_good: 0.2,
+            bad_loss_prob: 0.6,
+        })
+        .with_jitter(SimDuration::from_millis(2))
+}
+
+fn promoted_count(world: &sps_ha::HaWorld, sj: SubjobId) -> usize {
+    world
+        .ha_events()
+        .iter()
+        .filter(|e| e.subjob == sj && e.kind == HaEventKind::Promoted)
+        .count()
+}
+
+/// Hybrid standbys everywhere, sustained lossy weather across the whole
+/// run: every element still reaches the sink exactly once, and every
+/// spurious switch-over (a single lost pong trips the hybrid's 1-miss
+/// detector) is rolled back by the end.
+#[test]
+fn hybrid_survives_sustained_loss_without_element_loss() {
+    let plan = ChaosPlan::default().loss_window(
+        SimTime::from_millis(500),
+        SimTime::from_secs(7),
+        lossy_weather(),
+    );
+    let mut sim = HaSimulation::builder(chain_job())
+        .mode(HaMode::Hybrid)
+        .source_rate(500.0)
+        .seed(11)
+        .tune(|c| c.reliable_control = true)
+        .chaos(plan)
+        .build();
+    sim.stop_sources_at(SimTime::from_secs(9));
+    sim.run_for(SimDuration::from_secs(14));
+
+    let world = sim.world();
+    let produced = world.sources()[0].produced();
+    assert!(produced > 2_000, "source ran: {produced}");
+    assert_eq!(
+        world.sinks()[0].accepted(),
+        produced,
+        "no sink-visible loss under 2% chaos loss"
+    );
+    for sj in 0..4 {
+        let sj_id = SubjobId(sj);
+        assert_eq!(
+            world.subjob(sj_id).state,
+            SjState::Normal,
+            "subjob {sj} settled after the weather cleared"
+        );
+        assert_eq!(
+            promoted_count(world, sj_id),
+            0,
+            "loss alone must never promote"
+        );
+    }
+}
+
+/// The acceptance campaign: ≥1% per-link loss plus a correlated
+/// two-machine fail-stop. The hybrid must reach quiescence with zero
+/// sink-visible loss or duplication and exactly one promotion per failed
+/// subjob — no double promotion anywhere.
+#[test]
+fn correlated_fail_stop_under_loss_recovers_exactly_once() {
+    let plan = ChaosPlan::default()
+        .loss_window(
+            SimTime::from_millis(500),
+            SimTime::from_secs(6),
+            lossy_weather(),
+        )
+        .correlated_fail_stop(SimTime::from_secs(3), &[MachineId(1), MachineId(3)]);
+    let mut sim = HaSimulation::builder(chain_job())
+        .mode(HaMode::Hybrid)
+        .source_rate(500.0)
+        .seed(12)
+        .tune(|c| {
+            c.reliable_control = true;
+            c.failstop_miss_threshold = 20;
+        })
+        .chaos(plan)
+        .build();
+    sim.stop_sources_at(SimTime::from_secs(10));
+    sim.run_for(SimDuration::from_secs(16));
+
+    let world = sim.world();
+    let produced = world.sources()[0].produced();
+    assert_eq!(
+        world.sinks()[0].accepted(),
+        produced,
+        "correlated fail-stop under loss loses nothing at the sink"
+    );
+    for sj in 0..4 {
+        let sj_id = SubjobId(sj);
+        let promotions = promoted_count(world, sj_id);
+        let expected = usize::from(sj == 1 || sj == 3);
+        assert_eq!(
+            promotions, expected,
+            "subjob {sj}: exactly one promotion per dead primary, zero elsewhere"
+        );
+        assert_eq!(
+            world.subjob(sj_id).state,
+            SjState::Normal,
+            "subjob {sj} reached quiescence"
+        );
+    }
+    // The promoted subjobs run on their former secondaries with fresh
+    // standbys redeployed on spares.
+    for sj in [1u32, 3] {
+        let s = world.subjob(SubjobId(sj));
+        assert_eq!(s.primary_replica, Replica::Secondary);
+        assert!(s.secondary_machine.is_some(), "replacement standby exists");
+    }
+}
+
+/// A one-way partition eats the monitor's pings: the hybrid switches over
+/// (false suspicion), but on heal the fresh pong rolls it back — the live
+/// primary is never double-promoted and no element is lost or duplicated
+/// at the sink.
+#[test]
+fn one_way_partition_causes_no_split_brain() {
+    // Subjob 1: monitor on the secondary machine 6 pings primary machine 1.
+    let plan = ChaosPlan::default().one_way_partition(
+        SimTime::from_secs(2),
+        SimTime::from_secs(4),
+        MachineId(6),
+        MachineId(1),
+    );
+    let mut sim = HaSimulation::builder(chain_job())
+        .mode(HaMode::None)
+        .subjob_mode(SubjobId(1), HaMode::Hybrid)
+        .source_rate(500.0)
+        .seed(13)
+        .tune(|c| c.reliable_control = true)
+        .chaos(plan)
+        .build();
+    sim.stop_sources_at(SimTime::from_secs(7));
+    sim.run_for(SimDuration::from_secs(10));
+
+    let world = sim.world();
+    let kinds: Vec<HaEventKind> = world
+        .ha_events()
+        .iter()
+        .filter(|e| e.subjob == SubjobId(1))
+        .map(|e| e.kind)
+        .collect();
+    assert!(
+        kinds.contains(&HaEventKind::SwitchoverComplete),
+        "lost pings look like a failure: {kinds:?}"
+    );
+    assert!(
+        kinds.contains(&HaEventKind::RollbackComplete),
+        "the heal's fresh pong rolls the false alarm back: {kinds:?}"
+    );
+    assert!(
+        !kinds.contains(&HaEventKind::Promoted),
+        "a one-way partition must never promote over a live primary: {kinds:?}"
+    );
+    let sj = world.subjob(SubjobId(1));
+    assert_eq!(sj.state, SjState::Normal);
+    assert_eq!(sj.primary_replica, Replica::Primary, "roles restored");
+    assert!(
+        world
+            .instance(PeId(2), Replica::Secondary)
+            .is_some_and(|i| i.is_suspended()),
+        "the standby is suspended again — one serving copy per subjob"
+    );
+    let produced = world.sources()[0].produced();
+    assert_eq!(world.sinks()[0].accepted(), produced, "no loss");
+    assert_eq!(world.sinks()[0].duplicates_dropped(), 0, "no duplication");
+}
+
+/// Chaos duplication and jitter (no loss) reorder and repeat deliveries;
+/// sequence-number dedup and stashing absorb both.
+#[test]
+fn duplication_and_jitter_do_not_corrupt_delivery() {
+    let weather = FaultProfile::default()
+        .with_duplication(0.05)
+        .with_jitter(SimDuration::from_millis(3));
+    let plan =
+        ChaosPlan::default().loss_window(SimTime::from_millis(200), SimTime::from_secs(4), weather);
+    let mut sim = HaSimulation::builder(chain_job())
+        .mode(HaMode::None)
+        .source_rate(500.0)
+        .seed(14)
+        .chaos(plan)
+        .build();
+    sim.stop_sources_at(SimTime::from_secs(5));
+    sim.run_for(SimDuration::from_secs(7));
+
+    let world = sim.world();
+    let produced = world.sources()[0].produced();
+    assert_eq!(
+        world.sinks()[0].accepted(),
+        produced,
+        "duplication/reordering must not change what the sink accepts"
+    );
+}
+
+/// The chaos run is a deterministic function of the seed: identical seeds
+/// replay byte-identically, different seeds diverge. (This is the in-test
+/// twin of the CI determinism job.)
+#[test]
+fn chaos_campaign_is_deterministic_per_seed() {
+    let run = |seed| {
+        let plan = ChaosPlan::default()
+            .loss_window(
+                SimTime::from_millis(500),
+                SimTime::from_secs(3),
+                lossy_weather(),
+            )
+            .correlated_fail_stop(SimTime::from_secs(2), &[MachineId(1)]);
+        let mut sim = HaSimulation::builder(chain_job())
+            .mode(HaMode::Hybrid)
+            .source_rate(500.0)
+            .seed(seed)
+            .tune(|c| {
+                c.reliable_control = true;
+                c.failstop_miss_threshold = 20;
+            })
+            .chaos(plan)
+            .build();
+        sim.stop_sources_at(SimTime::from_secs(5));
+        sim.run_for(SimDuration::from_secs(8));
+        let r = sim.report();
+        (
+            r.sink_accepted,
+            r.sink_duplicates,
+            r.total_overhead_elements(),
+            r.events_processed,
+            format!("{:.9}", r.sink_mean_delay_ms),
+        )
+    };
+    assert_eq!(run(21), run(21));
+    assert_ne!(run(21).3, run(22).3);
+}
+
+/// An empty chaos plan perturbs nothing: installing it leaves the run
+/// identical to a chaos-free build (the figure-parity guarantee — chaos
+/// draws happen only on faulted links).
+#[test]
+fn empty_chaos_plan_is_a_no_op() {
+    let run = |with_plan: bool| {
+        let mut b = HaSimulation::builder(chain_job())
+            .mode(HaMode::Hybrid)
+            .source_rate(500.0)
+            .seed(15);
+        if with_plan {
+            b = b.chaos(ChaosPlan::default());
+        }
+        let mut sim = b.build();
+        sim.stop_sources_at(SimTime::from_secs(3));
+        sim.run_for(SimDuration::from_secs(5));
+        let r = sim.report();
+        (
+            r.sink_accepted,
+            r.events_processed,
+            r.total_overhead_elements(),
+        )
+    };
+    assert_eq!(run(false), run(true));
+}
+
+/// The trace layer observes the chaos: net drops, retransmissions, and the
+/// plan's own steps all land in telemetry.
+#[test]
+fn telemetry_sees_drops_retransmits_and_steps() {
+    let recorder = SharedRecorder::default();
+    let plan = ChaosPlan::default().loss_window(
+        SimTime::from_millis(500),
+        SimTime::from_secs(4),
+        FaultProfile::loss(0.05).with_duplication(0.02),
+    );
+    let mut sim = HaSimulation::builder(chain_job())
+        .mode(HaMode::Hybrid)
+        .source_rate(500.0)
+        .seed(16)
+        .tune(|c| c.reliable_control = true)
+        .chaos(plan)
+        .trace_sink(Box::new(recorder.clone()))
+        .build();
+    sim.stop_sources_at(SimTime::from_secs(5));
+    sim.run_for(SimDuration::from_secs(8));
+
+    let mut telemetry = Telemetry::new();
+    recorder.with(|r| telemetry.ingest_all(r.records()));
+    assert!(telemetry.chaos_net_drops() > 0, "5% loss drops something");
+    assert!(telemetry.net_duplicates() > 0, "2% duplication fires");
+    assert!(
+        telemetry.retransmits() > 0,
+        "lost checkpoint traffic is retransmitted"
+    );
+    assert_eq!(
+        telemetry.chaos_steps(),
+        &[
+            (SimTime::from_millis(500), "default_faults"),
+            (SimTime::from_secs(4), "clear_default_faults"),
+        ],
+        "both plan steps applied and recorded"
+    );
+    // The weather cleared and the reliable layer settled everything.
+    let world = sim.world();
+    assert_eq!(world.sinks()[0].accepted(), world.sources()[0].produced());
+}

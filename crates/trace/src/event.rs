@@ -33,6 +33,43 @@ impl DropReason {
     }
 }
 
+/// The kind of chaos-plan action a [`TraceEvent::ChaosPhase`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ChaosKind {
+    /// A fault profile was installed on one directed link.
+    LinkFaults,
+    /// A directed link's fault profile was removed.
+    ClearLinkFaults,
+    /// The network-wide default fault profile was set.
+    DefaultFaults,
+    /// The network-wide default fault profile was cleared.
+    ClearDefaultFaults,
+    /// A two-way partition was cut.
+    Partition,
+    /// A partition was healed.
+    Heal,
+    /// A machine was fail-stopped.
+    FailStop,
+    /// A machine's CPU capacity was gray-degraded (or restored).
+    GrayDegrade,
+}
+
+impl ChaosKind {
+    /// Stable lower-snake name used in the JSONL encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ChaosKind::LinkFaults => "link_faults",
+            ChaosKind::ClearLinkFaults => "clear_link_faults",
+            ChaosKind::DefaultFaults => "default_faults",
+            ChaosKind::ClearDefaultFaults => "clear_default_faults",
+            ChaosKind::Partition => "partition",
+            ChaosKind::Heal => "heal",
+            ChaosKind::FailStop => "fail_stop",
+            ChaosKind::GrayDegrade => "gray_degrade",
+        }
+    }
+}
+
 /// A named phase of a recovery cycle, as logged on the control plane.
 ///
 /// This is the single source of truth for recovery phases: `sps-ha`
@@ -248,6 +285,48 @@ pub enum TraceEvent {
         /// Total elements processed so far.
         processed_total: u64,
     },
+    /// The network dropped a message (partition or chaos loss).
+    NetDrop {
+        /// Sending machine index.
+        src: u32,
+        /// Destination machine index.
+        dst: u32,
+        /// Wire size of the lost message.
+        bytes: u64,
+        /// `true` for chaos loss, `false` for a partition drop.
+        chaos: bool,
+    },
+    /// The network delivered a chaos-duplicated copy of a message.
+    NetDuplicate {
+        /// Sending machine index.
+        src: u32,
+        /// Destination machine index.
+        dst: u32,
+        /// Wire size of the duplicated message.
+        bytes: u64,
+    },
+    /// The reliable control plane retransmitted an unacknowledged message.
+    Retransmit {
+        /// Sending machine index.
+        src: u32,
+        /// Destination machine index.
+        dst: u32,
+        /// Reliable-transfer id being retried.
+        tx: u64,
+        /// Retry attempt number (1 = first retransmission).
+        attempt: u32,
+    },
+    /// A chaos-plan step was applied to the cluster.
+    ChaosPhase {
+        /// Index of the step within the plan.
+        step: u32,
+        /// What kind of action fired.
+        action: ChaosKind,
+        /// First machine involved (or `u32::MAX` when not applicable).
+        a: u32,
+        /// Second machine involved (or `u32::MAX` when not applicable).
+        b: u32,
+    },
 }
 
 impl TraceEvent {
@@ -272,6 +351,10 @@ impl TraceEvent {
             TraceEvent::QueueHighWater { .. } => "queue_high_water",
             TraceEvent::MachineSnapshot { .. } => "machine_snapshot",
             TraceEvent::PeSnapshot { .. } => "pe_snapshot",
+            TraceEvent::NetDrop { .. } => "net_drop",
+            TraceEvent::NetDuplicate { .. } => "net_duplicate",
+            TraceEvent::Retransmit { .. } => "retransmit",
+            TraceEvent::ChaosPhase { .. } => "chaos_phase",
         }
     }
 
@@ -454,6 +537,38 @@ impl TraceRecord {
                 let _ = write!(
                     s,
                     ",\"pe\":{pe},\"replica\":{replica},\"input_depth\":{input_depth},\"output_backlog\":{output_backlog},\"processed_total\":{processed_total}"
+                );
+            }
+            TraceEvent::NetDrop {
+                src,
+                dst,
+                bytes,
+                chaos,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"src\":{src},\"dst\":{dst},\"bytes\":{bytes},\"chaos\":{chaos}"
+                );
+            }
+            TraceEvent::NetDuplicate { src, dst, bytes } => {
+                let _ = write!(s, ",\"src\":{src},\"dst\":{dst},\"bytes\":{bytes}");
+            }
+            TraceEvent::Retransmit {
+                src,
+                dst,
+                tx,
+                attempt,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"src\":{src},\"dst\":{dst},\"tx\":{tx},\"attempt\":{attempt}"
+                );
+            }
+            TraceEvent::ChaosPhase { step, action, a, b } => {
+                let _ = write!(
+                    s,
+                    ",\"step\":{step},\"action\":\"{}\",\"a\":{a},\"b\":{b}",
+                    action.as_str()
                 );
             }
         }

@@ -27,7 +27,7 @@ mod recorder;
 mod series;
 mod sink;
 
-pub use event::{DropReason, RecoveryPhase, TraceEvent, TraceRecord};
+pub use event::{ChaosKind, DropReason, RecoveryPhase, TraceEvent, TraceRecord};
 pub use recorder::{FlightRecorder, SharedRecorder, DEFAULT_CAPACITY};
 pub use series::{recovery_spans, RecoverySpan, Telemetry};
 pub use sink::{PhaseRecord, TraceSink, Tracer};

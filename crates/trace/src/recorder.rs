@@ -123,6 +123,13 @@ impl SharedRecorder {
         ))))
     }
 
+    /// Drops per-element data-plane records (sends/recvs/acks/heartbeats),
+    /// keeping the ring for the rarer control-plane and fault events.
+    pub fn control_plane_only(self) -> Self {
+        self.0.borrow_mut().wants_data_plane = false;
+        self
+    }
+
     /// Run `f` with the underlying recorder borrowed.
     pub fn with<R>(&self, f: impl FnOnce(&FlightRecorder) -> R) -> R {
         f(&self.0.borrow())

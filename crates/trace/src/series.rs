@@ -68,6 +68,16 @@ pub struct Telemetry {
     phases: Vec<PhaseRecord>,
     /// Elements dropped, by reason string.
     drops: BTreeMap<&'static str, u64>,
+    /// Network messages dropped by partitions.
+    partition_net_drops: u64,
+    /// Network messages dropped by chaos faults.
+    chaos_net_drops: u64,
+    /// Chaos-duplicated network deliveries.
+    net_duplicates: u64,
+    /// Reliable-control-plane retransmissions.
+    retransmits: u64,
+    /// Chaos-plan steps applied, `(at, action-kind)`.
+    chaos_steps: Vec<(SimTime, &'static str)>,
 }
 
 impl Telemetry {
@@ -115,6 +125,22 @@ impl Telemetry {
                 reason, elements, ..
             } => {
                 *self.drops.entry(reason.as_str()).or_default() += elements as u64;
+            }
+            TraceEvent::NetDrop { chaos, .. } => {
+                if chaos {
+                    self.chaos_net_drops += 1;
+                } else {
+                    self.partition_net_drops += 1;
+                }
+            }
+            TraceEvent::NetDuplicate { .. } => {
+                self.net_duplicates += 1;
+            }
+            TraceEvent::Retransmit { .. } => {
+                self.retransmits += 1;
+            }
+            TraceEvent::ChaosPhase { action, .. } => {
+                self.chaos_steps.push((record.at, action.as_str()));
             }
             _ => {}
         }
@@ -170,6 +196,31 @@ impl Telemetry {
     /// Total elements dropped for a given reason string.
     pub fn dropped(&self, reason: &str) -> u64 {
         self.drops.get(reason).copied().unwrap_or(0)
+    }
+
+    /// Network messages dropped (partition + chaos losses).
+    pub fn net_drops(&self) -> u64 {
+        self.partition_net_drops + self.chaos_net_drops
+    }
+
+    /// Network messages lost to chaos faults alone.
+    pub fn chaos_net_drops(&self) -> u64 {
+        self.chaos_net_drops
+    }
+
+    /// Chaos-duplicated network deliveries observed.
+    pub fn net_duplicates(&self) -> u64 {
+        self.net_duplicates
+    }
+
+    /// Reliable-control-plane retransmissions observed.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Chaos-plan steps applied, as `(at, action-kind)` pairs.
+    pub fn chaos_steps(&self) -> &[(SimTime, &'static str)] {
+        &self.chaos_steps
     }
 
     /// Recovery spans anchored at the first failure injection (or time
@@ -253,5 +304,58 @@ mod tests {
         assert_eq!(t.machine_load_series(2), &[(1.0, 0.75)]);
         assert_eq!(t.dropped("machine_down"), 5);
         assert_eq!(t.machine_load_cdf(2).len(), 1);
+    }
+
+    #[test]
+    fn telemetry_counts_net_faults_and_chaos_steps() {
+        use crate::event::ChaosKind;
+        let mut t = Telemetry::new();
+        let at = SimTime::from_secs(1);
+        for (chaos, n) in [(false, 2u64), (true, 3u64)] {
+            for _ in 0..n {
+                t.ingest(&TraceRecord {
+                    at,
+                    event: TraceEvent::NetDrop {
+                        src: 0,
+                        dst: 1,
+                        bytes: 64,
+                        chaos,
+                    },
+                });
+            }
+        }
+        t.ingest(&TraceRecord {
+            at,
+            event: TraceEvent::NetDuplicate {
+                src: 0,
+                dst: 1,
+                bytes: 64,
+            },
+        });
+        for attempt in 1..=4 {
+            t.ingest(&TraceRecord {
+                at,
+                event: TraceEvent::Retransmit {
+                    src: 0,
+                    dst: 1,
+                    tx: 9,
+                    attempt,
+                },
+            });
+        }
+        t.ingest(&TraceRecord {
+            at,
+            event: TraceEvent::ChaosPhase {
+                step: 0,
+                action: ChaosKind::Partition,
+                a: 0,
+                b: 1,
+            },
+        });
+        assert_eq!(t.net_drops(), 5);
+        assert_eq!(t.chaos_net_drops(), 3);
+        assert_eq!(t.net_duplicates(), 1);
+        assert_eq!(t.retransmits(), 4);
+        assert_eq!(t.chaos_steps(), &[(at, "partition")]);
     }
 }
