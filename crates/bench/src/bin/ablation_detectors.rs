@@ -1,11 +1,12 @@
 //! Detector ablation: heartbeat vs benchmarking vs trend prediction.
 //! Pass `--quick` for a fast run.
 
-use sps_bench::common::Scale;
+use sps_bench::common::RunOpts;
 use sps_bench::experiments::detectors::ablation_detectors;
 use sps_bench::trace_capture;
 
 fn main() {
-    ablation_detectors(Scale::from_env(), 2010).print();
-    trace_capture::maybe_capture(2010);
+    let opts = RunOpts::parse();
+    ablation_detectors(&opts.runner(), opts.scale, opts.seed).print();
+    trace_capture::maybe_capture(opts.trace_out.as_deref(), opts.seed);
 }

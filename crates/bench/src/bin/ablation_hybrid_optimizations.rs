@@ -1,11 +1,12 @@
 //! Ablation of the hybrid's §IV-B optimizations (pre-deployment, early
 //! connections, read-state-on-rollback). Pass `--quick` for a fast run.
 
-use sps_bench::common::Scale;
+use sps_bench::common::RunOpts;
 use sps_bench::experiments::hybrid_opts::ablation_hybrid_optimizations;
 use sps_bench::trace_capture;
 
 fn main() {
-    ablation_hybrid_optimizations(Scale::from_env(), 2010).print();
-    trace_capture::maybe_capture(2010);
+    let opts = RunOpts::parse();
+    ablation_hybrid_optimizations(&opts.runner(), opts.scale, opts.seed).print();
+    trace_capture::maybe_capture(opts.trace_out.as_deref(), opts.seed);
 }

@@ -1,28 +1,50 @@
-//! Runs every figure harness in sequence (the full evaluation).
-//! Pass `--quick` for a fast pass over all of them.
+//! Runs every figure harness (the full evaluation), fanning the figures
+//! out over the cell runner. Pass `--quick` for a fast pass over all of
+//! them and `--jobs N` to bound the worker-thread budget; the printed
+//! output is byte-identical for every `N`.
 
-use sps_bench::common::Scale;
+use sps_bench::common::Experiment;
+use sps_bench::common::RunOpts;
 use sps_bench::experiments::*;
+use sps_bench::runner::Runner;
 use sps_bench::trace_capture;
 
+/// Every figure and ablation, in printing order.
+#[allow(clippy::type_complexity)]
+pub fn figure_cells<'a>(
+    runner: &'a Runner,
+    opts: &'a RunOpts,
+) -> Vec<Box<dyn FnOnce() -> Experiment + Send + 'a>> {
+    let (scale, seed) = (opts.scale, opts.seed);
+    vec![
+        Box::new(move || fig01_03::fig01(runner, scale, seed)),
+        Box::new(move || fig01_03::fig02(runner, scale, seed)),
+        Box::new(move || fig01_03::fig03(runner, scale, seed)),
+        Box::new(move || fig04_05::fig04(runner, scale, seed)),
+        Box::new(move || fig04_05::fig05(runner, scale, seed)),
+        Box::new(move || fig06::fig06(runner, scale, seed)),
+        Box::new(move || fig07_08::fig07(runner, scale, seed)),
+        Box::new(move || fig07_08::fig08(runner, scale, seed)),
+        Box::new(move || fig09_11::fig09(runner, scale, seed)),
+        Box::new(move || fig09_11::fig10(runner, scale, seed)),
+        Box::new(move || fig09_11::fig11(runner, scale, seed)),
+        Box::new(move || fig12_13::fig12(runner, scale, seed)),
+        Box::new(move || fig12_13::fig13(runner, scale, seed)),
+        Box::new(move || ablation::ablation_checkpointing(runner, scale, seed)),
+        Box::new(move || detectors::ablation_detectors(runner, scale, seed)),
+        Box::new(move || hybrid_opts::ablation_hybrid_optimizations(runner, scale, seed)),
+    ]
+}
+
 fn main() {
-    let scale = Scale::from_env();
-    let seed = 2010;
-    fig01_03::fig01(scale, seed).print();
-    fig01_03::fig02(scale, seed).print();
-    fig01_03::fig03(scale, seed).print();
-    fig04_05::fig04(scale, seed).print();
-    fig04_05::fig05(scale, seed).print();
-    fig06::fig06(scale, seed).print();
-    fig07_08::fig07(scale, seed).print();
-    fig07_08::fig08(scale, seed).print();
-    fig09_11::fig09(scale, seed).print();
-    fig09_11::fig10(scale, seed).print();
-    fig09_11::fig11(scale, seed).print();
-    fig12_13::fig12(scale, seed).print();
-    fig12_13::fig13(scale, seed).print();
-    ablation::ablation_checkpointing(scale, seed).print();
-    detectors::ablation_detectors(scale, seed).print();
-    hybrid_opts::ablation_hybrid_optimizations(scale, seed).print();
-    trace_capture::maybe_capture(2010);
+    let opts = RunOpts::parse();
+    let runner = opts.runner();
+    // All figures run as cells; results come back in submission order and
+    // are printed only after every cell finished, so stdout is identical
+    // to the serial pass regardless of --jobs.
+    let experiments = runner.run_cells(figure_cells(&runner, &opts));
+    for e in &experiments {
+        e.print();
+    }
+    trace_capture::maybe_capture(opts.trace_out.as_deref(), opts.seed);
 }

@@ -1,0 +1,181 @@
+//! Wall-clock benchmark baselines for the figure harnesses.
+//!
+//! Two passes over every figure and ablation:
+//!
+//! 1. a **serial instrumented** pass — each figure runs alone on one
+//!    thread, timed individually, with the DES counters
+//!    ([`sps_sim::stats`]) delimited around it so the report attributes
+//!    events processed, events/second, and peak event-queue depth to that
+//!    figure;
+//! 2. a **parallel** pass — the same figures submitted as cells to the
+//!    runner with the `--jobs` budget and timed as a whole (per-figure
+//!    counters would interleave across threads, so only the total is
+//!    measured).
+//!
+//! The report is written as JSON to `BENCH_runner.json` (or `--out
+//! <path>`) with a serial-vs-parallel speedup summary, and a one-line
+//! summary is printed. Pass `--quick` for the reduced figure scale.
+
+use std::time::Instant;
+
+use sps_bench::common::{Experiment, RunOpts, Scale};
+use sps_bench::experiments::*;
+use sps_bench::runner::Runner;
+
+type FigureFn = fn(&Runner, Scale, u64) -> Experiment;
+
+/// Every figure and ablation, in the `all_figures` printing order.
+fn figure_list() -> Vec<(&'static str, FigureFn)> {
+    vec![
+        ("fig01", fig01_03::fig01),
+        ("fig02", fig01_03::fig02),
+        ("fig03", fig01_03::fig03),
+        ("fig04", fig04_05::fig04),
+        ("fig05", fig04_05::fig05),
+        ("fig06", fig06::fig06),
+        ("fig07", fig07_08::fig07),
+        ("fig08", fig07_08::fig08),
+        ("fig09", fig09_11::fig09),
+        ("fig10", fig09_11::fig10),
+        ("fig11", fig09_11::fig11),
+        ("fig12", fig12_13::fig12),
+        ("fig13", fig12_13::fig13),
+        ("ablation_checkpointing", ablation::ablation_checkpointing),
+        ("ablation_detectors", detectors::ablation_detectors),
+        (
+            "ablation_hybrid_optimizations",
+            hybrid_opts::ablation_hybrid_optimizations,
+        ),
+    ]
+}
+
+struct FigureBench {
+    name: &'static str,
+    wall_ms: f64,
+    events: u64,
+    events_per_sec: f64,
+    peak_queue_depth: u64,
+}
+
+/// Reads `--out <path>` / `--out=<path>` from argv (default
+/// `BENCH_runner.json`).
+fn out_path() -> String {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            if let Some(p) = args.next() {
+                return p;
+            }
+        } else if let Some(p) = a.strip_prefix("--out=") {
+            return p.to_string();
+        }
+    }
+    "BENCH_runner.json".to_string()
+}
+
+fn json_f(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let opts = RunOpts::parse();
+    let out = out_path();
+    let figures = figure_list();
+    let scale_name = opts.scale.pick("full", "quick");
+
+    // Pass 1: serial, instrumented per figure.
+    eprintln!(
+        "bench_runner: serial pass over {} figures ({scale_name} scale, seed {})",
+        figures.len(),
+        opts.seed
+    );
+    let serial = Runner::serial();
+    let mut per_figure: Vec<FigureBench> = Vec::new();
+    let mut serial_total_ms = 0.0;
+    for &(name, f) in &figures {
+        sps_sim::stats::take(); // delimit this figure's counter window
+        let t0 = Instant::now();
+        let _ = f(&serial, opts.scale, opts.seed);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let stats = sps_sim::stats::take();
+        serial_total_ms += wall_ms;
+        per_figure.push(FigureBench {
+            name,
+            wall_ms,
+            events: stats.events_processed,
+            events_per_sec: stats.events_processed as f64 / (wall_ms / 1e3).max(1e-9),
+            peak_queue_depth: stats.peak_queue_depth,
+        });
+        eprintln!(
+            "  {name}: {wall_ms:.0} ms, {} events, peak queue {}",
+            stats.events_processed, stats.peak_queue_depth
+        );
+    }
+
+    // Pass 2: the same figures as parallel cells, timed as a whole.
+    eprintln!("bench_runner: parallel pass with --jobs {}", opts.jobs);
+    let runner = opts.runner();
+    let t0 = Instant::now();
+    let cells: Vec<Box<dyn FnOnce() -> Experiment + Send + '_>> = figures
+        .iter()
+        .map(|&(_, f)| {
+            let r = &runner;
+            Box::new(move || f(r, opts.scale, opts.seed))
+                as Box<dyn FnOnce() -> Experiment + Send + '_>
+        })
+        .collect();
+    let _ = runner.run_cells(cells);
+    let parallel_total_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let speedup = serial_total_ms / parallel_total_ms.max(1e-9);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"sps-bench-runner-v1\",\n");
+    json.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
+    json.push_str(&format!("  \"seed\": {},\n", opts.seed));
+    json.push_str(&format!("  \"jobs\": {},\n", opts.jobs));
+    json.push_str(&format!(
+        "  \"available_parallelism\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    json.push_str("  \"figures\": [\n");
+    for (i, b) in per_figure.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_ms\": {}, \"events\": {}, \
+             \"events_per_sec\": {}, \"peak_queue_depth\": {}}}{}\n",
+            b.name,
+            json_f(b.wall_ms),
+            b.events,
+            json_f(b.events_per_sec),
+            b.peak_queue_depth,
+            if i + 1 < per_figure.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"serial_total_ms\": {},\n",
+        json_f(serial_total_ms)
+    ));
+    json.push_str(&format!(
+        "  \"parallel_total_ms\": {},\n",
+        json_f(parallel_total_ms)
+    ));
+    json.push_str(&format!("  \"speedup\": {}\n", json_f(speedup)));
+    json.push_str("}\n");
+
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: could not write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "bench_runner: serial {serial_total_ms:.0} ms, parallel (--jobs {}) \
+         {parallel_total_ms:.0} ms, speedup {speedup:.2}x — report written to {out}",
+        opts.jobs
+    );
+}

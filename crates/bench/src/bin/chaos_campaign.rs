@@ -2,13 +2,14 @@
 //! rates under a correlated two-machine fail-stop and reports whether the
 //! hybrid protocol reached quiescence with exactly-once sink delivery.
 //!
-//! Pass `--quick` for a reduced sweep. With `--trace-out <path>` (or
-//! `SPS_TRACE_OUT`) the flight-recorder JSONL of the heaviest-loss run is
-//! written there; the dump is a deterministic function of the seed, which
-//! the CI determinism job checks by byte-diffing two runs.
+//! Pass `--quick` for a reduced sweep and `--jobs N` to run the loss
+//! levels as parallel cells (output is byte-identical for any N). With
+//! `--trace-out <path>` (or `SPS_TRACE_OUT`) the flight-recorder JSONL of
+//! the heaviest-loss run is written there; the dump is a deterministic
+//! function of the seed, which the CI determinism job checks by
+//! byte-diffing two runs.
 
-use sps_bench::common::{Experiment, Scale};
-use sps_bench::trace_capture;
+use sps_bench::common::{Experiment, RunOpts};
 use sps_cluster::{BurstLoss, ChaosPlan, FaultProfile, MachineId};
 use sps_engine::SubjobId;
 use sps_ha::{HaEventKind, HaMode, HaSimulation};
@@ -25,7 +26,11 @@ struct CampaignRun {
     retransmits: u64,
     promotions: usize,
     all_normal: bool,
-    recorder: SharedRecorder,
+    /// The flight recorder's JSONL dump, exported inside the cell: the
+    /// recorder itself is single-threaded (`Rc`), so the serialized bytes
+    /// are what crosses back to the submitting thread.
+    trace_jsonl: Vec<u8>,
+    trace_records: usize,
 }
 
 fn run_campaign(loss: f64, seed: u64) -> CampaignRun {
@@ -69,6 +74,11 @@ fn run_campaign(loss: f64, seed: u64) -> CampaignRun {
         .count();
     let all_normal = (0..world.job().subjob_count() as u32)
         .all(|sj| world.subjob(SubjobId(sj)).state == sps_ha::SjState::Normal);
+    let mut trace_jsonl = Vec::new();
+    recorder
+        .export_jsonl(&mut trace_jsonl)
+        .expect("in-memory JSONL export cannot fail");
+    let trace_records = recorder.with(|r| r.len());
     CampaignRun {
         produced: world.sources()[0].produced(),
         accepted: world.sinks()[0].accepted(),
@@ -77,14 +87,24 @@ fn run_campaign(loss: f64, seed: u64) -> CampaignRun {
         retransmits: telemetry.retransmits(),
         promotions,
         all_normal,
-        recorder,
+        trace_jsonl,
+        trace_records,
     }
 }
 
 fn main() {
-    let scale = Scale::from_env();
-    let losses: &[f64] = scale.pick(&[0.0, 0.01, 0.02, 0.05], &[0.0, 0.02]);
-    let seed = 2010;
+    let opts = RunOpts::parse();
+    let losses: Vec<f64> = opts
+        .scale
+        .pick(vec![0.0, 0.01, 0.02, 0.05], vec![0.0, 0.02]);
+    let seed = opts.seed;
+
+    // Each loss level is an independent simulation cell; results come back
+    // in sweep order, so the table (and the heaviest-loss recorder kept for
+    // the deterministic JSONL dump) match the serial sweep byte for byte.
+    let runs = opts
+        .runner()
+        .map(losses.clone(), |loss| run_campaign(loss, seed));
 
     let mut table = Table::new(vec![
         "loss_pct",
@@ -97,10 +117,9 @@ fn main() {
         "quiescent",
         "exactly_once",
     ]);
-    let mut last_recorder = None;
+    let mut last_trace = None;
     let mut all_ok = true;
-    for &loss in losses {
-        let run = run_campaign(loss, seed);
+    for (&loss, run) in losses.iter().zip(runs) {
         let exactly_once = run.accepted == run.produced;
         all_ok &= exactly_once && run.all_normal && run.promotions == 2;
         table.row(vec![
@@ -114,7 +133,7 @@ fn main() {
             run.all_normal.to_string(),
             exactly_once.to_string(),
         ]);
-        last_recorder = Some(run.recorder);
+        last_trace = Some((run.trace_jsonl, run.trace_records));
     }
 
     Experiment {
@@ -136,18 +155,11 @@ fn main() {
     }
     .print();
 
-    if let Some(path) = trace_capture::trace_out_path() {
-        let recorder = last_recorder.expect("at least one sweep point ran");
-        match std::fs::File::create(&path) {
-            Ok(mut f) => {
-                if let Err(e) = recorder.export_jsonl(&mut f) {
-                    eprintln!("warning: could not write trace to {}: {e}", path.display());
-                } else {
-                    let records = recorder.with(|r| r.len());
-                    println!("trace: {records} records written to {}", path.display());
-                }
-            }
-            Err(e) => eprintln!("warning: could not create {}: {e}", path.display()),
+    if let Some(path) = opts.trace_out {
+        let (trace, records) = last_trace.expect("at least one sweep point ran");
+        match std::fs::write(&path, trace) {
+            Ok(()) => println!("trace: {records} records written to {}", path.display()),
+            Err(e) => eprintln!("warning: could not write trace to {}: {e}", path.display()),
         }
     }
 }

@@ -1,18 +1,18 @@
 //! Regenerates the paper's Figure 4 series (plus the §V-B "8-fold during
 //! failure periods" observation). Pass `--quick` for a fast run.
 
-use sps_bench::common::Scale;
+use sps_bench::common::RunOpts;
 use sps_bench::experiments::fig04_05::{failure_period_inflation, fig04};
 use sps_bench::trace_capture;
 
 fn main() {
-    let scale = Scale::from_env();
-    fig04(scale, 2010).print();
-    let (inside, outside) = failure_period_inflation(scale, 2010);
+    let opts = RunOpts::parse();
+    fig04(&opts.runner(), opts.scale, opts.seed).print();
+    let (inside, outside) = failure_period_inflation(opts.scale, opts.seed);
     println!(
         "During-failure delay inflation (NONE, 50% failure time): {inside:.1} ms inside vs \
          {outside:.1} ms outside failure windows ({:.1}x; paper reports over 8x at 85% CPU)",
         inside / outside.max(1e-9)
     );
-    trace_capture::maybe_capture(2010);
+    trace_capture::maybe_capture(opts.trace_out.as_deref(), opts.seed);
 }

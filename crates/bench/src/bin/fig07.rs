@@ -2,12 +2,12 @@
 //! and `--trace-out <path>` to additionally write a flight-recorder JSONL
 //! dump from a separate instrumented hybrid run.
 
-use sps_bench::common::Scale;
+use sps_bench::common::RunOpts;
 use sps_bench::experiments::fig07_08::fig07 as experiment;
 use sps_bench::trace_capture;
 
 fn main() {
-    let scale = Scale::from_env();
-    experiment(scale, 2010).print();
-    trace_capture::maybe_capture(2010);
+    let opts = RunOpts::parse();
+    experiment(&opts.runner(), opts.scale, opts.seed).print();
+    trace_capture::maybe_capture(opts.trace_out.as_deref(), opts.seed);
 }

@@ -1,11 +1,11 @@
 //! Regenerates the paper's fig09 series. Pass `--quick` for a fast run.
 
-use sps_bench::common::Scale;
+use sps_bench::common::RunOpts;
 use sps_bench::experiments::fig09_11::fig09 as experiment;
 use sps_bench::trace_capture;
 
 fn main() {
-    let scale = Scale::from_env();
-    experiment(scale, 2010).print();
-    trace_capture::maybe_capture(2010);
+    let opts = RunOpts::parse();
+    experiment(&opts.runner(), opts.scale, opts.seed).print();
+    trace_capture::maybe_capture(opts.trace_out.as_deref(), opts.seed);
 }

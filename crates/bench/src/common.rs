@@ -1,6 +1,10 @@
 //! Shared scaffolding for the figure-reproduction harnesses.
 
+use std::path::PathBuf;
+
 use sps_metrics::Table;
+
+use crate::runner::Runner;
 
 /// Experiment scale: `quick` shrinks runs for CI/smoke use; `full` matches
 /// the parameters recorded in EXPERIMENTS.md.
@@ -13,24 +17,84 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Reads the scale from process args (`--quick`) or the `SPS_QUICK`
-    /// environment variable.
-    pub fn from_env() -> Scale {
-        let quick =
-            std::env::args().any(|a| a == "--quick") || std::env::var_os("SPS_QUICK").is_some();
-        if quick {
-            Scale::Quick
-        } else {
-            Scale::Full
-        }
-    }
-
     /// Picks between a full-scale and quick value.
     pub fn pick<T>(self, full: T, quick: T) -> T {
         match self {
             Scale::Full => full,
             Scale::Quick => quick,
         }
+    }
+}
+
+/// Command-line options shared by every figure binary, parsed exactly once
+/// in `main` and passed down explicitly — library code never scans argv.
+#[derive(Debug, Clone)]
+pub struct RunOpts {
+    /// `--quick` (or `SPS_QUICK`): shrink runs for CI/smoke use.
+    pub scale: Scale,
+    /// `--jobs N` (or `SPS_JOBS`): worker-thread budget for the cell
+    /// runner. Defaults to the machine's available parallelism.
+    pub jobs: usize,
+    /// `--seed N`: base RNG seed for every simulation cell.
+    pub seed: u64,
+    /// `--trace-out PATH` (or `SPS_TRACE_OUT`): flight-recorder JSONL dump
+    /// destination for the instrumented capture run.
+    pub trace_out: Option<PathBuf>,
+}
+
+impl RunOpts {
+    /// Parses the process arguments and environment.
+    pub fn parse() -> RunOpts {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (environment variables still act
+    /// as fallbacks). Unknown flags are ignored so binaries can layer
+    /// their own options on top.
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> RunOpts {
+        let mut quick = std::env::var_os("SPS_QUICK").is_some();
+        let mut jobs: Option<usize> = None;
+        let mut seed: u64 = 2010;
+        let mut trace_out: Option<PathBuf> = None;
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
+            let mut take = |inline: Option<&str>| -> Option<String> {
+                inline.map(str::to_string).or_else(|| args.next())
+            };
+            if a == "--quick" {
+                quick = true;
+            } else if a == "--jobs" || a.starts_with("--jobs=") {
+                jobs = take(a.strip_prefix("--jobs=")).and_then(|v| v.parse().ok());
+            } else if a == "--seed" || a.starts_with("--seed=") {
+                if let Some(v) = take(a.strip_prefix("--seed=")).and_then(|v| v.parse().ok()) {
+                    seed = v;
+                }
+            } else if a == "--trace-out" || a.starts_with("--trace-out=") {
+                trace_out = take(a.strip_prefix("--trace-out=")).map(PathBuf::from);
+            }
+        }
+        let jobs = jobs
+            .or_else(|| std::env::var("SPS_JOBS").ok().and_then(|v| v.parse().ok()))
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .max(1);
+        if trace_out.is_none() {
+            trace_out = std::env::var_os("SPS_TRACE_OUT").map(PathBuf::from);
+        }
+        RunOpts {
+            scale: if quick { Scale::Quick } else { Scale::Full },
+            jobs,
+            seed,
+            trace_out,
+        }
+    }
+
+    /// Builds the cell runner for this invocation.
+    pub fn runner(&self) -> Runner {
+        Runner::new(self.jobs)
     }
 }
 
@@ -118,6 +182,34 @@ mod tests {
     fn scale_pick() {
         assert_eq!(Scale::Full.pick(10, 2), 10);
         assert_eq!(Scale::Quick.pick(10, 2), 2);
+    }
+
+    #[test]
+    fn run_opts_parse_flags() {
+        let to_args = |s: &str| s.split_whitespace().map(str::to_string).collect::<Vec<_>>();
+        let o = RunOpts::from_args(to_args("--quick --jobs 3 --seed 77 --trace-out t.jsonl"));
+        assert_eq!(o.scale, Scale::Quick);
+        assert_eq!(o.jobs, 3);
+        assert_eq!(o.seed, 77);
+        assert_eq!(
+            o.trace_out.as_deref(),
+            Some(std::path::Path::new("t.jsonl"))
+        );
+
+        let o = RunOpts::from_args(to_args("--jobs=8 --seed=5 --trace-out=x.jsonl"));
+        assert_eq!(o.scale, Scale::Full);
+        assert_eq!(o.jobs, 8);
+        assert_eq!(o.seed, 5);
+        assert_eq!(
+            o.trace_out.as_deref(),
+            Some(std::path::Path::new("x.jsonl"))
+        );
+
+        // Unknown flags are ignored; defaults hold.
+        let o = RunOpts::from_args(to_args("--out somewhere.json"));
+        assert_eq!(o.scale, Scale::Full);
+        assert_eq!(o.seed, 2010);
+        assert!(o.jobs >= 1);
     }
 
     #[test]

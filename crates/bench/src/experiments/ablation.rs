@@ -14,6 +14,7 @@ use sps_sim::SimTime;
 use sps_workloads::eval_chain_job;
 
 use crate::common::{f2, Experiment, Scale};
+use crate::runner::Runner;
 
 #[derive(Debug, Clone, Copy)]
 struct ProtocolRun {
@@ -48,13 +49,16 @@ fn run(protocol: CheckpointProtocol, sim_secs: u64, seed: u64) -> ProtocolRun {
 }
 
 /// The checkpointing-protocol ablation.
-pub fn ablation_checkpointing(scale: Scale, seed: u64) -> Experiment {
+pub fn ablation_checkpointing(runner: &Runner, scale: Scale, seed: u64) -> Experiment {
     let sim_secs = scale.pick(20, 5);
     let protocols = [
         CheckpointProtocol::Sweeping,
         CheckpointProtocol::Synchronous,
         CheckpointProtocol::Individual,
     ];
+    let mut runs = runner
+        .map(protocols.to_vec(), |p| run(p, sim_secs, seed))
+        .into_iter();
     let mut table = Table::new(vec![
         "protocol",
         "ckpt_elements",
@@ -66,7 +70,7 @@ pub fn ablation_checkpointing(scale: Scale, seed: u64) -> Experiment {
     ]);
     let mut by_protocol = Vec::new();
     for p in protocols {
-        let r = run(p, sim_secs, seed);
+        let r = runs.next().expect("one run per protocol");
         by_protocol.push((p, r));
         table.row(vec![
             p.to_string(),

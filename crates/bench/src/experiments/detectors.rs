@@ -15,6 +15,7 @@ use sps_sim::{SimDuration, SimTime};
 use sps_workloads::chain_job_with;
 
 use crate::common::{f2, Experiment, Scale};
+use crate::runner::Runner;
 
 /// Per-detector outcome at one load level.
 #[derive(Debug, Clone, Copy, Default)]
@@ -130,9 +131,10 @@ pub fn run_level(load: f64, spikes: usize, seed: u64) -> [DetectorScore; 3] {
 }
 
 /// The detector ablation experiment.
-pub fn ablation_detectors(scale: Scale, seed: u64) -> Experiment {
+pub fn ablation_detectors(runner: &Runner, scale: Scale, seed: u64) -> Experiment {
     let spikes = scale.pick(60, 10);
     let loads = scale.pick(vec![0.6, 0.8, 0.9, 0.95], vec![0.6, 0.9]);
+    let scores = runner.map(loads.clone(), |load| run_level(load, spikes, seed));
     let mut table = Table::new(vec![
         "load_pct",
         "hb_detect",
@@ -146,8 +148,7 @@ pub fn ablation_detectors(scale: Scale, seed: u64) -> Experiment {
         "pred_delay_ms",
     ]);
     let mut high_delays = (0.0, 0.0, 0.0);
-    for &load in &loads {
-        let [hb, bench, pred] = run_level(load, spikes, seed);
+    for (&load, [hb, bench, pred]) in loads.iter().zip(scores) {
         if load >= 0.89 {
             high_delays = (hb.mean_delay_ms, bench.mean_delay_ms, pred.mean_delay_ms);
         }

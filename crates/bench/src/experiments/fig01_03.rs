@@ -12,15 +12,21 @@ use sps_sim::{SimDuration, SimRng};
 use sps_workloads::{run_weather_app, ClusterStudy, ClusterStudyConfig, WeatherAppConfig};
 
 use crate::common::{f2, f3, mean, Experiment, Scale};
+use crate::runner::Runner;
 
 /// Fig 1: weather-app processing time per machine.
-pub fn fig01(scale: Scale, seed: u64) -> Experiment {
-    let mut rng = SimRng::seed_from(seed);
+pub fn fig01(runner: &Runner, scale: Scale, seed: u64) -> Experiment {
     let config = WeatherAppConfig {
         tasks_per_machine: scale.pick(50, 10),
         ..WeatherAppConfig::default()
     };
-    let run = run_weather_app(&config, &mut rng);
+    let run = runner
+        .map(vec![seed], |s| {
+            let mut rng = SimRng::seed_from(s);
+            run_weather_app(&config, &mut rng)
+        })
+        .pop()
+        .expect("one cell submitted");
     let mut table = Table::new(vec![
         "machine",
         "mean_processing_s",
@@ -80,8 +86,11 @@ fn study(scale: Scale, seed: u64) -> ClusterStudy {
 }
 
 /// Fig 2: CDF of per-machine mean inter-failure time.
-pub fn fig02(scale: Scale, seed: u64) -> Experiment {
-    let s = study(scale, seed);
+pub fn fig02(runner: &Runner, scale: Scale, seed: u64) -> Experiment {
+    let s = runner
+        .map(vec![seed], |s| study(scale, s))
+        .pop()
+        .expect("one cell submitted");
     let mut cdf = s.inter_failure_cdf();
     let mut table = Table::new(vec!["avg_inter_failure_s", "cdf"]);
     for (x, f) in cdf.curve(25) {
@@ -107,8 +116,11 @@ pub fn fig02(scale: Scale, seed: u64) -> Experiment {
 }
 
 /// Fig 3: CDF of per-machine mean spike duration.
-pub fn fig03(scale: Scale, seed: u64) -> Experiment {
-    let s = study(scale, seed);
+pub fn fig03(runner: &Runner, scale: Scale, seed: u64) -> Experiment {
+    let s = runner
+        .map(vec![seed], |s| study(scale, s))
+        .pop()
+        .expect("one cell submitted");
     let mut cdf = s.duration_cdf();
     let mut table = Table::new(vec!["avg_spike_duration_s", "cdf"]);
     for (x, f) in cdf.curve(25) {
@@ -140,16 +152,16 @@ mod tests {
 
     #[test]
     fn fig01_quick_shows_slowdown() {
-        let e = fig01(Scale::Quick, 1);
+        let e = fig01(&Runner::serial(), Scale::Quick, 1);
         assert_eq!(e.table.len(), 21);
         assert!(e.measured_notes[0].contains("increase"));
     }
 
     #[test]
     fn fig02_03_quick_produce_curves() {
-        let e2 = fig02(Scale::Quick, 1);
+        let e2 = fig02(&Runner::serial(), Scale::Quick, 1);
         assert!(!e2.table.is_empty());
-        let e3 = fig03(Scale::Quick, 1);
+        let e3 = fig03(&Runner::serial(), Scale::Quick, 1);
         assert!(!e3.table.is_empty());
     }
 }

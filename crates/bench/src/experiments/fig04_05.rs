@@ -17,6 +17,7 @@ use sps_sim::{SimDuration, SimRng, SimTime};
 use sps_workloads::{eval_chain_job, failure_load, marginal_spike_share, multiplexed_placement};
 
 use crate::common::{f2, mean, Experiment, Scale};
+use crate::runner::Runner;
 
 /// The §V-B failure loads: mean spike length 5 s, CPU pushed to 95–100 %.
 const MEAN_SPIKE: SimDuration = SimDuration::from_secs(5);
@@ -47,7 +48,7 @@ fn run_fig04_cell(mode: HaMode, fraction: f64, seed: u64, sim_secs: u64) -> (f64
 }
 
 /// Fig 4: average element delay vs average CPU usage.
-pub fn fig04(scale: Scale, seed: u64) -> Experiment {
+pub fn fig04(runner: &Runner, scale: Scale, seed: u64) -> Experiment {
     let sim_secs = scale.pick(60, 20);
     let seeds: Vec<u64> = (0..scale.pick(5, 1)).map(|i| seed + i).collect();
     let fractions = [0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
@@ -57,6 +58,23 @@ pub fn fig04(scale: Scale, seed: u64) -> Experiment {
         HaMode::Passive,
         HaMode::Hybrid,
     ];
+
+    // One cell per (fraction, mode, seed), submitted in the same nesting
+    // order the serial loops used; results come back in submission order,
+    // so the aggregation below is byte-identical to the serial run.
+    let mut cells = Vec::new();
+    for &frac in &fractions {
+        for &mode in &modes {
+            for &s in &seeds {
+                cells.push((mode, frac, s));
+            }
+        }
+    }
+    let mut results = runner
+        .map(cells, |(mode, frac, s)| {
+            run_fig04_cell(mode, frac, s, sim_secs)
+        })
+        .into_iter();
 
     let mut table = Table::new(vec![
         "failure_time_frac",
@@ -72,10 +90,10 @@ pub fn fig04(scale: Scale, seed: u64) -> Experiment {
     for (fi, &frac) in fractions.iter().enumerate() {
         let mut cpu_all = Vec::new();
         let mut delays = [0.0f64; 4];
-        for (mi, &mode) in modes.iter().enumerate() {
+        for (mi, _mode) in modes.iter().enumerate() {
             let runs: Vec<(f64, f64)> = seeds
                 .iter()
-                .map(|&s| run_fig04_cell(mode, frac, s, sim_secs))
+                .map(|_| results.next().expect("one result per cell"))
                 .collect();
             delays[mi] = mean(&runs.iter().map(|r| r.0).collect::<Vec<_>>());
             cpu_all.extend(runs.iter().map(|r| r.1));
@@ -147,7 +165,7 @@ pub fn failure_period_inflation(scale: Scale, seed: u64) -> (f64, f64) {
 }
 
 /// Fig 5: multiplexing — subjobs 1–3 (hybrid) share one secondary machine.
-pub fn fig05(scale: Scale, seed: u64) -> Experiment {
+pub fn fig05(runner: &Runner, scale: Scale, seed: u64) -> Experiment {
     let sim_secs = scale.pick(80, 10);
     let seeds: Vec<u64> = (0..scale.pick(5, 1)).map(|i| seed + i).collect();
     let fractions = [0.05, 0.10, 0.15, 0.20, 0.25, 0.30];
@@ -191,6 +209,20 @@ pub fn fig05(scale: Scale, seed: u64) -> Experiment {
         sim.report().sink_mean_delay_ms
     };
 
+    // Cells in the serial visiting order: per fraction, all shared-secondary
+    // seeds then all dedicated-secondary seeds.
+    let mut cells = Vec::new();
+    for &frac in &fractions {
+        for shared in [true, false] {
+            for &s in &seeds {
+                cells.push((frac, shared, s));
+            }
+        }
+    }
+    let mut results = runner
+        .map(cells, |(frac, shared, s)| run(frac, shared, s))
+        .into_iter();
+
     let mut table = Table::new(vec![
         "failure_time_frac",
         "shared_secondary_ms",
@@ -203,13 +235,13 @@ pub fn fig05(scale: Scale, seed: u64) -> Experiment {
         let shared = mean(
             &seeds
                 .iter()
-                .map(|&s| run(frac, true, s))
+                .map(|_| results.next().expect("one result per cell"))
                 .collect::<Vec<_>>(),
         );
         let dedicated = mean(
             &seeds
                 .iter()
-                .map(|&s| run(frac, false, s))
+                .map(|_| results.next().expect("one result per cell"))
                 .collect::<Vec<_>>(),
         );
         let inc = (shared / dedicated - 1.0) * 100.0;
@@ -240,7 +272,7 @@ mod tests {
 
     #[test]
     fn fig04_quick_produces_all_modes() {
-        let e = fig04(Scale::Quick, 11);
+        let e = fig04(&Runner::serial(), Scale::Quick, 11);
         assert_eq!(e.table.len(), 6);
     }
 

@@ -11,6 +11,7 @@ use sps_sim::{SimDuration, SimTime};
 use sps_workloads::chain_job_with;
 
 use crate::common::{Experiment, Scale};
+use crate::runner::Runner;
 
 /// Per-element CPU demand for the rate sweep: light enough that 25 K
 /// elements/s × 2 PEs stays below one machine's capacity (the paper's
@@ -41,7 +42,7 @@ fn run(config: Config, rate: f64, sim_secs: u64, seed: u64) -> u64 {
 }
 
 /// Fig 6: total elements transmitted vs source rate for six configurations.
-pub fn fig06(scale: Scale, seed: u64) -> Experiment {
+pub fn fig06(runner: &Runner, scale: Scale, seed: u64) -> Experiment {
     let sim_secs = scale.pick(5, 2);
     let rates: Vec<f64> = scale.pick(
         vec![1_000.0, 5_000.0, 10_000.0, 15_000.0, 20_000.0, 25_000.0],
@@ -83,12 +84,23 @@ pub fn fig06(scale: Scale, seed: u64) -> Experiment {
         "Hybrid-100ms",
         "Hybrid-500ms",
     ]);
+    // One cell per (rate, config), in the serial visiting order.
+    let mut cells = Vec::new();
+    for &rate in &rates {
+        for &c in &configs {
+            cells.push((c, rate));
+        }
+    }
+    let mut results = runner
+        .map(cells, |(c, rate)| run(c, rate, sim_secs, seed))
+        .into_iter();
+
     let mut as_ratio = Vec::new();
     let mut hybrid_overhead = Vec::new();
     for &rate in &rates {
         let counts: Vec<u64> = configs
             .iter()
-            .map(|&c| run(c, rate, sim_secs, seed))
+            .map(|_| results.next().expect("one result per cell"))
             .collect();
         as_ratio.push(counts[1] as f64 / counts[0] as f64);
         hybrid_overhead.push(counts[5] as f64 / counts[0] as f64 - 1.0);
@@ -124,7 +136,7 @@ mod tests {
 
     #[test]
     fn fig06_quick_orders_configs() {
-        let e = fig06(Scale::Quick, 1);
+        let e = fig06(&Runner::serial(), Scale::Quick, 1);
         assert_eq!(e.table.len(), 3);
         // AS ratio near 4, hybrid overhead small.
         assert!(e.measured_notes[0].contains('3') || e.measured_notes[0].contains('4'));

@@ -19,6 +19,7 @@ use sps_sim::{SimDuration, SimTime};
 use sps_workloads::{eval_chain_job, single_failure};
 
 use crate::common::{f2, Experiment, Scale};
+use crate::runner::Runner;
 
 /// Runs one failure/recovery cycle and returns the decomposition sample.
 fn run_once(
@@ -49,12 +50,27 @@ fn run_once(
     sim.recovery_timeline(SubjobId(1), failure_at)
 }
 
-fn collect(
+/// One `run_once` argument tuple per repetition of a `(mode, intervals)`
+/// configuration, spreading the failure inception across heartbeat and
+/// checkpoint phases exactly as the serial harness did.
+fn repetition_cells(
     mode: HaMode,
     heartbeat_ms: u64,
     ckpt_ms: u64,
     runs: u64,
     seed: u64,
+) -> impl Iterator<Item = (HaMode, u64, u64, u64, u64)> {
+    (0..runs).map(move |i| {
+        let offset = i * 137 % heartbeat_ms.max(1) + i * 211 % ckpt_ms.max(1);
+        (mode, heartbeat_ms, ckpt_ms, offset, seed + i)
+    })
+}
+
+/// Folds one configuration's timelines (in repetition order) into a
+/// decomposition, skipping runs that never recovered.
+fn assemble(
+    mode: HaMode,
+    timelines: impl Iterator<Item = Option<sps_metrics::RecoveryTimeline>>,
 ) -> RecoveryDecomposition {
     let kind = match mode {
         HaMode::Passive => RecoveryKind::PassiveStandby,
@@ -62,14 +78,43 @@ fn collect(
         other => panic!("recovery decomposition is defined for PS/Hybrid, not {other}"),
     };
     let mut decomp = RecoveryDecomposition::new(kind);
-    for i in 0..runs {
-        // Spread the failure inception across heartbeat/checkpoint phases.
-        let offset = i * 137 % heartbeat_ms.max(1) + i * 211 % ckpt_ms.max(1);
-        if let Some(t) = run_once(mode, heartbeat_ms, ckpt_ms, offset, seed + i) {
-            decomp.record(&t);
-        }
+    for t in timelines.flatten() {
+        decomp.record(&t);
     }
     decomp
+}
+
+/// Runs every `(interval, mode, repetition)` cell of a decomposition sweep
+/// through the runner and hands back per-`(interval, mode)` decompositions
+/// in the serial visiting order.
+fn sweep(
+    runner: &Runner,
+    intervals: &[u64],
+    hb_of: impl Fn(u64) -> u64,
+    ck_of: impl Fn(u64) -> u64,
+    runs: u64,
+    seed: u64,
+) -> Vec<(RecoveryDecomposition, RecoveryDecomposition)> {
+    let modes = [HaMode::Passive, HaMode::Hybrid];
+    let mut cells = Vec::new();
+    for &x in intervals {
+        for &mode in &modes {
+            cells.extend(repetition_cells(mode, hb_of(x), ck_of(x), runs, seed));
+        }
+    }
+    let mut timelines = runner
+        .map(cells, |(mode, hb, ck, offset, s)| {
+            run_once(mode, hb, ck, offset, s)
+        })
+        .into_iter();
+    intervals
+        .iter()
+        .map(|_| {
+            let ps = assemble(HaMode::Passive, timelines.by_ref().take(runs as usize));
+            let hy = assemble(HaMode::Hybrid, timelines.by_ref().take(runs as usize));
+            (ps, hy)
+        })
+        .collect()
 }
 
 fn decomposition_table(sweep_label: &str) -> Table {
@@ -101,20 +146,19 @@ fn push_row(table: &mut Table, x: u64, ps: &RecoveryDecomposition, hy: &Recovery
 }
 
 /// Fig 7: recovery decomposition vs heartbeat interval.
-pub fn fig07(scale: Scale, seed: u64) -> Experiment {
+pub fn fig07(runner: &Runner, scale: Scale, seed: u64) -> Experiment {
     let runs = scale.pick(5, 2);
     let intervals: Vec<u64> = scale.pick(vec![100, 200, 300, 400, 500], vec![100, 300]);
     let mut table = decomposition_table("heartbeat_ms");
     let mut detect_ratio = Vec::new();
     let mut redeploy_cut = Vec::new();
     let mut total_ratio = Vec::new();
-    for &hb in &intervals {
-        let ps = collect(HaMode::Passive, hb, 500, runs, seed);
-        let hy = collect(HaMode::Hybrid, hb, 500, runs, seed);
+    let decomps = sweep(runner, &intervals, |hb| hb, |_| 500, runs, seed);
+    for (&hb, (ps, hy)) in intervals.iter().zip(&decomps) {
         detect_ratio.push(hy.mean_detection_ms() / ps.mean_detection_ms());
         redeploy_cut.push(1.0 - hy.mean_deploy_or_resume_ms() / ps.mean_deploy_or_resume_ms());
         total_ratio.push(hy.mean_total_ms() / ps.mean_total_ms());
-        push_row(&mut table, hb, &ps, &hy);
+        push_row(&mut table, hb, ps, hy);
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     Experiment {
@@ -142,18 +186,17 @@ pub fn fig07(scale: Scale, seed: u64) -> Experiment {
 }
 
 /// Fig 8: recovery decomposition vs checkpoint interval.
-pub fn fig08(scale: Scale, seed: u64) -> Experiment {
+pub fn fig08(runner: &Runner, scale: Scale, seed: u64) -> Experiment {
     let runs = scale.pick(5, 2);
     let intervals: Vec<u64> = scale.pick(vec![100, 300, 500, 700, 900], vec![100, 900]);
     let mut table = decomposition_table("checkpoint_ms");
     let mut hy_retrans = Vec::new();
     let mut hy_total = Vec::new();
-    for &ck in &intervals {
-        let ps = collect(HaMode::Passive, 100, ck, runs, seed);
-        let hy = collect(HaMode::Hybrid, 100, ck, runs, seed);
+    let decomps = sweep(runner, &intervals, |_| 100, |ck| ck, runs, seed);
+    for (&ck, (ps, hy)) in intervals.iter().zip(&decomps) {
         hy_retrans.push(hy.mean_retrans_ms());
         hy_total.push(hy.mean_total_ms());
-        push_row(&mut table, ck, &ps, &hy);
+        push_row(&mut table, ck, ps, hy);
     }
     Experiment {
         figure: "Figure 8",
@@ -184,7 +227,7 @@ mod tests {
 
     #[test]
     fn fig07_quick_shows_hybrid_advantage() {
-        let e = fig07(Scale::Quick, 21);
+        let e = fig07(&Runner::serial(), Scale::Quick, 21);
         assert_eq!(e.table.len(), 2);
         // The detection-ratio note should report a value well below 1.
         assert!(e.measured_notes[0].starts_with("mean Hybrid/PS detection ratio: 0."));

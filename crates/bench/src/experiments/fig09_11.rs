@@ -17,6 +17,7 @@ use sps_sim::{SimDuration, SimTime};
 use sps_workloads::{chain_job_with, single_failure};
 
 use crate::common::{f2, Experiment, Scale};
+use crate::runner::Runner;
 
 /// Per-element demand for the rate sweep (saturation stays away up to
 /// ~8 K elements/s with 2 PEs per machine, so queueing grows with rate the
@@ -71,8 +72,25 @@ fn run_cycle(rate: f64, unavail: SimDuration, seed: u64) -> SwitchCycle {
     }
 }
 
+/// One `run_cycle` cell per (rate, unavailability) pair, 5 s then 10 s per
+/// rate — the serial visiting order shared by Figs 9 and 10.
+fn unavailability_cells(
+    runner: &Runner,
+    rates: &[f64],
+    seed: u64,
+) -> std::vec::IntoIter<SwitchCycle> {
+    let mut cells = Vec::new();
+    for &rate in rates {
+        cells.push((rate, SimDuration::from_secs(5)));
+        cells.push((rate, SimDuration::from_secs(10)));
+    }
+    runner
+        .map(cells, |(rate, unavail)| run_cycle(rate, unavail, seed))
+        .into_iter()
+}
+
 /// Fig 9: switch-over and rollback time vs data rate.
-pub fn fig09(scale: Scale, seed: u64) -> Experiment {
+pub fn fig09(runner: &Runner, scale: Scale, seed: u64) -> Experiment {
     let rates: Vec<f64> = scale.pick(
         vec![500.0, 1_000.0, 2_000.0, 4_000.0, 7_000.0],
         vec![500.0, 4_000.0],
@@ -86,9 +104,10 @@ pub fn fig09(scale: Scale, seed: u64) -> Experiment {
     ]);
     let mut sw_all = Vec::new();
     let mut rb_first_last = (0.0, 0.0);
+    let mut cycles = unavailability_cells(runner, &rates, seed);
     for (i, &rate) in rates.iter().enumerate() {
-        let c5 = run_cycle(rate, SimDuration::from_secs(5), seed);
-        let c10 = run_cycle(rate, SimDuration::from_secs(10), seed);
+        let c5 = cycles.next().expect("one cell per (rate, 5s)");
+        let c10 = cycles.next().expect("one cell per (rate, 10s)");
         sw_all.push(c5.switchover_ms);
         sw_all.push(c10.switchover_ms);
         if i == 0 {
@@ -125,7 +144,7 @@ pub fn fig09(scale: Scale, seed: u64) -> Experiment {
 }
 
 /// Fig 10: switching message overhead vs data rate.
-pub fn fig10(scale: Scale, seed: u64) -> Experiment {
+pub fn fig10(runner: &Runner, scale: Scale, seed: u64) -> Experiment {
     let rates: Vec<f64> = scale.pick(
         vec![500.0, 1_000.0, 2_000.0, 4_000.0, 7_000.0],
         vec![500.0, 4_000.0],
@@ -136,9 +155,10 @@ pub fn fig10(scale: Scale, seed: u64) -> Experiment {
         "10s_overhead_elements",
         "10s_over_rate_x_duration",
     ]);
+    let mut cycles = unavailability_cells(runner, &rates, seed);
     for &rate in &rates {
-        let c5 = run_cycle(rate, SimDuration::from_secs(5), seed);
-        let c10 = run_cycle(rate, SimDuration::from_secs(10), seed);
+        let c5 = cycles.next().expect("one cell per (rate, 5s)");
+        let c10 = cycles.next().expect("one cell per (rate, 10s)");
         table.row(vec![
             fmt_count(rate as u64),
             fmt_count(c5.overhead_elements),
@@ -159,13 +179,13 @@ pub fn fig10(scale: Scale, seed: u64) -> Experiment {
 }
 
 /// Fig 11: total message overhead vs number of PEs per machine.
-pub fn fig11(scale: Scale, seed: u64) -> Experiment {
+pub fn fig11(runner: &Runner, scale: Scale, seed: u64) -> Experiment {
     let sim_secs = scale.pick(10, 3);
     let pes_per_machine: Vec<usize> = scale.pick(vec![1, 2, 3, 4, 5, 6, 7, 8], vec![1, 4, 8]);
     let mut table = Table::new(vec!["pes_per_machine", "total_overhead_elements"]);
     let mut first = 0u64;
     let mut last = 0u64;
-    for (i, &k) in pes_per_machine.iter().enumerate() {
+    let totals = runner.map(pes_per_machine.clone(), |k| {
         // Two subjobs of k PEs each, both hybrid; light per-element demand
         // so even 8 PEs per machine stay unsaturated.
         let job = chain_job_with(40e-6, 20, 2 * k, 2);
@@ -175,7 +195,9 @@ pub fn fig11(scale: Scale, seed: u64) -> Experiment {
             .seed(seed)
             .build();
         sim.run_until(SimTime::from_secs(sim_secs));
-        let total = sim.report().total_overhead_elements();
+        sim.report().total_overhead_elements()
+    });
+    for (i, (&k, total)) in pes_per_machine.iter().zip(totals).enumerate() {
         if i == 0 {
             first = total;
         }
@@ -214,7 +236,7 @@ mod tests {
 
     #[test]
     fn fig11_quick_is_monotone() {
-        let e = fig11(Scale::Quick, 2);
+        let e = fig11(&Runner::serial(), Scale::Quick, 2);
         assert_eq!(e.table.len(), 3);
     }
 }

@@ -17,6 +17,7 @@ use sps_sim::{SimDuration, SimTime};
 use sps_workloads::chain_job_with;
 
 use crate::common::{f2, Experiment, Scale};
+use crate::runner::Runner;
 
 /// One load level's detection outcome for both detectors.
 #[derive(Debug, Clone, Copy)]
@@ -124,18 +125,15 @@ pub fn run_level(load: f64, spikes: usize, seed: u64) -> DetectionPoint {
     }
 }
 
-fn sweep(scale: Scale, seed: u64) -> Vec<DetectionPoint> {
+fn sweep(runner: &Runner, scale: Scale, seed: u64) -> Vec<DetectionPoint> {
     let spikes = scale.pick(100, 12);
     let loads = scale.pick(vec![0.6, 0.7, 0.8, 0.9, 0.95], vec![0.6, 0.9]);
-    loads
-        .into_iter()
-        .map(|l| run_level(l, spikes, seed))
-        .collect()
+    runner.map(loads, |l| run_level(l, spikes, seed))
 }
 
 /// Fig 12: background-load detection ratio vs machine load.
-pub fn fig12(scale: Scale, seed: u64) -> Experiment {
-    let points = sweep(scale, seed);
+pub fn fig12(runner: &Runner, scale: Scale, seed: u64) -> Experiment {
+    let points = sweep(runner, scale, seed);
     let mut table = Table::new(vec!["machine_load_pct", "heartbeat", "benchmark"]);
     for p in &points {
         table.row(vec![
@@ -164,8 +162,8 @@ pub fn fig12(scale: Scale, seed: u64) -> Experiment {
 }
 
 /// Fig 13: false-alarm ratio vs machine load.
-pub fn fig13(scale: Scale, seed: u64) -> Experiment {
-    let points = sweep(scale, seed);
+pub fn fig13(runner: &Runner, scale: Scale, seed: u64) -> Experiment {
+    let points = sweep(runner, scale, seed);
     let mut table = Table::new(vec!["machine_load_pct", "heartbeat", "benchmark"]);
     for p in &points {
         table.row(vec![

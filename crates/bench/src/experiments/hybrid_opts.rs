@@ -18,6 +18,7 @@ use sps_sim::{SimDuration, SimTime};
 use sps_workloads::{eval_chain_job, single_failure};
 
 use crate::common::{f2, Experiment, Scale};
+use crate::runner::Runner;
 
 /// One configuration's recovery outcome.
 #[derive(Debug, Clone, Copy)]
@@ -62,7 +63,7 @@ fn run(tune: impl Fn(&mut HaConfig), failure_secs: u64, seed: u64) -> OptOutcome
 }
 
 /// The §IV-B optimization ablation.
-pub fn ablation_hybrid_optimizations(scale: Scale, seed: u64) -> Experiment {
+pub fn ablation_hybrid_optimizations(runner: &Runner, scale: Scale, seed: u64) -> Experiment {
     let failure_secs = scale.pick(5, 3);
     let runs = scale.pick(5, 2);
     type Tune = fn(&mut HaConfig);
@@ -82,11 +83,22 @@ pub fn ablation_hybrid_optimizations(scale: Scale, seed: u64) -> Experiment {
         "recovery_total_ms",
         "post_rollback_delay_ms",
     ]);
-    let mut rows = Vec::new();
-    for (name, tune) in configs {
-        let mut acc = (0.0, 0.0, 0.0);
+    // One cell per (configuration, repetition), in the serial visiting order.
+    let mut cells = Vec::new();
+    for (_, tune) in configs {
         for i in 0..runs {
-            let o = run(tune, failure_secs, seed + i);
+            cells.push((tune, seed + i));
+        }
+    }
+    let mut outcomes = runner
+        .map(cells, |(tune, s)| run(tune, failure_secs, s))
+        .into_iter();
+
+    let mut rows = Vec::new();
+    for (name, _tune) in configs {
+        let mut acc = (0.0, 0.0, 0.0);
+        for _ in 0..runs {
+            let o = outcomes.next().expect("one outcome per cell");
             acc.0 += o.ready_ms;
             acc.1 += o.total_ms;
             acc.2 += o.post_rollback_delay_ms;

@@ -1,13 +1,13 @@
 //! The `--trace-out` flight-recorder capture: an instrumented hybrid run
 //! whose JSONL dump exercises every trace event kind.
 //!
-//! Figure binaries call [`trace_out_path`] after printing their tables; when
-//! the user passed `--trace-out <path>` (or set `SPS_TRACE_OUT`), they run
-//! [`capture_hybrid_trace`] and write the dump there. The capture run is
-//! separate from the figure runs, so figure numbers are never produced from
-//! an instrumented simulation.
+//! Figure binaries call [`maybe_capture`] after printing their tables with
+//! the destination from [`crate::common::RunOpts`] (`--trace-out <path>` or
+//! `SPS_TRACE_OUT`); when one is set, they run [`capture_hybrid_trace`] and
+//! write the dump there. The capture run is separate from the figure runs,
+//! so figure numbers are never produced from an instrumented simulation.
 
-use std::path::PathBuf;
+use std::path::Path;
 
 use sps_cluster::{ChaosPlan, FaultProfile, MachineId, SpikeWindow};
 use sps_engine::SubjobId;
@@ -15,23 +15,6 @@ use sps_ha::{BenchmarkConfig, HaMode, HaSimulation};
 use sps_sim::SimTime;
 use sps_trace::SharedRecorder;
 use sps_workloads::eval_chain_job;
-
-/// Reads the trace dump destination from `--trace-out <path>` in the
-/// process args, falling back to the `SPS_TRACE_OUT` environment variable.
-/// `None` disables tracing entirely (the default).
-pub fn trace_out_path() -> Option<PathBuf> {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == "--trace-out" {
-            if let Some(p) = args.next() {
-                return Some(PathBuf::from(p));
-            }
-        } else if let Some(p) = a.strip_prefix("--trace-out=") {
-            return Some(PathBuf::from(p));
-        }
-    }
-    std::env::var_os("SPS_TRACE_OUT").map(PathBuf::from)
-}
 
 /// Runs a fully instrumented hybrid scenario and returns the recorder.
 ///
@@ -96,15 +79,15 @@ pub fn capture_hybrid_trace(seed: u64) -> SharedRecorder {
     recorder
 }
 
-/// If `--trace-out`/`SPS_TRACE_OUT` is set, runs the capture scenario and
+/// If a trace destination was requested, runs the capture scenario and
 /// writes its JSONL dump there, reporting the record count on stdout.
-pub fn maybe_capture(seed: u64) {
-    let Some(path) = trace_out_path() else {
+pub fn maybe_capture(path: Option<&Path>, seed: u64) {
+    let Some(path) = path else {
         return;
     };
     let recorder = capture_hybrid_trace(seed);
     let (records, evicted) = recorder.with(|r| (r.len(), r.evicted()));
-    match std::fs::File::create(&path) {
+    match std::fs::File::create(path) {
         Ok(mut f) => {
             if let Err(e) = recorder.export_jsonl(&mut f) {
                 eprintln!("warning: could not write trace to {}: {e}", path.display());

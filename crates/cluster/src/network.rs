@@ -108,7 +108,13 @@ impl Delivery {
 pub struct Network {
     config: NetworkConfig,
     /// Per ordered (src, dst) pair: when the link serializer frees up.
-    link_busy_until: HashMap<(MachineId, MachineId), SimTime>,
+    /// Machine ids are small and dense, so this is a row-major
+    /// `busy_stride × busy_stride` matrix indexed by raw ids — the send
+    /// path's only per-message state lookup, and the reason it is an array
+    /// index rather than a hash.
+    link_busy: Vec<SimTime>,
+    /// Side length of the `link_busy` matrix (max machine id seen + 1).
+    busy_stride: usize,
     /// Unordered partitioned pairs; messages between them are dropped.
     partitions: HashSet<(MachineId, MachineId)>,
     /// Per ordered (src, dst) pair: installed chaos fault profile.
@@ -137,7 +143,8 @@ impl Network {
         );
         Network {
             config,
-            link_busy_until: HashMap::new(),
+            link_busy: Vec::new(),
+            busy_stride: 0,
             partitions: HashSet::new(),
             link_faults: HashMap::new(),
             default_faults: None,
@@ -159,16 +166,19 @@ impl Network {
         // Offered-traffic counters always move together (see module docs).
         self.messages_sent += 1;
         self.bytes_sent += bytes;
-        if self.is_partitioned(src, dst) {
+        if !self.partitions.is_empty() && self.is_partitioned(src, dst) {
             self.messages_dropped += 1;
             self.bytes_dropped += bytes;
             return Delivery::Dropped;
         }
-        let profile = if src == dst {
-            None // loopback never traverses a faulty link
-        } else {
-            self.profile_for(src, dst)
-        };
+        // Loopback never traverses a faulty link, and most runs install no
+        // profiles at all — skip the per-send lookup in both cases.
+        let profile =
+            if src == dst || (self.link_faults.is_empty() && self.default_faults.is_none()) {
+                None
+            } else {
+                self.profile_for(src, dst)
+            };
         if let Some(p) = profile {
             if self.chaos_loses(src, dst, &p) {
                 self.messages_dropped += 1;
@@ -185,10 +195,7 @@ impl Network {
             bytes as f64 / self.config.bandwidth_bytes_per_sec * delay_factor,
         );
         let latency = SimDuration::from_secs_f64(self.config.latency.as_secs_f64() * delay_factor);
-        let busy = self
-            .link_busy_until
-            .entry((src, dst))
-            .or_insert(SimTime::ZERO);
+        let busy = self.busy_slot(src, dst);
         let start = if *busy > now { *busy } else { now };
         let done_serializing = start + ser;
         *busy = done_serializing;
@@ -208,6 +215,28 @@ impl Network {
             }
         }
         Delivery::At(arrival)
+    }
+
+    /// The busy-until slot for the directed link `src -> dst`, growing the
+    /// matrix on first contact with a new machine id. Growth is rare (ids
+    /// are assigned densely at cluster construction) and rebuilds preserve
+    /// existing link state.
+    fn busy_slot(&mut self, src: MachineId, dst: MachineId) -> &mut SimTime {
+        let (s, d) = (src.0 as usize, dst.0 as usize);
+        let need = s.max(d) + 1;
+        if need > self.busy_stride {
+            let old_stride = self.busy_stride;
+            let new_stride = need.next_power_of_two();
+            let mut grown = vec![SimTime::ZERO; new_stride * new_stride];
+            for row in 0..old_stride {
+                for col in 0..old_stride {
+                    grown[row * new_stride + col] = self.link_busy[row * old_stride + col];
+                }
+            }
+            self.link_busy = grown;
+            self.busy_stride = new_stride;
+        }
+        &mut self.link_busy[s * self.busy_stride + d]
     }
 
     /// Runs the loss draws for one covered send: Gilbert–Elliott chain

@@ -18,6 +18,8 @@
 //! sent only after the secondary machine confirms the checkpoint is stored —
 //! the ordering that makes recovery sound.
 
+use std::sync::Arc;
+
 use sps_cluster::MachineId;
 use sps_engine::{PeCheckpoint, PeId, Replica, SubjobId};
 use sps_metrics::MsgClass;
@@ -229,7 +231,7 @@ impl HaWorld {
             sj.last_ckpt_at.insert(pe, ctx.now());
             sj.snap_positions.insert(pe, ckpt.input_positions.clone());
             sj.pe_ckpt_inflight.insert(pe);
-            ckpts.push(ckpt);
+            ckpts.push(Arc::new(ckpt));
         }
         for &pe in &pes {
             self.try_start(ctx, slot_of(pe, replica));
@@ -260,7 +262,7 @@ impl HaWorld {
         at: MachineId,
         sj_id: SubjobId,
         epoch: u64,
-        ckpts: Vec<PeCheckpoint>,
+        ckpts: Vec<Arc<PeCheckpoint>>,
     ) {
         let sj = &self.subjobs[sj_id.0 as usize];
         if sj.is_stale(epoch) || sj.secondary_machine != Some(at) {

@@ -330,7 +330,10 @@ impl HaWorld {
     /// Drains every active connection of a source's queue and transmits.
     pub(crate) fn dispatch_source_outputs(&mut self, ctx: &mut Ctx<Event>, s: usize) {
         let src_machine = self.placement.sources[s];
-        let mut batch: Vec<(Dest, DataElement)> = Vec::new();
+        // One world-owned element buffer serves every hop; spans remember
+        // which slice of it belongs to which destination.
+        let mut elems = std::mem::take(&mut self.dispatch_scratch);
+        let mut spans: Vec<(Dest, usize, usize)> = Vec::new();
         {
             let dests: Vec<(usize, Dest)> = {
                 let q = self.sources[s].queue();
@@ -346,13 +349,14 @@ impl HaWorld {
                 if self.cluster.network().is_partitioned(src_machine, dst) {
                     continue;
                 }
-                let drained: Vec<DataElement> = self.sources[s]
+                let start = elems.len();
+                self.sources[s]
                     .queue_mut()
-                    .drain_sendable(ConnectionId(ci))
-                    .into_iter()
-                    .collect();
-                if let Some(last) = drained.last() {
-                    let (stream, last_seq, n) = (last.stream.0, last.seq, drained.len() as u32);
+                    .drain_sendable_into(ConnectionId(ci), &mut elems);
+                if elems.len() > start {
+                    let last = elems[elems.len() - 1];
+                    let (stream, last_seq, n) =
+                        (last.stream.0, last.seq, (elems.len() - start) as u32);
                     self.tracer
                         .emit_data(ctx.now(), || TraceEvent::ElementSend {
                             pe: TRACE_SOURCE_PE,
@@ -361,15 +365,17 @@ impl HaWorld {
                             elements: n,
                             last_seq,
                         });
-                }
-                for elem in drained {
-                    batch.push((dest, elem));
+                    spans.push((dest, start, elems.len()));
                 }
             }
         }
-        for (dest, elem) in batch {
-            self.send_data(ctx, src_machine, false, dest, elem);
+        for (dest, start, end) in spans {
+            for &elem in &elems[start..end] {
+                self.send_data(ctx, src_machine, false, dest, elem);
+            }
         }
+        elems.clear();
+        self.dispatch_scratch = elems;
     }
 
     /// Transmits one element, classifying redundant copies and accounting
@@ -414,12 +420,17 @@ impl HaWorld {
     pub(crate) fn dispatch_outputs(&mut self, ctx: &mut Ctx<Event>, slot: usize) {
         let (pe, replica) = unslot(slot);
         let src_machine = self.instance_machine[slot];
-        let mut batch: Vec<(Dest, DataElement)> = Vec::new();
+        // Same reused-buffer pattern as `dispatch_source_outputs`.
+        let mut elems = std::mem::take(&mut self.dispatch_scratch);
+        let mut spans: Vec<(Dest, usize, usize)> = Vec::new();
         {
             let conns: Vec<(usize, usize, Dest)> = {
                 let inst = match self.instances[slot].as_ref() {
                     Some(i) => i,
-                    None => return,
+                    None => {
+                        self.dispatch_scratch = elems;
+                        return;
+                    }
                 };
                 (0..inst.output_ports())
                     .flat_map(|port| {
@@ -437,13 +448,13 @@ impl HaWorld {
                     continue;
                 }
                 let inst = self.instances[slot].as_mut().expect("checked");
-                let drained: Vec<DataElement> = inst
-                    .output_mut(port)
-                    .drain_sendable(ConnectionId(ci))
-                    .into_iter()
-                    .collect();
-                if let Some(last) = drained.last() {
-                    let (stream, last_seq, n) = (last.stream.0, last.seq, drained.len() as u32);
+                let start = elems.len();
+                inst.output_mut(port)
+                    .drain_sendable_into(ConnectionId(ci), &mut elems);
+                if elems.len() > start {
+                    let last = elems[elems.len() - 1];
+                    let (stream, last_seq, n) =
+                        (last.stream.0, last.seq, (elems.len() - start) as u32);
                     self.tracer
                         .emit_data(ctx.now(), || TraceEvent::ElementSend {
                             pe: pe.0,
@@ -452,16 +463,18 @@ impl HaWorld {
                             elements: n,
                             last_seq,
                         });
-                }
-                for elem in drained {
-                    batch.push((dest, elem));
+                    spans.push((dest, start, elems.len()));
                 }
             }
         }
         let produced_by_secondary = replica == Replica::Secondary;
-        for (dest, elem) in batch {
-            self.send_data(ctx, src_machine, produced_by_secondary, dest, elem);
+        for (dest, start, end) in spans {
+            for &elem in &elems[start..end] {
+                self.send_data(ctx, src_machine, produced_by_secondary, dest, elem);
+            }
         }
+        elems.clear();
+        self.dispatch_scratch = elems;
     }
 
     // ---- machine tick: CPU task completions ----

@@ -1,6 +1,8 @@
 //! Failure handling: heartbeat monitoring, the hybrid switch-over /
 //! rollback cycle, passive-standby migration, and fail-stop promotion.
 
+use std::sync::Arc;
+
 use sps_cluster::MachineId;
 use sps_engine::{Dest, InstanceId, PeCheckpoint, PeId, Producer, Replica, StreamId, SubjobId};
 use sps_metrics::MsgClass;
@@ -323,7 +325,7 @@ impl HaWorld {
             inst.resume();
             inst.set_suspended(true);
             elements += snap.element_count();
-            ckpts.push(snap);
+            ckpts.push(Arc::new(snap));
         }
         // The suspended copy no longer participates in the data plane.
         for &pe in &pes {
@@ -331,9 +333,10 @@ impl HaWorld {
         }
         let sj = &mut self.subjobs[sj_id.0 as usize];
         sj.switch_overhead_elements += elements;
-        // The read-back state is also the freshest stored state.
+        // The read-back state is also the freshest stored state (a shared
+        // pointer — the message and the store reference one snapshot).
         for ckpt in &ckpts {
-            sj.stored.insert(ckpt.pe, ckpt.clone());
+            sj.stored.insert(ckpt.pe, Arc::clone(ckpt));
         }
         self.send_reliable(
             ctx,
@@ -357,7 +360,7 @@ impl HaWorld {
         at: MachineId,
         sj_id: SubjobId,
         epoch: u64,
-        ckpts: Vec<PeCheckpoint>,
+        ckpts: Vec<Arc<PeCheckpoint>>,
     ) {
         {
             let sj = &self.subjobs[sj_id.0 as usize];

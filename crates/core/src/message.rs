@@ -1,5 +1,7 @@
 //! The message alphabet exchanged between machines.
 
+use std::sync::Arc;
+
 use sps_cluster::MachineId;
 use sps_engine::{DataElement, Dest, InstanceId, PeCheckpoint, SourceId, SubjobId};
 
@@ -43,8 +45,10 @@ pub enum Msg {
         /// Epoch guard: stale checkpoints from before a role change are
         /// discarded.
         epoch: u64,
-        /// The PE snapshots.
-        ckpts: Vec<PeCheckpoint>,
+        /// The PE snapshots. `Arc`-shared so the reliable layer's
+        /// retransmission buffer and chaos duplicates clone a pointer, not
+        /// the element batches.
+        ckpts: Vec<Arc<PeCheckpoint>>,
     },
     /// Secondary machine → primary: the checkpoint was stored; the primary
     /// may now send the corresponding upstream acknowledgments (§III-B
@@ -78,8 +82,9 @@ pub enum Msg {
         subjob: SubjobId,
         /// Epoch guard.
         epoch: u64,
-        /// Snapshots of the secondary's current state.
-        ckpts: Vec<PeCheckpoint>,
+        /// Snapshots of the secondary's current state (`Arc`-shared, like
+        /// [`Msg::Checkpoint`]).
+        ckpts: Vec<Arc<PeCheckpoint>>,
     },
     /// Control signalling (deploy/resume/activate requests); payload size
     /// only.
@@ -163,7 +168,7 @@ mod tests {
         let msg = Msg::Checkpoint {
             subjob: SubjobId(0),
             epoch: 0,
-            ckpts: vec![ckpt],
+            ckpts: vec![Arc::new(ckpt)],
         };
         // 20 state elements * 256 bytes + 64 header.
         assert_eq!(msg.wire_bytes(256), 20 * 256 + 64);

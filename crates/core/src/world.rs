@@ -6,6 +6,7 @@
 //! (`data_plane`, `checkpoint`, `failover`).
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use sps_cluster::{ChaosAction, ChaosStep, Cluster, LoadComponent, MachineId, NetworkConfig};
 use sps_engine::{
@@ -341,7 +342,9 @@ pub struct SubjobHa {
     /// once the checkpoint is stored.
     pub snap_positions: BTreeMap<PeId, Vec<Vec<(StreamId, u64)>>>,
     /// Checkpoints stored on the secondary machine ("in memory", §IV-B).
-    pub stored: BTreeMap<PeId, PeCheckpoint>,
+    /// Shared with the message that carried them — storing is a pointer
+    /// move, not a copy of the element batches.
+    pub stored: BTreeMap<PeId, Arc<PeCheckpoint>>,
     /// Elements sent to the suspected primary while switched over plus
     /// state read back on rollback (Fig 10's overhead metric).
     pub switch_overhead_elements: u64,
@@ -458,6 +461,9 @@ pub struct HaWorld {
     /// connection, keyed by `(is_instance, source-or-slot, port, conn)`;
     /// a stalled connection is one that repeats its previous observation.
     pub(crate) rel_sweep_prev: BTreeMap<(bool, usize, usize, usize), (u64, u64)>,
+    /// Reusable buffer for the dispatch hot path: elements drained from a
+    /// hop's output connections, emptied before return.
+    pub(crate) dispatch_scratch: Vec<sps_engine::DataElement>,
 }
 
 impl HaWorld {
@@ -573,6 +579,7 @@ impl HaWorld {
             rel_inflight: BTreeMap::new(),
             rel_seen: BTreeSet::new(),
             rel_sweep_prev: BTreeMap::new(),
+            dispatch_scratch: Vec::new(),
             cfg,
             placement,
             cluster,

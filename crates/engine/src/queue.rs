@@ -140,9 +140,19 @@ impl<D> OutputQueue<D> {
     /// Advances the connection's send cursor; returns nothing for inactive
     /// connections.
     pub fn drain_sendable(&mut self, conn: ConnectionId) -> Vec<DataElement> {
+        let mut out = Vec::new();
+        self.drain_sendable_into(conn, &mut out);
+        out
+    }
+
+    /// Like [`OutputQueue::drain_sendable`], but appends to a caller-owned
+    /// buffer instead of allocating a fresh `Vec` — the dispatch hot path
+    /// reuses one scratch buffer across every connection of a hop. Returns
+    /// the number of elements appended.
+    pub fn drain_sendable_into(&mut self, conn: ConnectionId, out: &mut Vec<DataElement>) -> usize {
         let c = &mut self.connections[conn.0];
         if !c.active {
-            return Vec::new();
+            return 0;
         }
         debug_assert!(
             c.next_to_send > self.trimmed,
@@ -152,9 +162,10 @@ impl<D> OutputQueue<D> {
             self.trimmed
         );
         let start = (c.next_to_send - self.trimmed - 1) as usize;
-        let out: Vec<DataElement> = self.retained.iter().skip(start).copied().collect();
+        let before = out.len();
+        out.extend(self.retained.iter().skip(start).copied());
         c.next_to_send = self.next_seq;
-        out
+        out.len() - before
     }
 
     /// Registers a cumulative acknowledgment on `conn` and trims every

@@ -49,11 +49,13 @@
 mod queue;
 mod rng;
 mod sim;
+pub mod stats;
 mod time;
 mod timer;
 
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use sim::{Ctx, Simulation, World};
+pub use stats::SimStats;
 pub use time::{SimDuration, SimTime};
 pub use timer::{TimerGen, TimerSlot};

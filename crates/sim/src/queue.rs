@@ -1,11 +1,24 @@
-//! The pending-event set: a stable min-heap ordered by firing time.
+//! The pending-event set: a stable min-heap ordered by firing time, with a
+//! FIFO fast path for near-future events.
 //!
 //! Events that share a firing time are delivered in the order they were
 //! scheduled (FIFO tie-breaking via a monotone sequence number), which keeps
 //! simulations deterministic regardless of heap internals.
+//!
+//! Data-plane hops dominate the workloads above this crate, and they are
+//! scheduled with zero or tiny delays — i.e. at times at or after everything
+//! already pending. Pushing those through a binary heap costs `O(log n)`
+//! sift-ups for what is really an append. The queue therefore keeps a second
+//! structure, `near`: a deque of entries appended whenever a push's firing
+//! time is `>=` the deque's back. Because sequence numbers are handed out
+//! monotonically, such appends keep `near` sorted by `(time, seq)`, so its
+//! front is its minimum and push/pop on it are `O(1)`. A pop compares the
+//! deque front with the heap top under the same `(time, seq)` order and takes
+//! the smaller, so the observable pop order is identical to the heap-only
+//! implementation for every interleaving of pushes and pops.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::SimTime;
 
@@ -27,7 +40,10 @@ use crate::time::SimTime;
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
+    /// Monotone-by-`(time, seq)` appends; see the module docs.
+    near: VecDeque<Entry<E>>,
     next_seq: u64,
+    peak_len: usize,
 }
 
 #[derive(Debug)]
@@ -57,12 +73,20 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Which structure holds the next event to pop.
+enum Front {
+    Near,
+    Heap,
+}
+
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            near: VecDeque::new(),
             next_seq: 0,
+            peak_len: 0,
         }
     }
 
@@ -70,32 +94,85 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        let entry = Entry { time, seq, event };
+        // `seq` is monotone, so appending whenever `time` does not regress
+        // keeps `near` sorted by `(time, seq)`.
+        match self.near.back() {
+            Some(back) if time < back.time => self.heap.push(entry),
+            _ => self.near.push_back(entry),
+        }
+        let len = self.heap.len() + self.near.len();
+        if len > self.peak_len {
+            self.peak_len = len;
+        }
+    }
+
+    /// The structure holding the earliest `(time, seq)`, plus that time.
+    fn front(&self) -> Option<(Front, SimTime)> {
+        match (self.near.front(), self.heap.peek()) {
+            (Some(n), Some(h)) => {
+                if (n.time, n.seq) <= (h.time, h.seq) {
+                    Some((Front::Near, n.time))
+                } else {
+                    Some((Front::Heap, h.time))
+                }
+            }
+            (Some(n), None) => Some((Front::Near, n.time)),
+            (None, Some(h)) => Some((Front::Heap, h.time)),
+            (None, None) => None,
+        }
+    }
+
+    fn pop_front(&mut self, which: Front) -> Option<(SimTime, E)> {
+        match which {
+            Front::Near => self.near.pop_front().map(|e| (e.time, e.event)),
+            Front::Heap => self.heap.pop().map(|e| (e.time, e.event)),
+        }
     }
 
     /// Removes and returns the earliest event, FIFO among ties.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        let (which, _) = self.front()?;
+        self.pop_front(which)
+    }
+
+    /// Removes and returns the earliest event if it fires at or before
+    /// `limit`; leaves the queue untouched otherwise.
+    ///
+    /// This is the run-loop primitive: one ordered lookup decides both
+    /// "is there an event in range" and "take it", where a `peek_time`
+    /// followed by `pop` would pay for the ordering twice.
+    pub fn pop_if_at_or_before(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        let (which, time) = self.front()?;
+        if time > limit {
+            return None;
+        }
+        self.pop_front(which)
     }
 
     /// The firing time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.front().map(|(_, t)| t)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.near.len()
     }
 
     /// `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.near.is_empty()
     }
 
     /// Total number of events ever scheduled on this queue.
     pub fn scheduled_total(&self) -> u64 {
         self.next_seq
+    }
+
+    /// High-water mark of pending events over the queue's lifetime.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 }
 
@@ -108,6 +185,7 @@ impl<E> Default for EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::SimRng;
 
     #[test]
     fn pops_in_time_order() {
@@ -149,8 +227,99 @@ mod tests {
         q.push(SimTime::ZERO, ());
         assert_eq!(q.len(), 2);
         assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.peak_len(), 2);
         q.pop();
         assert_eq!(q.len(), 1);
         assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.peak_len(), 2, "peak is a high-water mark");
+    }
+
+    #[test]
+    fn pop_if_at_or_before_is_inclusive() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(10), 1);
+        q.push(SimTime::from_millis(20), 2);
+        assert_eq!(q.pop_if_at_or_before(SimTime::from_millis(5)), None);
+        assert_eq!(q.len(), 2, "a refused pop leaves the queue untouched");
+        assert_eq!(
+            q.pop_if_at_or_before(SimTime::from_millis(10)),
+            Some((SimTime::from_millis(10), 1)),
+            "the limit itself is in range"
+        );
+        assert_eq!(q.pop_if_at_or_before(SimTime::from_millis(19)), None);
+        assert_eq!(
+            q.pop_if_at_or_before(SimTime::from_millis(25)),
+            Some((SimTime::from_millis(20), 2))
+        );
+        assert_eq!(q.pop_if_at_or_before(SimTime::from_millis(25)), None);
+        assert!(q.is_empty());
+    }
+
+    /// Reference model: a stable sort by `(time, seq)` over everything pushed.
+    fn reference_order(pushes: &[(SimTime, usize)]) -> Vec<usize> {
+        let mut indexed: Vec<(SimTime, usize)> = pushes.to_vec();
+        indexed.sort_by_key(|&(t, i)| (t, i)); // push index doubles as seq
+        indexed.into_iter().map(|(_, i)| i).collect()
+    }
+
+    /// Property: for random push schedules (many duplicate times, so both the
+    /// deque and the heap see traffic), drain order equals the stable sort.
+    #[test]
+    fn random_schedules_match_stable_sort() {
+        let mut rng = SimRng::seed_from(0xDECADE);
+        for round in 0..50 {
+            let n = 1 + (rng.next_u64() % 200) as usize;
+            let mut pushes = Vec::with_capacity(n);
+            let mut q = EventQueue::new();
+            for i in 0..n {
+                // Small time range forces heavy tie-breaking; occasional
+                // big jumps exercise the deque/heap split.
+                let t = if rng.next_u64().is_multiple_of(4) {
+                    SimTime::from_millis(rng.next_u64() % 100)
+                } else {
+                    SimTime::from_millis(rng.next_u64() % 8)
+                };
+                pushes.push((t, i));
+                q.push(t, i);
+            }
+            let got: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(got, reference_order(&pushes), "round {round}");
+        }
+    }
+
+    /// Property: interleaving pops with pushes (the run-loop pattern, where
+    /// handlers schedule at-or-after `now`) preserves the same order as
+    /// replaying the surviving pushes through the reference sort.
+    #[test]
+    fn interleaved_pop_push_matches_reference() {
+        let mut rng = SimRng::seed_from(7_070_707);
+        for round in 0..50 {
+            let mut q = EventQueue::new();
+            let mut pushes: Vec<(SimTime, usize)> = Vec::new();
+            let mut drained: Vec<usize> = Vec::new();
+            let mut now = SimTime::ZERO;
+            for i in 0..150 {
+                // Push one event at or after `now` (zero delay half the time,
+                // like data-plane hops), occasionally far in the future.
+                let delay_ms = match rng.next_u64() % 8 {
+                    0..=3 => 0,
+                    4..=6 => rng.next_u64() % 3,
+                    _ => 10 + rng.next_u64() % 50,
+                };
+                let t = now + crate::SimDuration::from_millis(delay_ms);
+                pushes.push((t, i));
+                q.push(t, i);
+                // Pop roughly every other push, advancing the clock.
+                if rng.next_u64().is_multiple_of(2) {
+                    if let Some((t, e)) = q.pop() {
+                        assert!(t >= now, "time went backwards in round {round}");
+                        now = t;
+                        drained.push(e);
+                    }
+                }
+            }
+            drained.extend(std::iter::from_fn(|| q.pop().map(|(_, e)| e)));
+            assert_eq!(drained, reference_order(&pushes), "round {round}");
+        }
     }
 }

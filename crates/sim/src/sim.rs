@@ -112,6 +112,19 @@ impl<E> Ctx<E> {
     }
 }
 
+impl<E> Drop for Ctx<E> {
+    fn drop(&mut self) {
+        // Fold this run's totals into the process-wide counters so harnesses
+        // (e.g. `bench_runner`) can report events/sec without threading a
+        // handle through every figure.
+        crate::stats::record_run(
+            self.processed,
+            self.queue.scheduled_total(),
+            self.queue.peak_len() as u64,
+        );
+    }
+}
+
 /// A complete simulation: a [`World`] plus its [`Ctx`].
 #[derive(Debug)]
 pub struct Simulation<W: World> {
@@ -179,12 +192,17 @@ impl<W: World> Simulation<W> {
     /// [`Ctx::stop`]. Events scheduled exactly at `limit` do fire; the clock
     /// finishes at `limit` even if the queue drains early.
     pub fn run_until(&mut self, limit: SimTime) {
+        // `pop_if_at_or_before` makes the in-range check and the removal one
+        // ordered lookup, where peek-then-pop paid for the ordering twice.
         while !self.ctx.stopped {
-            match self.ctx.queue.peek_time() {
-                Some(t) if t <= limit => {
-                    self.step();
+            match self.ctx.queue.pop_if_at_or_before(limit) {
+                Some((time, event)) => {
+                    debug_assert!(time >= self.ctx.now, "event queue went backwards");
+                    self.ctx.now = time;
+                    self.ctx.processed += 1;
+                    self.world.handle(&mut self.ctx, event);
                 }
-                _ => break,
+                None => break,
             }
         }
         if !self.ctx.stopped && self.ctx.now < limit {
