@@ -42,13 +42,18 @@ fn bench_event_queue() {
 }
 
 fn bench_output_queue() {
+    // One scratch buffer reused across every drain, like the dispatch hot
+    // path — the bench then measures the queue, not Vec growth.
+    let mut scratch = Vec::new();
     bench("output_queue/produce_drain_ack_10k", 10_000, || {
         let mut q: OutputQueue<u8> = OutputQueue::new(StreamId(0));
         let conn = q.connect(0, true, true);
         for i in 0..10_000u64 {
             q.produce(Payload::new(i, i as f64), SimTime::ZERO);
             if i % 16 == 15 {
-                black_box(q.drain_sendable(conn));
+                scratch.clear();
+                black_box(q.drain_sendable_into(conn, &mut scratch));
+                black_box(scratch.len());
                 q.register_ack(conn, i - 8);
             }
         }
@@ -71,6 +76,7 @@ fn bench_input_queue() {
 }
 
 fn bench_machine() {
+    let mut finished = Vec::new();
     bench("machine/processor_sharing_1k_tasks", 1_000, || {
         let mut m = Machine::new(MachineId(0));
         let mut now = SimTime::ZERO;
@@ -79,7 +85,9 @@ fn bench_machine() {
             m.submit(now, 0.000_1, i).unwrap();
             now = m.next_completion().unwrap();
             m.advance(now);
-            black_box(m.collect_finished());
+            finished.clear();
+            m.collect_finished_into(&mut finished);
+            black_box(finished.len());
         }
         black_box(m.work_done());
     });

@@ -1,0 +1,218 @@
+//! Allocation-budget micro-benchmarks (requires `--features bench`).
+//!
+//! Runs every figure serially under the counting global allocator
+//! ([`sps_sim::counting_alloc`]) and reports, per figure, wall time,
+//! events, events/second, heap allocations, and allocations/event. A
+//! second section measures checkpoint-capture cost directly: an
+//! [`OutputQueue`] is filled to depths 10² and 10⁴ and `snapshot()` is
+//! timed at each, demonstrating that capture clones chunk pointers (a
+//! single spine allocation regardless of depth) rather than elements.
+//!
+//! The report is written as JSON to `BENCH_micro.json` (or `--out
+//! <path>`); pass `--quick` for the reduced figure scale.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use sps_bench::common::{Experiment, RunOpts, Scale};
+use sps_bench::experiments::*;
+use sps_bench::runner::Runner;
+use sps_engine::{OutputQueue, Payload, StreamId};
+use sps_sim::counting_alloc::{self, CountingAllocator};
+use sps_sim::SimTime;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+type FigureFn = fn(&Runner, Scale, u64) -> Experiment;
+
+/// Every figure and ablation, in the `all_figures` printing order.
+fn figure_list() -> Vec<(&'static str, FigureFn)> {
+    vec![
+        ("fig01", fig01_03::fig01),
+        ("fig02", fig01_03::fig02),
+        ("fig03", fig01_03::fig03),
+        ("fig04", fig04_05::fig04),
+        ("fig05", fig04_05::fig05),
+        ("fig06", fig06::fig06),
+        ("fig07", fig07_08::fig07),
+        ("fig08", fig07_08::fig08),
+        ("fig09", fig09_11::fig09),
+        ("fig10", fig09_11::fig10),
+        ("fig11", fig09_11::fig11),
+        ("fig12", fig12_13::fig12),
+        ("fig13", fig12_13::fig13),
+        ("ablation_checkpointing", ablation::ablation_checkpointing),
+        ("ablation_detectors", detectors::ablation_detectors),
+        (
+            "ablation_hybrid_optimizations",
+            hybrid_opts::ablation_hybrid_optimizations,
+        ),
+    ]
+}
+
+struct FigureAllocs {
+    name: &'static str,
+    wall_ms: f64,
+    events: u64,
+    events_per_sec: f64,
+    allocations: u64,
+    alloc_bytes: u64,
+    allocs_per_event: f64,
+}
+
+struct CaptureCost {
+    depth: usize,
+    ns_per_capture: f64,
+    allocs_per_capture: f64,
+}
+
+/// Fills an output queue to `depth` retained elements, then times repeated
+/// checkpoint captures. The queue is mutated between captures (one
+/// produce) so the copy-on-write tail-chunk clone is part of the measured
+/// steady state, exactly as in a live checkpoint cadence.
+fn capture_cost(depth: usize) -> CaptureCost {
+    let mut q: OutputQueue<()> = OutputQueue::new(StreamId(0));
+    for i in 0..depth {
+        q.produce(Payload::new(i as u64, 0.0), SimTime::ZERO);
+    }
+    let captures = 10_000;
+    // Warm up: the first capture shares chunks, the first produce after it
+    // pays the one-off tail-chunk copy.
+    black_box(q.snapshot());
+    q.produce(Payload::new(0, 0.0), SimTime::ZERO);
+    let alloc0 = counting_alloc::allocations();
+    let t0 = Instant::now();
+    for i in 0..captures {
+        black_box(q.snapshot());
+        q.produce(Payload::new(i, 1.0), SimTime::ZERO);
+    }
+    let elapsed = t0.elapsed();
+    let allocs = counting_alloc::allocations() - alloc0;
+    CaptureCost {
+        depth,
+        ns_per_capture: elapsed.as_nanos() as f64 / captures as f64,
+        allocs_per_capture: allocs as f64 / captures as f64,
+    }
+}
+
+/// Reads `--out <path>` / `--out=<path>` from argv (default
+/// `BENCH_micro.json`).
+fn out_path() -> String {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            if let Some(p) = args.next() {
+                return p;
+            }
+        } else if let Some(p) = a.strip_prefix("--out=") {
+            return p.to_string();
+        }
+    }
+    "BENCH_micro.json".to_string()
+}
+
+fn json_f(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let opts = RunOpts::parse();
+    let out = out_path();
+    let figures = figure_list();
+    let scale_name = opts.scale.pick("full", "quick");
+
+    eprintln!(
+        "bench_micro: counting allocations over {} figures ({scale_name} scale, seed {})",
+        figures.len(),
+        opts.seed
+    );
+    let serial = Runner::serial();
+    let mut per_figure: Vec<FigureAllocs> = Vec::new();
+    for &(name, f) in &figures {
+        sps_sim::stats::take(); // delimit this figure's counter window
+        let alloc0 = counting_alloc::allocations();
+        let bytes0 = counting_alloc::allocated_bytes();
+        let t0 = Instant::now();
+        let _ = f(&serial, opts.scale, opts.seed);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let stats = sps_sim::stats::take();
+        let allocations = counting_alloc::allocations() - alloc0;
+        let alloc_bytes = counting_alloc::allocated_bytes() - bytes0;
+        let allocs_per_event = allocations as f64 / (stats.events_processed as f64).max(1.0);
+        eprintln!(
+            "  {name}: {wall_ms:.0} ms, {} events, {allocations} allocations \
+             ({allocs_per_event:.4}/event)",
+            stats.events_processed
+        );
+        per_figure.push(FigureAllocs {
+            name,
+            wall_ms,
+            events: stats.events_processed,
+            events_per_sec: stats.events_processed as f64 / (wall_ms / 1e3).max(1e-9),
+            allocations,
+            alloc_bytes,
+            allocs_per_event,
+        });
+    }
+
+    eprintln!("bench_micro: checkpoint-capture cost vs queue depth");
+    let captures: Vec<CaptureCost> = [100, 10_000].iter().map(|&d| capture_cost(d)).collect();
+    for c in &captures {
+        eprintln!(
+            "  depth {}: {:.0} ns/capture, {:.3} allocations/capture",
+            c.depth, c.ns_per_capture, c.allocs_per_capture
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"sps-bench-micro-v1\",\n");
+    json.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
+    json.push_str(&format!("  \"seed\": {},\n", opts.seed));
+    json.push_str("  \"figures\": [\n");
+    for (i, b) in per_figure.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_ms\": {}, \"events\": {}, \
+             \"events_per_sec\": {}, \"allocations\": {}, \"alloc_bytes\": {}, \
+             \"allocs_per_event\": {}}}{}\n",
+            b.name,
+            json_f(b.wall_ms),
+            b.events,
+            json_f(b.events_per_sec),
+            b.allocations,
+            b.alloc_bytes,
+            json_f(b.allocs_per_event),
+            if i + 1 < per_figure.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"checkpoint_capture\": [\n");
+    for (i, c) in captures.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"depth\": {}, \"ns_per_capture\": {}, \"allocs_per_capture\": {}}}{}\n",
+            c.depth,
+            json_f(c.ns_per_capture),
+            json_f(c.allocs_per_capture),
+            if i + 1 < captures.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: could not write {out}: {e}");
+        std::process::exit(1);
+    }
+    let total_events: u64 = per_figure.iter().map(|b| b.events).sum();
+    let total_allocs: u64 = per_figure.iter().map(|b| b.allocations).sum();
+    println!(
+        "bench_micro: {total_events} events, {total_allocs} allocations \
+         ({:.4}/event) — report written to {out}",
+        total_allocs as f64 / (total_events as f64).max(1.0)
+    );
+}

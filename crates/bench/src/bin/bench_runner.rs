@@ -131,6 +131,21 @@ fn main() {
     let _ = runner.run_cells(cells);
     let parallel_total_ms = t0.elapsed().as_secs_f64() * 1e3;
     let speedup = serial_total_ms / parallel_total_ms.max(1e-9);
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // A 1-core host (or --jobs 1) serializes the "parallel" pass, so its
+    // speedup only measures runner overhead; say so in the report.
+    let parallel_note = if host_cores.min(opts.jobs) <= 1 {
+        Some(format!(
+            "parallel pass ran on {} effective core(s) (host has {host_cores}, --jobs {}); \
+             speedup reflects runner overhead, not parallelism",
+            host_cores.min(opts.jobs),
+            opts.jobs
+        ))
+    } else {
+        None
+    };
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -138,12 +153,8 @@ fn main() {
     json.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
     json.push_str(&format!("  \"seed\": {},\n", opts.seed));
     json.push_str(&format!("  \"jobs\": {},\n", opts.jobs));
-    json.push_str(&format!(
-        "  \"available_parallelism\": {},\n",
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    ));
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    json.push_str(&format!("  \"available_parallelism\": {host_cores},\n"));
     json.push_str("  \"figures\": [\n");
     for (i, b) in per_figure.iter().enumerate() {
         json.push_str(&format!(
@@ -166,7 +177,14 @@ fn main() {
         "  \"parallel_total_ms\": {},\n",
         json_f(parallel_total_ms)
     ));
-    json.push_str(&format!("  \"speedup\": {}\n", json_f(speedup)));
+    json.push_str(&format!("  \"speedup\": {},\n", json_f(speedup)));
+    json.push_str(&format!(
+        "  \"parallel_note\": {}\n",
+        match &parallel_note {
+            Some(note) => format!("\"{note}\""),
+            None => "null".to_string(),
+        }
+    ));
     json.push_str("}\n");
 
     if let Err(e) = std::fs::write(&out, &json) {
@@ -178,4 +196,7 @@ fn main() {
          {parallel_total_ms:.0} ms, speedup {speedup:.2}x — report written to {out}",
         opts.jobs
     );
+    if let Some(note) = &parallel_note {
+        println!("bench_runner: note: {note}");
+    }
 }

@@ -280,10 +280,18 @@ impl Machine {
     /// Call after [`Machine::advance`] at a completion instant. Completion
     /// order among simultaneous finishers follows submission order.
     pub fn collect_finished(&mut self) -> Vec<FinishedTask> {
+        let mut finished = Vec::new();
+        self.collect_finished_into(&mut finished);
+        finished
+    }
+
+    /// Like [`Machine::collect_finished`], appending into a caller-owned
+    /// buffer so the per-completion hot path can reuse one allocation.
+    pub fn collect_finished_into(&mut self, finished: &mut Vec<FinishedTask>) {
         // One nanosecond of full-speed CPU: absorbs the rounding of
         // completion instants to integer nanoseconds.
         const EPS: f64 = 1e-9;
-        let mut finished = Vec::new();
+        let before = finished.len();
         self.tasks.retain(|t| {
             if t.remaining <= EPS {
                 finished.push(FinishedTask {
@@ -295,8 +303,7 @@ impl Machine {
                 true
             }
         });
-        self.tasks_completed += finished.len() as u64;
-        finished
+        self.tasks_completed += (finished.len() - before) as u64;
     }
 
     /// Fail-stops the machine: all active tasks are lost and no new work is

@@ -30,8 +30,6 @@
 //!   [`Network::messages_duplicated`]; the extra copy is bookkept by the
 //!   receiver, not here.
 
-use std::collections::{HashMap, HashSet};
-
 use sps_sim::{SimDuration, SimRng, SimTime};
 
 use crate::chaos::FaultProfile;
@@ -108,21 +106,29 @@ impl Delivery {
 pub struct Network {
     config: NetworkConfig,
     /// Per ordered (src, dst) pair: when the link serializer frees up.
-    /// Machine ids are small and dense, so this is a row-major
-    /// `busy_stride × busy_stride` matrix indexed by raw ids — the send
-    /// path's only per-message state lookup, and the reason it is an array
-    /// index rather than a hash.
+    /// Machine ids are small and dense, so all per-link state lives in
+    /// row-major `stride × stride` matrices indexed by raw ids — the send
+    /// path's per-message lookups are array indexes rather than hashes.
     link_busy: Vec<SimTime>,
-    /// Side length of the `link_busy` matrix (max machine id seen + 1).
-    busy_stride: usize,
-    /// Unordered partitioned pairs; messages between them are dropped.
-    partitions: HashSet<(MachineId, MachineId)>,
+    /// Per unordered pair (stored at the `(min, max)` index): `true` while
+    /// the pair is partitioned and messages between them are dropped.
+    partitioned: Vec<bool>,
     /// Per ordered (src, dst) pair: installed chaos fault profile.
-    link_faults: HashMap<(MachineId, MachineId), FaultProfile>,
+    faults: Vec<Option<FaultProfile>>,
+    /// Per ordered (src, dst) pair: `true` while the link sits in the
+    /// Gilbert–Elliott bad state.
+    burst_bad: Vec<bool>,
+    /// Side length of the link matrices (max machine id seen + 1, rounded
+    /// up to a power of two).
+    stride: usize,
+    /// Number of `true` entries in `partitioned`; lets the send path skip
+    /// the partition lookup entirely on healthy networks.
+    partition_count: usize,
+    /// Number of `Some` entries in `faults`; with `default_faults` it lets
+    /// the send path skip the profile lookup when no chaos is installed.
+    fault_count: usize,
     /// Profile applied to links without a per-link profile.
     default_faults: Option<FaultProfile>,
-    /// Ordered links currently in the Gilbert–Elliott bad state.
-    burst_bad: HashSet<(MachineId, MachineId)>,
     /// Dedicated RNG stream for chaos draws; consumed only for sends that
     /// an active profile covers.
     chaos_rng: SimRng,
@@ -144,11 +150,13 @@ impl Network {
         Network {
             config,
             link_busy: Vec::new(),
-            busy_stride: 0,
-            partitions: HashSet::new(),
-            link_faults: HashMap::new(),
+            partitioned: Vec::new(),
+            faults: Vec::new(),
+            burst_bad: Vec::new(),
+            stride: 0,
+            partition_count: 0,
+            fault_count: 0,
             default_faults: None,
-            burst_bad: HashSet::new(),
             chaos_rng: SimRng::seed_from(0),
             messages_sent: 0,
             messages_dropped: 0,
@@ -166,19 +174,19 @@ impl Network {
         // Offered-traffic counters always move together (see module docs).
         self.messages_sent += 1;
         self.bytes_sent += bytes;
-        if !self.partitions.is_empty() && self.is_partitioned(src, dst) {
+        self.ensure_stride(src, dst);
+        if self.partition_count > 0 && self.partitioned[self.pair_idx(src, dst)] {
             self.messages_dropped += 1;
             self.bytes_dropped += bytes;
             return Delivery::Dropped;
         }
         // Loopback never traverses a faulty link, and most runs install no
         // profiles at all — skip the per-send lookup in both cases.
-        let profile =
-            if src == dst || (self.link_faults.is_empty() && self.default_faults.is_none()) {
-                None
-            } else {
-                self.profile_for(src, dst)
-            };
+        let profile = if src == dst || (self.fault_count == 0 && self.default_faults.is_none()) {
+            None
+        } else {
+            self.faults[self.link_idx(src, dst)].or(self.default_faults)
+        };
         if let Some(p) = profile {
             if self.chaos_loses(src, dst, &p) {
                 self.messages_dropped += 1;
@@ -195,7 +203,7 @@ impl Network {
             bytes as f64 / self.config.bandwidth_bytes_per_sec * delay_factor,
         );
         let latency = SimDuration::from_secs_f64(self.config.latency.as_secs_f64() * delay_factor);
-        let busy = self.busy_slot(src, dst);
+        let busy = &mut self.link_busy[src.0 as usize * self.stride + dst.0 as usize];
         let start = if *busy > now { *busy } else { now };
         let done_serializing = start + ser;
         *busy = done_serializing;
@@ -217,43 +225,61 @@ impl Network {
         Delivery::At(arrival)
     }
 
-    /// The busy-until slot for the directed link `src -> dst`, growing the
-    /// matrix on first contact with a new machine id. Growth is rare (ids
-    /// are assigned densely at cluster construction) and rebuilds preserve
-    /// existing link state.
-    fn busy_slot(&mut self, src: MachineId, dst: MachineId) -> &mut SimTime {
-        let (s, d) = (src.0 as usize, dst.0 as usize);
-        let need = s.max(d) + 1;
-        if need > self.busy_stride {
-            let old_stride = self.busy_stride;
-            let new_stride = need.next_power_of_two();
-            let mut grown = vec![SimTime::ZERO; new_stride * new_stride];
-            for row in 0..old_stride {
-                for col in 0..old_stride {
-                    grown[row * new_stride + col] = self.link_busy[row * old_stride + col];
-                }
-            }
-            self.link_busy = grown;
-            self.busy_stride = new_stride;
+    /// Grows every link matrix on first contact with a new machine id.
+    /// Growth is rare (ids are assigned densely at cluster construction)
+    /// and rebuilds preserve existing link state.
+    fn ensure_stride(&mut self, src: MachineId, dst: MachineId) {
+        let need = (src.0 as usize).max(dst.0 as usize) + 1;
+        if need <= self.stride {
+            return;
         }
-        &mut self.link_busy[s * self.busy_stride + d]
+        let old = self.stride;
+        let new = need.next_power_of_two();
+        let mut busy = vec![SimTime::ZERO; new * new];
+        let mut partitioned = vec![false; new * new];
+        let mut faults = vec![None; new * new];
+        let mut burst_bad = vec![false; new * new];
+        for row in 0..old {
+            for col in 0..old {
+                busy[row * new + col] = self.link_busy[row * old + col];
+                partitioned[row * new + col] = self.partitioned[row * old + col];
+                faults[row * new + col] = self.faults[row * old + col];
+                burst_bad[row * new + col] = self.burst_bad[row * old + col];
+            }
+        }
+        self.link_busy = busy;
+        self.partitioned = partitioned;
+        self.faults = faults;
+        self.burst_bad = burst_bad;
+        self.stride = new;
+    }
+
+    /// Matrix index of the directed link `src -> dst`. Both ids must be
+    /// below the current stride.
+    #[inline]
+    fn link_idx(&self, src: MachineId, dst: MachineId) -> usize {
+        src.0 as usize * self.stride + dst.0 as usize
+    }
+
+    /// Matrix index of the unordered pair `{a, b}`, normalized to the
+    /// `(min, max)` slot so both directions agree.
+    #[inline]
+    fn pair_idx(&self, a: MachineId, b: MachineId) -> usize {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        self.link_idx(lo, hi)
     }
 
     /// Runs the loss draws for one covered send: Gilbert–Elliott chain
     /// first (state re-drawn per message), then independent loss.
     fn chaos_loses(&mut self, src: MachineId, dst: MachineId, p: &FaultProfile) -> bool {
         if let Some(b) = &p.burst {
-            let was_bad = self.burst_bad.contains(&(src, dst));
-            let bad_now = if was_bad {
+            let idx = self.link_idx(src, dst);
+            let bad_now = if self.burst_bad[idx] {
                 !self.chaos_rng.chance(b.bad_to_good)
             } else {
                 self.chaos_rng.chance(b.good_to_bad)
             };
-            if bad_now {
-                self.burst_bad.insert((src, dst));
-            } else {
-                self.burst_bad.remove(&(src, dst));
-            }
+            self.burst_bad[idx] = bad_now;
             if bad_now && self.chaos_rng.chance(b.bad_loss_prob) {
                 return true;
             }
@@ -272,14 +298,25 @@ impl Network {
     /// [`FaultProfile::blackhole`] models a one-way partition.
     pub fn set_link_faults(&mut self, src: MachineId, dst: MachineId, profile: FaultProfile) {
         profile.validate();
-        self.link_faults.insert((src, dst), profile);
+        self.ensure_stride(src, dst);
+        let idx = self.link_idx(src, dst);
+        if self.faults[idx].is_none() {
+            self.fault_count += 1;
+        }
+        self.faults[idx] = Some(profile);
     }
 
     /// Removes any profile from the directed link `src -> dst` and resets
     /// its burst state.
     pub fn clear_link_faults(&mut self, src: MachineId, dst: MachineId) {
-        self.link_faults.remove(&(src, dst));
-        self.burst_bad.remove(&(src, dst));
+        if (src.0 as usize).max(dst.0 as usize) >= self.stride {
+            return;
+        }
+        let idx = self.link_idx(src, dst);
+        if self.faults[idx].take().is_some() {
+            self.fault_count -= 1;
+        }
+        self.burst_bad[idx] = false;
     }
 
     /// Sets (or with `None` clears) the profile applied to every inter-machine
@@ -290,42 +327,51 @@ impl Network {
             p.validate();
         }
         if profile.is_none() {
-            let link_faults = &self.link_faults;
-            self.burst_bad.retain(|link| link_faults.contains_key(link));
+            for (bad, fault) in self.burst_bad.iter_mut().zip(&self.faults) {
+                if fault.is_none() {
+                    *bad = false;
+                }
+            }
         }
         self.default_faults = profile;
     }
 
     /// The profile covering the directed link `src -> dst`, if any.
     pub fn profile_for(&self, src: MachineId, dst: MachineId) -> Option<FaultProfile> {
-        self.link_faults
-            .get(&(src, dst))
-            .copied()
-            .or(self.default_faults)
+        let per_link = if (src.0 as usize).max(dst.0 as usize) < self.stride {
+            self.faults[self.link_idx(src, dst)]
+        } else {
+            None
+        };
+        per_link.or(self.default_faults)
     }
 
     /// Removes all per-link and default fault profiles and burst state.
     /// Partitions are untouched (they are topology, not chaos).
     pub fn clear_all_faults(&mut self) {
-        self.link_faults.clear();
+        self.faults.fill(None);
+        self.fault_count = 0;
         self.default_faults = None;
-        self.burst_bad.clear();
+        self.burst_bad.fill(false);
     }
 
     /// Cuts (or heals) the link between two machines, in both directions.
     pub fn set_partitioned(&mut self, a: MachineId, b: MachineId, partitioned: bool) {
-        let key = if a <= b { (a, b) } else { (b, a) };
-        if partitioned {
-            self.partitions.insert(key);
-        } else {
-            self.partitions.remove(&key);
+        self.ensure_stride(a, b);
+        let idx = self.pair_idx(a, b);
+        if self.partitioned[idx] != partitioned {
+            self.partitioned[idx] = partitioned;
+            if partitioned {
+                self.partition_count += 1;
+            } else {
+                self.partition_count -= 1;
+            }
         }
     }
 
     /// `true` if messages between `a` and `b` are currently dropped.
     pub fn is_partitioned(&self, a: MachineId, b: MachineId) -> bool {
-        let key = if a <= b { (a, b) } else { (b, a) };
-        self.partitions.contains(&key)
+        (a.0 as usize).max(b.0 as usize) < self.stride && self.partitioned[self.pair_idx(a, b)]
     }
 
     /// Total messages offered to the network (delivered or not).

@@ -330,19 +330,22 @@ impl HaWorld {
     /// Drains every active connection of a source's queue and transmits.
     pub(crate) fn dispatch_source_outputs(&mut self, ctx: &mut Ctx<Event>, s: usize) {
         let src_machine = self.placement.sources[s];
-        // One world-owned element buffer serves every hop; spans remember
-        // which slice of it belongs to which destination.
+        // World-owned buffers serve every hop: one element buffer, with
+        // spans remembering which slice belongs to which destination, and
+        // one connection list — the steady-state loop allocates nothing.
         let mut elems = std::mem::take(&mut self.dispatch_scratch);
-        let mut spans: Vec<(Dest, usize, usize)> = Vec::new();
+        let mut spans = std::mem::take(&mut self.span_scratch);
+        let mut conns = std::mem::take(&mut self.conn_scratch);
         {
-            let dests: Vec<(usize, Dest)> = {
+            {
                 let q = self.sources[s].queue();
-                (0..q.connections().len())
-                    .filter(|&ci| q.connection(ConnectionId(ci)).active)
-                    .map(|ci| (ci, q.connection(ConnectionId(ci)).dest))
-                    .collect()
-            };
-            for (ci, dest) in dests {
+                conns.extend(
+                    (0..q.connections().len())
+                        .filter(|&ci| q.connection(ConnectionId(ci)).active)
+                        .map(|ci| (0, ci, q.connection(ConnectionId(ci)).dest)),
+                );
+            }
+            for &(_, ci, dest) in &conns {
                 // A partitioned link behaves like a stalled TCP connection:
                 // the send cursor stays put and the backlog flows on heal.
                 let dst = self.dest_machine(dest);
@@ -369,13 +372,17 @@ impl HaWorld {
                 }
             }
         }
-        for (dest, start, end) in spans {
+        for &(dest, start, end) in &spans {
             for &elem in &elems[start..end] {
                 self.send_data(ctx, src_machine, false, dest, elem);
             }
         }
         elems.clear();
+        spans.clear();
+        conns.clear();
         self.dispatch_scratch = elems;
+        self.span_scratch = spans;
+        self.conn_scratch = conns;
     }
 
     /// Transmits one element, classifying redundant copies and accounting
@@ -422,26 +429,27 @@ impl HaWorld {
         let src_machine = self.instance_machine[slot];
         // Same reused-buffer pattern as `dispatch_source_outputs`.
         let mut elems = std::mem::take(&mut self.dispatch_scratch);
-        let mut spans: Vec<(Dest, usize, usize)> = Vec::new();
+        let mut spans = std::mem::take(&mut self.span_scratch);
+        let mut conns = std::mem::take(&mut self.conn_scratch);
         {
-            let conns: Vec<(usize, usize, Dest)> = {
+            {
                 let inst = match self.instances[slot].as_ref() {
                     Some(i) => i,
                     None => {
                         self.dispatch_scratch = elems;
+                        self.span_scratch = spans;
+                        self.conn_scratch = conns;
                         return;
                     }
                 };
-                (0..inst.output_ports())
-                    .flat_map(|port| {
-                        (0..inst.output(port).connections().len()).filter_map(move |ci| {
-                            let c = inst.output(port).connection(ConnectionId(ci));
-                            c.active.then_some((port, ci, c.dest))
-                        })
+                conns.extend((0..inst.output_ports()).flat_map(|port| {
+                    (0..inst.output(port).connections().len()).filter_map(move |ci| {
+                        let c = inst.output(port).connection(ConnectionId(ci));
+                        c.active.then_some((port, ci, c.dest))
                     })
-                    .collect()
-            };
-            for (port, ci, dest) in conns {
+                }));
+            }
+            for &(port, ci, dest) in &conns {
                 // Stalled-TCP semantics across partitions: keep the cursor.
                 let dst = self.dest_machine(dest);
                 if self.cluster.network().is_partitioned(src_machine, dst) {
@@ -468,13 +476,17 @@ impl HaWorld {
             }
         }
         let produced_by_secondary = replica == Replica::Secondary;
-        for (dest, start, end) in spans {
+        for &(dest, start, end) in &spans {
             for &elem in &elems[start..end] {
                 self.send_data(ctx, src_machine, produced_by_secondary, dest, elem);
             }
         }
         elems.clear();
+        spans.clear();
+        conns.clear();
         self.dispatch_scratch = elems;
+        self.span_scratch = spans;
+        self.conn_scratch = conns;
     }
 
     // ---- machine tick: CPU task completions ----
@@ -485,8 +497,13 @@ impl HaWorld {
             return;
         }
         self.cluster.machine_mut(m).advance(ctx.now());
-        let finished = self.cluster.machine_mut(m).collect_finished();
-        for task in finished {
+        // Reused world scratch: completions fire once per task — the
+        // steady-state hot path — so the buffer must not allocate.
+        let mut finished = std::mem::take(&mut self.task_scratch);
+        self.cluster
+            .machine_mut(m)
+            .collect_finished_into(&mut finished);
+        for task in &finished {
             match TaskTag::decode(task.tag) {
                 TaskTag::PeWork { slot, epoch } => self.on_pe_work_done(ctx, slot, epoch),
                 TaskTag::HeartbeatReply { monitor, seq } => {
@@ -495,6 +512,8 @@ impl HaWorld {
                 TaskTag::Benchmark { det } => self.on_benchmark_done(ctx, det),
             }
         }
+        finished.clear();
+        self.task_scratch = finished;
         self.rearm_machine(ctx, m);
     }
 
@@ -510,10 +529,16 @@ impl HaWorld {
             return;
         }
         let (pe, replica) = unslot(slot);
+        // The produced elements land in the output queues and are dispatched
+        // by draining connections below; the completion buffer is reused
+        // world scratch so finishing an element allocates nothing.
+        let mut finished = std::mem::take(&mut self.finish_scratch);
         self.instances[slot]
             .as_mut()
             .expect("checked")
-            .finish_inflight(ctx.now());
+            .finish_inflight_into(ctx.now(), &mut finished);
+        finished.clear();
+        self.finish_scratch = finished;
         self.dispatch_outputs(ctx, slot);
 
         // Acknowledgment policy: the primary-role copy of a checkpointing
@@ -547,27 +572,31 @@ impl HaWorld {
     pub(crate) fn send_instance_acks(&mut self, ctx: &mut Ctx<Event>, slot: usize) {
         let (pe, replica) = unslot(slot);
         let from_machine = self.instance_machine[slot];
-        let ports = match self.instances[slot].as_ref() {
-            Some(i) => i.input_ports(),
-            None => return,
-        };
-        let positions: Vec<Vec<(StreamId, u64)>> = (0..ports)
-            .map(|p| {
-                self.instances[slot]
-                    .as_ref()
-                    .expect("checked")
-                    .input_positions(p)
-            })
-            .collect();
-        let from = |port| Dest::Pe {
-            inst: sps_engine::InstanceId { pe, replica },
-            port,
-        };
-        for (port, streams) in positions.into_iter().enumerate() {
-            for (stream, seq) in streams {
-                self.send_acks_for_stream(ctx, from_machine, from(port), stream, seq);
+        let mut positions = std::mem::take(&mut self.ack_scratch);
+        match self.instances[slot].as_ref() {
+            Some(inst) => {
+                for port in 0..inst.input_ports() {
+                    positions.extend(
+                        inst.input(port)
+                            .positions_iter()
+                            .map(|(stream, seq)| (port, stream, seq)),
+                    );
+                }
+            }
+            None => {
+                self.ack_scratch = positions;
+                return;
             }
         }
+        for &(port, stream, seq) in &positions {
+            let from = Dest::Pe {
+                inst: sps_engine::InstanceId { pe, replica },
+                port,
+            };
+            self.send_acks_for_stream(ctx, from_machine, from, stream, seq);
+        }
+        positions.clear();
+        self.ack_scratch = positions;
     }
 
     /// Sends an ack for one stream position to every serving producer copy.
@@ -582,7 +611,7 @@ impl HaWorld {
         if seq == 0 {
             return; // nothing processed yet
         }
-        for (addr, machine) in self.ack_targets(stream) {
+        for (addr, machine) in self.ack_targets(stream).into_iter().flatten() {
             self.send_msg(
                 ctx,
                 from_machine,
@@ -598,25 +627,32 @@ impl HaWorld {
         }
     }
 
-    /// The producer copies that should receive acks for `stream`.
-    pub(crate) fn ack_targets(&self, stream: StreamId) -> Vec<(ProducerAddr, MachineId)> {
+    /// The producer copies that should receive acks for `stream` — at most
+    /// two (a source, or up to both serving replicas of a PE), returned in
+    /// a fixed-size array so the per-element ack path never allocates.
+    pub(crate) fn ack_targets(&self, stream: StreamId) -> [Option<(ProducerAddr, MachineId)>; 2] {
         match self.job.producer(stream) {
-            sps_engine::Producer::Source(src) => {
-                vec![(
+            sps_engine::Producer::Source(src) => [
+                Some((
                     ProducerAddr::Source(src),
                     self.placement.sources[src.0 as usize],
-                )]
+                )),
+                None,
+            ],
+            sps_engine::Producer::Pe(pe, port) => {
+                let mut out = [None, None];
+                let mut n = 0;
+                for r in Replica::BOTH {
+                    if self.slot_is_serving(slot_of(pe, r)) {
+                        out[n] = Some((
+                            ProducerAddr::Instance(sps_engine::InstanceId { pe, replica: r }, port),
+                            self.instance_machine[slot_of(pe, r)],
+                        ));
+                        n += 1;
+                    }
+                }
+                out
             }
-            sps_engine::Producer::Pe(pe, port) => Replica::BOTH
-                .into_iter()
-                .filter(|&r| self.slot_is_serving(slot_of(pe, r)))
-                .map(|r| {
-                    (
-                        ProducerAddr::Instance(sps_engine::InstanceId { pe, replica: r }, port),
-                        self.instance_machine[slot_of(pe, r)],
-                    )
-                })
-                .collect(),
         }
     }
 

@@ -230,6 +230,12 @@ impl HaSimulation {
         self.sim.run_until(at);
     }
 
+    /// Events handled so far (allocation and throughput benchmarks use
+    /// this to delimit steady-state windows).
+    pub fn events_processed(&self) -> u64 {
+        self.sim.events_processed()
+    }
+
     /// The current simulated time.
     pub fn now(&self) -> SimTime {
         self.sim.now()

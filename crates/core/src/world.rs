@@ -464,6 +464,22 @@ pub struct HaWorld {
     /// Reusable buffer for the dispatch hot path: elements drained from a
     /// hop's output connections, emptied before return.
     pub(crate) dispatch_scratch: Vec<sps_engine::DataElement>,
+    /// Reusable buffer for dispatch: `(dest, start, end)` spans into
+    /// `dispatch_scratch`, emptied before return.
+    pub(crate) span_scratch: Vec<(sps_engine::Dest, usize, usize)>,
+    /// Reusable buffer for dispatch: `(port, conn, dest)` of the active
+    /// connections of the hop being dispatched, emptied before return.
+    pub(crate) conn_scratch: Vec<(usize, usize, sps_engine::Dest)>,
+    /// Reusable buffer for element completion: `(port, element)` outputs of
+    /// the element just finished, emptied before return.
+    pub(crate) finish_scratch: Vec<(usize, sps_engine::DataElement)>,
+    /// Reusable buffer for acknowledgment generation: `(port, stream,
+    /// processed-through)` triples of the instance being acked, emptied
+    /// before return.
+    pub(crate) ack_scratch: Vec<(usize, sps_engine::StreamId, u64)>,
+    /// Reusable buffer for machine ticks: the tasks that just completed on
+    /// the ticking machine, emptied before return.
+    pub(crate) task_scratch: Vec<sps_cluster::FinishedTask>,
 }
 
 impl HaWorld {
@@ -580,6 +596,11 @@ impl HaWorld {
             rel_seen: BTreeSet::new(),
             rel_sweep_prev: BTreeMap::new(),
             dispatch_scratch: Vec::new(),
+            span_scratch: Vec::new(),
+            conn_scratch: Vec::new(),
+            finish_scratch: Vec::new(),
+            ack_scratch: Vec::new(),
+            task_scratch: Vec::new(),
             cfg,
             placement,
             cluster,

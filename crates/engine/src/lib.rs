@@ -32,12 +32,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod chunk;
 mod element;
 mod job;
 mod operator;
 mod pe;
 mod queue;
 
+pub use chunk::{ChunkedDeque, CHUNK_CAP};
 pub use element::{DataElement, Payload, PeId, StreamId, DEFAULT_ELEMENT_BYTES, FIRST_SEQ};
 pub use job::{BuildJobError, Consumer, Job, JobBuilder, PeSpec, Producer, SourceId, SubjobId};
 pub use operator::{AggKind, Emitter, Operator, OperatorFactory, OperatorSpec, OperatorState};

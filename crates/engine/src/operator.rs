@@ -46,6 +46,12 @@ impl Emitter {
         std::mem::take(&mut self.items)
     }
 
+    /// Drains the collected outputs in place, keeping the buffer's capacity
+    /// for reuse — the allocation-free alternative to [`Emitter::take`].
+    pub fn drain(&mut self) -> std::vec::Drain<'_, (usize, Payload)> {
+        self.items.drain(..)
+    }
+
     /// Number of outputs collected so far.
     pub fn len(&self) -> usize {
         self.items.len()

@@ -14,6 +14,7 @@ use std::fmt;
 
 use sps_sim::SimTime;
 
+use crate::chunk::ChunkedDeque;
 use crate::element::{DataElement, PeId, StreamId};
 use crate::operator::{Emitter, Operator, OperatorSpec, OperatorState};
 use crate::queue::{ConnectionId, InputQueue, Offer, OutputQueue, OutputQueueState};
@@ -108,8 +109,8 @@ pub struct PeCheckpoint {
     /// checkpoints (§III-B excludes input queues); populated only by the
     /// hybrid rollback's read-state operation, which transfers the
     /// secondary's backlog so the primary "can jump to the latest state
-    /// directly" (§IV-B).
-    pub input_backlog: Vec<Vec<DataElement>>,
+    /// directly" (§IV-B). Captured as chunk pointers, not element copies.
+    pub input_backlog: Vec<ChunkedDeque>,
     /// When the snapshot was taken.
     pub taken_at: SimTime,
 }
@@ -162,6 +163,9 @@ pub struct PeInstance {
     inflight: Option<(DataElement, usize)>,
     next_input_port: usize,
     processed_total: u64,
+    /// Reused per-element output collector; capacity persists across
+    /// elements so the steady-state processing loop never allocates.
+    scratch_emitter: Emitter,
 }
 
 impl PeInstance {
@@ -184,6 +188,7 @@ impl PeInstance {
             inflight: None,
             next_input_port: 0,
             processed_total: 0,
+            scratch_emitter: Emitter::default(),
         }
     }
 
@@ -286,23 +291,33 @@ impl PeInstance {
     ///
     /// Panics if no element is in flight.
     pub fn finish_inflight(&mut self, now: SimTime) -> Vec<(usize, DataElement)> {
+        let mut out = Vec::new();
+        self.finish_inflight_into(now, &mut out);
+        out
+    }
+
+    /// Like [`PeInstance::finish_inflight`], but appends the produced
+    /// elements to a caller-owned buffer — the runtime's hot path reuses one
+    /// scratch buffer per world so completing an element allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no element is in flight.
+    pub fn finish_inflight_into(&mut self, now: SimTime, out: &mut Vec<(usize, DataElement)>) {
         let (elem, port) = self
             .inflight
             .take()
             .expect("finish_inflight called with no element in flight");
-        let mut emitter = Emitter::default();
+        let mut emitter = std::mem::take(&mut self.scratch_emitter);
         self.operator.process(port, &elem, &mut emitter);
         self.inputs[port].mark_processed(elem.stream, elem.seq);
         self.processed_total += 1;
         let _ = now;
-        emitter
-            .take()
-            .into_iter()
-            .map(|(out_port, payload)| {
-                let produced = self.outputs[out_port].produce(payload, elem.created_at);
-                (out_port, produced)
-            })
-            .collect()
+        for (out_port, payload) in emitter.drain() {
+            let produced = self.outputs[out_port].produce(payload, elem.created_at);
+            out.push((out_port, produced));
+        }
+        self.scratch_emitter = emitter;
     }
 
     /// `true` while an element is being processed on the CPU.
@@ -407,7 +422,7 @@ impl PeInstance {
             state_elements: self.operator.state_size_elements(),
             outputs: self.outputs.iter().map(OutputQueue::snapshot).collect(),
             input_positions: self.inputs.iter().map(InputQueue::positions).collect(),
-            input_backlog: vec![Vec::new(); self.inputs.len()],
+            input_backlog: vec![ChunkedDeque::new(); self.inputs.len()],
             taken_at: now,
         }
     }
@@ -459,8 +474,8 @@ impl PeInstance {
             q.restore(positions);
         }
         for (q, backlog) in self.inputs.iter_mut().zip(&ckpt.input_backlog) {
-            for elem in backlog {
-                q.offer(*elem);
+            for elem in backlog.iter() {
+                q.offer(elem);
             }
         }
         self.inflight = None;

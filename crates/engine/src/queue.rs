@@ -20,10 +20,11 @@
 //! secondary's position advances via checkpoints, which by protocol order
 //! always run ahead of the acknowledgments that drive trimming.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use sps_sim::SimTime;
 
+use crate::chunk::ChunkedDeque;
 use crate::element::{DataElement, Payload, StreamId, FIRST_SEQ};
 
 /// Index of a connection within one output queue.
@@ -54,8 +55,9 @@ pub struct OutputQueue<D> {
     stream: StreamId,
     next_seq: u64,
     /// Retained elements with contiguous sequence numbers
-    /// `trimmed + 1 ..= next_seq - 1`.
-    retained: VecDeque<DataElement>,
+    /// `trimmed + 1 ..= next_seq - 1`, in copy-on-write chunks so a
+    /// checkpoint captures them by cloning chunk pointers.
+    retained: ChunkedDeque,
     /// All elements with `seq <= trimmed` have been removed.
     trimmed: u64,
     connections: Vec<Connection<D>>,
@@ -74,8 +76,9 @@ pub struct OutputQueueState {
     pub next_seq: u64,
     /// Trim floor at snapshot time.
     pub trimmed: u64,
-    /// The retained elements.
-    pub retained: Vec<DataElement>,
+    /// The retained elements, sharing chunks with the live queue at capture
+    /// time (copy-on-write keeps this frozen while the queue moves on).
+    pub retained: ChunkedDeque,
 }
 
 impl OutputQueueState {
@@ -91,7 +94,7 @@ impl<D> OutputQueue<D> {
         OutputQueue {
             stream,
             next_seq: FIRST_SEQ,
-            retained: VecDeque::new(),
+            retained: ChunkedDeque::new(),
             trimmed: FIRST_SEQ - 1,
             connections: Vec::new(),
             produced_total: 0,
@@ -163,7 +166,7 @@ impl<D> OutputQueue<D> {
         );
         let start = (c.next_to_send - self.trimmed - 1) as usize;
         let before = out.len();
-        out.extend(self.retained.iter().skip(start).copied());
+        out.extend(self.retained.iter_from(start));
         c.next_to_send = self.next_seq;
         out.len() - before
     }
@@ -269,13 +272,14 @@ impl<D> OutputQueue<D> {
         self.produced_total
     }
 
-    /// Snapshot for a checkpoint message.
+    /// Snapshot for a checkpoint message. O(1) amortized: the retained
+    /// elements are captured by cloning chunk pointers, not elements.
     pub fn snapshot(&self) -> OutputQueueState {
         OutputQueueState {
             stream: self.stream,
             next_seq: self.next_seq,
             trimmed: self.trimmed,
-            retained: self.retained.iter().copied().collect(),
+            retained: self.retained.clone(),
         }
     }
 
@@ -294,7 +298,7 @@ impl<D> OutputQueue<D> {
         );
         self.next_seq = state.next_seq;
         self.trimmed = state.trimmed;
-        self.retained = state.retained.iter().copied().collect();
+        self.retained = state.retained.clone();
         for c in &mut self.connections {
             c.next_to_send = c.next_to_send.clamp(self.trimmed + 1, self.next_seq);
         }
@@ -319,15 +323,32 @@ struct StreamCursor {
     next_accept: u64,
     /// Highest sequence number whose processing has completed.
     processed: u64,
-    /// Out-of-order arrivals waiting for the gap to fill.
-    stashed: BTreeMap<u64, DataElement>,
+    /// Out-of-order arrivals waiting for the gap to fill, as a dense window
+    /// keyed by offset from `next_accept`: slot `i` holds the element with
+    /// `seq == next_accept + 1 + i` (`None` marks a hole).
+    stashed: VecDeque<Option<DataElement>>,
 }
 
+/// Sentinel in the stream-index lookup table: stream not registered here.
+const NO_STREAM: u16 = u16::MAX;
+
 /// A deduplicating input queue over one or more logical streams.
+///
+/// Streams are resolved through a dense per-queue index assigned at wiring
+/// time: `lookup[stream.0]` maps a global [`StreamId`] to a compact slot in
+/// the parallel `ids`/`cursors` vectors, so the per-element `offer` path is
+/// two array loads instead of a tree walk. `ids` stays sorted by stream id
+/// so [`InputQueue::positions`] and [`InputQueue::streams`] iterate in the
+/// same order the previous `BTreeMap` representation did.
 #[derive(Debug, Clone, Default)]
 pub struct InputQueue {
-    streams: BTreeMap<StreamId, StreamCursor>,
-    pending: VecDeque<DataElement>,
+    /// Registered streams, sorted ascending.
+    ids: Vec<StreamId>,
+    /// Cursor per registered stream, parallel to `ids`.
+    cursors: Vec<StreamCursor>,
+    /// Global stream id -> compact index into `ids`/`cursors`.
+    lookup: Vec<u16>,
+    pending: ChunkedDeque,
     duplicates_dropped: u64,
     accepted_total: u64,
     /// Largest pending-queue depth ever observed.
@@ -341,12 +362,39 @@ impl InputQueue {
     }
 
     /// Registers a stream this queue consumes, starting at [`FIRST_SEQ`].
+    /// Re-registering an existing stream keeps its cursor.
     pub fn register_stream(&mut self, stream: StreamId) {
-        self.streams.entry(stream).or_insert(StreamCursor {
-            next_accept: FIRST_SEQ,
-            processed: FIRST_SEQ - 1,
-            stashed: BTreeMap::new(),
-        });
+        self.ensure_stream(stream);
+    }
+
+    /// Index of `stream` in `ids`/`cursors`, registering it if new.
+    fn ensure_stream(&mut self, stream: StreamId) -> usize {
+        let sid = stream.0 as usize;
+        if sid >= self.lookup.len() {
+            self.lookup.resize(sid + 1, NO_STREAM);
+        }
+        let existing = self.lookup[sid];
+        if existing != NO_STREAM {
+            return existing as usize;
+        }
+        let pos = self.ids.partition_point(|&s| s < stream);
+        self.ids.insert(pos, stream);
+        self.cursors.insert(
+            pos,
+            StreamCursor {
+                next_accept: FIRST_SEQ,
+                processed: FIRST_SEQ - 1,
+                stashed: VecDeque::new(),
+            },
+        );
+        assert!(
+            self.ids.len() < NO_STREAM as usize,
+            "too many streams on one input queue"
+        );
+        for (i, s) in self.ids.iter().enumerate().skip(pos) {
+            self.lookup[s.0 as usize] = i as u16;
+        }
+        pos
     }
 
     /// Offers one element; duplicates are dropped, gaps stashed.
@@ -355,25 +403,42 @@ impl InputQueue {
     ///
     /// Panics if the element's stream was never registered.
     pub fn offer(&mut self, elem: DataElement) -> Offer {
-        let cursor = self
-            .streams
-            .get_mut(&elem.stream)
-            .unwrap_or_else(|| panic!("stream {} not registered on this input", elem.stream));
+        let idx = self
+            .lookup
+            .get(elem.stream.0 as usize)
+            .copied()
+            .unwrap_or(NO_STREAM);
+        if idx == NO_STREAM {
+            panic!("stream {} not registered on this input", elem.stream);
+        }
+        let cursor = &mut self.cursors[idx as usize];
         if elem.seq < cursor.next_accept {
             self.duplicates_dropped += 1;
             return Offer::Duplicate;
         }
         if elem.seq > cursor.next_accept {
-            cursor.stashed.insert(elem.seq, elem);
+            let offset = (elem.seq - cursor.next_accept - 1) as usize;
+            if cursor.stashed.len() <= offset {
+                cursor.stashed.resize(offset + 1, None);
+            }
+            cursor.stashed[offset] = Some(elem);
             return Offer::Stashed;
         }
         let mut accepted = 1;
         self.pending.push_back(elem);
         cursor.next_accept += 1;
-        while let Some(next) = cursor.stashed.remove(&cursor.next_accept) {
-            self.pending.push_back(next);
-            cursor.next_accept += 1;
-            accepted += 1;
+        // Drain the stash window while it is contiguous. Popping slot 0
+        // after an accept keeps the offset keying aligned: a `Some` is the
+        // next in-order element, a `None` is the still-open gap.
+        while let Some(slot) = cursor.stashed.pop_front() {
+            match slot {
+                Some(next) => {
+                    self.pending.push_back(next);
+                    cursor.next_accept += 1;
+                    accepted += 1;
+                }
+                None => break,
+            }
         }
         self.accepted_total += accepted as u64;
         self.high_water = self.high_water.max(self.pending.len());
@@ -389,18 +454,27 @@ impl InputQueue {
     /// the operator state. Checkpoints and acknowledgments use this
     /// position.
     pub fn mark_processed(&mut self, stream: StreamId, seq: u64) {
-        if let Some(cursor) = self.streams.get_mut(&stream) {
-            cursor.processed = cursor.processed.max(seq);
+        if let Some(&idx) = self.lookup.get(stream.0 as usize) {
+            if idx != NO_STREAM {
+                let cursor = &mut self.cursors[idx as usize];
+                cursor.processed = cursor.processed.max(seq);
+            }
         }
     }
 
     /// `(stream, processed-through)` pairs — the tiny position metadata a
     /// checkpoint records (the queue *data* is never checkpointed).
     pub fn positions(&self) -> Vec<(StreamId, u64)> {
-        self.streams
+        self.positions_iter().collect()
+    }
+
+    /// Borrowing form of [`InputQueue::positions`], in ascending stream-id
+    /// order, for callers that must not allocate.
+    pub fn positions_iter(&self) -> impl Iterator<Item = (StreamId, u64)> + '_ {
+        self.ids
             .iter()
+            .zip(&self.cursors)
             .map(|(&s, c)| (s, c.processed))
-            .collect()
     }
 
     /// Resets to the given processed positions, discarding all pending and
@@ -408,7 +482,8 @@ impl InputQueue {
     pub fn restore(&mut self, positions: &[(StreamId, u64)]) {
         self.pending.clear();
         for (stream, processed) in positions {
-            let cursor = self.streams.entry(*stream).or_default();
+            let idx = self.ensure_stream(*stream);
+            let cursor = &mut self.cursors[idx];
             cursor.processed = *processed;
             cursor.next_accept = *processed + 1;
             cursor.stashed.clear();
@@ -425,10 +500,11 @@ impl InputQueue {
         self.high_water
     }
 
-    /// A copy of the accepted-but-unprocessed elements, in order (the input
-    /// backlog a hybrid rollback read transfers to the primary).
-    pub fn pending_elements(&self) -> Vec<DataElement> {
-        self.pending.iter().copied().collect()
+    /// A snapshot of the accepted-but-unprocessed elements, in order (the
+    /// input backlog a hybrid rollback read transfers to the primary).
+    /// O(1) amortized: clones chunk pointers, not elements.
+    pub fn pending_elements(&self) -> ChunkedDeque {
+        self.pending.clone()
     }
 
     /// Total duplicates dropped (active-standby redundancy plus
@@ -442,9 +518,9 @@ impl InputQueue {
         self.accepted_total
     }
 
-    /// The registered streams.
+    /// The registered streams, in ascending id order.
     pub fn streams(&self) -> impl Iterator<Item = StreamId> + '_ {
-        self.streams.keys().copied()
+        self.ids.iter().copied()
     }
 }
 

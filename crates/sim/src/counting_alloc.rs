@@ -1,0 +1,64 @@
+//! A counting global allocator for allocation-budget benchmarks.
+//!
+//! Only built with the `bench` feature. A binary (or integration test)
+//! registers [`CountingAllocator`] as its `#[global_allocator]`; the
+//! process-wide counters then record every heap allocation the program
+//! makes, letting harnesses report allocations/event and catch regressions
+//! where a "steady-state" code path quietly starts allocating.
+//!
+//! The counters deliberately count *allocation events*, not live bytes:
+//! `dealloc` is uncounted, and `realloc` counts as one event with the new
+//! size. Relaxed atomics keep the probe cheap; the harnesses that read
+//! these counters are single-threaded around their measurement windows.
+//!
+//! This is the single `unsafe` impl in the workspace (delegating to
+//! [`System`]), which is why the crate downgrades `forbid(unsafe_code)` to
+//! `deny` under the `bench` feature.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A `#[global_allocator]` that counts allocation calls, then delegates to
+/// the system allocator.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingAllocator;
+
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Heap allocation calls made by this process so far (including `realloc`
+/// and `alloc_zeroed`). Meaningful only when [`CountingAllocator`] is the
+/// registered global allocator; zero forever otherwise.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Total bytes requested by those allocation calls.
+pub fn allocated_bytes() -> u64 {
+    ALLOCATED_BYTES.load(Ordering::Relaxed)
+}

@@ -43,9 +43,14 @@
 //! assert_eq!(sim.world().fired_at_ms, 3.0);
 //! ```
 
-#![forbid(unsafe_code)]
+// The `bench` feature swaps `forbid` for `deny` so the counting allocator —
+// the one place this workspace touches `unsafe` — can opt out explicitly.
+#![cfg_attr(not(feature = "bench"), forbid(unsafe_code))]
+#![cfg_attr(feature = "bench", deny(unsafe_code))]
 #![warn(missing_docs, missing_debug_implementations)]
 
+#[cfg(feature = "bench")]
+pub mod counting_alloc;
 mod queue;
 mod rng;
 mod sim;

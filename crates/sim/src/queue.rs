@@ -1,5 +1,6 @@
 //! The pending-event set: a stable min-heap ordered by firing time, with a
-//! FIFO fast path for near-future events.
+//! FIFO fast path for near-future events and a hierarchical timer wheel for
+//! far-future ones.
 //!
 //! Events that share a firing time are delivered in the order they were
 //! scheduled (FIFO tie-breaking via a monotone sequence number), which keeps
@@ -16,6 +17,18 @@
 //! deque front with the heap top under the same `(time, seq)` order and takes
 //! the smaller, so the observable pop order is identical to the heap-only
 //! implementation for every interleaving of pushes and pops.
+//!
+//! The third structure is a [`Wheel`]: periodic timers (heartbeats,
+//! retransmission sweeps, chaos steps) fire tens of milliseconds out, so
+//! routing them through `near` would poison its monotone-append invariant and
+//! routing them through the heap pays `O(log n)` twice. The wheel buckets
+//! far-future events by firing *tick* (~1 ms of simulated time) across three
+//! levels of 64 slots, insertion is `O(1)`, and a `u64` occupancy bitmap per
+//! level finds work without scanning empty slots. The wheel is purely a
+//! staging area: before the queue answers any front-of-queue question, every
+//! wheel event that could fire at or before the candidate answer is flushed
+//! into the heap *carrying its original sequence number*, so the observable
+//! pop order is again identical to the heap-only implementation.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
@@ -42,8 +55,171 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     /// Monotone-by-`(time, seq)` appends; see the module docs.
     near: VecDeque<Entry<E>>,
+    /// Far-future staging; flushed into `heap` as time approaches.
+    wheel: Wheel<E>,
     next_seq: u64,
     peak_len: usize,
+}
+
+/// Log2 of the wheel tick length in nanoseconds: one tick ≈ 1.05 ms.
+const TICK_SHIFT: u32 = 20;
+/// Slots per wheel level; level `l` covers `64^(l+1)` ticks.
+const WHEEL_SLOTS: usize = 64;
+/// Log2 of `WHEEL_SLOTS`, the per-level shift applied to a tick.
+const LEVEL_SHIFT: u32 = 6;
+/// Tick spans covered by levels 0..2; deltas at or past `SPAN[2]` go
+/// straight to the heap (they are ~4.6 simulated minutes out).
+const SPAN: [u64; 3] = [64, 64 * 64, 64 * 64 * 64];
+/// Minimum tick delta routed to the wheel. Anything nearer fires within
+/// ~2 ms and takes the near-deque/heap path directly.
+const WHEEL_MIN_DELTA: u64 = 2;
+
+/// A three-level hierarchical timer wheel over `Entry` values.
+///
+/// `cur` is the watermark tick: every bucketed entry fires at a tick
+/// strictly greater than `cur`, and [`Wheel::settle`] advances `cur` while
+/// flushing newly due buckets into the heap (level 0) or re-filing them one
+/// level down (levels 1–2, for entries whose tick is still in the future).
+#[derive(Debug)]
+struct Wheel<E> {
+    /// `3 × WHEEL_SLOTS` buckets, row-major by level. Buckets keep their
+    /// allocation across flushes, so a steady periodic-timer load stops
+    /// allocating once every bucket has been warm once.
+    slots: Vec<Vec<Entry<E>>>,
+    /// One bit per slot and level: set iff the bucket is non-empty.
+    occupancy: [u64; 3],
+    /// Watermark tick; all bucketed entries have `tick > cur`.
+    cur: u64,
+    /// Total entries across all buckets.
+    len: usize,
+}
+
+/// The occupancy-bit mask for slot positions in `(from, to]`, wrapping
+/// modulo [`WHEEL_SLOTS`].
+fn range_mask(from: u64, to: u64) -> u64 {
+    let n = to - from;
+    if n >= 64 {
+        !0
+    } else {
+        ((1u64 << n) - 1).rotate_left(((from + 1) & 63) as u32)
+    }
+}
+
+impl<E> Wheel<E> {
+    fn new() -> Self {
+        Wheel {
+            slots: (0..3 * WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            occupancy: [0; 3],
+            cur: 0,
+            len: 0,
+        }
+    }
+
+    /// The slot index of `tick` at `level`.
+    fn slot_of(level: usize, tick: u64) -> usize {
+        ((tick >> (LEVEL_SHIFT * level as u32)) & 63) as usize
+    }
+
+    /// Buckets `entry` (firing at `tick`) by its distance from the
+    /// watermark. The caller guarantees `1 <= tick - cur < SPAN[2]`.
+    fn insert(&mut self, entry: Entry<E>, tick: u64) {
+        let delta = tick - self.cur;
+        debug_assert!((1..SPAN[2]).contains(&delta));
+        let level = if delta < SPAN[0] {
+            0
+        } else if delta < SPAN[1] {
+            1
+        } else {
+            2
+        };
+        let slot = Self::slot_of(level, tick);
+        self.occupancy[level] |= 1u64 << slot;
+        self.slots[level * WHEEL_SLOTS + slot].push(entry);
+        self.len += 1;
+    }
+
+    /// Advances the watermark to `upto`, pushing every entry with
+    /// `tick <= upto` into `heap` (original sequence numbers intact, so
+    /// heap order stays exact) and re-filing higher-level entries whose
+    /// tick is still in the future into the level that now fits them.
+    fn settle(&mut self, upto: u64, heap: &mut BinaryHeap<Entry<E>>) {
+        if upto <= self.cur {
+            return;
+        }
+        if self.len == 0 {
+            self.cur = upto;
+            return;
+        }
+        // Level 0 first: its due buckets hold only due entries. Levels 1–2
+        // then re-file their not-yet-due entries downward with deltas
+        // measured from the new watermark, which by construction land in
+        // slot positions the lower level is not flushing this pass.
+        for level in 0..3 {
+            let shift = LEVEL_SHIFT * level as u32;
+            let (from, to) = (self.cur >> shift, upto >> shift);
+            if to == from {
+                continue;
+            }
+            let mask = range_mask(from, to);
+            let mut due = self.occupancy[level] & mask;
+            self.occupancy[level] &= !mask;
+            while due != 0 {
+                let slot = due.trailing_zeros() as usize;
+                due &= due - 1;
+                let mut bucket = std::mem::take(&mut self.slots[level * WHEEL_SLOTS + slot]);
+                self.len -= bucket.len();
+                for entry in bucket.drain(..) {
+                    let tick = entry.time.as_nanos() >> TICK_SHIFT;
+                    if level == 0 || tick <= upto {
+                        heap.push(entry);
+                    } else {
+                        let delta = tick - upto;
+                        let new_level = usize::from(delta >= SPAN[0]);
+                        let slot = Self::slot_of(new_level, tick);
+                        self.occupancy[new_level] |= 1u64 << slot;
+                        self.slots[new_level * WHEEL_SLOTS + slot].push(entry);
+                        self.len += 1;
+                    }
+                }
+                // Hand the (drained) allocation back to the bucket.
+                self.slots[level * WHEEL_SLOTS + slot] = bucket;
+            }
+        }
+        self.cur = upto;
+    }
+
+    /// A tick to settle to that is guaranteed to make progress: the
+    /// earliest occupied level-0 tick, or the first tick of the earliest
+    /// occupied higher-level window (settling there cascades that window
+    /// down). Only called when the heap and near deque are empty, so speed
+    /// is irrelevant.
+    fn earliest_bound(&self) -> u64 {
+        debug_assert!(self.len > 0);
+        let mut best = u64::MAX;
+        for level in 0..3 {
+            let occ = self.occupancy[level];
+            if occ == 0 {
+                continue;
+            }
+            let shift = LEVEL_SHIFT * level as u32;
+            let cur_pos = self.cur >> shift;
+            let base = cur_pos & !63;
+            let mut bits = occ;
+            let mut level_best = u64::MAX;
+            while bits != 0 {
+                let s = bits.trailing_zeros() as u64;
+                bits &= bits - 1;
+                // Occupied positions live in the window (cur_pos, cur_pos + 64].
+                let mut pos = base + s;
+                if pos <= cur_pos {
+                    pos += 64;
+                }
+                level_best = level_best.min(pos);
+            }
+            best = best.min(level_best << shift);
+        }
+        best
+    }
 }
 
 #[derive(Debug)]
@@ -85,6 +261,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             near: VecDeque::new(),
+            wheel: Wheel::new(),
             next_seq: 0,
             peak_len: 0,
         }
@@ -95,31 +272,67 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         let entry = Entry { time, seq, event };
-        // `seq` is monotone, so appending whenever `time` does not regress
-        // keeps `near` sorted by `(time, seq)`.
-        match self.near.back() {
-            Some(back) if time < back.time => self.heap.push(entry),
-            _ => self.near.push_back(entry),
+        let tick = time.as_nanos() >> TICK_SHIFT;
+        let delta = tick.saturating_sub(self.wheel.cur);
+        if (WHEEL_MIN_DELTA..SPAN[2]).contains(&delta) {
+            // Far-future: stage in the wheel so it neither poisons the
+            // near deque's monotone-append invariant nor churns the heap.
+            self.wheel.insert(entry, tick);
+        } else {
+            // `seq` is monotone, so appending whenever `time` does not
+            // regress keeps `near` sorted by `(time, seq)`.
+            match self.near.back() {
+                Some(back) if time < back.time => self.heap.push(entry),
+                _ => self.near.push_back(entry),
+            }
         }
-        let len = self.heap.len() + self.near.len();
+        let len = self.len();
         if len > self.peak_len {
             self.peak_len = len;
         }
     }
 
     /// The structure holding the earliest `(time, seq)`, plus that time.
-    fn front(&self) -> Option<(Front, SimTime)> {
-        match (self.near.front(), self.heap.peek()) {
-            (Some(n), Some(h)) => {
-                if (n.time, n.seq) <= (h.time, h.seq) {
-                    Some((Front::Near, n.time))
-                } else {
-                    Some((Front::Heap, h.time))
+    ///
+    /// Needs `&mut self` because answering may flush due wheel buckets
+    /// into the heap first; the flush never changes the answer's order,
+    /// only where the winning entry is stored.
+    fn front(&mut self) -> Option<(Front, SimTime)> {
+        loop {
+            let candidate = match (self.near.front(), self.heap.peek()) {
+                (Some(n), Some(h)) => {
+                    if (n.time, n.seq) <= (h.time, h.seq) {
+                        Some((Front::Near, n.time))
+                    } else {
+                        Some((Front::Heap, h.time))
+                    }
+                }
+                (Some(n), None) => Some((Front::Near, n.time)),
+                (None, Some(h)) => Some((Front::Heap, h.time)),
+                (None, None) => None,
+            };
+            match candidate {
+                Some((which, time)) => {
+                    let tick = time.as_nanos() >> TICK_SHIFT;
+                    if self.wheel.len == 0 || self.wheel.cur >= tick {
+                        // Every wheel entry sits at a tick strictly past
+                        // the watermark, hence strictly past `time`.
+                        return Some((which, time));
+                    }
+                    // A wheel entry could fire at or before `time`; flush
+                    // everything up to its tick and re-compare.
+                    self.wheel.settle(tick, &mut self.heap);
+                }
+                None => {
+                    if self.wheel.len == 0 {
+                        return None;
+                    }
+                    // Only the wheel holds events: cascade its earliest
+                    // window until something reaches the heap.
+                    let bound = self.wheel.earliest_bound();
+                    self.wheel.settle(bound, &mut self.heap);
                 }
             }
-            (Some(n), None) => Some((Front::Near, n.time)),
-            (None, Some(h)) => Some((Front::Heap, h.time)),
-            (None, None) => None,
         }
     }
 
@@ -151,18 +364,21 @@ impl<E> EventQueue<E> {
     }
 
     /// The firing time of the earliest pending event.
-    pub fn peek_time(&self) -> Option<SimTime> {
+    ///
+    /// Takes `&mut self` because the answer may require flushing due
+    /// timer-wheel buckets into the heap (see [`EventQueue::front`]).
+    pub fn peek_time(&mut self) -> Option<SimTime> {
         self.front().map(|(_, t)| t)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len() + self.near.len()
+        self.heap.len() + self.near.len() + self.wheel.len
     }
 
     /// `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty() && self.near.is_empty()
+        self.heap.is_empty() && self.near.is_empty() && self.wheel.len == 0
     }
 
     /// Total number of events ever scheduled on this queue.
@@ -273,11 +489,14 @@ mod tests {
             let mut q = EventQueue::new();
             for i in 0..n {
                 // Small time range forces heavy tie-breaking; occasional
-                // big jumps exercise the deque/heap split.
-                let t = if rng.next_u64().is_multiple_of(4) {
-                    SimTime::from_millis(rng.next_u64() % 100)
-                } else {
-                    SimTime::from_millis(rng.next_u64() % 8)
+                // big jumps exercise the deque/heap split and push times
+                // out to every timer-wheel level (ticks are ~1 ms, so
+                // seconds-to-minutes delays cross levels 1 and 2).
+                let t = match rng.next_u64() % 8 {
+                    0 => SimTime::from_millis(rng.next_u64() % 100),
+                    1 => SimTime::from_millis(200 + 100 * (rng.next_u64() % 40)),
+                    2 => SimTime::from_secs(5 + rng.next_u64() % 400),
+                    _ => SimTime::from_millis(rng.next_u64() % 8),
                 };
                 pushes.push((t, i));
                 q.push(t, i);
@@ -300,11 +519,15 @@ mod tests {
             let mut now = SimTime::ZERO;
             for i in 0..150 {
                 // Push one event at or after `now` (zero delay half the time,
-                // like data-plane hops), occasionally far in the future.
-                let delay_ms = match rng.next_u64() % 8 {
-                    0..=3 => 0,
-                    4..=6 => rng.next_u64() % 3,
-                    _ => 10 + rng.next_u64() % 50,
+                // like data-plane hops), occasionally far in the future —
+                // including delays that land in every timer-wheel level and
+                // past the wheel's horizon entirely.
+                let delay_ms = match rng.next_u64() % 16 {
+                    0..=7 => 0,
+                    8..=11 => rng.next_u64() % 3,
+                    12..=13 => 10 + rng.next_u64() % 50,
+                    14 => 100 + 100 * (rng.next_u64() % 50),
+                    _ => 10_000 + 1_000 * (rng.next_u64() % 400),
                 };
                 let t = now + crate::SimDuration::from_millis(delay_ms);
                 pushes.push((t, i));
@@ -321,5 +544,69 @@ mod tests {
             drained.extend(std::iter::from_fn(|| q.pop().map(|(_, e)| e)));
             assert_eq!(drained, reference_order(&pushes), "round {round}");
         }
+    }
+
+    /// Only far-future events: the heap and near deque stay empty, so every
+    /// front-of-queue answer must come from cascading the wheel itself
+    /// (the `earliest_bound` path), across all three levels.
+    #[test]
+    fn wheel_only_schedules_drain_in_order() {
+        let mut rng = SimRng::seed_from(0xBEEF);
+        for round in 0..20 {
+            let mut q = EventQueue::new();
+            let mut pushes = Vec::new();
+            for i in 0..120 {
+                // 5 ms to ~7 simulated minutes: levels 0, 1, 2 and beyond.
+                let t = SimTime::from_millis(5 + rng.next_u64() % 400_000);
+                pushes.push((t, i));
+                q.push(t, i);
+            }
+            assert_eq!(q.len(), 120);
+            let got: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(got, reference_order(&pushes), "round {round}");
+        }
+    }
+
+    /// Ties between wheel-staged events and direct near-deque pushes at the
+    /// exact same instant must still break FIFO by sequence number.
+    #[test]
+    fn wheel_and_direct_pushes_tie_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(500);
+        q.push(t, 0); // staged in the wheel (far future from tick 0)
+        q.push(SimTime::from_millis(600), 1); // wheel, fires later
+                                              // Popping 0 settles the watermark to t's tick...
+        assert_eq!(q.pop(), Some((t, 0)));
+        // ...so same-instant pushes now take the near-deque path, yet must
+        // still drain after nothing and before the later wheel entry.
+        q.push(t, 2);
+        q.push(t, 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    /// `peek_time` may flush wheel buckets into the heap, but the answer —
+    /// and the subsequent pop — must match the heap-only semantics.
+    #[test]
+    fn peek_time_sees_wheel_events() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(30), 'a'); // level 1–2 territory
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(30)));
+        assert_eq!(q.len(), 1);
+        q.push(SimTime::from_millis(3), 'b');
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(3)));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(3), 'b')));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(30), 'a')));
+        assert!(q.is_empty());
+    }
+
+    /// The wrapped occupancy-range mask: positions `(from, to]` mod 64.
+    #[test]
+    fn range_mask_wraps_and_saturates() {
+        assert_eq!(range_mask(0, 1), 0b10);
+        assert_eq!(range_mask(0, 3), 0b1110);
+        assert_eq!(range_mask(62, 64), (1 << 63) | 1, "wraps past slot 63");
+        assert_eq!(range_mask(10, 10 + 64), !0, "full window");
+        assert_eq!(range_mask(7, 7 + 1000), !0, "beyond a window saturates");
     }
 }
