@@ -7,7 +7,7 @@ use sps_bench::common::Experiment;
 use sps_bench::common::RunOpts;
 use sps_bench::experiments::*;
 use sps_bench::runner::Runner;
-use sps_bench::trace_capture;
+use sps_bench::{metrics_capture, trace_capture};
 
 /// Every figure and ablation, in printing order.
 #[allow(clippy::type_complexity)]
@@ -47,4 +47,5 @@ fn main() {
         e.print();
     }
     trace_capture::maybe_capture(opts.trace_out.as_deref(), opts.seed);
+    metrics_capture::maybe_capture(opts.metrics_out.as_deref(), opts.seed);
 }

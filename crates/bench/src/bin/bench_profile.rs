@@ -1,0 +1,216 @@
+//! DES self-profiler (requires `--features bench`).
+//!
+//! Steps representative simulations one event at a time through
+//! [`HaSimulation::step_profiled`], attributing the host's wall-clock time
+//! and heap allocations (via the counting global allocator) to each
+//! [`Event`](sps_ha::Event) kind and to each HA protocol phase. Two
+//! workloads run: a steady-state hybrid chain (no failures) and a
+//! transient-failure cycle (switch-over and rollback), so the report
+//! answers both "where does a healthy run spend its time" and "what does a
+//! recovery cost the simulator".
+//!
+//! Profiling is host-side instrumentation around the event handler — the
+//! simulated schedule is identical to an unprofiled run. The report is
+//! written as JSON to `BENCH_profile.json` (or `--out <path>`); pass
+//! `--quick` for shorter horizons.
+
+use std::collections::BTreeMap;
+
+use sps_bench::common::RunOpts;
+use sps_cluster::{MachineId, SpikeWindow};
+use sps_engine::SubjobId;
+use sps_ha::{HaMode, HaSimulation};
+use sps_sim::counting_alloc::CountingAllocator;
+use sps_sim::SimTime;
+use sps_workloads::eval_chain_job;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Accumulated cost of one label (event kind or protocol phase).
+#[derive(Default, Clone, Copy)]
+struct Bin {
+    events: u64,
+    wall_ns: u64,
+    allocations: u64,
+    alloc_bytes: u64,
+}
+
+impl Bin {
+    fn add(&mut self, probe: &sps_sim::StepProbe) {
+        self.events += 1;
+        self.wall_ns += probe.wall_ns;
+        self.allocations += probe.allocations;
+        self.alloc_bytes += probe.alloc_bytes;
+    }
+}
+
+/// One profiled workload: totals plus per-kind and per-phase breakdowns.
+struct Profile {
+    name: &'static str,
+    total: Bin,
+    by_kind: BTreeMap<&'static str, Bin>,
+    by_phase: BTreeMap<&'static str, Bin>,
+}
+
+/// Steps `sim` to `horizon`, binning every handled event.
+fn profile_run(name: &'static str, mut sim: HaSimulation, horizon: SimTime) -> Profile {
+    let mut total = Bin::default();
+    let mut by_kind: BTreeMap<&'static str, Bin> = BTreeMap::new();
+    let mut by_phase: BTreeMap<&'static str, Bin> = BTreeMap::new();
+    loop {
+        if sim.now() >= horizon {
+            break;
+        }
+        // The phase label is read before the step so classification can
+        // never perturb the handler it measures.
+        let phase = sim.world().protocol_phase();
+        let Some((kind, probe)) = sim.step_profiled(|e| e.kind_name()) else {
+            break;
+        };
+        total.add(&probe);
+        by_kind.entry(kind).or_default().add(&probe);
+        by_phase.entry(phase).or_default().add(&probe);
+    }
+    Profile {
+        name,
+        total,
+        by_kind,
+        by_phase,
+    }
+}
+
+/// Healthy hybrid chain: every subjob protected, no failures injected.
+fn steady_workload(seed: u64, horizon: SimTime) -> Profile {
+    let mut sim = HaSimulation::builder(eval_chain_job())
+        .mode(HaMode::Hybrid)
+        .source_rate(1_000.0)
+        .seed(seed)
+        .build();
+    sim.stop_sources_at(horizon);
+    profile_run("steady_hybrid", sim, horizon)
+}
+
+/// Transient-failure cycle: a 1 s full-CPU spike on the protected primary
+/// triggers switch-over, then rollback once its heartbeats resume.
+fn recovery_workload(seed: u64, horizon: SimTime) -> Profile {
+    let mut sim = HaSimulation::builder(eval_chain_job())
+        .mode(HaMode::None)
+        .subjob_mode(SubjobId(1), HaMode::Hybrid)
+        .source_rate(1_000.0)
+        .seed(seed)
+        .tune(|c| c.reliable_control = true)
+        .build();
+    sim.inject_spike_windows(
+        MachineId(1),
+        &[SpikeWindow {
+            start: SimTime::from_secs(1),
+            end: SimTime::from_secs(2),
+            share: 1.0,
+        }],
+    );
+    sim.stop_sources_at(horizon);
+    profile_run("hybrid_recovery", sim, horizon)
+}
+
+/// Reads `--out <path>` / `--out=<path>` from argv (default
+/// `BENCH_profile.json`).
+fn out_path() -> String {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            if let Some(p) = args.next() {
+                return p;
+            }
+        } else if let Some(p) = a.strip_prefix("--out=") {
+            return p.to_string();
+        }
+    }
+    "BENCH_profile.json".to_string()
+}
+
+fn bin_json(label_key: &str, label: &str, b: &Bin) -> String {
+    format!(
+        "{{\"{label_key}\": \"{label}\", \"events\": {}, \"wall_ns\": {}, \
+         \"allocations\": {}, \"alloc_bytes\": {}}}",
+        b.events, b.wall_ns, b.allocations, b.alloc_bytes
+    )
+}
+
+fn main() {
+    let opts = RunOpts::parse();
+    let out = out_path();
+    let scale_name = opts.scale.pick("full", "quick");
+    let horizon = SimTime::from_secs(opts.scale.pick(5, 2));
+
+    eprintln!(
+        "bench_profile: stepping 2 workloads to t={} s ({scale_name} scale, seed {})",
+        horizon.as_millis_f64() / 1e3,
+        opts.seed
+    );
+    let profiles = [
+        steady_workload(opts.seed, horizon),
+        recovery_workload(opts.seed, horizon),
+    ];
+    for p in &profiles {
+        eprintln!(
+            "  {}: {} events, {:.1} ms wall, {} allocations",
+            p.name,
+            p.total.events,
+            p.total.wall_ns as f64 / 1e6,
+            p.total.allocations
+        );
+        let mut kinds: Vec<_> = p.by_kind.iter().collect();
+        kinds.sort_by_key(|(_, b)| std::cmp::Reverse(b.wall_ns));
+        for (kind, b) in kinds.iter().take(5) {
+            eprintln!(
+                "    {kind}: {} events, {:.1} ms, {} allocations",
+                b.events,
+                b.wall_ns as f64 / 1e6,
+                b.allocations
+            );
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"sps-bench-profile-v1\",\n");
+    json.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
+    json.push_str(&format!("  \"seed\": {},\n", opts.seed));
+    json.push_str("  \"workloads\": [\n");
+    for (wi, p) in profiles.iter().enumerate() {
+        json.push_str(&format!("    {{\"name\": \"{}\",\n", p.name));
+        json.push_str(&format!(
+            "     \"total\": {},\n",
+            bin_json("label", "total", &p.total)
+        ));
+        json.push_str("     \"by_event_kind\": [\n");
+        for (i, (kind, b)) in p.by_kind.iter().enumerate() {
+            json.push_str(&format!(
+                "       {}{}\n",
+                bin_json("kind", kind, b),
+                if i + 1 < p.by_kind.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("     ],\n");
+        json.push_str("     \"by_protocol_phase\": [\n");
+        for (i, (phase, b)) in p.by_phase.iter().enumerate() {
+            json.push_str(&format!(
+                "       {}{}\n",
+                bin_json("phase", phase, b),
+                if i + 1 < p.by_phase.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("     ]}");
+        json.push_str(if wi + 1 < profiles.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: could not write {out}: {e}");
+        std::process::exit(1);
+    }
+    let total_events: u64 = profiles.iter().map(|p| p.total.events).sum();
+    println!("bench_profile: {total_events} events profiled — report written to {out}");
+}

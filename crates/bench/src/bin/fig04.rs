@@ -3,7 +3,7 @@
 
 use sps_bench::common::RunOpts;
 use sps_bench::experiments::fig04_05::{failure_period_inflation, fig04};
-use sps_bench::trace_capture;
+use sps_bench::{metrics_capture, trace_capture};
 
 fn main() {
     let opts = RunOpts::parse();
@@ -15,4 +15,5 @@ fn main() {
         inside / outside.max(1e-9)
     );
     trace_capture::maybe_capture(opts.trace_out.as_deref(), opts.seed);
+    metrics_capture::maybe_capture(opts.metrics_out.as_deref(), opts.seed);
 }

@@ -40,6 +40,11 @@ pub struct RunOpts {
     /// `--trace-out PATH` (or `SPS_TRACE_OUT`): flight-recorder JSONL dump
     /// destination for the instrumented capture run.
     pub trace_out: Option<PathBuf>,
+    /// `--metrics-out PATH` (or `SPS_METRICS_OUT`): registry scrape-series
+    /// destination (`.csv` for CSV, anything else for JSONL) for the
+    /// instrumented capture run. Status goes to stderr so stdout stays
+    /// byte-identical with and without the flag.
+    pub metrics_out: Option<PathBuf>,
 }
 
 impl RunOpts {
@@ -56,6 +61,7 @@ impl RunOpts {
         let mut jobs: Option<usize> = None;
         let mut seed: u64 = 2010;
         let mut trace_out: Option<PathBuf> = None;
+        let mut metrics_out: Option<PathBuf> = None;
         let mut args = args.into_iter();
         while let Some(a) = args.next() {
             let mut take = |inline: Option<&str>| -> Option<String> {
@@ -71,6 +77,8 @@ impl RunOpts {
                 }
             } else if a == "--trace-out" || a.starts_with("--trace-out=") {
                 trace_out = take(a.strip_prefix("--trace-out=")).map(PathBuf::from);
+            } else if a == "--metrics-out" || a.starts_with("--metrics-out=") {
+                metrics_out = take(a.strip_prefix("--metrics-out=")).map(PathBuf::from);
             }
         }
         let jobs = jobs
@@ -84,11 +92,15 @@ impl RunOpts {
         if trace_out.is_none() {
             trace_out = std::env::var_os("SPS_TRACE_OUT").map(PathBuf::from);
         }
+        if metrics_out.is_none() {
+            metrics_out = std::env::var_os("SPS_METRICS_OUT").map(PathBuf::from);
+        }
         RunOpts {
             scale: if quick { Scale::Quick } else { Scale::Full },
             jobs,
             seed,
             trace_out,
+            metrics_out,
         }
     }
 
@@ -187,7 +199,9 @@ mod tests {
     #[test]
     fn run_opts_parse_flags() {
         let to_args = |s: &str| s.split_whitespace().map(str::to_string).collect::<Vec<_>>();
-        let o = RunOpts::from_args(to_args("--quick --jobs 3 --seed 77 --trace-out t.jsonl"));
+        let o = RunOpts::from_args(to_args(
+            "--quick --jobs 3 --seed 77 --trace-out t.jsonl --metrics-out m.jsonl",
+        ));
         assert_eq!(o.scale, Scale::Quick);
         assert_eq!(o.jobs, 3);
         assert_eq!(o.seed, 77);
@@ -195,14 +209,24 @@ mod tests {
             o.trace_out.as_deref(),
             Some(std::path::Path::new("t.jsonl"))
         );
+        assert_eq!(
+            o.metrics_out.as_deref(),
+            Some(std::path::Path::new("m.jsonl"))
+        );
 
-        let o = RunOpts::from_args(to_args("--jobs=8 --seed=5 --trace-out=x.jsonl"));
+        let o = RunOpts::from_args(to_args(
+            "--jobs=8 --seed=5 --trace-out=x.jsonl --metrics-out=m.csv",
+        ));
         assert_eq!(o.scale, Scale::Full);
         assert_eq!(o.jobs, 8);
         assert_eq!(o.seed, 5);
         assert_eq!(
             o.trace_out.as_deref(),
             Some(std::path::Path::new("x.jsonl"))
+        );
+        assert_eq!(
+            o.metrics_out.as_deref(),
+            Some(std::path::Path::new("m.csv"))
         );
 
         // Unknown flags are ignored; defaults hold.

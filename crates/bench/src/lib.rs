@@ -10,6 +10,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod common;
+pub mod metrics_capture;
 pub mod runner;
 pub mod timing;
 pub mod trace_capture;

@@ -1,0 +1,111 @@
+//! The `--metrics-out` registry capture: an instrumented hybrid run whose
+//! deterministic scrape series is exported as JSONL or CSV.
+//!
+//! Figure binaries call [`maybe_capture`] after printing their tables with
+//! the destination from [`crate::common::RunOpts`] (`--metrics-out <path>`
+//! or `SPS_METRICS_OUT`). Like the flight-recorder capture, the metrics run
+//! is separate from the figure runs — figure numbers never come from an
+//! instrumented simulation — and all status output goes to **stderr** so a
+//! figure binary's stdout is byte-identical with and without the flag (the
+//! CI no-perturbation check relies on this).
+
+use std::path::Path;
+
+use sps_cluster::{MachineId, SpikeWindow};
+use sps_engine::SubjobId;
+use sps_ha::{HaMode, HaSimulation};
+use sps_metrics::Registry;
+use sps_sim::SimTime;
+use sps_workloads::eval_chain_job;
+
+/// Runs a metrics- and lineage-instrumented hybrid scenario and returns the
+/// scraped registry.
+///
+/// The scenario covers steady state, a transient failure (switch-over and
+/// rollback), and the reliable control layer, so the series contains
+/// cluster gauges, data-plane counters, the sink delay histogram, and
+/// recovery phase counters.
+pub fn capture_metrics(seed: u64) -> Registry {
+    let job = eval_chain_job();
+    let mut sim = HaSimulation::builder(job)
+        .mode(HaMode::None)
+        .subjob_mode(SubjobId(1), HaMode::Hybrid)
+        .source_rate(1_000.0)
+        .seed(seed)
+        .tune(|c| c.reliable_control = true)
+        .collect_metrics(true)
+        .lineage(true)
+        .build();
+    // Transient failure: switch-over on the miss, rollback on recovery.
+    sim.inject_spike_windows(
+        MachineId(1),
+        &[SpikeWindow {
+            start: SimTime::from_secs(1),
+            end: SimTime::from_secs(2),
+            share: 1.0,
+        }],
+    );
+    sim.stop_sources_at(SimTime::from_secs(4));
+    sim.run_until(SimTime::from_secs(5));
+    sim.world()
+        .metrics()
+        .expect("metrics enabled by builder")
+        .clone()
+}
+
+/// If a metrics destination was requested, runs the capture scenario and
+/// writes its scrape series there — CSV when the path ends in `.csv`,
+/// JSONL otherwise. Status goes to stderr only.
+pub fn maybe_capture(path: Option<&Path>, seed: u64) {
+    let Some(path) = path else {
+        return;
+    };
+    let registry = capture_metrics(seed);
+    let csv = path.extension().is_some_and(|e| e == "csv");
+    match std::fs::File::create(path) {
+        Ok(mut f) => {
+            let res = if csv {
+                registry.export_csv(&mut f)
+            } else {
+                registry.export_jsonl(&mut f)
+            };
+            match res {
+                Ok(()) => eprintln!(
+                    "metrics: {} scrapes written to {}",
+                    registry.scrape_count(),
+                    path.display()
+                ),
+                Err(e) => eprintln!(
+                    "warning: could not write metrics to {}: {e}",
+                    path.display()
+                ),
+            }
+        }
+        Err(e) => eprintln!("warning: could not create {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_scrapes_and_counts() {
+        let reg = capture_metrics(2010);
+        assert!(reg.scrape_count() >= 40, "scrapes: {}", reg.scrape_count());
+        assert!(reg.counter_total("data_plane", "elements_sent") > 0);
+        assert!(reg.counter_total("sink", "accepted") > 0);
+        assert!(reg.counter_total("recovery", "detected") >= 1);
+        assert!(reg.counter_total("recovery", "switchover_complete") >= 1);
+        let jsonl = reg.to_jsonl_string();
+        assert!(jsonl.contains("\"component\":\"cluster\""));
+        assert!(jsonl.contains("\"name\":\"e2e_delay_ms\""));
+    }
+
+    #[test]
+    fn capture_is_deterministic() {
+        let a = capture_metrics(7).to_jsonl_string();
+        let b = capture_metrics(7).to_jsonl_string();
+        assert_eq!(a, b);
+    }
+}

@@ -148,9 +148,16 @@ pub struct HaConfig {
     /// Disk write latency when `durable_checkpoints` is set.
     pub disk_latency: SimDuration,
     /// Telemetry snapshot period (per-machine load, per-PE queue depths).
-    /// The sampler only runs when a trace sink is installed; zero disables
-    /// it entirely.
+    /// The sampler only runs when a trace sink is installed. Must be
+    /// positive — a zero period would self-reschedule at the same instant
+    /// and loop the simulation forever, so `validate` rejects it.
     pub trace_sample_interval: SimDuration,
+    /// Metrics-registry scrape period: how often the registry snapshots
+    /// every counter/gauge/histogram into its time-series. The scraper
+    /// only runs when metrics collection is enabled on the builder. Must
+    /// be positive, for the same self-rescheduling reason as
+    /// `trace_sample_interval`.
+    pub metrics_scrape_interval: SimDuration,
     /// Reliability hardening for lossy networks: wrap control-plane
     /// messages (checkpoint transfer, store acks, rollback state reads) in
     /// sequence-numbered envelopes with retransmission and receiver-side
@@ -199,6 +206,7 @@ impl Default for HaConfig {
             durable_checkpoints: false,
             disk_latency: SimDuration::from_millis(8),
             trace_sample_interval: SimDuration::from_millis(100),
+            metrics_scrape_interval: SimDuration::from_millis(100),
             reliable_control: false,
             rel_rto_initial: SimDuration::from_millis(50),
             rel_rto_max: SimDuration::from_millis(800),
@@ -251,6 +259,16 @@ impl HaConfig {
         );
         assert!(self.ack_every_elements >= 1, "ack batch must be >= 1");
         assert!(self.element_bytes >= 1, "element size must be >= 1 byte");
+        // A zero sampling cadence would reschedule at the current instant
+        // forever; name the offending field so the mistake is findable.
+        assert!(
+            !self.trace_sample_interval.is_zero(),
+            "trace_sample_interval must be positive"
+        );
+        assert!(
+            !self.metrics_scrape_interval.is_zero(),
+            "metrics_scrape_interval must be positive"
+        );
         if self.reliable_control {
             assert!(
                 !self.rel_rto_initial.is_zero(),
@@ -333,6 +351,26 @@ mod tests {
         let c = HaConfig {
             reliable_control: true,
             rel_rto_max: SimDuration::from_millis(1),
+            ..HaConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "trace_sample_interval must be positive")]
+    fn validate_rejects_zero_trace_sample_interval() {
+        let c = HaConfig {
+            trace_sample_interval: SimDuration::ZERO,
+            ..HaConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "metrics_scrape_interval must be positive")]
+    fn validate_rejects_zero_metrics_scrape_interval() {
+        let c = HaConfig {
+            metrics_scrape_interval: SimDuration::ZERO,
             ..HaConfig::default()
         };
         c.validate();

@@ -3,7 +3,7 @@
 
 use sps_cluster::{LoadComponent, MachineId};
 use sps_engine::{ConnectionId, DataElement, Dest, Offer, Replica, StreamId};
-use sps_metrics::MsgClass;
+use sps_metrics::{MsgClass, Scope};
 use sps_sim::{Ctx, TimerGen};
 use sps_trace::{DropReason, TraceEvent};
 
@@ -302,6 +302,9 @@ impl HaWorld {
             Some(w) => w,
             None => return,
         };
+        if let Some(lin) = self.lineage.as_deref_mut() {
+            lin.note_proc_start((work.element.stream.0, work.element.seq), ctx.now());
+        }
         self.submit_task(
             ctx,
             machine,
@@ -372,6 +375,17 @@ impl HaWorld {
                 }
             }
         }
+        if let Some(lin) = self.lineage.as_deref_mut() {
+            // Roots enter the lineage here: a source element's emission is
+            // its creation, its first drain is its first transmission.
+            // Re-drains after a rewind and the AS second connection both
+            // no-op (first-writer-wins).
+            let now = ctx.now();
+            for e in &elems {
+                lin.record_root((e.stream.0, e.seq), e.created_at);
+                lin.note_sent((e.stream.0, e.seq), now);
+            }
+        }
         for &(dest, start, end) in &spans {
             for &elem in &elems[start..end] {
                 self.send_data(ctx, src_machine, false, dest, elem);
@@ -412,6 +426,11 @@ impl HaWorld {
                 sj.switch_overhead_elements += 1;
             }
         }
+        self.metric_inc(
+            Scope::machine("data_plane", src_machine.0),
+            "elements_sent",
+            1,
+        );
         self.send_msg(
             ctx,
             src_machine,
@@ -475,6 +494,14 @@ impl HaWorld {
                 }
             }
         }
+        if let Some(lin) = self.lineage.as_deref_mut() {
+            // Hop records were created when the producing element finished;
+            // checkpoint-restored elements with no record no-op here.
+            let now = ctx.now();
+            for e in &elems {
+                lin.note_sent((e.stream.0, e.seq), now);
+            }
+        }
         let produced_by_secondary = replica == Replica::Secondary;
         for &(dest, start, end) in &spans {
             for &elem in &elems[start..end] {
@@ -529,6 +556,17 @@ impl HaWorld {
             return;
         }
         let (pe, replica) = unslot(slot);
+        // Lineage links outputs to the input that produced them; the input
+        // is still in flight here, so read it before finishing.
+        let parent_key = if self.lineage.is_some() {
+            self.instances[slot]
+                .as_ref()
+                .expect("checked")
+                .inflight_elem()
+                .map(|e| (e.stream.0, e.seq))
+        } else {
+            None
+        };
         // The produced elements land in the output queues and are dispatched
         // by draining connections below; the completion buffer is reused
         // world scratch so finishing an element allocates nothing.
@@ -537,6 +575,12 @@ impl HaWorld {
             .as_mut()
             .expect("checked")
             .finish_inflight_into(ctx.now(), &mut finished);
+        if let (Some(lin), Some(pk)) = (self.lineage.as_deref_mut(), parent_key) {
+            let now = ctx.now();
+            for &(_, e) in finished.iter() {
+                lin.record_hop(pk, (e.stream.0, e.seq), pe.0, replica_code(replica), now);
+            }
+        }
         finished.clear();
         self.finish_scratch = finished;
         self.dispatch_outputs(ctx, slot);
@@ -728,6 +772,11 @@ impl HaWorld {
                     return;
                 }
                 let stream = elem.stream.0;
+                if let Some(lin) = self.lineage.as_deref_mut() {
+                    // First arrival of any copy — duplicates and stashed
+                    // out-of-order arrivals no-op via first-writer-wins.
+                    lin.note_recv((stream, elem.seq), ctx.now());
+                }
                 let offer = self.instances[slot]
                     .as_mut()
                     .expect("checked")
@@ -749,6 +798,7 @@ impl HaWorld {
                     }
                 });
                 if offer == Offer::Duplicate {
+                    self.metric_inc(Scope::machine("data_plane", at.0), "duplicates", 1);
                     self.tracer.emit(
                         now,
                         TraceEvent::ElementDrop {
@@ -775,7 +825,29 @@ impl HaWorld {
             Dest::Sink(sink) => {
                 let s = sink.0 as usize;
                 let (stream, seq) = (elem.stream, elem.seq);
+                let created_at = elem.created_at;
+                if let Some(lin) = self.lineage.as_deref_mut() {
+                    lin.note_recv((stream.0, seq), ctx.now());
+                }
                 if let Some(accept) = self.sinks[s].deliver(ctx.now(), elem) {
+                    self.metric_inc(
+                        Scope::global("sink"),
+                        "accepted",
+                        accept.newly_accepted as u64,
+                    );
+                    let e2e_ms = ctx.now().saturating_since(created_at).as_millis_f64();
+                    self.metric_observe(Scope::global("sink"), "e2e_delay_ms", e2e_ms);
+                    if let Some(lin) = self.lineage.as_deref_mut() {
+                        // `processed_through` is cumulative: it covers this
+                        // element plus any stashed ones the gap-fill just
+                        // released, each recorded delivered exactly once.
+                        lin.record_delivery(
+                            sink.0,
+                            accept.stream.0,
+                            accept.processed_through,
+                            ctx.now(),
+                        );
+                    }
                     let from_machine = self.placement.sinks[s];
                     self.send_acks_for_stream(
                         ctx,
@@ -965,8 +1037,17 @@ impl HaWorld {
                 let q = self.sources[s].queue_mut();
                 let target = (acked + 1).max(q.trimmed_through() + 1);
                 if target < next {
+                    let stream = q.stream().0;
                     q.set_next_to_send(ConnectionId(ci), target);
                     rewound = true;
+                    if let Some(lin) = self.lineage.as_deref_mut() {
+                        // Every element the cursor rewound over is about to
+                        // be transmitted again.
+                        for seq in target..next {
+                            lin.mark_retransmit((stream, seq));
+                        }
+                    }
+                    self.metric_inc(Scope::global("reliable"), "data_retransmits", next - target);
                 }
             }
             if rewound {
@@ -1001,8 +1082,15 @@ impl HaWorld {
                     .output_mut(port);
                 let target = (acked + 1).max(q.trimmed_through() + 1);
                 if target < next {
+                    let stream = q.stream().0;
                     q.set_next_to_send(ConnectionId(ci), target);
                     rewound = true;
+                    if let Some(lin) = self.lineage.as_deref_mut() {
+                        for seq in target..next {
+                            lin.mark_retransmit((stream, seq));
+                        }
+                    }
+                    self.metric_inc(Scope::global("reliable"), "data_retransmits", next - target);
                 }
             }
             if rewound {
@@ -1044,6 +1132,12 @@ pub fn schedule_initial_events(world: &mut HaWorld, ctx: &mut Ctx<Event>) {
     // untraced runs keep an identical event schedule.
     if world.tracer.is_enabled() && !world.cfg.trace_sample_interval.is_zero() {
         ctx.schedule_in(world.cfg.trace_sample_interval, Event::TraceSample);
+    }
+    // The metrics scraper runs only when metrics collection was enabled,
+    // so plain runs keep an identical event schedule. The scrape handler
+    // is strictly read-only, so even a scraping run perturbs nothing.
+    if world.metrics.is_some() {
+        ctx.schedule_in(world.cfg.metrics_scrape_interval, Event::MetricsScrape);
     }
     // The retransmission sweep exists only under the reliable layer, so
     // default runs keep an identical event schedule.

@@ -18,6 +18,7 @@ use crate::world::{slot_of, Event, HaEventKind, HaWorld, SjState, SubjobPending}
 
 impl HaWorld {
     fn log_event(&mut self, at: sps_sim::SimTime, subjob: SubjobId, kind: HaEventKind) {
+        self.metric_inc(sps_metrics::Scope::global("recovery"), kind.as_str(), 1);
         self.tracer.emit_phase(at, subjob.0, kind);
     }
 
@@ -836,36 +837,43 @@ impl HaWorld {
             for (p_kind, _machine) in copies {
                 match p_kind {
                     ProducerCopy::Source(s) => {
-                        let q = self.sources[s].queue_mut();
-                        if let Some(conn) = find_conn(q, dest) {
-                            q.set_acked(conn, position);
-                            q.set_next_to_send(conn, (position + 1).max(q.trimmed_through() + 1));
-                            q.set_active(conn, true);
-                            q.set_counts_for_trim(conn, true);
-                        }
+                        let replayed = {
+                            let q = self.sources[s].queue_mut();
+                            if let Some(conn) = find_conn(q, dest) {
+                                let old = q.connection(conn).next_to_send;
+                                let new = (position + 1).max(q.trimmed_through() + 1);
+                                q.set_acked(conn, position);
+                                q.set_next_to_send(conn, new);
+                                q.set_active(conn, true);
+                                q.set_counts_for_trim(conn, true);
+                                Some((q.stream().0, new, old))
+                            } else {
+                                None
+                            }
+                        };
+                        self.note_replay_retransmits(replayed);
                         self.dispatch_source_outputs(ctx, s);
                     }
                     ProducerCopy::Slot(pslot, pport) => {
-                        let flush = {
-                            match self.instances[pslot].as_mut() {
-                                Some(pinst) => {
-                                    let q = pinst.output_mut(pport);
-                                    if let Some(conn) = find_conn(q, dest) {
-                                        q.set_acked(conn, position);
-                                        q.set_next_to_send(
-                                            conn,
-                                            (position + 1).max(q.trimmed_through() + 1),
-                                        );
-                                        q.set_active(conn, true);
-                                        q.set_counts_for_trim(conn, true);
-                                        true
-                                    } else {
-                                        false
-                                    }
+                        let replayed = match self.instances[pslot].as_mut() {
+                            Some(pinst) => {
+                                let q = pinst.output_mut(pport);
+                                if let Some(conn) = find_conn(q, dest) {
+                                    let old = q.connection(conn).next_to_send;
+                                    let new = (position + 1).max(q.trimmed_through() + 1);
+                                    q.set_acked(conn, position);
+                                    q.set_next_to_send(conn, new);
+                                    q.set_active(conn, true);
+                                    q.set_counts_for_trim(conn, true);
+                                    Some((q.stream().0, new, old))
+                                } else {
+                                    None
                                 }
-                                None => false,
                             }
+                            None => None,
                         };
+                        let flush = replayed.is_some();
+                        self.note_replay_retransmits(replayed);
                         if flush {
                             self.dispatch_outputs(ctx, pslot);
                         }
@@ -891,17 +899,41 @@ impl HaWorld {
                     inst.output(port).connection(conn).dest
                 };
                 let serving = self.dest_is_serving(dest);
-                let inst = self.instances[slot].as_mut().expect("checked");
-                let q = inst.output_mut(port);
-                q.set_active(conn, serving);
-                q.set_counts_for_trim(conn, serving);
-                if serving {
-                    let from = q.trimmed_through() + 1;
-                    q.set_next_to_send(conn, from);
-                }
+                let replayed = {
+                    let inst = self.instances[slot].as_mut().expect("checked");
+                    let q = inst.output_mut(port);
+                    q.set_active(conn, serving);
+                    q.set_counts_for_trim(conn, serving);
+                    if serving {
+                        let old = q.connection(conn).next_to_send;
+                        let from = q.trimmed_through() + 1;
+                        q.set_next_to_send(conn, from);
+                        Some((q.stream().0, from, old))
+                    } else {
+                        None
+                    }
+                };
+                self.note_replay_retransmits(replayed);
             }
         }
         self.dispatch_outputs(ctx, slot);
+    }
+
+    /// Records replayed elements in the lineage table: when a recovery rewind
+    /// moved a connection cursor from `old` back to `new`, every element in
+    /// `[new, old)` is about to be transmitted a second time.
+    fn note_replay_retransmits(&mut self, replayed: Option<(u32, u64, u64)>) {
+        let Some((stream, new, old)) = replayed else {
+            return;
+        };
+        if new >= old {
+            return;
+        }
+        if let Some(lin) = self.lineage.as_deref_mut() {
+            for seq in new..old {
+                lin.mark_retransmit((stream, seq));
+            }
+        }
     }
 
     /// Deactivates the data path of one instance copy (suspension,

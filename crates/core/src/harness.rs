@@ -41,6 +41,8 @@ pub struct HaSimulationBuilder {
     log_sink_accepts: bool,
     trace_sinks: Vec<Box<dyn TraceSink>>,
     chaos: Option<ChaosPlan>,
+    lineage: bool,
+    collect_metrics: bool,
 }
 
 impl fmt::Debug for HaSimulationBuilder {
@@ -52,6 +54,8 @@ impl fmt::Debug for HaSimulationBuilder {
             .field("log_sink_accepts", &self.log_sink_accepts)
             .field("trace_sinks", &self.trace_sinks.len())
             .field("chaos", &self.chaos.as_ref().map(|p| p.steps().len()))
+            .field("lineage", &self.lineage)
+            .field("collect_metrics", &self.collect_metrics)
             .finish_non_exhaustive()
     }
 }
@@ -78,6 +82,8 @@ impl HaSimulationBuilder {
             log_sink_accepts: false,
             trace_sinks: Vec::new(),
             chaos: None,
+            lineage: false,
+            collect_metrics: false,
         }
     }
 
@@ -165,6 +171,27 @@ impl HaSimulationBuilder {
         self
     }
 
+    /// Switches causal tuple lineage on: every element is stamped at emit,
+    /// send, receive, and processing start, so delivered outputs decompose
+    /// into per-hop queueing/processing/network components. Lineage is an
+    /// observation layer — enabling it never changes the event schedule.
+    /// The `SPS_LINEAGE=1` environment variable enables it globally (used by
+    /// the CI no-perturbation check).
+    pub fn lineage(mut self, on: bool) -> Self {
+        self.lineage = on;
+        self
+    }
+
+    /// Switches the sim-time metrics registry on: counters, gauges and
+    /// histograms are scraped every
+    /// [`HaConfig::metrics_scrape_interval`](crate::HaConfig) into a
+    /// deterministic time series (exported via `--metrics-out` in the bench
+    /// binaries). Like lineage, this is read-only observation.
+    pub fn collect_metrics(mut self, on: bool) -> Self {
+        self.collect_metrics = on;
+        self
+    }
+
     /// Builds the simulation, deploys everything, and schedules the initial
     /// events.
     pub fn build(self) -> HaSimulation {
@@ -188,6 +215,13 @@ impl HaSimulationBuilder {
         );
         for sink in self.trace_sinks {
             world.tracer_mut().add_sink(sink);
+        }
+        let env_lineage = std::env::var("SPS_LINEAGE").is_ok_and(|v| v == "1");
+        if self.lineage || env_lineage {
+            world.enable_lineage();
+        }
+        if self.collect_metrics {
+            world.enable_metrics();
         }
         let mut sim = Simulation::new(world, self.seed);
         let (world, ctx) = sim.parts_mut();
@@ -234,6 +268,21 @@ impl HaSimulation {
     /// this to delimit steady-state windows).
     pub fn events_processed(&self) -> u64 {
         self.sim.events_processed()
+    }
+
+    /// Pops and handles one event under the self-profiler (bench builds
+    /// only): `classify` labels the event *before* it is handled — use
+    /// [`Event::kind_name`] and/or [`HaWorld::protocol_phase`] — and the
+    /// returned probe carries the handler's wall-clock time and allocation
+    /// deltas. Returns `None` when the queue is empty. Profiling is
+    /// host-side instrumentation around the handler call; the simulated
+    /// schedule is identical to [`run_for`](Self::run_for).
+    #[cfg(feature = "bench")]
+    pub fn step_profiled<L>(
+        &mut self,
+        classify: impl FnOnce(&Event) -> L,
+    ) -> Option<(L, sps_sim::StepProbe)> {
+        self.sim.step_profiled(classify)
     }
 
     /// The current simulated time.

@@ -15,8 +15,9 @@ use sps_engine::{
 };
 use sps_metrics::MsgClass;
 use sps_metrics::MsgCounters;
+use sps_metrics::{Registry, Scope};
 use sps_sim::{Ctx, SimTime, TimerGen, TimerSlot, World};
-use sps_trace::{ChaosKind, TraceEvent, Tracer};
+use sps_trace::{ChaosKind, LineageTable, TraceEvent, Tracer};
 
 use crate::config::{HaConfig, HaMode};
 use crate::detect::{BenchmarkConfig, BenchmarkDetector, HeartbeatMonitor};
@@ -203,6 +204,39 @@ pub enum Event {
         /// Index into the plan's step list.
         step: u32,
     },
+    /// The periodic metrics-registry scrape fired (only scheduled when
+    /// metrics collection is enabled on the builder). Strictly read-only
+    /// over cluster/PE state, like [`Event::TraceSample`].
+    MetricsScrape,
+}
+
+impl Event {
+    /// A stable short name for the event's kind, independent of payload
+    /// (the self-profiler bins host-side cost per kind).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Event::SourceTick { .. } => "source_tick",
+            Event::MachineTick { .. } => "machine_tick",
+            Event::Deliver { .. } => "deliver",
+            Event::HeartbeatTick { .. } => "heartbeat_tick",
+            Event::CheckpointTimer { .. } => "checkpoint_timer",
+            Event::SwitchoverComplete { .. } => "switchover_complete",
+            Event::DeployComplete { .. } => "deploy_complete",
+            Event::ConnectComplete { .. } => "connect_complete",
+            Event::SecondaryReady { .. } => "secondary_ready",
+            Event::SetBackground { .. } => "set_background",
+            Event::FailStop { .. } => "fail_stop",
+            Event::BenchSample { .. } => "bench_sample",
+            Event::StopSources => "stop_sources",
+            Event::TraceSample => "trace_sample",
+            Event::SubmitTask { .. } => "submit_task",
+            Event::CheckpointPersisted { .. } => "checkpoint_persisted",
+            Event::RelRetransmit { .. } => "rel_retransmit",
+            Event::RetransmitSweep => "retransmit_sweep",
+            Event::ChaosStep { .. } => "chaos_step",
+            Event::MetricsScrape => "metrics_scrape",
+        }
+    }
 }
 
 /// Tags identifying what a finished CPU task was.
@@ -480,6 +514,24 @@ pub struct HaWorld {
     /// Reusable buffer for machine ticks: the tasks that just completed on
     /// the ticking machine, emptied before return.
     pub(crate) task_scratch: Vec<sps_cluster::FinishedTask>,
+    /// Causal tuple lineage, when enabled on the builder. Boxed so the
+    /// disabled (default) case costs one pointer and one branch per hook.
+    pub(crate) lineage: Option<Box<LineageTable>>,
+    /// Metrics registry + scrape bookkeeping, when enabled on the builder.
+    pub(crate) metrics: Option<Box<MetricsHub>>,
+}
+
+/// Registry plus the scraper's private bookkeeping. Kept separate from
+/// `trace_busy`/`load_est` so the scraper shares no mutable state with the
+/// telemetry sampler or the scheduler — all three stay independently
+/// read-only over the simulation proper.
+#[derive(Debug, Default)]
+pub(crate) struct MetricsHub {
+    /// The scoped counters/gauges/histograms and their scrape history.
+    pub(crate) registry: Registry,
+    /// Per machine: `(last_scrape_time, busy_integral_at_last_scrape)`,
+    /// for cpu-load gauges over the scrape window.
+    pub(crate) busy: Vec<(SimTime, f64)>,
 }
 
 impl HaWorld {
@@ -601,6 +653,8 @@ impl HaWorld {
             finish_scratch: Vec::new(),
             ack_scratch: Vec::new(),
             task_scratch: Vec::new(),
+            lineage: None,
+            metrics: None,
             cfg,
             placement,
             cluster,
@@ -874,6 +928,71 @@ impl HaWorld {
         self.instances[slot_of(pe, replica)].as_ref()
     }
 
+    // ---- lineage + metrics (optional observation layers) ----
+
+    /// Switches causal tuple lineage on (builder-time only).
+    pub(crate) fn enable_lineage(&mut self) {
+        self.lineage = Some(Box::default());
+    }
+
+    /// Switches metrics collection on (builder-time only).
+    pub(crate) fn enable_metrics(&mut self) {
+        let machines = self.cluster.len();
+        self.metrics = Some(Box::new(MetricsHub {
+            registry: Registry::new(),
+            busy: vec![(SimTime::ZERO, 0.0); machines],
+        }));
+    }
+
+    /// The lineage table, when lineage tracking was enabled.
+    pub fn lineage(&self) -> Option<&LineageTable> {
+        self.lineage.as_deref()
+    }
+
+    /// The metrics registry, when metrics collection was enabled.
+    pub fn metrics(&self) -> Option<&Registry> {
+        self.metrics.as_deref().map(|m| &m.registry)
+    }
+
+    /// Adds `by` to a registry counter — one branch when metrics are off.
+    #[inline]
+    pub(crate) fn metric_inc(&mut self, scope: Scope, name: &'static str, by: u64) {
+        if let Some(m) = self.metrics.as_deref_mut() {
+            m.registry.inc(scope, name, by);
+        }
+    }
+
+    /// Records a histogram observation — one branch when metrics are off.
+    #[inline]
+    pub(crate) fn metric_observe(&mut self, scope: Scope, name: &'static str, value: f64) {
+        if let Some(m) = self.metrics.as_deref_mut() {
+            m.registry.observe(scope, name, value);
+        }
+    }
+
+    /// A coarse label of what the recovery protocol is doing right now:
+    /// the most advanced non-`Normal` subjob state, or `"steady"`. The
+    /// self-profiler bins host-side event cost by this label.
+    pub fn protocol_phase(&self) -> &'static str {
+        let mut rank = 0u8;
+        let mut label = "steady";
+        for sj in &self.subjobs {
+            let (r, l) = match sj.state {
+                SjState::Normal => (0, "steady"),
+                SjState::Deploying => (1, "ps_deploying"),
+                SjState::Connecting => (2, "ps_connecting"),
+                SjState::SwitchingOver => (3, "switching_over"),
+                SjState::SwitchedOver => (4, "switched_over"),
+                SjState::RollingBack => (5, "rolling_back"),
+            };
+            if r > rank {
+                rank = r;
+                label = l;
+            }
+        }
+        label
+    }
+
     // ---- periodic telemetry sampler ----
 
     /// The sim-timer-driven snapshot sampler: per-machine CPU/background
@@ -956,6 +1075,68 @@ impl HaWorld {
             }
             self.trace_queue_hw[slot] = (in_hw.max(prev_in), out_hw.max(prev_out));
         }
+    }
+
+    /// The sim-timer-driven metrics scrape: refreshes per-machine and
+    /// per-PE gauges, then snapshots every registered metric into the
+    /// registry's time-series. Strictly read-only over the simulation —
+    /// like [`on_trace_sample`](Self::on_trace_sample) it never advances
+    /// machines, touches the scheduling load estimate, or draws
+    /// randomness, so a scraping run stays bit-identical to a plain one.
+    pub(crate) fn on_metrics_scrape(&mut self, ctx: &mut Ctx<Event>) {
+        ctx.schedule_in(self.cfg.metrics_scrape_interval, Event::MetricsScrape);
+        let Some(mut hub) = self.metrics.take() else {
+            return;
+        };
+        let now = ctx.now();
+        for m in 0..self.cluster.len() {
+            let machine = self.cluster.machine(MachineId(m as u32));
+            let busy = machine.busy_integral();
+            let (last_t, last_busy) = hub.busy[m];
+            let dt = now.saturating_since(last_t).as_secs_f64();
+            let cpu_load = if dt > 0.0 {
+                ((busy - last_busy) / dt).max(0.0)
+            } else {
+                0.0
+            };
+            hub.busy[m] = (now, busy);
+            let scope = Scope::machine("cluster", m as u32);
+            hub.registry.set_gauge(scope, "cpu_load", cpu_load);
+            hub.registry
+                .set_gauge(scope, "background_share", machine.background_share());
+            hub.registry
+                .set_gauge(scope, "run_queue", machine.active_tasks() as f64);
+        }
+        for slot in 0..self.instances.len() {
+            let Some(inst) = self.instances[slot].as_ref() else {
+                continue;
+            };
+            let (pe, replica) = unslot(slot);
+            let machine = self.instance_machine[slot];
+            // Replica is part of the scope name-space via the metric name:
+            // scopes identify (component, machine, pe), and an AS pair's
+            // replicas live on different machines.
+            let scope = Scope::pe("data_plane", machine.0, pe.0);
+            let suffix = if replica_code(replica) == 0 {
+                "primary"
+            } else {
+                "secondary"
+            };
+            let name: &'static str = match suffix {
+                "primary" => "input_depth_primary",
+                _ => "input_depth_secondary",
+            };
+            hub.registry
+                .set_gauge(scope, name, inst.input_depth() as f64);
+            let backlog: &'static str = match suffix {
+                "primary" => "output_backlog_primary",
+                _ => "output_backlog_secondary",
+            };
+            hub.registry
+                .set_gauge(scope, backlog, inst.output_backlog() as f64);
+        }
+        hub.registry.scrape(now.as_nanos());
+        self.metrics = Some(hub);
     }
 
     // ---- chaos plan ----
@@ -1094,6 +1275,7 @@ impl World for HaWorld {
             Event::RelRetransmit { tx } => self.on_rel_retransmit(ctx, tx),
             Event::RetransmitSweep => self.on_retransmit_sweep(ctx),
             Event::ChaosStep { step } => self.on_chaos_step(ctx, step),
+            Event::MetricsScrape => self.on_metrics_scrape(ctx),
         }
     }
 }

@@ -325,6 +325,12 @@ impl PeInstance {
         self.inflight.is_some()
     }
 
+    /// The element currently being processed, if any (lineage tracking
+    /// reads it to link produced outputs to their input).
+    pub fn inflight_elem(&self) -> Option<&DataElement> {
+        self.inflight.as_ref().map(|(elem, _)| elem)
+    }
+
     /// Drops the in-flight element without applying it (machine fail-stop;
     /// the element is still retained upstream).
     pub fn abort_inflight(&mut self) {

@@ -13,7 +13,10 @@
 //! * [`RecoveryTimeline`] / [`RecoveryDecomposition`] — recovery-time
 //!   decomposition into detection / redeploy-or-resume / retransmit phases
 //!   (Figs 7–9);
-//! * [`Table`] and formatting helpers — the harnesses' printed output.
+//! * [`Table`] and formatting helpers — the harnesses' printed output;
+//! * [`Registry`] — a sim-time metrics registry: counters, gauges, and
+//!   log-linear histograms keyed by `(component, machine, pe)` [`Scope`]s,
+//!   scraped on a deterministic cadence into JSONL/CSV time-series.
 //!
 //! This crate is dependency-free and knows nothing about the simulator, so
 //! any component can record into it.
@@ -25,6 +28,7 @@ mod cdf;
 mod counters;
 mod latency;
 mod recovery;
+pub mod registry;
 mod report;
 mod stats;
 
@@ -32,5 +36,6 @@ pub use cdf::Cdf;
 pub use counters::{MsgClass, MsgCounters};
 pub use latency::LatencyRecorder;
 pub use recovery::{RecoveryDecomposition, RecoveryKind, RecoveryTimeline};
+pub use registry::{LogLinearHistogram, Registry, Scope};
 pub use report::{fmt_count, fmt_ms, fmt_pct, Table};
 pub use stats::OnlineStats;

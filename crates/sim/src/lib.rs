@@ -60,6 +60,8 @@ mod timer;
 
 pub use queue::EventQueue;
 pub use rng::SimRng;
+#[cfg(feature = "bench")]
+pub use sim::StepProbe;
 pub use sim::{Ctx, Simulation, World};
 pub use stats::SimStats;
 pub use time::{SimDuration, SimTime};

@@ -125,6 +125,22 @@ impl<E> Drop for Ctx<E> {
     }
 }
 
+/// Host-side cost of handling one event, as measured by
+/// [`Simulation::step_profiled`]: wall-clock nanoseconds plus allocation
+/// deltas from the counting allocator.
+#[cfg(feature = "bench")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepProbe {
+    /// Sim-time of the handled event.
+    pub at: SimTime,
+    /// Host wall-clock spent inside the handler, in nanoseconds.
+    pub wall_ns: u64,
+    /// Heap allocation calls made by the handler.
+    pub allocations: u64,
+    /// Bytes requested by those allocation calls.
+    pub alloc_bytes: u64,
+}
+
 /// A complete simulation: a [`World`] plus its [`Ctx`].
 #[derive(Debug)]
 pub struct Simulation<W: World> {
@@ -186,6 +202,47 @@ impl<W: World> Simulation<W> {
             }
             None => false,
         }
+    }
+
+    /// Like [`step`](Self::step), but measures host-side wall-clock and
+    /// heap-allocation cost of handling the event. `classify` sees the
+    /// event *before* it is handled and its label is returned with the
+    /// probe, letting the caller bin costs per event kind.
+    ///
+    /// Profiling is pure host-side observation: the event popped, the
+    /// times advanced, and the handler executed are byte-for-byte the same
+    /// as under [`step`](Self::step) — `Instant` and allocator counters
+    /// never feed back into simulated state. Allocation deltas are only
+    /// meaningful when the binary registers
+    /// [`CountingAllocator`](crate::counting_alloc::CountingAllocator) as
+    /// its global allocator; they read zero otherwise.
+    #[cfg(feature = "bench")]
+    pub fn step_profiled<L>(
+        &mut self,
+        classify: impl FnOnce(&W::Event) -> L,
+    ) -> Option<(L, StepProbe)> {
+        if self.ctx.stopped {
+            return None;
+        }
+        let (time, event) = self.ctx.queue.pop()?;
+        debug_assert!(time >= self.ctx.now, "event queue went backwards");
+        self.ctx.now = time;
+        self.ctx.processed += 1;
+        let label = classify(&event);
+        let a0 = crate::counting_alloc::allocations();
+        let b0 = crate::counting_alloc::allocated_bytes();
+        let t0 = std::time::Instant::now();
+        self.world.handle(&mut self.ctx, event);
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        Some((
+            label,
+            StepProbe {
+                at: time,
+                wall_ns,
+                allocations: crate::counting_alloc::allocations() - a0,
+                alloc_bytes: crate::counting_alloc::allocated_bytes() - b0,
+            },
+        ))
     }
 
     /// Runs until the queue is empty, `limit` is reached, or the world calls

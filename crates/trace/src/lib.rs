@@ -13,7 +13,14 @@
 //!   recent records with JSONL export (`--trace-out` on the bench bins);
 //! * [`Telemetry`] / [`recovery_spans`] — distilling records into
 //!   per-machine load and per-PE queue-depth time-series and per-subjob
-//!   recovery spans.
+//!   recovery spans (folded by `(subjob, cycle, phase)` identity);
+//! * [`LineageTable`] — causal tuple lineage: per logical element
+//!   `(stream, seq)`, the producing PE, parent element, and emit / send /
+//!   receive / processing-start stamps, decomposable into per-hop
+//!   queueing / network / processing time with retransmission flags;
+//! * [`RecoveryCriticalPath`] / [`recovery_critical_paths`] — per
+//!   recovery cycle, the labelled dependency chain (detection →
+//!   switch-over → promotion → state read → …) with per-edge attribution.
 //!
 //! The crate depends only on `sps-sim` (for [`sps_sim::SimTime`]) and
 //! `sps-metrics` (for CDFs over telemetry series); the engine and cluster
@@ -22,12 +29,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub(crate) mod critical_path;
 mod event;
+mod lineage;
 mod recorder;
 mod series;
 mod sink;
 
+pub use critical_path::{
+    longest_critical_path, recovery_critical_paths, CriticalPathEdge, RecoveryCriticalPath,
+};
 pub use event::{ChaosKind, DropReason, RecoveryPhase, TraceEvent, TraceRecord};
+pub use lineage::{ElementKey, HopTiming, LineageTable, TupleRecord, SOURCE_PE};
 pub use recorder::{FlightRecorder, SharedRecorder, DEFAULT_CAPACITY};
 pub use series::{recovery_spans, RecoverySpan, Telemetry};
 pub use sink::{PhaseRecord, TraceSink, Tracer};

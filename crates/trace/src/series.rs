@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use sps_metrics::Cdf;
+use sps_metrics::{Cdf, Registry, Scope};
 use sps_sim::SimTime;
 
 use crate::event::{RecoveryPhase, TraceEvent, TraceRecord};
@@ -14,6 +14,9 @@ use crate::sink::PhaseRecord;
 pub struct RecoverySpan {
     /// Which subjob the cycle belongs to.
     pub subjob: u32,
+    /// Which recovery cycle of that subjob (0-based; a new cycle starts at
+    /// each `Detected` after the first phase of the previous cycle).
+    pub cycle: u32,
     /// Span start (exclusive boundary of the previous span).
     pub start: SimTime,
     /// Span end — the phase event that closes the span.
@@ -35,18 +38,56 @@ impl RecoverySpan {
 /// event of the same subjob (or at `origin` — typically the failure
 /// injection time — for the first). By construction the spans of one
 /// subjob are monotone and non-overlapping.
+///
+/// Spans are folded by identity `(subjob, cycle, phase)`: a `Detected`
+/// after any earlier phase opens a new cycle, and a phase that fires twice
+/// within one cycle — e.g. a Hybrid rollback aborting mid-switch-over and
+/// re-closing `SwitchoverComplete` when the chaos window re-fails the
+/// primary — extends the existing span instead of double-counting it as a
+/// second one.
 pub fn recovery_spans(phases: &[PhaseRecord], origin: SimTime) -> Vec<RecoverySpan> {
-    let mut last: BTreeMap<u32, SimTime> = BTreeMap::new();
-    let mut spans = Vec::with_capacity(phases.len());
+    /// Per-subjob fold state: current cycle, last boundary time, and a
+    /// bitmask of phases already closed within the current cycle.
+    struct SubjobFold {
+        cycle: u32,
+        last: SimTime,
+        seen: u16,
+    }
+    let mut state: BTreeMap<u32, SubjobFold> = BTreeMap::new();
+    let mut spans: Vec<RecoverySpan> = Vec::with_capacity(phases.len());
     for p in phases {
-        let start = *last.get(&p.subjob).unwrap_or(&origin);
+        let e = state.entry(p.subjob).or_insert(SubjobFold {
+            cycle: 0,
+            last: origin,
+            seen: 0,
+        });
+        if p.phase == RecoveryPhase::Detected && e.seen != 0 {
+            e.cycle += 1;
+            e.seen = 0;
+        }
+        let bit = 1u16 << (p.phase as u16);
+        if e.seen & bit != 0 {
+            // Duplicate close within this cycle: fold into the existing
+            // span (extend its end) rather than emitting a second one.
+            if let Some(s) = spans
+                .iter_mut()
+                .rev()
+                .find(|s| s.subjob == p.subjob && s.cycle == e.cycle && s.phase == p.phase)
+            {
+                s.end = p.at;
+            }
+            e.last = p.at;
+            continue;
+        }
+        e.seen |= bit;
         spans.push(RecoverySpan {
             subjob: p.subjob,
-            start,
+            cycle: e.cycle,
+            start: e.last,
             end: p.at,
             phase: p.phase,
         });
-        last.insert(p.subjob, p.at);
+        e.last = p.at;
     }
     spans
 }
@@ -66,16 +107,9 @@ pub struct Telemetry {
     injects: Vec<(SimTime, u32, bool)>,
     /// Recovery phase boundaries, reconstructed from `recovery` records.
     phases: Vec<PhaseRecord>,
-    /// Elements dropped, by reason string.
-    drops: BTreeMap<&'static str, u64>,
-    /// Network messages dropped by partitions.
-    partition_net_drops: u64,
-    /// Network messages dropped by chaos faults.
-    chaos_net_drops: u64,
-    /// Chaos-duplicated network deliveries.
-    net_duplicates: u64,
-    /// Reliable-control-plane retransmissions.
-    retransmits: u64,
+    /// Scalar counters (drops by reason, network faults, retransmissions),
+    /// folded into a scoped registry instead of ad-hoc fields.
+    registry: Registry,
     /// Chaos-plan steps applied, `(at, action-kind)`.
     chaos_steps: Vec<(SimTime, &'static str)>,
 }
@@ -122,22 +156,30 @@ impl Telemetry {
                 });
             }
             TraceEvent::ElementDrop {
-                reason, elements, ..
+                machine,
+                reason,
+                elements,
             } => {
-                *self.drops.entry(reason.as_str()).or_default() += elements as u64;
+                self.registry.inc(
+                    Scope::machine("data_plane", machine),
+                    reason.as_str(),
+                    elements as u64,
+                );
             }
             TraceEvent::NetDrop { chaos, .. } => {
-                if chaos {
-                    self.chaos_net_drops += 1;
+                let name = if chaos {
+                    "chaos_drops"
                 } else {
-                    self.partition_net_drops += 1;
-                }
+                    "partition_drops"
+                };
+                self.registry.inc(Scope::global("network"), name, 1);
             }
             TraceEvent::NetDuplicate { .. } => {
-                self.net_duplicates += 1;
+                self.registry.inc(Scope::global("network"), "duplicates", 1);
             }
             TraceEvent::Retransmit { .. } => {
-                self.retransmits += 1;
+                self.registry
+                    .inc(Scope::global("network"), "retransmits", 1);
             }
             TraceEvent::ChaosPhase { action, .. } => {
                 self.chaos_steps.push((record.at, action.as_str()));
@@ -193,29 +235,36 @@ impl Telemetry {
         &self.phases
     }
 
-    /// Total elements dropped for a given reason string.
+    /// Total elements dropped for a given reason string, summed over
+    /// machines.
     pub fn dropped(&self, reason: &str) -> u64 {
-        self.drops.get(reason).copied().unwrap_or(0)
+        self.registry.counter_total("data_plane", reason)
     }
 
     /// Network messages dropped (partition + chaos losses).
     pub fn net_drops(&self) -> u64 {
-        self.partition_net_drops + self.chaos_net_drops
+        self.registry.counter_total("network", "partition_drops")
+            + self.registry.counter_total("network", "chaos_drops")
     }
 
     /// Network messages lost to chaos faults alone.
     pub fn chaos_net_drops(&self) -> u64 {
-        self.chaos_net_drops
+        self.registry.counter_total("network", "chaos_drops")
     }
 
     /// Chaos-duplicated network deliveries observed.
     pub fn net_duplicates(&self) -> u64 {
-        self.net_duplicates
+        self.registry.counter_total("network", "duplicates")
     }
 
     /// Reliable-control-plane retransmissions observed.
     pub fn retransmits(&self) -> u64 {
-        self.retransmits
+        self.registry.counter_total("network", "retransmits")
+    }
+
+    /// The scoped counter registry backing the scalar accessors above.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Chaos-plan steps applied, as `(at, action-kind)` pairs.
@@ -232,6 +281,14 @@ impl Telemetry {
             .map(|&(at, _, _)| at)
             .unwrap_or(SimTime::ZERO);
         recovery_spans(&self.phases, origin)
+    }
+
+    /// Per-cycle recovery critical paths (see
+    /// [`recovery_critical_paths`](crate::recovery_critical_paths)); each
+    /// cycle anchors at the failure injection that triggered it.
+    pub fn recovery_critical_paths(&self) -> Vec<crate::RecoveryCriticalPath> {
+        let injects: Vec<SimTime> = self.injects.iter().map(|&(at, _, _)| at).collect();
+        crate::critical_path::recovery_critical_paths(&self.phases, &injects)
     }
 }
 
@@ -279,6 +336,42 @@ mod tests {
         assert_eq!(sj1[1].start, SimTime::from_millis(100));
         let sj2: Vec<_> = spans.iter().filter(|s| s.subjob == 2).collect();
         assert_eq!(sj2[1].start, SimTime::from_millis(120));
+    }
+
+    /// Regression for the Hybrid abort double-count: when the chaos window
+    /// re-fails the primary mid-switch-over, the cycle re-detects and the
+    /// `SwitchoverComplete` span used to be closed twice, inflating the
+    /// switch-over total. Folding by `(subjob, cycle, phase)` keeps one
+    /// span per identity and extends its end instead.
+    #[test]
+    fn aborted_switchover_folds_duplicate_spans_by_id() {
+        let phases = [
+            phase(100, 1, RecoveryPhase::Detected),
+            // Silent abort (fresh pong mid-switch-over), then re-detection:
+            phase(150, 1, RecoveryPhase::Detected),
+            phase(200, 1, RecoveryPhase::SwitchoverComplete),
+            // Overlapping chaos window closes the same phase again:
+            phase(210, 1, RecoveryPhase::SwitchoverComplete),
+            phase(400, 1, RecoveryPhase::RollbackStarted),
+        ];
+        let spans = recovery_spans(&phases, SimTime::from_millis(40));
+        assert_eq!(spans.len(), 4, "duplicate close folds, it does not add");
+        assert_eq!(spans[0].cycle, 0);
+        assert!(spans[1..].iter().all(|s| s.cycle == 1));
+        let switchovers: Vec<_> = spans
+            .iter()
+            .filter(|s| s.phase == RecoveryPhase::SwitchoverComplete)
+            .collect();
+        assert_eq!(switchovers.len(), 1, "one switch-over span per cycle");
+        assert_eq!(switchovers[0].start, SimTime::from_millis(150));
+        assert_eq!(
+            switchovers[0].end,
+            SimTime::from_millis(210),
+            "folded span extends to the last duplicate close"
+        );
+        // The next span still chains from the folded end.
+        assert_eq!(spans[3].start, SimTime::from_millis(210));
+        assert_eq!(spans[3].phase, RecoveryPhase::RollbackStarted);
     }
 
     #[test]
