@@ -52,6 +52,10 @@ fn figure_list() -> Vec<(&'static str, FigureFn)> {
 struct FigureBench {
     name: &'static str,
     wall_ms: f64,
+    /// True for closed-form figures (fig01–03) that run no simulation:
+    /// they process zero DES events, so an events/second for them is
+    /// meaningless and the report omits those fields entirely.
+    analytic: bool,
     events: u64,
     events_per_sec: f64,
     peak_queue_depth: u64,
@@ -106,14 +110,19 @@ fn main() {
         per_figure.push(FigureBench {
             name,
             wall_ms,
+            analytic: stats.events_processed == 0,
             events: stats.events_processed,
             events_per_sec: stats.events_processed as f64 / (wall_ms / 1e3).max(1e-9),
             peak_queue_depth: stats.peak_queue_depth,
         });
-        eprintln!(
-            "  {name}: {wall_ms:.0} ms, {} events, peak queue {}",
-            stats.events_processed, stats.peak_queue_depth
-        );
+        if stats.events_processed == 0 {
+            eprintln!("  {name}: {wall_ms:.0} ms, analytic (no simulation)");
+        } else {
+            eprintln!(
+                "  {name}: {wall_ms:.0} ms, {} events, peak queue {}",
+                stats.events_processed, stats.peak_queue_depth
+            );
+        }
     }
 
     // Pass 2: the same figures as parallel cells, timed as a whole.
@@ -157,16 +166,26 @@ fn main() {
     json.push_str(&format!("  \"available_parallelism\": {host_cores},\n"));
     json.push_str("  \"figures\": [\n");
     for (i, b) in per_figure.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"wall_ms\": {}, \"events\": {}, \
-             \"events_per_sec\": {}, \"peak_queue_depth\": {}}}{}\n",
-            b.name,
-            json_f(b.wall_ms),
-            b.events,
-            json_f(b.events_per_sec),
-            b.peak_queue_depth,
-            if i + 1 < per_figure.len() { "," } else { "" }
-        ));
+        let comma = if i + 1 < per_figure.len() { "," } else { "" };
+        if b.analytic {
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"wall_ms\": {}, \"analytic\": true, \
+                 \"peak_queue_depth\": {}}}{comma}\n",
+                b.name,
+                json_f(b.wall_ms),
+                b.peak_queue_depth,
+            ));
+        } else {
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"wall_ms\": {}, \"events\": {}, \
+                 \"events_per_sec\": {}, \"peak_queue_depth\": {}}}{comma}\n",
+                b.name,
+                json_f(b.wall_ms),
+                b.events,
+                json_f(b.events_per_sec),
+                b.peak_queue_depth,
+            ));
+        }
     }
     json.push_str("  ],\n");
     json.push_str(&format!(

@@ -7,9 +7,11 @@
 //! `--trace-out <path>` (or `SPS_TRACE_OUT`) the flight-recorder JSONL of
 //! the heaviest-loss run is written there; the dump is a deterministic
 //! function of the seed, which the CI determinism job checks by
-//! byte-diffing two runs.
+//! byte-diffing two runs. `--metrics-out` and `--health-out` run the same
+//! instrumented capture scenarios as the figure binaries.
 
 use sps_bench::common::{Experiment, RunOpts};
+use sps_bench::{health_capture, metrics_capture};
 use sps_cluster::{BurstLoss, ChaosPlan, FaultProfile, MachineId};
 use sps_engine::SubjobId;
 use sps_ha::{HaEventKind, HaMode, HaSimulation};
@@ -155,11 +157,13 @@ fn main() {
     }
     .print();
 
-    if let Some(path) = opts.trace_out {
+    if let Some(path) = &opts.trace_out {
         let (trace, records) = last_trace.expect("at least one sweep point ran");
-        match std::fs::write(&path, trace) {
+        match std::fs::write(path, trace) {
             Ok(()) => println!("trace: {records} records written to {}", path.display()),
             Err(e) => eprintln!("warning: could not write trace to {}: {e}", path.display()),
         }
     }
+    metrics_capture::maybe_capture(opts.metrics_out.as_deref(), opts.seed);
+    health_capture::maybe_capture(opts.health_out.as_deref(), opts.seed);
 }

@@ -1,0 +1,105 @@
+//! `sps-inspect` — offline analysis of the simulator's JSONL artifacts
+//! (`--trace-out`, `--metrics-out`, `--health-out`, lineage exports).
+//!
+//! ```text
+//! sps-inspect summary  <dump.jsonl>...       per-kind counts, time range,
+//!                                            recovery cycles, SLO/anomaly roll-up
+//! sps-inspect timeline <trace.jsonl>         per-machine / per-PE event timeline
+//! sps-inspect diff     <a.jsonl> <b.jsonl>   first divergent line + field
+//!                                            (exit 1 when the files differ)
+//! sps-inspect flame    <trace.jsonl>         recovery critical paths as
+//!                                            folded-stack flamegraph lines
+//! sps-inspect check    <dump.jsonl>...       parse every line; exit nonzero
+//!                                            on the first malformed one
+//! ```
+//!
+//! All analysis lives in `sps_observe::inspect`; this binary is argument
+//! handling and exit codes only. Parse errors and usage problems exit
+//! nonzero with a message on stderr.
+
+use std::io::Write;
+use std::path::Path;
+use std::process::ExitCode;
+
+use sps_observe::inspect::{self, Dump};
+
+/// Writes a report to stdout, tolerating a closed pipe (`| head`): a
+/// consumer that stops reading is not an error worth panicking over.
+fn emit(report: &str) {
+    let _ = std::io::stdout().write_all(report.as_bytes());
+}
+
+const USAGE: &str = "usage: sps-inspect <summary|timeline|diff|flame|check> <file.jsonl>...
+  summary  <dump>...   per-kind counts, time range, recovery cycles, SLO/anomaly roll-up
+  timeline <trace>     per-machine / per-PE event timeline
+  diff     <a> <b>     first divergent line and field; exit 1 when files differ
+  flame    <trace>     recovery critical paths as folded-stack flamegraph lines
+  check    <dump>...   parse every line; exit nonzero on the first malformed one";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("sps-inspect: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let (cmd, files) = args.split_first().ok_or(USAGE)?;
+    let need = |n: usize| -> Result<(), String> {
+        if files.len() == n {
+            Ok(())
+        } else {
+            Err(format!("`{cmd}` takes exactly {n} file(s)\n{USAGE}"))
+        }
+    };
+    match cmd.as_str() {
+        "summary" => {
+            if files.is_empty() {
+                return Err(format!("`summary` needs at least one file\n{USAGE}"));
+            }
+            for f in files {
+                let dump = Dump::load(Path::new(f))?;
+                emit(&inspect::summary(&dump));
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "timeline" => {
+            need(1)?;
+            let dump = Dump::load(Path::new(&files[0]))?;
+            emit(&inspect::timeline(&dump));
+            Ok(ExitCode::SUCCESS)
+        }
+        "diff" => {
+            need(2)?;
+            let a = Dump::load(Path::new(&files[0]))?;
+            let b = Dump::load(Path::new(&files[1]))?;
+            let (report, identical) = inspect::diff(&a, &b);
+            emit(&report);
+            Ok(if identical {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
+        }
+        "flame" => {
+            need(1)?;
+            let dump = Dump::load(Path::new(&files[0]))?;
+            emit(&inspect::flame(&dump));
+            Ok(ExitCode::SUCCESS)
+        }
+        "check" => {
+            if files.is_empty() {
+                return Err(format!("`check` needs at least one file\n{USAGE}"));
+            }
+            let paths: Vec<&Path> = files.iter().map(Path::new).collect();
+            let report = inspect::check(&paths)?;
+            emit(&report);
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Err(format!("unknown command `{cmd}`\n{USAGE}")),
+    }
+}

@@ -45,6 +45,11 @@ pub struct RunOpts {
     /// instrumented capture run. Status goes to stderr so stdout stays
     /// byte-identical with and without the flag.
     pub metrics_out: Option<PathBuf>,
+    /// `--health-out PATH` (or `SPS_HEALTH_OUT`): health-report JSONL
+    /// destination for the instrumented capture run (SLO breach spans,
+    /// anomaly spans, rate series). Status goes to stderr so stdout stays
+    /// byte-identical with and without the flag.
+    pub health_out: Option<PathBuf>,
 }
 
 impl RunOpts {
@@ -62,6 +67,7 @@ impl RunOpts {
         let mut seed: u64 = 2010;
         let mut trace_out: Option<PathBuf> = None;
         let mut metrics_out: Option<PathBuf> = None;
+        let mut health_out: Option<PathBuf> = None;
         let mut args = args.into_iter();
         while let Some(a) = args.next() {
             let mut take = |inline: Option<&str>| -> Option<String> {
@@ -79,6 +85,8 @@ impl RunOpts {
                 trace_out = take(a.strip_prefix("--trace-out=")).map(PathBuf::from);
             } else if a == "--metrics-out" || a.starts_with("--metrics-out=") {
                 metrics_out = take(a.strip_prefix("--metrics-out=")).map(PathBuf::from);
+            } else if a == "--health-out" || a.starts_with("--health-out=") {
+                health_out = take(a.strip_prefix("--health-out=")).map(PathBuf::from);
             }
         }
         let jobs = jobs
@@ -95,12 +103,16 @@ impl RunOpts {
         if metrics_out.is_none() {
             metrics_out = std::env::var_os("SPS_METRICS_OUT").map(PathBuf::from);
         }
+        if health_out.is_none() {
+            health_out = std::env::var_os("SPS_HEALTH_OUT").map(PathBuf::from);
+        }
         RunOpts {
             scale: if quick { Scale::Quick } else { Scale::Full },
             jobs,
             seed,
             trace_out,
             metrics_out,
+            health_out,
         }
     }
 
@@ -200,7 +212,7 @@ mod tests {
     fn run_opts_parse_flags() {
         let to_args = |s: &str| s.split_whitespace().map(str::to_string).collect::<Vec<_>>();
         let o = RunOpts::from_args(to_args(
-            "--quick --jobs 3 --seed 77 --trace-out t.jsonl --metrics-out m.jsonl",
+            "--quick --jobs 3 --seed 77 --trace-out t.jsonl --metrics-out m.jsonl --health-out h.jsonl",
         ));
         assert_eq!(o.scale, Scale::Quick);
         assert_eq!(o.jobs, 3);
@@ -213,9 +225,13 @@ mod tests {
             o.metrics_out.as_deref(),
             Some(std::path::Path::new("m.jsonl"))
         );
+        assert_eq!(
+            o.health_out.as_deref(),
+            Some(std::path::Path::new("h.jsonl"))
+        );
 
         let o = RunOpts::from_args(to_args(
-            "--jobs=8 --seed=5 --trace-out=x.jsonl --metrics-out=m.csv",
+            "--jobs=8 --seed=5 --trace-out=x.jsonl --metrics-out=m.csv --health-out=h2.jsonl",
         ));
         assert_eq!(o.scale, Scale::Full);
         assert_eq!(o.jobs, 8);
@@ -227,6 +243,10 @@ mod tests {
         assert_eq!(
             o.metrics_out.as_deref(),
             Some(std::path::Path::new("m.csv"))
+        );
+        assert_eq!(
+            o.health_out.as_deref(),
+            Some(std::path::Path::new("h2.jsonl"))
         );
 
         // Unknown flags are ignored; defaults hold.

@@ -1,0 +1,110 @@
+//! The `--health-out` health-report capture: an instrumented hybrid run
+//! whose online health engine (SLO monitors, anomaly detectors, recovery
+//! budget tracking) exports its deterministic end-of-run report as JSONL.
+//!
+//! Figure binaries call [`maybe_capture`] after printing their tables with
+//! the destination from [`crate::common::RunOpts`] (`--health-out <path>`
+//! or `SPS_HEALTH_OUT`). Like the trace and metrics captures, the health
+//! run is separate from the figure runs — figure numbers never come from an
+//! instrumented simulation — and all status output goes to **stderr** so a
+//! figure binary's stdout is byte-identical with and without the flag (the
+//! CI no-perturbation check relies on this).
+
+use std::path::Path;
+
+use sps_cluster::{MachineId, SpikeWindow};
+use sps_engine::SubjobId;
+use sps_ha::{HaMode, HaSimulation};
+use sps_observe::{HealthConfig, HealthReport};
+use sps_sim::SimTime;
+use sps_workloads::eval_chain_job;
+
+/// Runs a health-instrumented hybrid scenario and returns the engine's
+/// end-of-run report.
+///
+/// The scenario is the same transient-failure run as the metrics capture
+/// (steady state, a 1 s load spike on the protected subjob's primary,
+/// switch-over and rollback), so the report always contains at least one
+/// full recovery cycle — which, at the default 200 ms budget, records a
+/// deterministic breach span on the built-in `recovery_cycle_total`
+/// monitor.
+pub fn capture_health(seed: u64) -> HealthReport {
+    let job = eval_chain_job();
+    let mut sim = HaSimulation::builder(job)
+        .mode(HaMode::None)
+        .subjob_mode(SubjobId(1), HaMode::Hybrid)
+        .source_rate(1_000.0)
+        .seed(seed)
+        .tune(|c| c.reliable_control = true)
+        .health(HealthConfig::default())
+        .lineage(true)
+        .build();
+    sim.inject_spike_windows(
+        MachineId(1),
+        &[SpikeWindow {
+            start: SimTime::from_secs(1),
+            end: SimTime::from_secs(2),
+            share: 1.0,
+        }],
+    );
+    sim.stop_sources_at(SimTime::from_secs(4));
+    sim.run_until(SimTime::from_secs(5));
+    sim.world()
+        .health()
+        .expect("health engine enabled by builder")
+        .report()
+}
+
+/// If a health destination was requested, runs the capture scenario and
+/// writes its report there as JSONL. Status goes to stderr only.
+pub fn maybe_capture(path: Option<&Path>, seed: u64) {
+    let Some(path) = path else {
+        return;
+    };
+    let report = capture_health(seed);
+    match std::fs::File::create(path) {
+        Ok(mut f) => match report.export(&mut f) {
+            Ok(()) => eprintln!(
+                "health: {} scrapes, {} SLO breaches, {} anomalies written to {}",
+                report.scrapes,
+                report.breach_count(),
+                report.anomalies.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!(
+                "warning: could not write health report to {}: {e}",
+                path.display()
+            ),
+        },
+        Err(e) => eprintln!("warning: could not create {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sps_observe::RECOVERY_MONITOR;
+
+    #[test]
+    fn capture_records_a_recovery_breach() {
+        let report = capture_health(2010);
+        assert!(report.scrapes >= 40, "scrapes: {}", report.scrapes);
+        let recovery = report
+            .monitors
+            .iter()
+            .find(|m| m.name == RECOVERY_MONITOR)
+            .expect("built-in recovery monitor present");
+        assert!(
+            !recovery.spans.is_empty(),
+            "the capture scenario's recovery cycle must breach the 200ms budget"
+        );
+        assert!(recovery.spans.iter().all(|s| s.end_ns.is_some()));
+    }
+
+    #[test]
+    fn capture_is_deterministic() {
+        let a = capture_health(7).to_jsonl_string();
+        let b = capture_health(7).to_jsonl_string();
+        assert_eq!(a, b);
+    }
+}

@@ -10,6 +10,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod common;
+pub mod health_capture;
 pub mod metrics_capture;
 pub mod runner;
 pub mod timing;

@@ -106,6 +106,7 @@ pub struct Machine {
     busy_integral: f64,
     work_done: f64,
     tasks_completed: u64,
+    run_queue_hw: usize,
 }
 
 impl Machine {
@@ -128,6 +129,7 @@ impl Machine {
             busy_integral: 0.0,
             work_done: 0.0,
             tasks_completed: 0,
+            run_queue_hw: 0,
         }
     }
 
@@ -154,6 +156,13 @@ impl Machine {
     /// Number of currently active CPU tasks.
     pub fn active_tasks(&self) -> usize {
         self.tasks.len()
+    }
+
+    /// High-water mark of the run queue (peak concurrent active tasks
+    /// since the machine started, surviving restarts). Backpressure
+    /// detection reads this next to the instantaneous depth.
+    pub fn run_queue_high_water(&self) -> usize {
+        self.run_queue_hw
     }
 
     /// Total CPU-seconds of application work completed so far.
@@ -245,6 +254,7 @@ impl Machine {
             tag,
             remaining: work_secs,
         });
+        self.run_queue_hw = self.run_queue_hw.max(self.tasks.len());
         Some(id)
     }
 
@@ -395,6 +405,21 @@ mod tests {
         assert_eq!(m.next_completion(), Some(ms(20)));
         m.advance(ms(20));
         assert_eq!(m.collect_finished().len(), 2);
+    }
+
+    #[test]
+    fn run_queue_high_water_tracks_peak_depth() {
+        let mut m = Machine::new(MachineId(1));
+        assert_eq!(m.run_queue_high_water(), 0);
+        m.submit(ms(0), 0.010, 1).unwrap();
+        m.submit(ms(0), 0.010, 2).unwrap();
+        assert_eq!(m.run_queue_high_water(), 2);
+        m.advance(ms(20));
+        m.collect_finished();
+        assert_eq!(m.active_tasks(), 0);
+        // The mark is a high-water: draining does not lower it.
+        m.submit(ms(30), 0.010, 3).unwrap();
+        assert_eq!(m.run_queue_high_water(), 2);
     }
 
     #[test]

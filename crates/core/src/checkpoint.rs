@@ -373,6 +373,7 @@ impl HaWorld {
                     replica: replica_code(replica),
                 },
             );
+            self.metric_inc(sps_metrics::Scope::global("checkpoint"), "stored", 1);
             let Some(positions) = self.subjobs[sj_id.0 as usize]
                 .snap_positions
                 .get(&pe)

@@ -86,6 +86,11 @@ impl HaWorld {
                 streak,
             },
         );
+        self.metric_inc(
+            sps_metrics::Scope::machine("heartbeat", suspect.0),
+            "misses",
+            1,
+        );
 
         if streak >= self.cfg.failstop_miss_threshold && mode == HaMode::Hybrid {
             // `>=`, not `==`: if a promotion attempt could not act (e.g. a
@@ -150,6 +155,11 @@ impl HaWorld {
         if !fresh_recovery {
             return;
         }
+        self.metric_inc(
+            sps_metrics::Scope::machine("heartbeat", ponger.0),
+            "suspicion_cleared",
+            1,
+        );
         let sj_id = self.monitors[m].subjob;
         let sj = &self.subjobs[sj_id.0 as usize];
         if sj.mode != HaMode::Hybrid {
@@ -606,6 +616,7 @@ impl HaWorld {
 
     pub(crate) fn on_fail_stop(&mut self, ctx: &mut Ctx<Event>, machine: u32) {
         let m = MachineId(machine);
+        self.injected_failstops.push((m, ctx.now()));
         self.tracer.emit(
             ctx.now(),
             TraceEvent::FailureInject {

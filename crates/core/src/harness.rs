@@ -43,6 +43,7 @@ pub struct HaSimulationBuilder {
     chaos: Option<ChaosPlan>,
     lineage: bool,
     collect_metrics: bool,
+    health: Option<sps_observe::HealthConfig>,
 }
 
 impl fmt::Debug for HaSimulationBuilder {
@@ -56,6 +57,7 @@ impl fmt::Debug for HaSimulationBuilder {
             .field("chaos", &self.chaos.as_ref().map(|p| p.steps().len()))
             .field("lineage", &self.lineage)
             .field("collect_metrics", &self.collect_metrics)
+            .field("health", &self.health.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -84,6 +86,7 @@ impl HaSimulationBuilder {
             chaos: None,
             lineage: false,
             collect_metrics: false,
+            health: None,
         }
     }
 
@@ -192,6 +195,20 @@ impl HaSimulationBuilder {
         self
     }
 
+    /// Switches the online health engine on: SLO monitors, anomaly
+    /// detectors, and recovery-budget tracking stepped at every metrics
+    /// scrape (so this implies [`collect_metrics`](Self::collect_metrics)).
+    /// A `checkpoint_stall_budget_ns` of `0` is resolved to 4x the
+    /// checkpoint interval at build time. Like lineage and metrics, the
+    /// engine is read-only observation: enabling it never changes the
+    /// event schedule.
+    pub fn health(mut self, cfg: sps_observe::HealthConfig) -> Self {
+        cfg.validate();
+        self.health = Some(cfg);
+        self.collect_metrics = true;
+        self
+    }
+
     /// Builds the simulation, deploys everything, and schedules the initial
     /// events.
     pub fn build(self) -> HaSimulation {
@@ -222,6 +239,16 @@ impl HaSimulationBuilder {
         }
         if self.collect_metrics {
             world.enable_metrics();
+        }
+        if let Some(mut health_cfg) = self.health {
+            if health_cfg.checkpoint_stall_budget_ns == 0 {
+                // Derive the stall budget from the HA config: one sweep is
+                // due every checkpoint interval, so 4 missed intervals is a
+                // stall under any scheduling jitter the model produces.
+                health_cfg.checkpoint_stall_budget_ns =
+                    world.config().checkpoint_interval.as_nanos() * 4;
+            }
+            world.enable_health(health_cfg);
         }
         let mut sim = Simulation::new(world, self.seed);
         let (world, ctx) = sim.parts_mut();

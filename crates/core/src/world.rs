@@ -481,6 +481,8 @@ pub struct HaWorld {
     pub(crate) trace_queue_hw: Vec<(u64, u64)>,
     /// Ground-truth failure windows injected per machine.
     pub(crate) injected_spikes: Vec<(MachineId, SimTime, SimTime)>,
+    /// Ground-truth fail-stop instants injected per machine.
+    pub(crate) injected_failstops: Vec<(MachineId, SimTime)>,
     /// The installed chaos plan's steps; [`Event::ChaosStep`] indexes here.
     pub(crate) chaos_steps: Vec<ChaosStep>,
     /// Next reliable transmission id.
@@ -519,6 +521,10 @@ pub struct HaWorld {
     pub(crate) lineage: Option<Box<LineageTable>>,
     /// Metrics registry + scrape bookkeeping, when enabled on the builder.
     pub(crate) metrics: Option<Box<MetricsHub>>,
+    /// The online health engine, when enabled on the builder (requires
+    /// metrics). Stepped after every registry scrape; strictly read-only
+    /// over the simulation, like the scraper itself.
+    pub(crate) health: Option<Box<sps_observe::HealthEngine>>,
 }
 
 /// Registry plus the scraper's private bookkeeping. Kept separate from
@@ -642,6 +648,7 @@ impl HaWorld {
             trace_busy: vec![(SimTime::ZERO, 0.0); cluster.len()],
             trace_queue_hw: vec![(0, 0); n_pes * 2],
             injected_spikes: Vec::new(),
+            injected_failstops: Vec::new(),
             chaos_steps: Vec::new(),
             rel_next_tx: 0,
             rel_inflight: BTreeMap::new(),
@@ -655,6 +662,7 @@ impl HaWorld {
             task_scratch: Vec::new(),
             lineage: None,
             metrics: None,
+            health: None,
             cfg,
             placement,
             cluster,
@@ -954,6 +962,21 @@ impl HaWorld {
         self.metrics.as_deref().map(|m| &m.registry)
     }
 
+    /// Switches the online health engine on (builder-time only; the
+    /// builder has already enabled metrics and resolved derived budgets).
+    pub(crate) fn enable_health(&mut self, cfg: sps_observe::HealthConfig) {
+        assert!(
+            self.metrics.is_some(),
+            "health engine requires metrics collection"
+        );
+        self.health = Some(Box::new(sps_observe::HealthEngine::new(cfg)));
+    }
+
+    /// The health engine, when enabled.
+    pub fn health(&self) -> Option<&sps_observe::HealthEngine> {
+        self.health.as_deref()
+    }
+
     /// Adds `by` to a registry counter — one branch when metrics are off.
     #[inline]
     pub(crate) fn metric_inc(&mut self, scope: Scope, name: &'static str, by: u64) {
@@ -1135,7 +1158,41 @@ impl HaWorld {
             hub.registry
                 .set_gauge(scope, backlog, inst.output_backlog() as f64);
         }
+        for m in 0..self.cluster.len() {
+            let machine = self.cluster.machine(MachineId(m as u32));
+            hub.registry.set_gauge(
+                Scope::machine("cluster", m as u32),
+                "run_queue_hw",
+                machine.run_queue_high_water() as f64,
+            );
+        }
         hub.registry.scrape(now.as_nanos());
+        // Step the health engine over the fresh snapshot. Still strictly
+        // read-only: the engine sees the registry, the always-on phase log,
+        // and the injection ground truth, and its verdicts go back out on
+        // the trace bus (a no-op unless a sink is installed).
+        if let Some(mut engine) = self.health.take() {
+            let injects: Vec<(u32, u64)> = self
+                .injected_spikes
+                .iter()
+                .map(|&(m, start, _)| (m.0, start.as_nanos()))
+                .chain(
+                    self.injected_failstops
+                        .iter()
+                        .map(|&(m, at)| (m.0, at.as_nanos())),
+                )
+                .collect();
+            let events = engine.on_scrape(
+                now.as_nanos(),
+                &hub.registry,
+                self.tracer.phases(),
+                &injects,
+            );
+            for event in events {
+                self.tracer.emit(now, event);
+            }
+            self.health = Some(engine);
+        }
         self.metrics = Some(hub);
     }
 

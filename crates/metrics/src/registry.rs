@@ -156,6 +156,52 @@ impl LogLinearHistogram {
         }
         Self::bucket_floor(self.buckets.len().saturating_sub(1))
     }
+
+    /// Raw per-bucket observation counts (index 0 is the underflow bucket).
+    /// Windowed consumers diff these between cumulative snapshots.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Folds another histogram into this one (bucket-wise sum). Used to
+    /// aggregate the same metric across scopes before windowed queries.
+    pub fn merge(&mut self, other: &LogLinearHistogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, &n) in other.buckets.iter().enumerate() {
+            self.buckets[i] += n;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The observations recorded since `earlier` (an older cumulative
+    /// snapshot of the *same* histogram), as a standalone histogram.
+    /// Bucket counts and sums subtract saturating, so a mismatched pair
+    /// degrades to an empty window instead of panicking. The returned
+    /// `max` is the cumulative high-water mark (per-window maxima are not
+    /// recoverable from cumulative snapshots).
+    pub fn delta_since(&self, earlier: &LogLinearHistogram) -> LogLinearHistogram {
+        let mut buckets = self.buckets.clone();
+        for (i, b) in buckets.iter_mut().enumerate() {
+            let prev = earlier.buckets.get(i).copied().unwrap_or(0);
+            *b = b.saturating_sub(prev);
+        }
+        LogLinearHistogram {
+            buckets,
+            count: self.count.saturating_sub(earlier.count),
+            sum: (self.sum - earlier.sum).max(0.0),
+            max: self.max,
+        }
+    }
+
+    /// Quantile of the observations recorded since `earlier` — the
+    /// windowed tail statistic the SLO monitors evaluate each scrape.
+    pub fn quantile_between(&self, earlier: &LogLinearHistogram, q: f64) -> f64 {
+        self.delta_since(earlier).quantile(q)
+    }
 }
 
 /// One metric value captured by a scrape.
@@ -257,6 +303,39 @@ impl Registry {
     /// Counters iterated in deterministic order.
     pub fn counters(&self) -> impl Iterator<Item = (Scope, &'static str, u64)> + '_ {
         self.counters.iter().map(|(&(s, n), &v)| (s, n, v))
+    }
+
+    /// Gauges iterated in deterministic order.
+    pub fn gauges(&self) -> impl Iterator<Item = (Scope, &'static str, f64)> + '_ {
+        self.gauges.iter().map(|(&(s, n), &v)| (s, n, v))
+    }
+
+    /// Histograms iterated in deterministic order.
+    pub fn histograms(
+        &self,
+    ) -> impl Iterator<Item = (Scope, &'static str, &LogLinearHistogram)> + '_ {
+        self.histograms.iter().map(|(&(s, n), h)| (s, n, h))
+    }
+
+    /// One histogram aggregated (bucket-wise merged) across every scope of
+    /// `component` that records `name`. `None` when no scope does.
+    pub fn merged_histogram(&self, component: &str, name: &str) -> Option<LogLinearHistogram> {
+        let mut merged: Option<LogLinearHistogram> = None;
+        for ((s, n), h) in &self.histograms {
+            if s.component == component && *n == name {
+                merged.get_or_insert_with(LogLinearHistogram::new).merge(h);
+            }
+        }
+        merged
+    }
+
+    /// Maximum of one gauge name across all scopes of a component.
+    pub fn gauge_max(&self, component: &str, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .filter(|((s, n), _)| s.component == component && *n == name)
+            .map(|(_, v)| *v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 
     /// Snapshots every metric at sim-time `t_nanos` and appends the scrape
@@ -427,6 +506,49 @@ mod tests {
             let floor = LogLinearHistogram::bucket_floor(LogLinearHistogram::bucket_index(v));
             assert!(floor <= v && v < floor * (1.0 + 2.0 / HISTOGRAM_SUBBUCKETS as f64));
         }
+    }
+
+    #[test]
+    fn histogram_windows_diff_cumulative_snapshots() {
+        let mut h = LogLinearHistogram::new();
+        for v in [2.0, 2.0, 3.0] {
+            h.observe(v);
+        }
+        let snapshot = h.clone();
+        for v in [100.0, 100.0, 120.0, 150.0] {
+            h.observe(v);
+        }
+        let w = h.delta_since(&snapshot);
+        assert_eq!(w.count(), 4);
+        assert!((w.sum() - 470.0).abs() < 1e-9);
+        // The window contains only the large values: its median sits in the
+        // 100s, not at the cumulative median (which would be ~3).
+        assert!(w.quantile(0.5) > 50.0, "windowed p50: {}", w.quantile(0.5));
+        assert!(h.quantile_between(&snapshot, 0.5) > 50.0);
+        // Degenerate pair (newer snapshot as "earlier") stays empty.
+        assert_eq!(h.delta_since(&h).count(), 0);
+    }
+
+    #[test]
+    fn merged_histogram_sums_scopes() {
+        let mut r = Registry::new();
+        r.observe(Scope::pe("data_plane", 0, 1), "proc_ms", 1.0);
+        r.observe(Scope::pe("data_plane", 1, 2), "proc_ms", 8.0);
+        let m = r.merged_histogram("data_plane", "proc_ms").unwrap();
+        assert_eq!(m.count(), 2);
+        assert!((m.sum() - 9.0).abs() < 1e-9);
+        assert!(r.merged_histogram("data_plane", "missing").is_none());
+        assert_eq!(r.histograms().count(), 2);
+    }
+
+    #[test]
+    fn gauge_max_spans_scopes() {
+        let mut r = Registry::new();
+        r.set_gauge(Scope::machine("cluster", 0), "run_queue", 2.0);
+        r.set_gauge(Scope::machine("cluster", 1), "run_queue", 7.0);
+        assert_eq!(r.gauge_max("cluster", "run_queue"), Some(7.0));
+        assert_eq!(r.gauge_max("cluster", "absent"), None);
+        assert_eq!(r.gauges().count(), 2);
     }
 
     #[test]

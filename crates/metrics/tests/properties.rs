@@ -93,3 +93,86 @@ fn counters_add_commutes() {
         assert_eq!(total, expected);
     }
 }
+
+/// The log-linear histogram's p50/p95/p99 stay within one bucket's
+/// relative error (12.5% — `1/HISTOGRAM_SUBBUCKETS`) of the exact sorted
+/// reference, across distribution shapes: the estimate is the floor of
+/// the bucket holding the ranked sample, so `est <= exact < est * 1.125`
+/// (and `exact < 1.0` maps to the underflow bucket, estimate 0).
+#[test]
+fn histogram_quantiles_match_sorted_reference() {
+    use sps_metrics::LogLinearHistogram;
+
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        sorted[rank - 1]
+    }
+
+    let mut rng = SimRng::seed_from(0x4157);
+    // Zipf over ranks 1..=1000 with s=1, scaled so the tail spans buckets.
+    let zipf_cum: Vec<f64> = {
+        let mut acc = 0.0;
+        let mut cum: Vec<f64> = (1..=1000u32)
+            .map(|k| {
+                acc += 1.0 / k as f64;
+                acc
+            })
+            .collect();
+        let total = *cum.last().unwrap();
+        for c in &mut cum {
+            *c /= total;
+        }
+        cum
+    };
+
+    for dist in 0..3 {
+        for _case in 0..16 {
+            let n = rng.uniform_u64(50, 2_000);
+            let xs: Vec<f64> = (0..n)
+                .map(|_| match dist {
+                    // Uniform, including sub-1 values (underflow bucket).
+                    0 => rng.uniform(0.0, 4_000.0),
+                    // Zipf: heavy head at small ranks, long tail.
+                    1 => {
+                        let u = rng.unit();
+                        let rank = zipf_cum.partition_point(|&c| c < u) + 1;
+                        rank as f64 * 3.7
+                    }
+                    // Bimodal: sub-millisecond mode plus a slow mode.
+                    _ => {
+                        if rng.chance(0.7) {
+                            rng.uniform(0.05, 0.95)
+                        } else {
+                            rng.uniform(500.0, 2_000.0)
+                        }
+                    }
+                })
+                .collect();
+
+            let mut hist = LogLinearHistogram::new();
+            for &x in &xs {
+                hist.observe(x);
+            }
+            let mut sorted = xs.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+            for &q in &[0.5, 0.95, 0.99] {
+                let est = hist.quantile(q);
+                let exact = exact_quantile(&sorted, q);
+                if exact < 1.0 {
+                    // Sub-1 observations all land in the underflow bucket.
+                    assert_eq!(est, 0.0, "dist {dist} q {q}: exact {exact}, est {est}");
+                } else {
+                    assert!(
+                        est <= exact + 1e-9,
+                        "dist {dist} q {q}: bucket floor {est} above exact {exact}"
+                    );
+                    assert!(
+                        exact < est * 1.125 + 1e-9,
+                        "dist {dist} q {q}: exact {exact} beyond one bucket from {est}"
+                    );
+                }
+            }
+        }
+    }
+}

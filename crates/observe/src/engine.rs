@@ -1,0 +1,665 @@
+//! The online health engine: one strictly-observational state machine
+//! stepped at every metrics scrape.
+//!
+//! Determinism argument: the engine reads the registry, the always-on
+//! phase log, and the harness's injection ground truth — all of which are
+//! themselves deterministic — and writes only to its own state and the
+//! trace bus (a no-op without sinks). It never draws randomness, never
+//! schedules events, and never touches a machine, so enabling it cannot
+//! perturb the simulated schedule; the figure goldens stay byte-identical
+//! with the engine on.
+
+use std::collections::BTreeMap;
+
+use sps_metrics::Registry;
+use sps_trace::{AnomalyKind, PhaseRecord, RecoveryPhase, TraceEvent};
+
+use crate::anomaly::{
+    AnomalySpan, BackpressureDetector, CheckpointStallDetector, HeartbeatFlakyDetector,
+};
+use crate::report::HealthReport;
+use crate::slo::{BreachSpan, SloCmp, SloMonitor, SloSpec, SloStat};
+use crate::window::TumblingCounter;
+
+/// Name of the built-in recovery-cycle monitor (phase-log driven; always
+/// installed as the last monitor).
+pub const RECOVERY_MONITOR: &str = "recovery_cycle_total";
+
+/// The default declarative SLO set: end-to-end tail latency, throughput
+/// drop vs. trailing baseline, and duplicate-delivery rate.
+pub fn default_slos() -> Vec<SloSpec> {
+    [
+        "e2e_p99: sink/e2e_delay_ms{p99} < 250 over 5s",
+        "throughput_drop: sink/accepted{rate_drop_pct} < 50 over 2s",
+        "dup_rate: data_plane/duplicates{rate} <= 500 over 5s",
+    ]
+    .iter()
+    .map(|s| SloSpec::parse(s).expect("default SLO specs parse"))
+    .collect()
+}
+
+/// Configuration of the health engine. [`validate`](Self::validate) is
+/// called by the simulation builder before wiring the engine in.
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Declarative SLO monitors (see [`SloSpec::parse`] for the grammar).
+    pub slos: Vec<SloSpec>,
+    /// Budget for one full recovery cycle (failure inject → terminal
+    /// phase), in milliseconds; cycles exceeding it record a breach span
+    /// on the built-in [`RECOVERY_MONITOR`].
+    pub recovery_budget_ms: f64,
+    /// Tumbling-window width for the per-scope counter rate series.
+    pub series_window_ns: u64,
+    /// Backpressure onset: input-queue depth (elements) that must be
+    /// reached *and* non-decreasing to arm the detector.
+    pub backpressure_enter_depth: f64,
+    /// Backpressure clear: depth at or below this is a quiet scrape.
+    pub backpressure_exit_depth: f64,
+    /// Consecutive qualifying scrapes before backpressure onset fires.
+    pub backpressure_enter_count: u32,
+    /// Consecutive quiet scrapes before backpressure clears.
+    pub backpressure_exit_count: u32,
+    /// Checkpoint-stall budget in nanoseconds; `0` means "derive from the
+    /// HA config" (the builder substitutes 4x the checkpoint interval).
+    pub checkpoint_stall_budget_ns: u64,
+    /// Window for the heartbeat suspect/refute churn signal.
+    pub flaky_window_ns: u64,
+    /// Churn events (misses + cleared suspicions) per window at which a
+    /// machine's heartbeat is declared flaky.
+    pub flaky_enter_churn: f64,
+    /// Consecutive churn-free scrapes before flakiness clears.
+    pub flaky_exit_count: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            slos: default_slos(),
+            recovery_budget_ms: 200.0,
+            series_window_ns: 1_000_000_000,
+            backpressure_enter_depth: 64.0,
+            backpressure_exit_depth: 16.0,
+            backpressure_enter_count: 3,
+            backpressure_exit_count: 3,
+            checkpoint_stall_budget_ns: 0,
+            flaky_window_ns: 1_000_000_000,
+            flaky_enter_churn: 4.0,
+            flaky_exit_count: 3,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// Validates parameter sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inverted hysteresis bands, non-positive windows/budgets,
+    /// or duplicate monitor names — before a long run, like
+    /// `HaConfig::validate`.
+    pub fn validate(&self) {
+        assert!(
+            self.recovery_budget_ms > 0.0,
+            "recovery budget must be positive"
+        );
+        assert!(self.series_window_ns > 0, "series window must be positive");
+        assert!(
+            self.backpressure_exit_depth <= self.backpressure_enter_depth,
+            "backpressure hysteresis band inverted"
+        );
+        assert!(
+            self.backpressure_enter_count >= 1 && self.backpressure_exit_count >= 1,
+            "backpressure streak counts must be >= 1"
+        );
+        assert!(
+            self.flaky_window_ns > 0 && self.flaky_enter_churn > 0.0 && self.flaky_exit_count >= 1,
+            "heartbeat flakiness config invalid"
+        );
+        let mut names: Vec<&str> = self.slos.iter().map(|s| s.name.as_str()).collect();
+        names.push(RECOVERY_MONITOR);
+        names.sort_unstable();
+        for w in names.windows(2) {
+            assert!(w[0] != w[1], "duplicate SLO monitor name: {}", w[0]);
+        }
+        for s in &self.slos {
+            assert!(s.window_ns > 0, "SLO window must be positive: {}", s.name);
+            assert!(
+                s.threshold.is_finite(),
+                "SLO threshold must be finite: {}",
+                s.name
+            );
+        }
+    }
+}
+
+/// Key of one per-scope tumbling series: `(component, machine, pe, name)`.
+pub type SeriesKey = (String, Option<u32>, Option<u32>, &'static str);
+
+/// An open recovery cycle being tracked from the phase log.
+#[derive(Debug, Clone, Copy)]
+struct OpenCycle {
+    anchor_ns: u64,
+    /// Whether the budget-burn anomaly has fired for this cycle.
+    burn_onset: bool,
+}
+
+/// The engine: monitors, detectors, series, and their recorded verdicts.
+#[derive(Debug)]
+pub struct HealthEngine {
+    cfg: HealthConfig,
+    /// Declarative monitors plus the built-in recovery monitor (last).
+    monitors: Vec<SloMonitor>,
+    recovery_monitor: usize,
+    backpressure: BackpressureDetector,
+    ckpt_stall: CheckpointStallDetector,
+    flaky: HeartbeatFlakyDetector,
+    /// Per-subjob open recovery cycle.
+    cycles: BTreeMap<u32, OpenCycle>,
+    phases_consumed: usize,
+    anomaly_spans: Vec<AnomalySpan>,
+    series: BTreeMap<SeriesKey, TumblingCounter>,
+    scrapes: u64,
+    last_scrape_ns: u64,
+}
+
+impl HealthEngine {
+    /// Builds an engine from a validated config. The checkpoint-stall
+    /// budget must already be resolved (non-zero) — the simulation builder
+    /// substitutes 4x the checkpoint interval for the `0` default.
+    pub fn new(cfg: HealthConfig) -> Self {
+        cfg.validate();
+        assert!(
+            cfg.checkpoint_stall_budget_ns > 0,
+            "checkpoint stall budget must be resolved before engine construction"
+        );
+        let mut monitors: Vec<SloMonitor> = cfg.slos.iter().cloned().map(SloMonitor::new).collect();
+        // The built-in recovery monitor: spans are measured from the phase
+        // log (anchor → terminal phase), not from windowed samples.
+        monitors.push(SloMonitor::new(SloSpec {
+            name: RECOVERY_MONITOR.to_string(),
+            component: "recovery".to_string(),
+            metric: "cycle_total_ms".to_string(),
+            stat: SloStat::Value,
+            cmp: SloCmp::Lt,
+            threshold: cfg.recovery_budget_ms,
+            window_ns: 1,
+        }));
+        let recovery_monitor = monitors.len() - 1;
+        HealthEngine {
+            backpressure: BackpressureDetector::new(
+                cfg.backpressure_enter_depth,
+                cfg.backpressure_exit_depth,
+                cfg.backpressure_enter_count,
+                cfg.backpressure_exit_count,
+            ),
+            ckpt_stall: CheckpointStallDetector::new(cfg.checkpoint_stall_budget_ns),
+            flaky: HeartbeatFlakyDetector::new(
+                cfg.flaky_window_ns,
+                cfg.flaky_enter_churn,
+                cfg.flaky_exit_count,
+            ),
+            monitors,
+            recovery_monitor,
+            cycles: BTreeMap::new(),
+            phases_consumed: 0,
+            anomaly_spans: Vec::new(),
+            series: BTreeMap::new(),
+            scrapes: 0,
+            last_scrape_ns: 0,
+            cfg,
+        }
+    }
+
+    /// Steps the engine at one metrics scrape. Inputs are read-only views
+    /// of deterministic state; the returned events are the caller's to put
+    /// on the trace bus. `injects` is the harness ground truth — `(machine,
+    /// t_ns)` of spike starts and fail-stops — used to anchor recovery
+    /// cycles at the fault, not at detection.
+    pub fn on_scrape(
+        &mut self,
+        now_ns: u64,
+        registry: &Registry,
+        phases: &[PhaseRecord],
+        injects: &[(u32, u64)],
+    ) -> Vec<TraceEvent> {
+        self.scrapes += 1;
+        self.last_scrape_ns = now_ns;
+        let mut events = Vec::new();
+
+        // Layer 2: declarative SLO monitors.
+        for (i, m) in self.monitors.iter_mut().enumerate() {
+            if i == self.recovery_monitor {
+                continue;
+            }
+            if let Some(t) = m.evaluate(now_ns, registry) {
+                events.push(TraceEvent::SloBreach {
+                    monitor: i as u32,
+                    entered: t.entered,
+                    observed: t.observed,
+                    threshold: m.spec.threshold,
+                    duration_ns: t.duration_ns,
+                });
+            }
+        }
+
+        // Recovery cycles: consume new phase records, open cycles at
+        // detection (anchored to the latest inject at or before it, the
+        // same convention as the recovery critical paths), close at the
+        // terminal phase. Span times are phase-accurate; the breach events
+        // fire at this scrape.
+        for &p in &phases[self.phases_consumed..] {
+            let t = p.at.as_nanos();
+            match p.phase {
+                RecoveryPhase::Detected => {
+                    self.cycles.entry(p.subjob).or_insert_with(|| {
+                        let anchor = injects
+                            .iter()
+                            .filter(|&&(_, it)| it <= t)
+                            .map(|&(_, it)| it)
+                            .max()
+                            .unwrap_or(t);
+                        OpenCycle {
+                            anchor_ns: anchor,
+                            burn_onset: false,
+                        }
+                    });
+                }
+                RecoveryPhase::RollbackComplete
+                | RecoveryPhase::PsConnected
+                | RecoveryPhase::SecondaryReady => {
+                    if let Some(cycle) = self.cycles.remove(&p.subjob) {
+                        let total_ms = (t.saturating_sub(cycle.anchor_ns)) as f64 / 1e6;
+                        if cycle.burn_onset {
+                            self.close_anomaly(
+                                AnomalyKind::RecoveryBudgetBurn,
+                                Some(p.subjob),
+                                None,
+                                t,
+                                total_ms,
+                            );
+                            events.push(TraceEvent::Anomaly {
+                                detector: AnomalyKind::RecoveryBudgetBurn,
+                                machine: p.subjob,
+                                pe: u32::MAX,
+                                onset: false,
+                                value: total_ms,
+                            });
+                        }
+                        if total_ms >= self.cfg.recovery_budget_ms {
+                            let i = self.recovery_monitor;
+                            self.monitors[i].push_span(BreachSpan {
+                                start_ns: cycle.anchor_ns,
+                                end_ns: Some(t),
+                                worst: total_ms,
+                            });
+                            let threshold = self.cfg.recovery_budget_ms;
+                            events.push(TraceEvent::SloBreach {
+                                monitor: i as u32,
+                                entered: true,
+                                observed: total_ms,
+                                threshold,
+                                duration_ns: 0,
+                            });
+                            events.push(TraceEvent::SloBreach {
+                                monitor: i as u32,
+                                entered: false,
+                                observed: total_ms,
+                                threshold,
+                                duration_ns: t.saturating_sub(cycle.anchor_ns),
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.phases_consumed = phases.len();
+
+        // Layer 3a: recovery-budget burn — live while a cycle is in flight.
+        let budget_ns = (self.cfg.recovery_budget_ms * 1e6) as u64;
+        let mut burn_events = Vec::new();
+        for (&subjob, cycle) in self.cycles.iter_mut() {
+            let burn = now_ns.saturating_sub(cycle.anchor_ns);
+            if !cycle.burn_onset && burn > budget_ns {
+                cycle.burn_onset = true;
+                let burn_ms = burn as f64 / 1e6;
+                self.anomaly_spans.push(AnomalySpan {
+                    detector: AnomalyKind::RecoveryBudgetBurn,
+                    machine: Some(subjob),
+                    pe: None,
+                    start_ns: cycle.anchor_ns,
+                    end_ns: None,
+                    peak: burn_ms,
+                });
+                burn_events.push(TraceEvent::Anomaly {
+                    detector: AnomalyKind::RecoveryBudgetBurn,
+                    machine: subjob,
+                    pe: u32::MAX,
+                    onset: true,
+                    value: burn_ms,
+                });
+            } else if cycle.burn_onset {
+                // Keep the open span's peak current.
+                let burn_ms = burn as f64 / 1e6;
+                if let Some(span) = self.anomaly_spans.iter_mut().rev().find(|s| {
+                    s.detector == AnomalyKind::RecoveryBudgetBurn
+                        && s.machine == Some(subjob)
+                        && s.end_ns.is_none()
+                }) {
+                    span.peak = span.peak.max(burn_ms);
+                }
+            }
+        }
+        events.extend(burn_events);
+
+        // Layer 3b: the windowed-signal detectors.
+        for ((machine, pe), t) in self.backpressure.step(registry) {
+            if t.onset {
+                self.anomaly_spans.push(AnomalySpan {
+                    detector: AnomalyKind::Backpressure,
+                    machine: Some(machine),
+                    pe: Some(pe),
+                    start_ns: now_ns,
+                    end_ns: None,
+                    peak: t.value,
+                });
+            } else {
+                self.close_anomaly(
+                    AnomalyKind::Backpressure,
+                    Some(machine),
+                    Some(pe),
+                    now_ns,
+                    t.value,
+                );
+            }
+            events.push(TraceEvent::Anomaly {
+                detector: AnomalyKind::Backpressure,
+                machine,
+                pe,
+                onset: t.onset,
+                value: t.value,
+            });
+        }
+        if let Some(t) = self.ckpt_stall.step(now_ns, registry) {
+            if t.onset {
+                self.anomaly_spans.push(AnomalySpan {
+                    detector: AnomalyKind::CheckpointStall,
+                    machine: None,
+                    pe: None,
+                    start_ns: now_ns,
+                    end_ns: None,
+                    peak: t.value,
+                });
+            } else {
+                self.close_anomaly(AnomalyKind::CheckpointStall, None, None, now_ns, t.value);
+            }
+            events.push(TraceEvent::Anomaly {
+                detector: AnomalyKind::CheckpointStall,
+                machine: u32::MAX,
+                pe: u32::MAX,
+                onset: t.onset,
+                value: t.value,
+            });
+        }
+        for (machine, t) in self.flaky.step(now_ns, registry) {
+            if t.onset {
+                self.anomaly_spans.push(AnomalySpan {
+                    detector: AnomalyKind::HeartbeatFlaky,
+                    machine: Some(machine),
+                    pe: None,
+                    start_ns: now_ns,
+                    end_ns: None,
+                    peak: t.value,
+                });
+            } else {
+                self.close_anomaly(
+                    AnomalyKind::HeartbeatFlaky,
+                    Some(machine),
+                    None,
+                    now_ns,
+                    t.value,
+                );
+            }
+            events.push(TraceEvent::Anomaly {
+                detector: AnomalyKind::HeartbeatFlaky,
+                machine,
+                pe: u32::MAX,
+                onset: t.onset,
+                value: t.value,
+            });
+        }
+
+        // Layer 1: tumbling per-scope counter rate series.
+        for (scope, name, v) in registry.counters() {
+            let key = (scope.component.to_string(), scope.machine, scope.pe, name);
+            self.series
+                .entry(key)
+                .or_insert_with(|| TumblingCounter::new(self.cfg.series_window_ns))
+                .push(now_ns, v);
+        }
+
+        events
+    }
+
+    fn close_anomaly(
+        &mut self,
+        detector: AnomalyKind,
+        machine: Option<u32>,
+        pe: Option<u32>,
+        end_ns: u64,
+        value: f64,
+    ) {
+        if let Some(span) = self.anomaly_spans.iter_mut().rev().find(|s| {
+            s.detector == detector && s.machine == machine && s.pe == pe && s.end_ns.is_none()
+        }) {
+            span.end_ns = Some(end_ns);
+            span.peak = span.peak.max(value);
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    /// The monitors (declarative first, built-in recovery monitor last),
+    /// with their breach spans.
+    pub fn monitors(&self) -> &[SloMonitor] {
+        &self.monitors
+    }
+
+    /// Recorded anomaly spans, in onset order.
+    pub fn anomaly_spans(&self) -> &[AnomalySpan] {
+        &self.anomaly_spans
+    }
+
+    /// Scrapes consumed so far.
+    pub fn scrape_count(&self) -> u64 {
+        self.scrapes
+    }
+
+    /// Breach spans of the built-in recovery monitor.
+    pub fn recovery_breaches(&self) -> &[BreachSpan] {
+        self.monitors[self.recovery_monitor].spans()
+    }
+
+    /// Assembles the deterministic end-of-run health report.
+    pub fn report(&self) -> HealthReport {
+        HealthReport::from_engine(self, self.last_scrape_ns)
+    }
+
+    /// The tumbling series, in deterministic key order:
+    /// `(component, machine, pe, name)` → series.
+    pub fn series(&self) -> impl Iterator<Item = (&SeriesKey, &TumblingCounter)> {
+        self.series.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sps_metrics::Scope;
+    use sps_sim::SimTime;
+
+    fn resolved(mut cfg: HealthConfig) -> HealthConfig {
+        if cfg.checkpoint_stall_budget_ns == 0 {
+            cfg.checkpoint_stall_budget_ns = 2_000_000_000;
+        }
+        cfg
+    }
+
+    #[test]
+    fn default_config_validates_and_builds() {
+        let cfg = resolved(HealthConfig::default());
+        cfg.validate();
+        let engine = HealthEngine::new(cfg);
+        // Declarative monitors plus the built-in recovery monitor.
+        assert_eq!(engine.monitors().len(), default_slos().len() + 1);
+        assert_eq!(
+            engine.monitors().last().unwrap().spec.name,
+            RECOVERY_MONITOR
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate SLO monitor name")]
+    fn validate_rejects_duplicate_names() {
+        let mut cfg = HealthConfig::default();
+        cfg.slos.push(cfg.slos[0].clone());
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "recovery budget")]
+    fn validate_rejects_zero_budget() {
+        let cfg = HealthConfig {
+            recovery_budget_ms: 0.0,
+            ..HealthConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn recovery_cycle_breach_telescopes_to_phase_log() {
+        let mut engine = HealthEngine::new(resolved(HealthConfig::default()));
+        let registry = Registry::new();
+        let ms = SimTime::from_millis;
+        let phases = vec![
+            PhaseRecord {
+                at: ms(3_100),
+                subjob: 1,
+                phase: RecoveryPhase::Detected,
+            },
+            PhaseRecord {
+                at: ms(3_150),
+                subjob: 1,
+                phase: RecoveryPhase::SwitchoverComplete,
+            },
+            PhaseRecord {
+                at: ms(4_200),
+                subjob: 1,
+                phase: RecoveryPhase::RollbackStarted,
+            },
+            PhaseRecord {
+                at: ms(4_400),
+                subjob: 1,
+                phase: RecoveryPhase::RollbackComplete,
+            },
+        ];
+        let injects = vec![(1u32, ms(3_000).as_nanos())];
+        // Scrape mid-cycle: the burn anomaly fires once the budget is gone.
+        let ev = engine.on_scrape(ms(3_500).as_nanos(), &registry, &phases[..3], &injects);
+        assert!(
+            ev.iter().any(|e| matches!(
+                e,
+                TraceEvent::Anomaly {
+                    detector: AnomalyKind::RecoveryBudgetBurn,
+                    onset: true,
+                    ..
+                }
+            )),
+            "burn onset expected: {ev:?}"
+        );
+        // Scrape after the terminal phase: breach span enter+exit.
+        let ev = engine.on_scrape(ms(4_500).as_nanos(), &registry, &phases, &injects);
+        let breaches: Vec<_> = ev
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::SloBreach { .. }))
+            .collect();
+        assert_eq!(breaches.len(), 2, "enter+exit: {ev:?}");
+        let spans = engine.recovery_breaches();
+        assert_eq!(spans.len(), 1);
+        let span = spans[0];
+        assert_eq!(span.start_ns, ms(3_000).as_nanos(), "anchored at inject");
+        assert_eq!(span.end_ns, Some(ms(4_400).as_nanos()));
+        // Telescoping: the span duration equals the phase-log cycle total.
+        assert_eq!(span.duration_ns(0), 1_400_000_000);
+        assert!((span.worst - 1_400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_recovery_records_no_breach() {
+        let mut engine = HealthEngine::new(resolved(HealthConfig::default()));
+        let registry = Registry::new();
+        let ms = SimTime::from_millis;
+        let phases = vec![
+            PhaseRecord {
+                at: ms(1_000),
+                subjob: 0,
+                phase: RecoveryPhase::Detected,
+            },
+            PhaseRecord {
+                at: ms(1_050),
+                subjob: 0,
+                phase: RecoveryPhase::SwitchoverComplete,
+            },
+            PhaseRecord {
+                at: ms(1_080),
+                subjob: 0,
+                phase: RecoveryPhase::RollbackComplete,
+            },
+        ];
+        let injects = vec![(0u32, ms(990).as_nanos())];
+        let ev = engine.on_scrape(ms(1_100).as_nanos(), &registry, &phases, &injects);
+        assert!(ev.is_empty(), "90ms cycle under a 200ms budget: {ev:?}");
+        assert!(engine.recovery_breaches().is_empty());
+    }
+
+    #[test]
+    fn scrape_emits_monitor_indices_that_map_to_names() {
+        let cfg = resolved(HealthConfig::default());
+        let mut engine = HealthEngine::new(cfg);
+        let mut r = Registry::new();
+        // Blow the e2e p99 monitor (threshold 250ms).
+        for _ in 0..100 {
+            r.observe(Scope::global("sink"), "e2e_delay_ms", 5_000.0);
+        }
+        let ev = engine.on_scrape(100_000_000, &r, &[], &[]);
+        let TraceEvent::SloBreach {
+            monitor, entered, ..
+        } = ev[0]
+        else {
+            panic!("expected breach: {ev:?}");
+        };
+        assert!(entered);
+        assert_eq!(engine.monitors()[monitor as usize].spec.name, "e2e_p99");
+    }
+
+    #[test]
+    fn series_accumulate_per_scope_windows() {
+        let mut engine = HealthEngine::new(resolved(HealthConfig::default()));
+        let mut r = Registry::new();
+        let s = Scope::global("sink");
+        for i in 1..=5u64 {
+            r.inc(s, "accepted", 1_000);
+            engine.on_scrape(i * 1_000_000_000, &r, &[], &[]);
+        }
+        let series: Vec<_> = engine.series().collect();
+        assert_eq!(series.len(), 1);
+        let (key, tc) = series[0];
+        assert_eq!(key.0, "sink");
+        assert_eq!(key.3, "accepted");
+        assert!(!tc.windows().is_empty());
+        assert!(tc.mean_rate() > 0.0);
+    }
+}

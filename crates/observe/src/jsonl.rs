@@ -1,0 +1,286 @@
+//! A minimal flat-JSON-object parser for the simulator's own JSONL dumps.
+//!
+//! Every exporter in this workspace (trace recorder, metrics registry,
+//! health report, lineage table) writes one flat object per line whose
+//! values are strings, finite numbers, booleans, or `null` — never nested
+//! objects or arrays. This parser covers exactly that dialect, so the
+//! offline tools stay dependency-free. Lines that do not conform are an
+//! error, not a silent skip: `sps-inspect check` exists to catch format
+//! drift.
+
+/// One parsed scalar value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// JSON `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`; all our dumps stay within exact
+    /// `f64` integer range or are formatted floats).
+    Num(f64),
+    /// A string (escapes `\"`, `\\`, `\n`, `\t`, `\uXXXX` handled).
+    Str(String),
+}
+
+impl JsonValue {
+    /// The value as `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`, if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed line: key/value pairs in source order.
+pub type FlatObject = Vec<(String, JsonValue)>;
+
+/// Looks a key up in a parsed line.
+pub fn get<'a>(obj: &'a FlatObject, key: &str) -> Option<&'a JsonValue> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Parses one flat JSON object line. Returns a message naming the byte
+/// offset on malformed input.
+pub fn parse_flat_object(line: &str) -> Result<FlatObject, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut out = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+        p.skip_ws();
+        return p.finish(out);
+    }
+    loop {
+        p.skip_ws();
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(b':')?;
+        p.skip_ws();
+        let value = p.value()?;
+        out.push((key, value));
+        p.skip_ws();
+        match p.next() {
+            Some(b',') => continue,
+            Some(b'}') => break,
+            other => return Err(p.err(&format!("expected `,` or `}}`, got {other:?}"))),
+        }
+    }
+    p.skip_ws();
+    p.finish(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> String {
+        format!("byte {}: {msg}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        match self.next() {
+            Some(got) if got == b => Ok(()),
+            got => Err(self.err(&format!("expected {:?}, got {got:?}", b as char))),
+        }
+    }
+
+    fn finish(mut self, out: FlatObject) -> Result<FlatObject, String> {
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing content after object"));
+        }
+        Ok(out)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.next() {
+                Some(b'"') => return Ok(s),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .next()
+                                .and_then(|b| (b as char).to_digit(16))
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            code = code * 16 + d;
+                        }
+                        s.push(char::from_u32(code).ok_or_else(|| self.err("bad codepoint"))?);
+                    }
+                    other => return Err(self.err(&format!("bad escape {other:?}"))),
+                },
+                Some(b) if b < 0x20 => return Err(self.err("raw control char in string")),
+                Some(b) => {
+                    // Re-assemble UTF-8 multibyte sequences byte-by-byte.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b).ok_or_else(|| self.err("bad UTF-8 lead byte"))?;
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| self.err("truncated UTF-8"))?;
+                    let part = std::str::from_utf8(chunk).map_err(|_| self.err("invalid UTF-8"))?;
+                    s.push_str(part);
+                    self.pos = end;
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b'{' | b'[') => Err(self.err("nested values are not part of the flat dialect")),
+            other => Err(self.err(&format!("unexpected value start {other:?}"))),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        let n: f64 = text
+            .parse()
+            .map_err(|_| self.err(&format!("bad number {text:?}")))?;
+        if !n.is_finite() {
+            return Err(self.err("non-finite number"));
+        }
+        Ok(JsonValue::Num(n))
+    }
+}
+
+fn utf8_len(lead: u8) -> Option<usize> {
+    match lead {
+        0x00..=0x7F => Some(1),
+        0xC0..=0xDF => Some(2),
+        0xE0..=0xEF => Some(3),
+        0xF0..=0xF7 => Some(4),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_workspace_dialect() {
+        let line = "{\"t\":1500000000,\"kind\":\"recovery\",\"subjob\":1,\"phase\":\"detected\",\"ok\":true,\"pe\":null,\"x\":-1.5}";
+        let obj = parse_flat_object(line).unwrap();
+        assert_eq!(get(&obj, "t").unwrap().as_u64(), Some(1_500_000_000));
+        assert_eq!(get(&obj, "kind").unwrap().as_str(), Some("recovery"));
+        assert_eq!(get(&obj, "ok").unwrap().as_bool(), Some(true));
+        assert_eq!(get(&obj, "pe"), Some(&JsonValue::Null));
+        assert_eq!(get(&obj, "x").unwrap().as_f64(), Some(-1.5));
+        assert!(get(&obj, "missing").is_none());
+        assert_eq!(parse_flat_object("{}").unwrap().len(), 0);
+        assert_eq!(
+            parse_flat_object("{\"s\":\"a\\\"b\\\\c\\u0041\"}").unwrap()[0].1,
+            JsonValue::Str("a\"b\\cA".into())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{\"a\":1}}",
+            "{\"a\":[1]}",
+            "{\"a\":{\"b\":1}}",
+            "{\"a\":1e999}",
+            "{\"a\":\"unterminated}",
+            "not json",
+            "{\"a\":1} trailing",
+        ] {
+            assert!(parse_flat_object(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn utf8_strings_survive() {
+        let obj = parse_flat_object("{\"s\":\"héllo→\"}").unwrap();
+        assert_eq!(obj[0].1.as_str(), Some("héllo→"));
+    }
+}

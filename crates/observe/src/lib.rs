@@ -1,0 +1,51 @@
+//! # sps-observe — the online health engine and offline run inspector
+//!
+//! Turns the simulator's raw sensor streams (the `sps-metrics` registry
+//! scrapes and the `sps-trace` phase log) into decision-grade health
+//! state, entirely in sim time:
+//!
+//! * [`SlidingCounter`] / [`SlidingHistogram`] / [`TumblingCounter`] —
+//!   streaming windowed aggregators over cumulative registry snapshots:
+//!   rates, deltas, and log-linear quantiles per scope;
+//! * [`SloSpec`] / [`SloMonitor`] — declarative service-level objectives
+//!   (`e2e_p99: sink/e2e_delay_ms{p99} < 250 over 5s`) evaluated
+//!   deterministically at every scrape, with breach spans and
+//!   [`sps_trace::TraceEvent::SloBreach`] transitions;
+//! * anomaly detectors ([`BackpressureDetector`],
+//!   [`CheckpointStallDetector`], [`HeartbeatFlakyDetector`]) — small
+//!   [`Hysteresis`] state machines stable under G–E burst noise;
+//! * [`HealthEngine`] — the per-run composition: SLO monitors, detectors,
+//!   recovery-cycle budget tracking, and per-scope rate series, snapshotted
+//!   into a deterministic JSONL [`HealthReport`];
+//! * [`inspect`] — offline analysis over the JSONL artifacts the bench
+//!   binaries write (summaries, timelines, two-run diff to the first
+//!   divergent signal, folded-stack flamegraphs), behind the `sps-inspect`
+//!   CLI.
+//!
+//! ## Determinism
+//!
+//! The engine is strictly an *observer*: it reads the registry and the
+//! phase log, schedules nothing, and draws no randomness. Its outputs are
+//! pure functions of scrape-time snapshots, so enabling it cannot perturb
+//! figure output, and two identical runs (any `--jobs` value) produce
+//! byte-identical health reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod anomaly;
+mod engine;
+pub mod inspect;
+pub mod jsonl;
+mod report;
+mod slo;
+mod window;
+
+pub use anomaly::{
+    AnomalySpan, AnomalyTransition, BackpressureDetector, CheckpointStallDetector,
+    HeartbeatFlakyDetector, Hysteresis,
+};
+pub use engine::{default_slos, HealthConfig, HealthEngine, RECOVERY_MONITOR};
+pub use report::{HealthReport, MonitorSummary};
+pub use slo::{BreachSpan, SloCmp, SloMonitor, SloSpec, SloStat, SloTransition, BASELINE_WINDOWS};
+pub use window::{SlidingCounter, SlidingHistogram, TumbleWindow, TumblingCounter};

@@ -1,0 +1,523 @@
+//! Declarative SLO monitors: a tiny spec grammar, deterministic per-scrape
+//! evaluation against the metrics registry, and breach span bookkeeping.
+//!
+//! Grammar (one spec per string):
+//!
+//! ```text
+//! [name:] component/metric{stat} OP threshold [over DURATION]
+//! ```
+//!
+//! * `component/metric` — registry identity; all scopes of the component
+//!   recording the metric are aggregated (counters sum, gauges take the
+//!   max, histograms merge bucket-wise).
+//! * `stat` — `value` (gauge or cumulative counter), `delta` / `rate`
+//!   (counter growth over the window), `p50`/`p95`/`p99`/`mean` (windowed
+//!   histogram statistics), or `rate_drop_pct` (percent drop of the
+//!   windowed rate vs. a trailing baseline 4x the window).
+//! * `OP` — `<`, `<=`, `>`, `>=`; the spec states the *healthy* relation,
+//!   so a breach is the relation failing.
+//! * `DURATION` — integer with `ns`/`us`/`ms`/`s` suffix; default `5s`.
+//!
+//! Example: `e2e_p99: sink/e2e_delay_ms{p99} < 250 over 5s`.
+
+use sps_metrics::Registry;
+
+use crate::window::{SlidingCounter, SlidingHistogram};
+
+/// Baseline span multiplier for `rate_drop_pct` (baseline = 4x window).
+pub const BASELINE_WINDOWS: u64 = 4;
+
+/// Which statistic of the aggregated metric a spec evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloStat {
+    /// The aggregated instantaneous value (gauge max, or counter sum).
+    Value,
+    /// Counter growth over the window.
+    Delta,
+    /// Counter growth rate over the window, per second.
+    Rate,
+    /// Windowed histogram median.
+    P50,
+    /// Windowed histogram 95th percentile.
+    P95,
+    /// Windowed histogram 99th percentile.
+    P99,
+    /// Windowed histogram mean.
+    Mean,
+    /// Percent drop of the windowed rate vs. the trailing baseline rate
+    /// (0 when the baseline is still empty or the rate did not drop).
+    RateDropPct,
+}
+
+impl SloStat {
+    fn as_str(self) -> &'static str {
+        match self {
+            SloStat::Value => "value",
+            SloStat::Delta => "delta",
+            SloStat::Rate => "rate",
+            SloStat::P50 => "p50",
+            SloStat::P95 => "p95",
+            SloStat::P99 => "p99",
+            SloStat::Mean => "mean",
+            SloStat::RateDropPct => "rate_drop_pct",
+        }
+    }
+
+    fn parse(s: &str) -> Option<SloStat> {
+        Some(match s {
+            "value" => SloStat::Value,
+            "delta" => SloStat::Delta,
+            "rate" => SloStat::Rate,
+            "p50" => SloStat::P50,
+            "p95" => SloStat::P95,
+            "p99" => SloStat::P99,
+            "mean" => SloStat::Mean,
+            "rate_drop_pct" => SloStat::RateDropPct,
+            _ => return None,
+        })
+    }
+}
+
+/// The healthy comparison of observed statistic against threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloCmp {
+    /// Healthy while `observed < threshold`.
+    Lt,
+    /// Healthy while `observed <= threshold`.
+    Le,
+    /// Healthy while `observed > threshold`.
+    Gt,
+    /// Healthy while `observed >= threshold`.
+    Ge,
+}
+
+impl SloCmp {
+    fn as_str(self) -> &'static str {
+        match self {
+            SloCmp::Lt => "<",
+            SloCmp::Le => "<=",
+            SloCmp::Gt => ">",
+            SloCmp::Ge => ">=",
+        }
+    }
+
+    /// Whether `observed` satisfies the healthy relation.
+    pub fn healthy(self, observed: f64, threshold: f64) -> bool {
+        match self {
+            SloCmp::Lt => observed < threshold,
+            SloCmp::Le => observed <= threshold,
+            SloCmp::Gt => observed > threshold,
+            SloCmp::Ge => observed >= threshold,
+        }
+    }
+
+    /// `true` when larger observed values are worse under this relation.
+    pub fn larger_is_worse(self) -> bool {
+        matches!(self, SloCmp::Lt | SloCmp::Le)
+    }
+}
+
+/// One parsed SLO spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Monitor name (unique within one engine; reports key on it).
+    pub name: String,
+    /// Registry component the metric belongs to.
+    pub component: String,
+    /// Metric name within the component.
+    pub metric: String,
+    /// Statistic to evaluate.
+    pub stat: SloStat,
+    /// Healthy relation.
+    pub cmp: SloCmp,
+    /// Threshold the relation compares against.
+    pub threshold: f64,
+    /// Trailing window span in nanoseconds.
+    pub window_ns: u64,
+}
+
+impl SloSpec {
+    /// Parses one spec string (see the module docs for the grammar).
+    pub fn parse(text: &str) -> Result<SloSpec, String> {
+        let err = |m: &str| format!("bad SLO spec {text:?}: {m}");
+        let text = text.trim();
+        // Optional leading "name:" label — split on the first ':' only if
+        // it comes before the metric expression.
+        let (name, rest) = match text.split_once(':') {
+            Some((n, r)) if !n.contains('/') && !n.contains('{') => {
+                (Some(n.trim().to_string()), r.trim())
+            }
+            _ => (None, text),
+        };
+        let mut tokens = rest.split_whitespace();
+        let expr = tokens.next().ok_or_else(|| err("missing metric"))?;
+        let op = tokens.next().ok_or_else(|| err("missing comparison"))?;
+        let threshold: f64 = tokens
+            .next()
+            .ok_or_else(|| err("missing threshold"))?
+            .parse()
+            .map_err(|_| err("threshold is not a number"))?;
+        let window_ns = match (tokens.next(), tokens.next()) {
+            (Some("over"), Some(d)) => parse_duration_ns(d).ok_or_else(|| err("bad duration"))?,
+            (None, _) => 5_000_000_000,
+            _ => return Err(err("trailing tokens (expected `over DURATION`)")),
+        };
+        if tokens.next().is_some() {
+            return Err(err("trailing tokens after duration"));
+        }
+        // component/metric{stat}
+        let (path, stat) = match expr.split_once('{') {
+            Some((p, s)) => {
+                let s = s.strip_suffix('}').ok_or_else(|| err("unclosed `{`"))?;
+                (p, SloStat::parse(s).ok_or_else(|| err("unknown stat"))?)
+            }
+            None => (expr, SloStat::Value),
+        };
+        let (component, metric) = path
+            .split_once('/')
+            .ok_or_else(|| err("metric must be component/name"))?;
+        if component.is_empty() || metric.is_empty() {
+            return Err(err("empty component or metric"));
+        }
+        let cmp = match op {
+            "<" => SloCmp::Lt,
+            "<=" => SloCmp::Le,
+            ">" => SloCmp::Gt,
+            ">=" => SloCmp::Ge,
+            _ => return Err(err("comparison must be one of < <= > >=")),
+        };
+        if window_ns == 0 {
+            return Err(err("window must be positive"));
+        }
+        if !threshold.is_finite() {
+            return Err(err("threshold must be finite"));
+        }
+        let name = name.unwrap_or_else(|| format!("{component}_{metric}_{}", stat.as_str()));
+        Ok(SloSpec {
+            name,
+            component: component.to_string(),
+            metric: metric.to_string(),
+            stat,
+            cmp,
+            threshold,
+            window_ns,
+        })
+    }
+
+    /// Renders the spec back in the grammar (used in reports; `parse` of
+    /// the result round-trips).
+    pub fn display(&self) -> String {
+        format!(
+            "{}: {}/{}{{{}}} {} {} over {}",
+            self.name,
+            self.component,
+            self.metric,
+            self.stat.as_str(),
+            self.cmp.as_str(),
+            fmt_threshold(self.threshold),
+            fmt_duration_ns(self.window_ns),
+        )
+    }
+}
+
+fn parse_duration_ns(s: &str) -> Option<u64> {
+    // Longest suffix first so "ms" is not eaten by "s".
+    for (suffix, mult) in [
+        ("ns", 1),
+        ("us", 1_000),
+        ("ms", 1_000_000),
+        ("s", 1_000_000_000),
+    ] {
+        if let Some(num) = s.strip_suffix(suffix) {
+            let n: u64 = num.parse().ok()?;
+            return Some(n * mult);
+        }
+    }
+    None
+}
+
+fn fmt_duration_ns(ns: u64) -> String {
+    if ns.is_multiple_of(1_000_000_000) {
+        format!("{}s", ns / 1_000_000_000)
+    } else if ns.is_multiple_of(1_000_000) {
+        format!("{}ms", ns / 1_000_000)
+    } else if ns.is_multiple_of(1_000) {
+        format!("{}us", ns / 1_000)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn fmt_threshold(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// One recorded breach interval of a monitor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreachSpan {
+    /// When the breach was entered (sim nanoseconds).
+    pub start_ns: u64,
+    /// When it cleared; `None` while still open.
+    pub end_ns: Option<u64>,
+    /// Worst observed value while breaching (per the spec's direction).
+    pub worst: f64,
+}
+
+impl BreachSpan {
+    /// Breach duration against an explicit end (for open spans, "now").
+    pub fn duration_ns(&self, now_ns: u64) -> u64 {
+        self.end_ns.unwrap_or(now_ns).saturating_sub(self.start_ns)
+    }
+}
+
+/// A breach-boundary crossing reported by [`SloMonitor::evaluate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloTransition {
+    /// `true` on breach enter, `false` on exit.
+    pub entered: bool,
+    /// Observed statistic at the crossing.
+    pub observed: f64,
+    /// Breach duration (0 on enter).
+    pub duration_ns: u64,
+}
+
+/// One monitor: a spec plus its sliding windows and breach state machine.
+#[derive(Debug, Clone)]
+pub struct SloMonitor {
+    /// The spec this monitor evaluates.
+    pub spec: SloSpec,
+    counter: SlidingCounter,
+    baseline: SlidingCounter,
+    histogram: SlidingHistogram,
+    spans: Vec<BreachSpan>,
+}
+
+impl SloMonitor {
+    /// A monitor with empty windows.
+    pub fn new(spec: SloSpec) -> Self {
+        let w = spec.window_ns;
+        SloMonitor {
+            counter: SlidingCounter::new(w),
+            baseline: SlidingCounter::new(w * BASELINE_WINDOWS),
+            histogram: SlidingHistogram::new(w),
+            spec,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Evaluates the spec against the registry at one scrape instant.
+    /// Returns a transition when the breach boundary was crossed.
+    pub fn evaluate(&mut self, now_ns: u64, registry: &Registry) -> Option<SloTransition> {
+        let observed = self.observe(now_ns, registry)?;
+        let healthy = self.spec.cmp.healthy(observed, self.spec.threshold);
+        let breaching = self.spans.last().is_some_and(|s| s.end_ns.is_none());
+        if breaching {
+            let span = self.spans.last_mut().expect("open span");
+            // Track the worst value seen while the breach is open.
+            if self.spec.cmp.larger_is_worse() {
+                span.worst = span.worst.max(observed);
+            } else {
+                span.worst = span.worst.min(observed);
+            }
+            if healthy {
+                span.end_ns = Some(now_ns);
+                return Some(SloTransition {
+                    entered: false,
+                    observed,
+                    duration_ns: now_ns.saturating_sub(span.start_ns),
+                });
+            }
+        } else if !healthy {
+            self.spans.push(BreachSpan {
+                start_ns: now_ns,
+                end_ns: None,
+                worst: observed,
+            });
+            return Some(SloTransition {
+                entered: true,
+                observed,
+                duration_ns: 0,
+            });
+        }
+        None
+    }
+
+    /// Computes the observed statistic, feeding the windows. `None` when
+    /// the metric has produced no data yet (no breach can be declared on
+    /// silence — absence-of-data SLOs are modelled as `delta >= n`).
+    fn observe(&mut self, now_ns: u64, registry: &Registry) -> Option<f64> {
+        let spec = &self.spec;
+        match spec.stat {
+            SloStat::Value => {
+                if let Some(g) = registry.gauge_max(&spec.component, &spec.metric) {
+                    return Some(g);
+                }
+                let sum: u64 = counter_sum(registry, &spec.component, &spec.metric)?;
+                Some(sum as f64)
+            }
+            SloStat::Delta | SloStat::Rate | SloStat::RateDropPct => {
+                let sum = counter_sum(registry, &spec.component, &spec.metric)?;
+                self.counter.push(now_ns, sum);
+                self.baseline.push(now_ns, sum);
+                match spec.stat {
+                    SloStat::Delta => Some(self.counter.delta() as f64),
+                    SloStat::Rate => Some(self.counter.rate_per_sec()),
+                    _ => {
+                        let base = self.baseline.rate_per_sec();
+                        if base <= 0.0 {
+                            return Some(0.0);
+                        }
+                        let drop = (base - self.counter.rate_per_sec()) / base * 100.0;
+                        Some(drop.max(0.0))
+                    }
+                }
+            }
+            SloStat::P50 | SloStat::P95 | SloStat::P99 | SloStat::Mean => {
+                let merged = registry.merged_histogram(&spec.component, &spec.metric)?;
+                self.histogram.push(now_ns, merged);
+                match spec.stat {
+                    SloStat::P50 => self.histogram.quantile(0.50),
+                    SloStat::P95 => self.histogram.quantile(0.95),
+                    SloStat::P99 => self.histogram.quantile(0.99),
+                    _ => self.histogram.mean(),
+                }
+            }
+        }
+    }
+
+    /// Recorded breach spans, oldest first.
+    pub fn spans(&self) -> &[BreachSpan] {
+        &self.spans
+    }
+
+    /// Appends an externally-computed breach span (the engine's recovery-
+    /// cycle monitor measures spans from the phase log, not from windows).
+    pub(crate) fn push_span(&mut self, span: BreachSpan) {
+        self.spans.push(span);
+    }
+}
+
+fn counter_sum(registry: &Registry, component: &str, metric: &str) -> Option<u64> {
+    let mut any = false;
+    let mut sum = 0u64;
+    for (s, n, v) in registry.counters() {
+        if s.component == component && n == metric {
+            any = true;
+            sum += v;
+        }
+    }
+    any.then_some(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sps_metrics::Scope;
+
+    #[test]
+    fn grammar_parses_and_roundtrips() {
+        let s = SloSpec::parse("e2e_p99: sink/e2e_delay_ms{p99} < 250 over 5s").unwrap();
+        assert_eq!(s.name, "e2e_p99");
+        assert_eq!(s.component, "sink");
+        assert_eq!(s.metric, "e2e_delay_ms");
+        assert_eq!(s.stat, SloStat::P99);
+        assert_eq!(s.cmp, SloCmp::Lt);
+        assert_eq!(s.threshold, 250.0);
+        assert_eq!(s.window_ns, 5_000_000_000);
+        let rendered = s.display();
+        assert_eq!(SloSpec::parse(&rendered).unwrap(), s);
+
+        // Defaults: stat=value, window=5s, generated name.
+        let s = SloSpec::parse("cluster/run_queue >= 0").unwrap();
+        assert_eq!(s.stat, SloStat::Value);
+        assert_eq!(s.window_ns, 5_000_000_000);
+        assert_eq!(s.name, "cluster_run_queue_value");
+
+        let s = SloSpec::parse("drop: sink/accepted{rate_drop_pct} < 50 over 2s").unwrap();
+        assert_eq!(s.stat, SloStat::RateDropPct);
+        assert_eq!(s.window_ns, 2_000_000_000);
+    }
+
+    #[test]
+    fn grammar_rejects_malformed_specs() {
+        for bad in [
+            "",
+            "sink/e2e{p99}",
+            "sink/e2e{p99} ~ 250",
+            "sinke2e{p99} < 250",
+            "sink/e2e{p99} < 250 over",
+            "sink/e2e{p99} < 250 over 5parsecs",
+            "sink/e2e{p99} < 250 over 0s",
+            "sink/e2e{nope} < 250",
+            "sink/e2e{p99 < 250",
+            "sink/e2e{p99} < wide",
+        ] {
+            assert!(SloSpec::parse(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn monitor_tracks_breach_enter_exit_and_worst() {
+        let spec = SloSpec::parse("lat: sink/e2e_delay_ms{p99} < 100 over 1s").unwrap();
+        let mut m = SloMonitor::new(spec);
+        let mut r = Registry::new();
+        let sink = Scope::global("sink");
+        r.observe(sink, "e2e_delay_ms", 10.0);
+        assert!(m.evaluate(100_000_000, &r).is_none(), "healthy");
+        // Latency explodes.
+        for _ in 0..20 {
+            r.observe(sink, "e2e_delay_ms", 400.0);
+        }
+        let t = m.evaluate(200_000_000, &r).expect("breach enter");
+        assert!(t.entered && t.observed >= 100.0);
+        for _ in 0..5 {
+            r.observe(sink, "e2e_delay_ms", 900.0);
+        }
+        assert!(m.evaluate(300_000_000, &r).is_none(), "still breaching");
+        // Recovery: push the window past the spike (only new small values).
+        for _ in 0..400 {
+            r.observe(sink, "e2e_delay_ms", 1.0);
+        }
+        let t = (4..20)
+            .find_map(|i| m.evaluate(i * 1_000_000_000, &r))
+            .expect("breach exit");
+        assert!(!t.entered && t.duration_ns > 0);
+        let spans = m.spans();
+        assert_eq!(spans.len(), 1);
+        assert!(spans[0].worst >= 512.0, "worst: {}", spans[0].worst);
+        assert!(spans[0].end_ns.is_some());
+    }
+
+    #[test]
+    fn rate_drop_breaches_when_throughput_collapses() {
+        let spec = SloSpec::parse("tp: sink/accepted{rate_drop_pct} < 50 over 1s").unwrap();
+        let mut m = SloMonitor::new(spec);
+        let mut r = Registry::new();
+        let sink = Scope::global("sink");
+        // 1000/s for 4 seconds.
+        for i in 1..=4u64 {
+            r.inc(sink, "accepted", 1_000);
+            assert!(m.evaluate(i * 1_000_000_000, &r).is_none());
+        }
+        // Throughput collapses to zero for the next two scrapes.
+        let t5 = m.evaluate(5_000_000_000, &r);
+        let t6 = m.evaluate(6_000_000_000, &r);
+        assert!(
+            t5.map(|t| t.entered).unwrap_or(false) || t6.map(|t| t.entered).unwrap_or(false),
+            "drop monitor should breach: {t5:?} {t6:?}"
+        );
+    }
+
+    #[test]
+    fn silence_is_not_a_breach() {
+        let spec = SloSpec::parse("lat: sink/e2e_delay_ms{p99} < 1 over 1s").unwrap();
+        let mut m = SloMonitor::new(spec);
+        let r = Registry::new();
+        assert!(m.evaluate(1_000_000_000, &r).is_none());
+        assert!(m.spans().is_empty());
+    }
+}

@@ -1,0 +1,300 @@
+//! Streaming windowed aggregators over the registry's scrape cadence.
+//!
+//! The metrics registry is cumulative: counters and histograms only grow.
+//! The window types here turn a stream of cumulative snapshots — one per
+//! scrape — into trailing-window deltas, rates, and quantiles (sliding),
+//! and into fixed-boundary per-window series (tumbling). Everything is
+//! plain deque bookkeeping over values the caller pushes: no clocks, no
+//! randomness, no interaction with the simulation.
+
+use std::collections::VecDeque;
+
+use sps_metrics::LogLinearHistogram;
+
+/// A sliding window over a cumulative counter: retains `(t, value)`
+/// samples spanning the trailing `window_ns` and answers delta/rate
+/// queries against the oldest retained sample.
+#[derive(Debug, Clone)]
+pub struct SlidingCounter {
+    window_ns: u64,
+    samples: VecDeque<(u64, u64)>,
+}
+
+impl SlidingCounter {
+    /// An empty window of the given span (nanoseconds, must be positive).
+    pub fn new(window_ns: u64) -> Self {
+        assert!(window_ns > 0, "window must be positive");
+        SlidingCounter {
+            window_ns,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// Pushes one scrape sample. Keeps the newest sample at or before the
+    /// window start so deltas span the full window, not a truncated one.
+    /// The very first push seeds a zero baseline at the window start:
+    /// registry counters start at zero at sim start, so growth recorded
+    /// before the first scrape still counts.
+    pub fn push(&mut self, t_ns: u64, value: u64) {
+        if self.samples.is_empty() {
+            self.samples
+                .push_back((t_ns.saturating_sub(self.window_ns), 0));
+        }
+        self.samples.push_back((t_ns, value));
+        let start = t_ns.saturating_sub(self.window_ns);
+        while self.samples.len() >= 2 && self.samples[1].0 <= start {
+            self.samples.pop_front();
+        }
+    }
+
+    /// Counter growth across the retained window.
+    pub fn delta(&self) -> u64 {
+        match (self.samples.front(), self.samples.back()) {
+            (Some(&(_, first)), Some(&(_, last))) => last.saturating_sub(first),
+            _ => 0,
+        }
+    }
+
+    /// Growth rate in units per second over the retained window (0 until
+    /// two samples exist).
+    pub fn rate_per_sec(&self) -> f64 {
+        match (self.samples.front(), self.samples.back()) {
+            (Some(&(t0, _)), Some(&(t1, _))) if t1 > t0 => {
+                self.delta() as f64 / ((t1 - t0) as f64 / 1e9)
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// The newest sampled value.
+    pub fn latest(&self) -> u64 {
+        self.samples.back().map(|&(_, v)| v).unwrap_or(0)
+    }
+}
+
+/// A sliding window over a cumulative histogram: retains full snapshots
+/// and answers windowed quantiles by bucket-diffing newest against oldest.
+#[derive(Debug, Clone)]
+pub struct SlidingHistogram {
+    window_ns: u64,
+    samples: VecDeque<(u64, LogLinearHistogram)>,
+}
+
+impl SlidingHistogram {
+    /// An empty window of the given span (nanoseconds, must be positive).
+    pub fn new(window_ns: u64) -> Self {
+        assert!(window_ns > 0, "window must be positive");
+        SlidingHistogram {
+            window_ns,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// Pushes one cumulative snapshot (same retention and zero-baseline
+    /// seeding rules as [`SlidingCounter::push`]).
+    pub fn push(&mut self, t_ns: u64, snapshot: LogLinearHistogram) {
+        if self.samples.is_empty() {
+            self.samples.push_back((
+                t_ns.saturating_sub(self.window_ns),
+                LogLinearHistogram::new(),
+            ));
+        }
+        self.samples.push_back((t_ns, snapshot));
+        let start = t_ns.saturating_sub(self.window_ns);
+        while self.samples.len() >= 2 && self.samples[1].0 <= start {
+            self.samples.pop_front();
+        }
+    }
+
+    /// Observations recorded within the window.
+    pub fn count_delta(&self) -> u64 {
+        match (self.samples.front(), self.samples.back()) {
+            (Some((_, first)), Some((_, last))) => last.count().saturating_sub(first.count()),
+            _ => 0,
+        }
+    }
+
+    /// Quantile of the observations recorded within the window (bucket
+    /// floor, same ~12.5% resolution as the underlying histogram). `None`
+    /// when the window recorded nothing.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let (first, last) = match (self.samples.front(), self.samples.back()) {
+            (Some((_, f)), Some((_, l))) => (f, l),
+            _ => return None,
+        };
+        if last.count() == first.count() {
+            return None;
+        }
+        Some(last.quantile_between(first, q))
+    }
+
+    /// Mean of the observations recorded within the window.
+    pub fn mean(&self) -> Option<f64> {
+        let (first, last) = match (self.samples.front(), self.samples.back()) {
+            (Some((_, f)), Some((_, l))) => (f, l),
+            _ => return None,
+        };
+        let d = last.delta_since(first);
+        if d.count() == 0 {
+            None
+        } else {
+            Some(d.mean())
+        }
+    }
+}
+
+/// One completed tumbling window of a counter series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TumbleWindow {
+    /// Window end, sim nanoseconds (start is `end - width`).
+    pub end_ns: u64,
+    /// Counter growth across the window.
+    pub delta: u64,
+    /// Growth rate in units per second.
+    pub rate_per_sec: f64,
+}
+
+/// A tumbling (fixed-boundary, non-overlapping) window series over a
+/// cumulative counter: windows close at multiples of the width, and each
+/// closed window records its delta and rate.
+#[derive(Debug, Clone)]
+pub struct TumblingCounter {
+    width_ns: u64,
+    /// Cumulative value at the last closed boundary.
+    boundary_value: u64,
+    /// The next boundary to close (0 until the first push).
+    next_boundary_ns: u64,
+    windows: Vec<TumbleWindow>,
+}
+
+impl TumblingCounter {
+    /// An empty series with the given window width (nanoseconds, positive).
+    pub fn new(width_ns: u64) -> Self {
+        assert!(width_ns > 0, "window width must be positive");
+        TumblingCounter {
+            width_ns,
+            boundary_value: 0,
+            next_boundary_ns: 0,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Pushes one scrape sample, closing every boundary at or before
+    /// `t_ns`. Scrapes are assumed no coarser than the window width (the
+    /// value at a skipped boundary is approximated by the pushed value).
+    pub fn push(&mut self, t_ns: u64, value: u64) {
+        if self.next_boundary_ns == 0 {
+            // First sample: align the first boundary to the next multiple
+            // of the width after (or at) this sample.
+            self.next_boundary_ns = (t_ns / self.width_ns + 1) * self.width_ns;
+            self.boundary_value = value;
+            return;
+        }
+        while t_ns >= self.next_boundary_ns {
+            let delta = value.saturating_sub(self.boundary_value);
+            self.windows.push(TumbleWindow {
+                end_ns: self.next_boundary_ns,
+                delta,
+                rate_per_sec: delta as f64 / (self.width_ns as f64 / 1e9),
+            });
+            self.boundary_value = value;
+            self.next_boundary_ns += self.width_ns;
+        }
+    }
+
+    /// The closed windows, oldest first.
+    pub fn windows(&self) -> &[TumbleWindow] {
+        &self.windows
+    }
+
+    /// Mean per-window rate across all closed windows (0 when none).
+    pub fn mean_rate(&self) -> f64 {
+        if self.windows.is_empty() {
+            return 0.0;
+        }
+        self.windows.iter().map(|w| w.rate_per_sec).sum::<f64>() / self.windows.len() as f64
+    }
+
+    /// Peak per-window rate across all closed windows (0 when none).
+    pub fn max_rate(&self) -> f64 {
+        self.windows
+            .iter()
+            .map(|w| w.rate_per_sec)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sliding_counter_spans_full_window() {
+        let mut w = SlidingCounter::new(1_000);
+        w.push(0, 0);
+        w.push(500, 5);
+        w.push(1_000, 10);
+        w.push(1_500, 15);
+        // Window start is 500; the sample at t=500 is the newest at-or-
+        // before the start and must be retained.
+        assert_eq!(w.delta(), 10);
+        assert!(w.rate_per_sec() > 0.0);
+        assert_eq!(w.latest(), 15);
+    }
+
+    #[test]
+    fn sliding_counter_rate_is_delta_over_span() {
+        let mut w = SlidingCounter::new(1_000_000_000);
+        w.push(0, 0);
+        w.push(1_000_000_000, 250);
+        assert_eq!(w.delta(), 250);
+        assert!((w.rate_per_sec() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sliding_histogram_windows_quantiles() {
+        let mut cumulative = LogLinearHistogram::new();
+        let mut w = SlidingHistogram::new(1_000);
+        for v in [2.0, 2.0, 2.0] {
+            cumulative.observe(v);
+        }
+        w.push(0, cumulative.clone());
+        for v in [200.0, 220.0, 260.0] {
+            cumulative.observe(v);
+        }
+        w.push(900, cumulative.clone());
+        assert_eq!(w.count_delta(), 3);
+        // Only the recent large values are in the window.
+        assert!(w.quantile(0.5).unwrap() > 100.0);
+        assert!(w.mean().unwrap() > 100.0);
+        // New small observations land in a later window; the old large
+        // ones slide out once a newer at-or-before-start sample exists.
+        for v in [1.0, 1.0] {
+            cumulative.observe(v);
+        }
+        w.push(2_500, cumulative.clone());
+        w.push(2_600, cumulative.clone());
+        assert_eq!(w.count_delta(), 2);
+        assert!(w.quantile(0.5).unwrap() < 2.0);
+        // A quiet stretch leaves the window empty: no quantile.
+        w.push(5_000, cumulative);
+        assert_eq!(w.count_delta(), 0);
+        assert!(w.quantile(0.5).is_none(), "empty window has no quantile");
+    }
+
+    #[test]
+    fn tumbling_counter_closes_fixed_boundaries() {
+        let mut t = TumblingCounter::new(1_000);
+        t.push(100, 0);
+        t.push(1_100, 10); // closes the [_, 1000] window
+        t.push(2_050, 30); // closes [1000, 2000]
+        t.push(3_001, 30); // closes [2000, 3000]
+        let w = t.windows();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].end_ns, 1_000);
+        assert_eq!(w[0].delta, 10);
+        assert_eq!(w[1].delta, 20);
+        assert_eq!(w[2].delta, 0);
+        assert!(t.max_rate() >= t.mean_rate());
+    }
+}

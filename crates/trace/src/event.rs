@@ -109,6 +109,47 @@ impl RecoveryPhase {
             RecoveryPhase::SecondaryReady => "secondary_ready",
         }
     }
+
+    /// Inverse of [`as_str`](Self::as_str): parses the JSONL phase name
+    /// (offline analyzers reconstruct phase logs from trace dumps).
+    pub fn parse(name: &str) -> Option<RecoveryPhase> {
+        Some(match name {
+            "detected" => RecoveryPhase::Detected,
+            "switchover_complete" => RecoveryPhase::SwitchoverComplete,
+            "rollback_started" => RecoveryPhase::RollbackStarted,
+            "rollback_complete" => RecoveryPhase::RollbackComplete,
+            "ps_deployed" => RecoveryPhase::PsDeployed,
+            "ps_connected" => RecoveryPhase::PsConnected,
+            "promoted" => RecoveryPhase::Promoted,
+            "secondary_ready" => RecoveryPhase::SecondaryReady,
+            _ => return None,
+        })
+    }
+}
+
+/// The detector family a [`TraceEvent::Anomaly`] verdict belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AnomalyKind {
+    /// Queue-depth high-water trend: input queues growing past threshold.
+    Backpressure,
+    /// Checkpoint sweep overran its interval budget (no store completed).
+    CheckpointStall,
+    /// Heartbeat suspect/refute churn above the flakiness band.
+    HeartbeatFlaky,
+    /// A recovery cycle in flight has burned past its time budget.
+    RecoveryBudgetBurn,
+}
+
+impl AnomalyKind {
+    /// Stable lower-snake name used in the JSONL encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AnomalyKind::Backpressure => "backpressure",
+            AnomalyKind::CheckpointStall => "checkpoint_stall",
+            AnomalyKind::HeartbeatFlaky => "heartbeat_flaky",
+            AnomalyKind::RecoveryBudgetBurn => "recovery_budget_burn",
+        }
+    }
 }
 
 /// One typed, sim-time-free trace event. The timestamp lives in the
@@ -327,6 +368,33 @@ pub enum TraceEvent {
         /// Second machine involved (or `u32::MAX` when not applicable).
         b: u32,
     },
+    /// An SLO monitor crossed its breach boundary (health engine).
+    SloBreach {
+        /// Index of the monitor in the health engine's table (the health
+        /// report maps indices to monitor names).
+        monitor: u32,
+        /// `true` when the breach begins, `false` when it clears.
+        entered: bool,
+        /// The observed statistic at the crossing scrape.
+        observed: f64,
+        /// The spec's threshold.
+        threshold: f64,
+        /// Breach duration in sim nanoseconds (0 on enter).
+        duration_ns: u64,
+    },
+    /// An anomaly detector changed verdict (health engine).
+    Anomaly {
+        /// Which detector family fired.
+        detector: AnomalyKind,
+        /// Machine the verdict is about (or `u32::MAX` when global).
+        machine: u32,
+        /// PE the verdict is about (or `u32::MAX` when not PE-scoped).
+        pe: u32,
+        /// `true` at onset, `false` at clear.
+        onset: bool,
+        /// The detector's signal value at the transition.
+        value: f64,
+    },
 }
 
 impl TraceEvent {
@@ -355,6 +423,8 @@ impl TraceEvent {
             TraceEvent::NetDuplicate { .. } => "net_duplicate",
             TraceEvent::Retransmit { .. } => "retransmit",
             TraceEvent::ChaosPhase { .. } => "chaos_phase",
+            TraceEvent::SloBreach { .. } => "slo_breach",
+            TraceEvent::Anomaly { .. } => "anomaly",
         }
     }
 
@@ -571,6 +641,34 @@ impl TraceRecord {
                     action.as_str()
                 );
             }
+            TraceEvent::SloBreach {
+                monitor,
+                entered,
+                observed,
+                threshold,
+                duration_ns,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"monitor\":{monitor},\"entered\":{entered},\"observed\":{},\"threshold\":{},\"duration_ns\":{duration_ns}",
+                    fmt_f64(observed),
+                    fmt_f64(threshold)
+                );
+            }
+            TraceEvent::Anomaly {
+                detector,
+                machine,
+                pe,
+                onset,
+                value,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"detector\":\"{}\",\"machine\":{machine},\"pe\":{pe},\"onset\":{onset},\"value\":{}",
+                    detector.as_str(),
+                    fmt_f64(value)
+                );
+            }
         }
         s.push('}');
         s
@@ -622,6 +720,57 @@ mod tests {
         let json = rec.to_json();
         assert!(json.contains("\"cpu_load\":0.500000"), "{json}");
         assert!(json.contains("\"background\":0.333333"), "{json}");
+    }
+
+    #[test]
+    fn phase_names_roundtrip() {
+        for p in [
+            RecoveryPhase::Detected,
+            RecoveryPhase::SwitchoverComplete,
+            RecoveryPhase::RollbackStarted,
+            RecoveryPhase::RollbackComplete,
+            RecoveryPhase::PsDeployed,
+            RecoveryPhase::PsConnected,
+            RecoveryPhase::Promoted,
+            RecoveryPhase::SecondaryReady,
+        ] {
+            assert_eq!(RecoveryPhase::parse(p.as_str()), Some(p));
+        }
+        assert_eq!(RecoveryPhase::parse("nope"), None);
+    }
+
+    #[test]
+    fn health_events_encode_stably() {
+        let breach = TraceRecord {
+            at: SimTime::from_millis(3_200),
+            event: TraceEvent::SloBreach {
+                monitor: 2,
+                entered: true,
+                observed: 412.5,
+                threshold: 250.0,
+                duration_ns: 0,
+            },
+        };
+        assert_eq!(
+            breach.to_json(),
+            "{\"t\":3200000000,\"kind\":\"slo_breach\",\"monitor\":2,\"entered\":true,\"observed\":412.500000,\"threshold\":250.000000,\"duration_ns\":0}"
+        );
+        let anomaly = TraceRecord {
+            at: SimTime::from_millis(100),
+            event: TraceEvent::Anomaly {
+                detector: AnomalyKind::Backpressure,
+                machine: 1,
+                pe: 4,
+                onset: true,
+                value: 96.0,
+            },
+        };
+        assert_eq!(
+            anomaly.to_json(),
+            "{\"t\":100000000,\"kind\":\"anomaly\",\"detector\":\"backpressure\",\"machine\":1,\"pe\":4,\"onset\":true,\"value\":96.000000}"
+        );
+        assert!(!breach.event.is_data_plane());
+        assert!(!anomaly.event.is_data_plane());
     }
 
     #[test]
