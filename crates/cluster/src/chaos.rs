@@ -20,6 +20,7 @@
 
 use sps_sim::{SimDuration, SimTime};
 
+use crate::domain::{DomainId, SwitchId};
 use crate::machine::MachineId;
 
 /// Parameters of the two-state Gilbert–Elliott burst-loss chain.
@@ -202,6 +203,25 @@ pub enum ChaosAction {
         /// New capacity (1.0 = healthy full speed).
         capacity: f64,
     },
+    /// Correlated domain failure: fail-stops every machine in a rack at
+    /// once (the harness expands the rack to its member machines from the
+    /// cluster's [`FaultTopology`](crate::FaultTopology)).
+    FailDomain {
+        /// The rack whose machines all crash.
+        rack: DomainId,
+    },
+    /// Partitions every machine behind a switch from the rest of the
+    /// cluster (both directions; the harness expands membership from the
+    /// topology).
+    PartitionSwitch {
+        /// The switch that goes dark.
+        switch: SwitchId,
+    },
+    /// Heals a previous [`PartitionSwitch`](Self::PartitionSwitch).
+    HealSwitch {
+        /// The switch to restore.
+        switch: SwitchId,
+    },
 }
 
 impl ChaosAction {
@@ -231,6 +251,9 @@ impl ChaosAction {
             ChaosAction::GrayDegrade { machine, capacity } => {
                 format!("gray_degrade {machine} cap={capacity}")
             }
+            ChaosAction::FailDomain { rack } => format!("fail_domain {rack}"),
+            ChaosAction::PartitionSwitch { switch } => format!("partition_switch {switch}"),
+            ChaosAction::HealSwitch { switch } => format!("heal_switch {switch}"),
         }
     }
 }
@@ -408,6 +431,21 @@ impl ChaosPlan {
         self
     }
 
+    /// Correlated *domain* failure: fail-stops every machine in `rack` at
+    /// `at`. The rack expands to its member machines when the harness
+    /// applies the step against the cluster's topology.
+    pub fn domain_fail_stop(self, at: SimTime, rack: DomainId) -> Self {
+        self.step(at, ChaosAction::FailDomain { rack })
+    }
+
+    /// Partitions every machine behind `switch` from the rest of the
+    /// cluster from `from` until `until`, then heals.
+    pub fn switch_partition_window(self, from: SimTime, until: SimTime, switch: SwitchId) -> Self {
+        assert!(from <= until, "switch partition ends before it starts");
+        self.step(from, ChaosAction::PartitionSwitch { switch })
+            .step(until, ChaosAction::HealSwitch { switch })
+    }
+
     /// Gray-degrades a machine's capacity from `from` until `until`, then
     /// restores full capacity.
     pub fn gray_window(
@@ -547,6 +585,30 @@ mod tests {
     }
 
     #[test]
+    fn domain_builders_compose() {
+        let plan = ChaosPlan::new()
+            .domain_fail_stop(SimTime::from_secs(3), DomainId(1))
+            .switch_partition_window(SimTime::from_secs(4), SimTime::from_secs(6), SwitchId(0));
+        assert_eq!(plan.steps().len(), 3);
+        assert!(matches!(
+            plan.steps()[0].action,
+            ChaosAction::FailDomain { rack: DomainId(1) }
+        ));
+        assert!(matches!(
+            plan.steps()[1].action,
+            ChaosAction::PartitionSwitch {
+                switch: SwitchId(0)
+            }
+        ));
+        assert!(matches!(
+            plan.steps()[2].action,
+            ChaosAction::HealSwitch {
+                switch: SwitchId(0)
+            }
+        ));
+    }
+
+    #[test]
     fn correlated_fail_stop_hits_all_machines_at_once() {
         let at = SimTime::from_secs(5);
         let plan = ChaosPlan::new().correlated_fail_stop(at, &[MachineId(1), MachineId(6)]);
@@ -570,6 +632,13 @@ mod tests {
             ChaosAction::GrayDegrade {
                 machine: MachineId(2),
                 capacity: 0.25,
+            },
+            ChaosAction::FailDomain { rack: DomainId(2) },
+            ChaosAction::PartitionSwitch {
+                switch: SwitchId(1),
+            },
+            ChaosAction::HealSwitch {
+                switch: SwitchId(1),
             },
         ];
         for a in actions {

@@ -2,6 +2,7 @@
 
 use sps_sim::SimTime;
 
+use crate::domain::FaultTopology;
 use crate::machine::{Machine, MachineId};
 use crate::network::{Network, NetworkConfig};
 
@@ -22,6 +23,7 @@ use crate::network::{Network, NetworkConfig};
 pub struct Cluster {
     machines: Vec<Machine>,
     network: Network,
+    topology: FaultTopology,
 }
 
 impl Cluster {
@@ -30,13 +32,17 @@ impl Cluster {
         Cluster {
             machines: Vec::new(),
             network: Network::new(network),
+            topology: FaultTopology::flat(0),
         }
     }
 
-    /// Adds a machine and returns its id.
+    /// Adds a machine and returns its id. The machine starts in its own
+    /// (flat) fault domain until [`set_topology`](Self::set_topology)
+    /// installs a real one.
     pub fn add_machine(&mut self) -> MachineId {
         let id = MachineId(self.machines.len() as u32);
         self.machines.push(Machine::new(id));
+        self.topology.push_flat_machine();
         id
     }
 
@@ -76,6 +82,26 @@ impl Cluster {
     /// All machines, in id order.
     pub fn machines(&self) -> &[Machine] {
         &self.machines
+    }
+
+    /// The rack/switch fault topology.
+    pub fn topology(&self) -> &FaultTopology {
+        &self.topology
+    }
+
+    /// Installs a fault topology covering every machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the topology's machine count differs from the
+    /// cluster's.
+    pub fn set_topology(&mut self, topology: FaultTopology) {
+        assert_eq!(
+            topology.machines(),
+            self.machines.len(),
+            "topology must cover exactly the cluster's machines"
+        );
+        self.topology = topology;
     }
 
     /// The network.

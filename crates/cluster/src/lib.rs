@@ -33,6 +33,7 @@
 
 mod chaos;
 mod cluster;
+mod domain;
 mod jitter;
 mod load;
 mod machine;
@@ -42,6 +43,7 @@ mod sched;
 
 pub use chaos::{BurstLoss, ChaosAction, ChaosPlan, ChaosStep, FaultProfile};
 pub use cluster::Cluster;
+pub use domain::{DomainId, FaultTopology, SwitchId};
 pub use jitter::JitterProfile;
 pub use load::{total_failure_time, Dist, SpikeProfile, SpikeWindow};
 pub use machine::{FinishedTask, LoadComponent, Machine, MachineId, TaskId};

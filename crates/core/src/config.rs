@@ -181,6 +181,13 @@ pub struct HaConfig {
     /// have their send cursor rewound to the acknowledged position and the
     /// retained elements replayed (receivers deduplicate).
     pub rel_sweep_interval: SimDuration,
+    /// Checkpoint-recency rung of the promotion-safety ladder: a standby
+    /// whose newest stored checkpoint is older than this budget is judged
+    /// unhealthy and the failover is aborted (falling back to a spare
+    /// redeploy). `ZERO` (the default) disables the rung — promotion then
+    /// requires only a live, fault-free standby machine, exactly the
+    /// pre-ladder behavior.
+    pub standby_freshness_budget: SimDuration,
 }
 
 impl Default for HaConfig {
@@ -212,6 +219,7 @@ impl Default for HaConfig {
             rel_rto_max: SimDuration::from_millis(800),
             rel_max_retries: 12,
             rel_sweep_interval: SimDuration::from_millis(100),
+            standby_freshness_budget: SimDuration::ZERO,
         }
     }
 }

@@ -81,6 +81,14 @@ impl HeartbeatMonitor {
     /// began AND within the last two intervals: a reply that spent seconds
     /// starved on the failing machine proves nothing about the present.
     pub fn pong(&mut self, seq: u64) -> bool {
+        if seq >= self.next_seq {
+            // A reply to a ping this monitor never sent: a stray from a
+            // previous monitor incarnation (promotion resets the monitor,
+            // but the tick that triggered it already handed out a
+            // high-sequence ping). Crediting it would blind the fresh
+            // monitor for `seq` intervals.
+            return false;
+        }
         self.last_pong_seq = self.last_pong_seq.max(seq);
         let answered_recent_ping = seq + 2 >= self.next_seq;
         if self.suspected && seq >= self.suspicion_floor_seq && answered_recent_ping {
@@ -358,6 +366,21 @@ mod tests {
         let (s3, _) = m.tick();
         assert!(m.pong(s3));
         assert!(!m.is_suspected());
+    }
+
+    #[test]
+    fn cross_incarnation_pong_does_not_blind_fresh_monitor() {
+        // An old monitor incarnation hands out ping 50 in the same tick
+        // that triggers promotion; the reset monitor must not credit the
+        // late reply, or it would see no miss for the next 50 intervals.
+        let mut m = HeartbeatMonitor::new();
+        assert!(!m.pong(50), "stray pong must not count as recovery");
+        m.tick(); // ping 1
+        assert_eq!(
+            m.tick().1,
+            HbVerdict::Missed { streak: 1 },
+            "unanswered ping 1 must be a miss despite the stray pong"
+        );
     }
 
     #[test]

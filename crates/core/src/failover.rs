@@ -8,7 +8,7 @@ use sps_engine::{Dest, InstanceId, PeCheckpoint, PeId, Producer, Replica, Stream
 use sps_metrics::MsgClass;
 use sps_sim::Ctx;
 
-use sps_trace::TraceEvent;
+use sps_trace::{AbortReason, TraceEvent};
 
 use crate::config::HaMode;
 use crate::data_plane::find_conn;
@@ -211,13 +211,85 @@ impl HaWorld {
         self.log_event(ctx.now(), sj_id, HaEventKind::RollbackComplete);
     }
 
+    // ---- the promotion-safety ladder ----
+
+    /// Checks every rung of the promotion-safety ladder for `sj_id`'s
+    /// standby. Returns `None` when the standby is safe to fail over to,
+    /// or the rejecting `(machine, reason)` pair:
+    ///
+    /// 1. a standby must exist at all ([`AbortReason::NoStandby`]);
+    /// 2. its machine must be up, and — when a freshness budget is
+    ///    configured — its newest checkpoint must be recent enough
+    ///    ([`AbortReason::StandbyUnhealthy`]);
+    /// 3. its fault domain must have no active correlated fault
+    ///    ([`AbortReason::DomainFault`]) — never promote into a rack that
+    ///    is losing machines or behind a partitioned switch.
+    ///
+    /// Under the flat topology with the default (zero) freshness budget
+    /// this reduces to the pre-ladder `secondary_machine.is_none()` check,
+    /// because the heartbeat monitor is hosted on the standby machine and
+    /// never fires while that machine is down.
+    fn ladder_reject(
+        &self,
+        sj_id: SubjobId,
+        now: sps_sim::SimTime,
+    ) -> Option<(Option<MachineId>, AbortReason)> {
+        let sj = &self.subjobs[sj_id.0 as usize];
+        let Some(sec) = sj.secondary_machine else {
+            return Some((None, AbortReason::NoStandby));
+        };
+        if !self.cluster.machine(sec).is_up() {
+            return Some((Some(sec), AbortReason::StandbyUnhealthy));
+        }
+        let budget = self.cfg.standby_freshness_budget;
+        if !budget.is_zero() && sj.mode.checkpoints() {
+            let fresh = match sj.last_ckpt_at.values().max() {
+                Some(&at) => now.saturating_since(at) <= budget,
+                // Never checkpointed: allow the budget from job start.
+                None => now.as_nanos() <= budget.as_nanos(),
+            };
+            if !fresh {
+                return Some((Some(sec), AbortReason::StandbyUnhealthy));
+            }
+        }
+        if self.domain_has_active_fault(sec) {
+            return Some((Some(sec), AbortReason::DomainFault));
+        }
+        None
+    }
+
+    /// Logs a failover the ladder refused: a `failover_aborted` trace
+    /// event plus the `failover/aborted` counter, so the dead-end is
+    /// visible in health reports and `sps-inspect summary` instead of
+    /// silently dropping the failure declaration.
+    fn abort_failover(
+        &mut self,
+        ctx: &mut Ctx<Event>,
+        sj_id: SubjobId,
+        machine: Option<MachineId>,
+        reason: AbortReason,
+    ) {
+        self.metric_inc(sps_metrics::Scope::global("failover"), "aborted", 1);
+        self.tracer.emit(
+            ctx.now(),
+            TraceEvent::FailoverAborted {
+                subjob: sj_id.0,
+                machine: machine.map_or(u32::MAX, |m| m.0),
+                reason,
+            },
+        );
+    }
+
     // ---- hybrid switch-over ----
 
     fn hybrid_switchover(&mut self, ctx: &mut Ctx<Event>, sj_id: SubjobId) {
-        let sj = &mut self.subjobs[sj_id.0 as usize];
-        if sj.secondary_machine.is_none() {
-            return; // standby lost and no spare: cannot switch
+        if let Some((machine, reason)) = self.ladder_reject(sj_id, ctx.now()) {
+            // Standby lost/unsafe: cannot switch. The fail-stop path will
+            // redeploy onto a spare if the primary is really dead.
+            self.abort_failover(ctx, sj_id, machine, reason);
+            return;
         }
+        let sj = &mut self.subjobs[sj_id.0 as usize];
         sj.epoch += 1;
         sj.state = SjState::SwitchingOver;
         let epoch = sj.epoch;
@@ -254,11 +326,13 @@ impl HaWorld {
         self.subjobs[subjob as usize].state = SjState::SwitchedOver;
         let pes: Vec<PeId> = self.job.subjob_pes(sj_id).to_vec();
         // Without pre-deployment the copy is created right now, from the
-        // stored checkpoints (the deploy delay was already paid).
-        if !self.cfg.hybrid_predeploy
-            && pes
-                .iter()
-                .any(|&pe| self.instances[slot_of(pe, standby)].is_none())
+        // stored checkpoints (the deploy delay was already paid). With it,
+        // the slots can still be empty if a standby re-provisioning was in
+        // flight when the switch-over fired — deploy here too rather than
+        // switching over to nothing.
+        if pes
+            .iter()
+            .any(|&pe| self.instances[slot_of(pe, standby)].is_none())
         {
             let machine = self.subjobs[subjob as usize]
                 .secondary_machine
@@ -427,10 +501,11 @@ impl HaWorld {
     // ---- passive-standby migration ----
 
     fn ps_recover(&mut self, ctx: &mut Ctx<Event>, sj_id: SubjobId) {
-        let sj = &mut self.subjobs[sj_id.0 as usize];
-        if sj.secondary_machine.is_none() {
+        if let Some((machine, reason)) = self.ladder_reject(sj_id, ctx.now()) {
+            self.abort_failover(ctx, sj_id, machine, reason);
             return;
         }
+        let sj = &mut self.subjobs[sj_id.0 as usize];
         sj.epoch += 1;
         sj.state = SjState::Deploying;
         let epoch = sj.epoch;
@@ -499,13 +574,16 @@ impl HaWorld {
             self.try_start(ctx, slot_of(pe, new_primary));
         }
 
-        // Swap roles: the old primary machine becomes the checkpoint target
-        // for the next failure.
-        {
+        // Swap roles: the vacated machine becomes the checkpoint target
+        // for the next failure — but only when it is actually healthy. A
+        // migration away from a *dead* primary (fail-stop, or the
+        // promotion ladder's spare-redeploy fallback) must not point its
+        // checkpoints into a corpse or a faulted domain; take a safe
+        // spare instead.
+        let (old_machine, new_machine) = {
             let sj = &mut self.subjobs[subjob as usize];
             let old_machine = sj.primary_machine;
             sj.primary_machine = sj.secondary_machine.expect("guarded");
-            sj.secondary_machine = Some(old_machine);
             sj.primary_replica = new_primary;
             sj.epoch += 1;
             sj.state = SjState::Normal;
@@ -515,9 +593,37 @@ impl HaWorld {
             sj.pending = None;
             sj.snap_positions.clear();
             sj.last_ckpt_at.clear();
-        }
+            (old_machine, sj.primary_machine)
+        };
+        let target = if self.cluster.machine(old_machine).is_up()
+            && !self.domain_has_active_fault(old_machine)
+        {
+            Some(old_machine)
+        } else {
+            self.take_safe_spare(Some(new_machine))
+        };
+        self.subjobs[subjob as usize].secondary_machine = target;
         self.reset_monitor_of(sj_id);
         self.log_event(ctx.now(), sj_id, HaEventKind::PsConnected);
+        // A hybrid (or active-standby) subjob that migrated through this
+        // path needs its standby copy re-provisioned on the new target;
+        // plain passive standby only checkpoints there.
+        if target.is_some() {
+            let needs_deploy = match self.subjobs[subjob as usize].mode {
+                HaMode::Active => true,
+                HaMode::Hybrid => self.cfg.hybrid_predeploy,
+                _ => false,
+            };
+            if needs_deploy {
+                let epoch = self.subjobs[subjob as usize].epoch;
+                ctx.schedule_in(
+                    self.cfg.deploy_delay,
+                    Event::SecondaryReady { subjob, epoch },
+                );
+            }
+        } else {
+            self.abort_failover(ctx, sj_id, None, AbortReason::NoStandby);
+        }
     }
 
     // ---- fail-stop promotion (hybrid) ----
@@ -552,6 +658,20 @@ impl HaWorld {
             sj.state = SjState::SwitchedOver;
         }
         if self.subjobs[sj_id.0 as usize].state != SjState::SwitchedOver {
+            // A mid-incident standby loss can have returned the subjob to
+            // Normal with its primary still dead and no live copy serving;
+            // fall back to a spare redeploy instead of dropping the
+            // declaration.
+            if self.subjobs[sj_id.0 as usize].state == SjState::Normal {
+                self.promote_fallback(ctx, sj_id);
+            }
+            return;
+        }
+        // The promotion-safety ladder: verify the standby really is a safe
+        // place to anchor the subjob before making it the new primary.
+        if let Some((machine, reason)) = self.ladder_reject(sj_id, ctx.now()) {
+            self.abort_failover(ctx, sj_id, machine, reason);
+            self.promote_fallback(ctx, sj_id);
             return;
         }
         let old_primary = self.subjobs[sj_id.0 as usize].primary_replica;
@@ -562,7 +682,7 @@ impl HaWorld {
             self.instances[slot] = None;
             self.inst_epoch[slot] = self.inst_epoch[slot].wrapping_add(1);
         }
-        let new_secondary_machine = {
+        let new_primary_machine = {
             let sj = &mut self.subjobs[sj_id.0 as usize];
             sj.primary_replica = old_primary.other();
             sj.primary_machine = sj
@@ -576,25 +696,174 @@ impl HaWorld {
             sj.pending = None;
             sj.snap_positions.clear();
             sj.last_ckpt_at.clear();
-            sj.secondary_machine = self.placement.spares.pop();
-            sj.secondary_machine
+            sj.primary_machine
         };
+        // Automatic standby re-provisioning: a fresh standby on a healthy
+        // machine domain-disjoint from the new primary (with a flat
+        // topology this is exactly the spare `pop()` always took).
+        let new_secondary_machine = self.take_safe_spare(Some(new_primary_machine));
+        self.subjobs[sj_id.0 as usize].secondary_machine = new_secondary_machine;
         self.reset_monitor_of(sj_id);
         self.log_event(ctx.now(), sj_id, HaEventKind::Promoted);
-        if new_secondary_machine.is_some() {
-            let epoch = self.subjobs[sj_id.0 as usize].epoch;
-            ctx.schedule_in(
-                self.cfg.deploy_delay,
-                Event::SecondaryReady {
-                    subjob: sj_id.0,
-                    epoch,
-                },
-            );
+        match new_secondary_machine {
+            Some(_) => {
+                let epoch = self.subjobs[sj_id.0 as usize].epoch;
+                ctx.schedule_in(
+                    self.cfg.deploy_delay,
+                    Event::SecondaryReady {
+                        subjob: sj_id.0,
+                        epoch,
+                    },
+                );
+            }
+            // Promotion succeeded but redundancy could not be restored:
+            // make the dead-end observable.
+            None => self.abort_failover(ctx, sj_id, None, AbortReason::NoStandby),
+        }
+    }
+
+    /// The spare-machine redeploy fallback of the promotion-safety ladder:
+    /// when every standby candidate was rejected (or the standby was
+    /// consumed mid-incident) and the primary really is dead, redeploy the
+    /// subjob from its stored checkpoints onto a safe spare, paying the
+    /// full deploy + connect delays. Reuses the passive-standby
+    /// `Deploying → Connecting → connect-complete` machinery, whose final
+    /// swap re-provisions a fresh standby. Harmless to call on a false
+    /// alarm (the primary answers heartbeats again): it only acts on a
+    /// down primary, and each further heartbeat miss retries it.
+    fn promote_fallback(&mut self, ctx: &mut Ctx<Event>, sj_id: SubjobId) {
+        {
+            let sj = &self.subjobs[sj_id.0 as usize];
+            if !matches!(sj.state, SjState::Normal | SjState::SwitchedOver)
+                || self.cluster.machine(sj.primary_machine).is_up()
+            {
+                return;
+            }
+        }
+        let Some(spare) = self.take_safe_spare(None) else {
+            return; // the abort was already logged; the next miss retries
+        };
+        let old_primary = self.subjobs[sj_id.0 as usize].primary_replica;
+        let pes: Vec<PeId> = self.job.subjob_pes(sj_id).to_vec();
+        // Retire both copies: the primary is dead, and whatever standby
+        // copy exists was rejected by the ladder.
+        for replica in [old_primary, old_primary.other()] {
+            for &pe in &pes {
+                let slot = slot_of(pe, replica);
+                if self.instances[slot].is_some() {
+                    self.deactivate_instance_io(pe, replica);
+                    self.instances[slot] = None;
+                    self.inst_epoch[slot] = self.inst_epoch[slot].wrapping_add(1);
+                }
+            }
+        }
+        // Checkpoints stored in a dead standby's memory are gone; a live
+        // (but domain-rejected) standby's store still seeds the redeploy.
+        let store_lost = self.subjobs[sj_id.0 as usize]
+            .secondary_machine
+            .is_none_or(|m| !self.cluster.machine(m).is_up());
+        {
+            let sj = &mut self.subjobs[sj_id.0 as usize];
+            if store_lost {
+                sj.stored.clear();
+            }
+            sj.secondary_machine = Some(spare);
+            sj.epoch += 1;
+            sj.state = SjState::Deploying;
+            sj.pending = None;
+            sj.pe_ckpt_pausing.clear();
+            sj.pe_ckpt_inflight.clear();
+            sj.snap_positions.clear();
+            sj.last_ckpt_at.clear();
+        }
+        self.metric_inc(sps_metrics::Scope::global("failover"), "spare_redeploy", 1);
+        let epoch = self.subjobs[sj_id.0 as usize].epoch;
+        ctx.schedule_in(
+            self.cfg.deploy_delay,
+            Event::DeployComplete {
+                subjob: sj_id.0,
+                epoch,
+            },
+        );
+    }
+
+    /// A subjob's standby machine fail-stopped while its primary is alive.
+    /// The heartbeat path cannot notice this — the monitor itself was
+    /// hosted on the dead machine — so repair is driven from the fail-stop
+    /// directly: retire the dead copy, discard state that lived in the
+    /// dead machine's memory, and re-provision a fresh standby on a
+    /// healthy, domain-disjoint spare. The sweeping checkpoint protocol
+    /// repopulates the new standby from the live primary.
+    fn on_standby_lost(&mut self, ctx: &mut Ctx<Event>, sj_id: SubjobId) {
+        let idx = sj_id.0 as usize;
+        let primary = self.subjobs[idx].primary_replica;
+        let standby = primary.other();
+        let pes: Vec<PeId> = self.job.subjob_pes(sj_id).to_vec();
+        // Retire the dead standby copy.
+        for &pe in &pes {
+            let slot = slot_of(pe, standby);
+            if self.instances[slot].is_some() {
+                self.deactivate_instance_io(pe, standby);
+                self.instances[slot] = None;
+                self.inst_epoch[slot] = self.inst_epoch[slot].wrapping_add(1);
+            }
+        }
+        // Resume any primary PE paused for a checkpoint that can no
+        // longer be stored — it would otherwise stall forever waiting on
+        // the dead machine's acknowledgment.
+        let mut resumed = Vec::new();
+        for &pe in &pes {
+            let slot = slot_of(pe, primary);
+            if let Some(inst) = self.instances[slot].as_mut() {
+                if inst.is_pause_requested() {
+                    inst.resume();
+                    resumed.push(slot);
+                }
+            }
+        }
+        for slot in resumed {
+            self.try_start(ctx, slot);
+        }
+        {
+            let sj = &mut self.subjobs[idx];
+            sj.stored.clear(); // lived in the dead machine's memory
+            sj.last_ckpt_at.clear();
+            sj.snap_positions.clear();
+            sj.pe_ckpt_pausing.clear();
+            sj.pe_ckpt_inflight.clear();
+            sj.pending = None;
+            sj.epoch += 1;
+            sj.state = SjState::Normal;
+        }
+        self.metric_inc(sps_metrics::Scope::global("failover"), "standby_lost", 1);
+        let primary_machine = self.subjobs[idx].primary_machine;
+        let spare = self.take_safe_spare(Some(primary_machine));
+        self.subjobs[idx].secondary_machine = spare;
+        self.reset_monitor_of(sj_id);
+        match spare {
+            Some(_) => {
+                let needs_deploy = match self.subjobs[idx].mode {
+                    HaMode::Active => true,
+                    HaMode::Hybrid => self.cfg.hybrid_predeploy,
+                    _ => false,
+                };
+                if needs_deploy {
+                    let epoch = self.subjobs[idx].epoch;
+                    ctx.schedule_in(
+                        self.cfg.deploy_delay,
+                        Event::SecondaryReady {
+                            subjob: sj_id.0,
+                            epoch,
+                        },
+                    );
+                }
+            }
+            // Redundancy permanently lost: make the dead-end observable.
+            None => self.abort_failover(ctx, sj_id, None, AbortReason::NoStandby),
         }
     }
 
     pub(crate) fn on_secondary_ready(&mut self, ctx: &mut Ctx<Event>, subjob: u32, epoch: u64) {
-        let _ = ctx;
         {
             let sj = &self.subjobs[subjob as usize];
             if sj.is_stale(epoch) || sj.state != SjState::Normal {
@@ -606,9 +875,20 @@ impl HaWorld {
         let Some(sec_machine) = self.subjobs[subjob as usize].secondary_machine else {
             return;
         };
-        // A fresh suspended copy with early (inactive) connections; new
-        // checkpoints refresh it from now on.
-        self.deploy_standby_instances(sj_id, standby, sec_machine, true);
+        // A fresh copy with early (inactive) connections. Hybrid standbys
+        // deploy suspended and are refreshed by new checkpoints; active
+        // standbys start serving immediately.
+        let suspended = self.subjobs[subjob as usize].mode != HaMode::Active;
+        self.deploy_standby_instances(sj_id, standby, sec_machine, suspended);
+        if !suspended {
+            let pes: Vec<PeId> = self.job.subjob_pes(sj_id).to_vec();
+            for &pe in &pes {
+                self.activate_instance_io(ctx, pe, standby);
+            }
+            for &pe in &pes {
+                self.try_start(ctx, slot_of(pe, standby));
+            }
+        }
         self.log_event(ctx.now(), sj_id, HaEventKind::SecondaryReady);
     }
 
@@ -632,6 +912,24 @@ impl HaWorld {
                     inst.abort_inflight();
                 }
             }
+        }
+        // Standby-death repair: subjobs whose standby lived on the dead
+        // machine (with the primary elsewhere and alive) re-provision a
+        // replacement immediately — the heartbeat path cannot drive this,
+        // because the monitor itself was hosted on the dead machine.
+        let affected: Vec<SubjobId> = self
+            .subjobs
+            .iter()
+            .enumerate()
+            .filter(|(_, sj)| {
+                sj.mode != HaMode::None
+                    && sj.secondary_machine == Some(m)
+                    && sj.primary_machine != m
+            })
+            .map(|(i, _)| SubjobId(i as u32))
+            .collect();
+        for sj_id in affected {
+            self.on_standby_lost(ctx, sj_id);
         }
     }
 

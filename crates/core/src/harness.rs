@@ -3,7 +3,9 @@
 
 use std::fmt;
 
-use sps_cluster::{ChaosPlan, JitterProfile, LoadComponent, MachineId, NetworkConfig, SpikeWindow};
+use sps_cluster::{
+    ChaosPlan, FaultTopology, JitterProfile, LoadComponent, MachineId, NetworkConfig, SpikeWindow,
+};
 use sps_engine::{Job, SubjobId};
 use sps_metrics::{MsgCounters, RecoveryKind, RecoveryTimeline};
 use sps_sim::{SimDuration, SimTime, Simulation};
@@ -35,6 +37,7 @@ pub struct HaSimulationBuilder {
     cfg: HaConfig,
     modes: Vec<Option<HaMode>>,
     placement: Option<Placement>,
+    topology: Option<FaultTopology>,
     source_profiles: Vec<(RateProfile, PayloadGen)>,
     network: NetworkConfig,
     seed: u64,
@@ -79,6 +82,7 @@ impl HaSimulationBuilder {
             job,
             cfg: HaConfig::default(),
             placement: None,
+            topology: None,
             network: NetworkConfig::default(),
             seed: 0,
             log_sink_accepts: false,
@@ -119,6 +123,19 @@ impl HaSimulationBuilder {
     /// secondary machine between subjobs).
     pub fn placement(mut self, placement: Placement) -> Self {
         self.placement = Some(placement);
+        self
+    }
+
+    /// Installs a rack/switch fault topology on the cluster's machines
+    /// (the default is flat: every machine alone in its own domain).
+    /// Domain-scoped chaos actions ([`ChaosPlan::domain_fail_stop`],
+    /// [`ChaosPlan::switch_partition_window`]) expand against it, and the
+    /// promotion-safety ladder refuses to promote into a faulted domain.
+    /// The topology must cover exactly the placement's machines; pair it
+    /// with [`Placement::domain_aware_for`] to keep every primary/standby
+    /// pair domain-disjoint.
+    pub fn topology(mut self, topology: FaultTopology) -> Self {
+        self.topology = Some(topology);
         self
     }
 
@@ -230,6 +247,9 @@ impl HaSimulationBuilder {
             self.network,
             self.log_sink_accepts,
         );
+        if let Some(topology) = self.topology {
+            world.cluster_mut().set_topology(topology);
+        }
         for sink in self.trace_sinks {
             world.tracer_mut().add_sink(sink);
         }

@@ -8,7 +8,9 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use sps_cluster::{ChaosAction, ChaosStep, Cluster, LoadComponent, MachineId, NetworkConfig};
+use sps_cluster::{
+    ChaosAction, ChaosStep, Cluster, FaultTopology, LoadComponent, MachineId, NetworkConfig,
+};
 use sps_engine::{
     Consumer, Dest, InstanceId, Job, PeCheckpoint, PeId, Producer, Replica, SinkId, SourceId,
     StreamId, SubjobId,
@@ -62,6 +64,51 @@ impl Placement {
             secondaries,
             sources: vec![MachineId(0); job.source_count()],
             sinks,
+            spares,
+        }
+    }
+
+    /// A domain-aware variant of [`Placement::default_for`]: same
+    /// primaries, sources, and sinks, but each subjob's secondary is the
+    /// lowest-id unused machine *domain-disjoint* from its primary under
+    /// `topology`, and every remaining machine becomes a spare. Under the
+    /// flat topology this reproduces the default layout exactly; under a
+    /// grid it guarantees no rack or switch fault removes both replicas
+    /// of any subjob.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the topology has too few machines to place every
+    /// subjob's standby domain-disjointly.
+    pub fn domain_aware_for(job: &Job, topology: &FaultTopology) -> Placement {
+        let base = Placement::default_for(job);
+        let mut used: BTreeSet<u32> = base
+            .primaries
+            .iter()
+            .chain(base.sources.iter())
+            .chain(base.sinks.iter())
+            .map(|m| m.0)
+            .collect();
+        let machines = topology.machines() as u32;
+        let mut secondaries = Vec::with_capacity(base.primaries.len());
+        for &primary in &base.primaries {
+            let pick = (0..machines)
+                .find(|&m| !used.contains(&m) && topology.domain_disjoint(primary, MachineId(m)))
+                .unwrap_or_else(|| {
+                    panic!("no unused machine is domain-disjoint from primary {primary:?}")
+                });
+            used.insert(pick);
+            secondaries.push(Some(MachineId(pick)));
+        }
+        let spares = (0..machines)
+            .filter(|m| !used.contains(m))
+            .map(MachineId)
+            .collect();
+        Placement {
+            primaries: base.primaries,
+            secondaries,
+            sources: base.sources,
+            sinks: base.sinks,
             spares,
         }
     }
@@ -485,6 +532,9 @@ pub struct HaWorld {
     pub(crate) injected_failstops: Vec<(MachineId, SimTime)>,
     /// The installed chaos plan's steps; [`Event::ChaosStep`] indexes here.
     pub(crate) chaos_steps: Vec<ChaosStep>,
+    /// Switches currently partitioned by a chaos [`ChaosAction::PartitionSwitch`]
+    /// step; machines behind them count as having an active domain fault.
+    pub(crate) partitioned_switches: BTreeSet<u32>,
     /// Next reliable transmission id.
     pub(crate) rel_next_tx: u64,
     /// In-flight reliable control messages, by transmission id.
@@ -650,6 +700,7 @@ impl HaWorld {
             injected_spikes: Vec::new(),
             injected_failstops: Vec::new(),
             chaos_steps: Vec::new(),
+            partitioned_switches: BTreeSet::new(),
             rel_next_tx: 0,
             rel_inflight: BTreeMap::new(),
             rel_seen: BTreeSet::new(),
@@ -1166,6 +1217,41 @@ impl HaWorld {
                 machine.run_queue_high_water() as f64,
             );
         }
+        // Redundancy gauge for the health layer: how many subjobs currently
+        // lack a live standby. A standby is live when a secondary machine
+        // is assigned and up and, for modes that pre-deploy secondary
+        // copies, the copies are actually in place — a freshly promoted
+        // subjob stays "missing" until its replacement standby finishes
+        // deploying.
+        let mut standbys_missing = 0u64;
+        for (i, sj) in self.subjobs.iter().enumerate() {
+            if sj.mode == HaMode::None {
+                continue;
+            }
+            let predeploys = match sj.mode {
+                HaMode::Active => true,
+                HaMode::Hybrid => self.cfg.hybrid_predeploy,
+                _ => false,
+            };
+            let live = sj.secondary_machine.is_some_and(|sec| {
+                self.cluster.machine(sec).is_up()
+                    && (!predeploys || {
+                        let standby = sj.primary_replica.other();
+                        self.job
+                            .pe_ids()
+                            .filter(|&pe| self.job.subjob_of(pe) == SubjobId(i as u32))
+                            .all(|pe| self.instances[slot_of(pe, standby)].is_some())
+                    })
+            });
+            if !live {
+                standbys_missing += 1;
+            }
+        }
+        hub.registry.set_gauge(
+            Scope::global("recovery"),
+            "standbys_missing",
+            standbys_missing as f64,
+        );
         hub.registry.scrape(now.as_nanos());
         // Step the health engine over the fresh snapshot. Still strictly
         // read-only: the engine sees the registry, the always-on phase log,
@@ -1217,6 +1303,9 @@ impl HaWorld {
             ChaosAction::Heal { a, b } => (ChaosKind::Heal, a.0, b.0),
             ChaosAction::FailStop { machine } => (ChaosKind::FailStop, machine.0, NONE),
             ChaosAction::GrayDegrade { machine, .. } => (ChaosKind::GrayDegrade, machine.0, NONE),
+            ChaosAction::FailDomain { rack } => (ChaosKind::FailDomain, rack.0, NONE),
+            ChaosAction::PartitionSwitch { switch } => (ChaosKind::PartitionSwitch, switch.0, NONE),
+            ChaosAction::HealSwitch { switch } => (ChaosKind::HealSwitch, switch.0, NONE),
         };
         self.tracer.emit(
             ctx.now(),
@@ -1252,7 +1341,74 @@ impl HaWorld {
                     .degrade(ctx.now(), capacity);
                 self.rearm_machine(ctx, machine);
             }
+            ChaosAction::FailDomain { rack } => {
+                // Correlated fail-stop: every live machine in the rack dies
+                // at once (power-rail loss). Expansion happens here, at
+                // apply time, against the installed topology.
+                let members: Vec<MachineId> =
+                    self.cluster.topology().machines_in_rack(rack).collect();
+                for m in members {
+                    if self.cluster.machine(m).is_up() {
+                        self.on_fail_stop(ctx, m.0);
+                    }
+                }
+            }
+            ChaosAction::PartitionSwitch { switch } => {
+                self.partitioned_switches.insert(switch.0);
+                self.set_switch_partitioned(switch, true);
+            }
+            ChaosAction::HealSwitch { switch } => {
+                self.partitioned_switches.remove(&switch.0);
+                self.set_switch_partitioned(switch, false);
+            }
         }
+    }
+
+    /// Partitions (or heals) every link crossing `switch`: machines behind
+    /// it lose connectivity to every machine that is not.
+    fn set_switch_partitioned(&mut self, switch: sps_cluster::SwitchId, on: bool) {
+        let topo = self.cluster.topology();
+        let inside: BTreeSet<u32> = topo.machines_behind_switch(switch).map(|m| m.0).collect();
+        let outside: Vec<u32> = (0..self.cluster.len() as u32)
+            .filter(|m| !inside.contains(m))
+            .collect();
+        for &i in &inside {
+            for &o in &outside {
+                self.cluster
+                    .network_mut()
+                    .set_partitioned(MachineId(i), MachineId(o), on);
+            }
+        }
+    }
+
+    /// `true` when `m`'s fault domain has an active correlated fault: its
+    /// switch is partitioned, or any machine in its rack is down. Under
+    /// the flat topology (every machine alone in its domain) this reduces
+    /// to "`m` itself is down or isolated".
+    pub(crate) fn domain_has_active_fault(&self, m: MachineId) -> bool {
+        let topo = self.cluster.topology();
+        if self.partitioned_switches.contains(&topo.switch_of(m).0) {
+            return true;
+        }
+        topo.machines_in_rack(topo.rack_of(m))
+            .any(|peer| !self.cluster.machine(peer).is_up())
+    }
+
+    /// Removes and returns the best spare for a new standby: up, in a
+    /// fault-free domain, and (when `disjoint_from` is given) domain-
+    /// disjoint from that machine. Scans from the *back* of the spare list
+    /// so that with a flat topology and healthy spares it picks exactly
+    /// the machine `spares.pop()` always picked.
+    pub(crate) fn take_safe_spare(
+        &mut self,
+        disjoint_from: Option<MachineId>,
+    ) -> Option<MachineId> {
+        let pos = self.placement.spares.iter().rposition(|&s| {
+            self.cluster.machine(s).is_up()
+                && !self.domain_has_active_fault(s)
+                && disjoint_from.is_none_or(|p| self.cluster.topology().domain_disjoint(s, p))
+        })?;
+        Some(self.placement.spares.remove(pos))
     }
 }
 
@@ -1383,6 +1539,31 @@ mod tests {
         );
         assert_eq!(p.spares.len(), 2);
         assert_eq!(p.machine_count(), 11);
+    }
+
+    #[test]
+    fn domain_aware_placement_matches_default_under_flat_topology() {
+        let d = Placement::default_for(&job());
+        let p = Placement::domain_aware_for(&job(), &FaultTopology::flat(d.machine_count()));
+        assert_eq!(p.primaries, d.primaries);
+        assert_eq!(p.secondaries, d.secondaries);
+        assert_eq!(p.sources, d.sources);
+        assert_eq!(p.sinks, d.sinks);
+        assert_eq!(p.spares, d.spares);
+    }
+
+    #[test]
+    fn domain_aware_placement_keeps_pairs_disjoint_on_a_grid() {
+        // 16 machines: 4 racks of 4, 2 racks per switch. All primaries
+        // (m0-m3) share rack 0, so every standby must land behind the
+        // other switch.
+        let t = FaultTopology::grid(16, 4, 2);
+        let p = Placement::domain_aware_for(&job(), &t);
+        for (i, sec) in p.secondaries.iter().enumerate() {
+            assert!(t.domain_disjoint(p.primaries[i], sec.unwrap()));
+        }
+        assert_eq!(p.machine_count(), 16);
+        assert!(!p.spares.is_empty());
     }
 
     #[test]

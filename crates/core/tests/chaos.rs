@@ -3,9 +3,9 @@
 //! reordering, duplicating, and partitioned networks, including correlated
 //! machine fail-stops (the ISSUE acceptance scenario).
 
-use sps_cluster::{BurstLoss, ChaosPlan, FaultProfile, MachineId};
+use sps_cluster::{BurstLoss, ChaosPlan, DomainId, FaultProfile, FaultTopology, MachineId};
 use sps_engine::{Job, OperatorSpec, PeId, Replica, SubjobId};
-use sps_ha::{HaEventKind, HaMode, HaSimulation, SjState};
+use sps_ha::{HaEventKind, HaMode, HaSimulation, Placement, SjState};
 use sps_sim::{SimDuration, SimTime};
 use sps_trace::{SharedRecorder, Telemetry};
 
@@ -321,6 +321,143 @@ fn telemetry_sees_drops_retransmits_and_steps() {
     // The weather cleared and the reliable layer settled everything.
     let world = sim.world();
     assert_eq!(world.sinks()[0].accepted(), world.sources()[0].produced());
+}
+
+/// Six-rack topology (one switch per rack) and an explicit layout that
+/// keeps the source and sink on a rack the campaign never touches:
+/// primaries on r0, standbys on r1, spares on r2–r4, source+sink on r5.
+fn domain_campaign_setup() -> (FaultTopology, Placement) {
+    let topology = FaultTopology::grid(22, 4, 1);
+    let placement = Placement {
+        primaries: (0..4).map(MachineId).collect(),
+        secondaries: (4..8).map(|m| Some(MachineId(m))).collect(),
+        sources: vec![MachineId(20)],
+        sinks: vec![MachineId(21)],
+        spares: (8..20).map(MachineId).collect(),
+    };
+    (topology, placement)
+}
+
+/// Three successive correlated domain failures, each spaced past recovery:
+/// the primaries' rack, then the rack holding the freshly re-provisioned
+/// standbys, then the promoted primaries' rack. Every cycle must end with
+/// every subjob back to Normal on a live primary with a live,
+/// domain-disjoint standby, and the whole run delivers exactly once.
+#[test]
+fn successive_domain_failures_keep_standbys_domain_disjoint() {
+    let (topology, placement) = domain_campaign_setup();
+    // Cycle 1 kills every primary (r0): promote onto r1, re-provision
+    // standbys on spares. Cycle 2 kills the rack those standbys landed on:
+    // standby-death repair re-provisions again. Cycle 3 kills the promoted
+    // primaries (r1): the ladder promotes onto the repaired standbys.
+    let plan = ChaosPlan::default()
+        .domain_fail_stop(SimTime::from_secs(3), DomainId(0))
+        .domain_fail_stop(SimTime::from_secs(7), DomainId(4))
+        .domain_fail_stop(SimTime::from_secs(11), DomainId(1));
+    let mut sim = HaSimulation::builder(chain_job())
+        .mode(HaMode::Hybrid)
+        .source_rate(500.0)
+        .seed(31)
+        .tune(|c| {
+            c.reliable_control = true;
+            c.failstop_miss_threshold = 20;
+        })
+        .placement(placement)
+        .topology(topology.clone())
+        .chaos(plan)
+        .build();
+    sim.stop_sources_at(SimTime::from_secs(15));
+
+    let assert_cycle = |world: &sps_ha::HaWorld, cycle: u32| {
+        for sj in 0..4u32 {
+            let s = world.subjob(SubjobId(sj));
+            assert_eq!(
+                s.state,
+                SjState::Normal,
+                "cycle {cycle}: subjob {sj} settled"
+            );
+            assert!(
+                world.cluster().machine(s.primary_machine).is_up(),
+                "cycle {cycle}: subjob {sj} primary is live"
+            );
+            let sec = s
+                .secondary_machine
+                .unwrap_or_else(|| panic!("cycle {cycle}: subjob {sj} has a standby"));
+            assert!(
+                world.cluster().machine(sec).is_up(),
+                "cycle {cycle}: subjob {sj} standby is live"
+            );
+            assert!(
+                topology.domain_disjoint(s.primary_machine, sec),
+                "cycle {cycle}: subjob {sj} pair {:?}/{sec:?} shares a domain",
+                s.primary_machine
+            );
+        }
+    };
+    sim.run_until(SimTime::from_millis(6_900));
+    assert_cycle(sim.world(), 1);
+    sim.run_until(SimTime::from_millis(10_900));
+    assert_cycle(sim.world(), 2);
+    sim.run_until(SimTime::from_secs(22));
+    assert_cycle(sim.world(), 3);
+
+    let world = sim.world();
+    let produced = world.sources()[0].produced();
+    assert!(produced > 2_000, "source ran: {produced}");
+    assert_eq!(
+        world.sinks()[0].accepted(),
+        produced,
+        "exactly-once across three correlated domain failures"
+    );
+    for sj in 0..4 {
+        assert_eq!(
+            promoted_count(world, SubjobId(sj)),
+            2,
+            "subjob {sj}: promoted in cycles 1 and 3, repaired in place in cycle 2"
+        );
+    }
+}
+
+/// The domain campaign is a deterministic function of the seed, like every
+/// other chaos scenario: identical seeds replay identically, different
+/// seeds diverge.
+#[test]
+fn domain_campaign_is_deterministic_per_seed() {
+    let run = |seed| {
+        let (topology, placement) = domain_campaign_setup();
+        let plan = ChaosPlan::default()
+            .loss_window(
+                SimTime::from_millis(500),
+                SimTime::from_secs(6),
+                lossy_weather(),
+            )
+            .domain_fail_stop(SimTime::from_secs(3), DomainId(0))
+            .domain_fail_stop(SimTime::from_secs(7), DomainId(4));
+        let mut sim = HaSimulation::builder(chain_job())
+            .mode(HaMode::Hybrid)
+            .source_rate(500.0)
+            .seed(seed)
+            .tune(|c| {
+                c.reliable_control = true;
+                c.failstop_miss_threshold = 20;
+            })
+            .placement(placement)
+            .topology(topology)
+            .chaos(plan)
+            .build();
+        sim.stop_sources_at(SimTime::from_secs(9));
+        sim.run_for(SimDuration::from_secs(13));
+        let r = sim.report();
+        (
+            r.sink_accepted,
+            r.sink_duplicates,
+            r.total_overhead_elements(),
+            r.events_processed,
+            format!("{:.9}", r.sink_mean_delay_ms),
+        )
+    };
+    assert_eq!(run(41), run(41));
+    assert_ne!(run(41).3, run(42).3);
 }
 
 /// Causal lineage stays coherent under chaos: with 2% loss plus

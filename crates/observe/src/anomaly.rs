@@ -237,6 +237,57 @@ impl CheckpointStallDetector {
     }
 }
 
+/// Redundancy loss: fires while any HA-protected subjob lacks a live
+/// standby (the `recovery/standbys_missing` gauge exported by the HA
+/// layer) and clears when re-provisioning restores full coverage.
+///
+/// Deliberately binary — no hysteresis band. Losing the only standby is an
+/// immediate availability hazard (one more fault is unrecoverable), so the
+/// verdict flips on the first degraded scrape and clears on the first
+/// fully-covered one.
+#[derive(Debug, Clone, Default)]
+pub struct RedundancyLossDetector {
+    active: bool,
+}
+
+impl RedundancyLossDetector {
+    /// A new inactive detector.
+    pub fn new() -> Self {
+        RedundancyLossDetector::default()
+    }
+
+    /// Whether standby coverage is currently degraded.
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Feeds one scrape; the signal value is the number of subjobs without
+    /// a live standby.
+    pub fn step(&mut self, registry: &Registry) -> Option<AnomalyTransition> {
+        let mut missing = 0.0;
+        for (scope, name, v) in registry.gauges() {
+            if scope.component == "recovery" && name == "standbys_missing" {
+                missing += v;
+            }
+        }
+        if !self.active && missing > 0.0 {
+            self.active = true;
+            return Some(AnomalyTransition {
+                onset: true,
+                value: missing,
+            });
+        }
+        if self.active && missing == 0.0 {
+            self.active = false;
+            return Some(AnomalyTransition {
+                onset: false,
+                value: 0.0,
+            });
+        }
+        None
+    }
+}
+
 /// Heartbeat flakiness: per machine, suspect/refute churn (misses plus
 /// cleared suspicions per window) above the enter rate. Hysteresis keeps
 /// a single isolated miss from flagging the machine.
@@ -373,6 +424,24 @@ mod tests {
         r.inc(g, "stored", 1);
         let t = d.step(1_700_000_000, &r).expect("progress clears");
         assert!(!t.onset);
+    }
+
+    #[test]
+    fn redundancy_loss_flips_on_first_degraded_scrape() {
+        let mut d = RedundancyLossDetector::new();
+        let scope = Scope::global("recovery");
+        let mut r = Registry::new();
+        assert!(d.step(&r).is_none(), "gauge absent: covered");
+        r.set_gauge(scope, "standbys_missing", 0.0);
+        assert!(d.step(&r).is_none(), "zero missing: covered");
+        r.set_gauge(scope, "standbys_missing", 2.0);
+        let t = d.step(&r).expect("onset on first degraded scrape");
+        assert!(t.onset && d.active());
+        assert!((t.value - 2.0).abs() < 1e-12);
+        assert!(d.step(&r).is_none(), "still degraded: no re-fire");
+        r.set_gauge(scope, "standbys_missing", 0.0);
+        let t = d.step(&r).expect("clear on first covered scrape");
+        assert!(!t.onset && !d.active());
     }
 
     #[test]

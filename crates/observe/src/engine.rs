@@ -16,6 +16,7 @@ use sps_trace::{AnomalyKind, PhaseRecord, RecoveryPhase, TraceEvent};
 
 use crate::anomaly::{
     AnomalySpan, BackpressureDetector, CheckpointStallDetector, HeartbeatFlakyDetector,
+    RedundancyLossDetector,
 };
 use crate::report::HealthReport;
 use crate::slo::{BreachSpan, SloCmp, SloMonitor, SloSpec, SloStat};
@@ -152,6 +153,7 @@ pub struct HealthEngine {
     recovery_monitor: usize,
     backpressure: BackpressureDetector,
     ckpt_stall: CheckpointStallDetector,
+    redundancy: RedundancyLossDetector,
     flaky: HeartbeatFlakyDetector,
     /// Per-subjob open recovery cycle.
     cycles: BTreeMap<u32, OpenCycle>,
@@ -193,6 +195,7 @@ impl HealthEngine {
                 cfg.backpressure_exit_count,
             ),
             ckpt_stall: CheckpointStallDetector::new(cfg.checkpoint_stall_budget_ns),
+            redundancy: RedundancyLossDetector::new(),
             flaky: HeartbeatFlakyDetector::new(
                 cfg.flaky_window_ns,
                 cfg.flaky_enter_churn,
@@ -395,6 +398,27 @@ impl HealthEngine {
             }
             events.push(TraceEvent::Anomaly {
                 detector: AnomalyKind::CheckpointStall,
+                machine: u32::MAX,
+                pe: u32::MAX,
+                onset: t.onset,
+                value: t.value,
+            });
+        }
+        if let Some(t) = self.redundancy.step(registry) {
+            if t.onset {
+                self.anomaly_spans.push(AnomalySpan {
+                    detector: AnomalyKind::RedundancyLoss,
+                    machine: None,
+                    pe: None,
+                    start_ns: now_ns,
+                    end_ns: None,
+                    peak: t.value,
+                });
+            } else {
+                self.close_anomaly(AnomalyKind::RedundancyLoss, None, None, now_ns, t.value);
+            }
+            events.push(TraceEvent::Anomaly {
+                detector: AnomalyKind::RedundancyLoss,
                 machine: u32::MAX,
                 pe: u32::MAX,
                 onset: t.onset,

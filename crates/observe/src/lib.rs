@@ -12,8 +12,10 @@
 //!   deterministically at every scrape, with breach spans and
 //!   [`sps_trace::TraceEvent::SloBreach`] transitions;
 //! * anomaly detectors ([`BackpressureDetector`],
-//!   [`CheckpointStallDetector`], [`HeartbeatFlakyDetector`]) — small
-//!   [`Hysteresis`] state machines stable under G–E burst noise;
+//!   [`CheckpointStallDetector`], [`HeartbeatFlakyDetector`],
+//!   [`RedundancyLossDetector`]) — small [`Hysteresis`] state machines
+//!   stable under G–E burst noise, plus a deliberately binary
+//!   standby-coverage verdict;
 //! * [`HealthEngine`] — the per-run composition: SLO monitors, detectors,
 //!   recovery-cycle budget tracking, and per-scope rate series, snapshotted
 //!   into a deterministic JSONL [`HealthReport`];
@@ -43,7 +45,7 @@ mod window;
 
 pub use anomaly::{
     AnomalySpan, AnomalyTransition, BackpressureDetector, CheckpointStallDetector,
-    HeartbeatFlakyDetector, Hysteresis,
+    HeartbeatFlakyDetector, Hysteresis, RedundancyLossDetector,
 };
 pub use engine::{default_slos, HealthConfig, HealthEngine, RECOVERY_MONITOR};
 pub use report::{HealthReport, MonitorSummary};

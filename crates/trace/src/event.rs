@@ -52,6 +52,12 @@ pub enum ChaosKind {
     FailStop,
     /// A machine's CPU capacity was gray-degraded (or restored).
     GrayDegrade,
+    /// Every machine in one rack fault domain was fail-stopped at once.
+    FailDomain,
+    /// Every machine behind one switch was partitioned from the rest.
+    PartitionSwitch,
+    /// A switch partition was healed.
+    HealSwitch,
 }
 
 impl ChaosKind {
@@ -66,6 +72,34 @@ impl ChaosKind {
             ChaosKind::Heal => "heal",
             ChaosKind::FailStop => "fail_stop",
             ChaosKind::GrayDegrade => "gray_degrade",
+            ChaosKind::FailDomain => "fail_domain",
+            ChaosKind::PartitionSwitch => "partition_switch",
+            ChaosKind::HealSwitch => "heal_switch",
+        }
+    }
+}
+
+/// Why a failover attempt was abandoned without promoting anything
+/// (see [`TraceEvent::FailoverAborted`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AbortReason {
+    /// The standby was already lost and no spare machine remained.
+    NoStandby,
+    /// The promotion-safety ladder rejected the standby (stale heartbeat
+    /// or checkpoint lag) and no safe spare remained.
+    StandbyUnhealthy,
+    /// The standby's machine sits in a fault domain with an active fault
+    /// and no domain-disjoint spare remained.
+    DomainFault,
+}
+
+impl AbortReason {
+    /// Stable lower-snake name used in the JSONL encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AbortReason::NoStandby => "no_standby",
+            AbortReason::StandbyUnhealthy => "standby_unhealthy",
+            AbortReason::DomainFault => "domain_fault",
         }
     }
 }
@@ -138,6 +172,9 @@ pub enum AnomalyKind {
     HeartbeatFlaky,
     /// A recovery cycle in flight has burned past its time budget.
     RecoveryBudgetBurn,
+    /// A subjob is running without a live standby (redundancy lost until
+    /// re-provisioning completes).
+    RedundancyLoss,
 }
 
 impl AnomalyKind {
@@ -148,6 +185,7 @@ impl AnomalyKind {
             AnomalyKind::CheckpointStall => "checkpoint_stall",
             AnomalyKind::HeartbeatFlaky => "heartbeat_flaky",
             AnomalyKind::RecoveryBudgetBurn => "recovery_budget_burn",
+            AnomalyKind::RedundancyLoss => "redundancy_loss",
         }
     }
 }
@@ -291,6 +329,18 @@ pub enum TraceEvent {
         /// Which phase boundary was crossed.
         phase: RecoveryPhase,
     },
+    /// A failover attempt gave up without promoting: the subjob keeps its
+    /// (possibly failed) primary and has lost redundancy. Previously a
+    /// silent dead-end; now visible to health reports and `sps-inspect`.
+    FailoverAborted {
+        /// Affected subjob index.
+        subjob: u32,
+        /// The standby machine the ladder rejected (or `u32::MAX` when no
+        /// standby existed at all).
+        machine: u32,
+        /// Why the attempt was abandoned.
+        reason: AbortReason,
+    },
     /// A queue reached a new high-water mark (only growth is reported).
     QueueHighWater {
         /// Owning PE id.
@@ -416,6 +466,7 @@ impl TraceEvent {
             TraceEvent::FailureInject { .. } => "failure_inject",
             TraceEvent::FailureDetect { .. } => "failure_detect",
             TraceEvent::Recovery { .. } => "recovery",
+            TraceEvent::FailoverAborted { .. } => "failover_aborted",
             TraceEvent::QueueHighWater { .. } => "queue_high_water",
             TraceEvent::MachineSnapshot { .. } => "machine_snapshot",
             TraceEvent::PeSnapshot { .. } => "pe_snapshot",
@@ -572,6 +623,17 @@ impl TraceRecord {
             }
             TraceEvent::Recovery { subjob, phase } => {
                 let _ = write!(s, ",\"subjob\":{subjob},\"phase\":\"{}\"", phase.as_str());
+            }
+            TraceEvent::FailoverAborted {
+                subjob,
+                machine,
+                reason,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"subjob\":{subjob},\"machine\":{machine},\"reason\":\"{}\"",
+                    reason.as_str()
+                );
             }
             TraceEvent::QueueHighWater {
                 pe,
@@ -771,6 +833,33 @@ mod tests {
         );
         assert!(!breach.event.is_data_plane());
         assert!(!anomaly.event.is_data_plane());
+    }
+
+    #[test]
+    fn failover_aborted_encodes_stably() {
+        let rec = TraceRecord {
+            at: SimTime::from_millis(2_000),
+            event: TraceEvent::FailoverAborted {
+                subjob: 2,
+                machine: u32::MAX,
+                reason: AbortReason::NoStandby,
+            },
+        };
+        assert_eq!(
+            rec.to_json(),
+            "{\"t\":2000000000,\"kind\":\"failover_aborted\",\"subjob\":2,\"machine\":4294967295,\"reason\":\"no_standby\"}"
+        );
+        for r in [
+            AbortReason::NoStandby,
+            AbortReason::StandbyUnhealthy,
+            AbortReason::DomainFault,
+        ] {
+            assert!(!r.as_str().contains('"'));
+        }
+        assert_eq!(AnomalyKind::RedundancyLoss.as_str(), "redundancy_loss");
+        assert_eq!(ChaosKind::FailDomain.as_str(), "fail_domain");
+        assert_eq!(ChaosKind::PartitionSwitch.as_str(), "partition_switch");
+        assert_eq!(ChaosKind::HealSwitch.as_str(), "heal_switch");
     }
 
     #[test]

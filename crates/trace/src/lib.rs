@@ -39,7 +39,9 @@ mod sink;
 pub use critical_path::{
     longest_critical_path, recovery_critical_paths, CriticalPathEdge, RecoveryCriticalPath,
 };
-pub use event::{AnomalyKind, ChaosKind, DropReason, RecoveryPhase, TraceEvent, TraceRecord};
+pub use event::{
+    AbortReason, AnomalyKind, ChaosKind, DropReason, RecoveryPhase, TraceEvent, TraceRecord,
+};
 pub use lineage::{ElementKey, HopTiming, LineageTable, TupleRecord, SOURCE_PE};
 pub use recorder::{FlightRecorder, SharedRecorder, DEFAULT_CAPACITY};
 pub use series::{recovery_spans, RecoverySpan, Telemetry};
