@@ -1,0 +1,180 @@
+//! Throughput-vs-batch-size curve for the batched data plane.
+//!
+//! Runs two fixed Hybrid workloads — a fig04-shaped evaluation chain at
+//! 1 K elements/s and a fig06-shaped 20-PE chain at 10 K elements/s — at
+//! batch sizes {1, 4, 16, 64} and reports, per point, wall time, sink
+//! throughput (simulated elements accepted per wall-clock second), and
+//! DES events per wall-clock second. Batching coalesces same-tick
+//! same-destination elements into range-stamped [`sps_engine::DataBatch`]
+//! messages, so a larger batch size moves the same simulated workload
+//! through fewer host-side events.
+//!
+//! The report is written as JSON to `BENCH_batch.json` (or `--out
+//! <path>`); pass `--quick` for the reduced simulated span. The committed
+//! baseline is CI's reference for the batch-64 regression gate.
+
+use std::time::Instant;
+
+use sps_engine::{Job, SubjobId};
+use sps_ha::{HaMode, HaSimulation};
+use sps_sim::SimTime;
+use sps_workloads::{chain_job_with, eval_chain_job};
+
+use sps_bench::common::RunOpts;
+
+const BATCH_SIZES: [u32; 4] = [1, 4, 16, 64];
+
+struct Workload {
+    name: &'static str,
+    make_job: fn() -> Job,
+    rate: f64,
+}
+
+struct Point {
+    batch: u32,
+    wall_ms: f64,
+    elements: u64,
+    elements_per_sec: f64,
+    des_events: u64,
+    des_events_per_sec: f64,
+}
+
+/// Per-element CPU demand matching fig06's rate sweep: light enough that
+/// 10 K elements/s stays below one machine's capacity.
+fn fig06_job() -> Job {
+    chain_job_with(15e-6, 20, 8, 4)
+}
+
+fn run_point(w: &Workload, batch: u32, sim_secs: u64, seed: u64) -> Point {
+    let job = (w.make_job)();
+    let n_subjobs = job.subjob_count();
+    let mut builder = HaSimulation::builder(job)
+        .mode(HaMode::Hybrid)
+        .source_rate(w.rate)
+        .seed(seed)
+        .tune(|c| c.batch_size = batch);
+    for sj in 0..n_subjobs as u32 {
+        builder = builder.subjob_mode(SubjobId(sj), HaMode::Hybrid);
+    }
+    let mut sim = builder.build();
+    let t0 = Instant::now();
+    sim.run_until(SimTime::from_secs(sim_secs));
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let report = sim.report();
+    let wall_secs = (wall_ms / 1e3).max(1e-9);
+    Point {
+        batch,
+        wall_ms,
+        elements: report.sink_accepted,
+        elements_per_sec: report.sink_accepted as f64 / wall_secs,
+        des_events: report.events_processed,
+        des_events_per_sec: report.events_processed as f64 / wall_secs,
+    }
+}
+
+/// Reads `--out <path>` / `--out=<path>` from argv (default
+/// `BENCH_batch.json`).
+fn out_path() -> String {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            if let Some(p) = args.next() {
+                return p;
+            }
+        } else if let Some(p) = a.strip_prefix("--out=") {
+            return p.to_string();
+        }
+    }
+    "BENCH_batch.json".to_string()
+}
+
+fn json_f(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let opts = RunOpts::parse();
+    let out = out_path();
+    let sim_secs = opts.scale.pick(10, 3);
+    let scale_name = opts.scale.pick("full", "quick");
+    let workloads = [
+        Workload {
+            name: "fig04_chain",
+            make_job: eval_chain_job,
+            rate: 1_000.0,
+        },
+        Workload {
+            name: "fig06_chain",
+            make_job: fig06_job,
+            rate: 10_000.0,
+        },
+    ];
+
+    eprintln!(
+        "bench_batch: {} workloads x batch sizes {:?} ({scale_name} scale, {sim_secs} simulated \
+         seconds, seed {})",
+        workloads.len(),
+        BATCH_SIZES,
+        opts.seed
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"sps-bench-batch-v1\",\n");
+    json.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
+    json.push_str(&format!("  \"seed\": {},\n", opts.seed));
+    json.push_str(&format!("  \"sim_secs\": {sim_secs},\n"));
+    json.push_str("  \"workloads\": [\n");
+    for (wi, w) in workloads.iter().enumerate() {
+        let points: Vec<Point> = BATCH_SIZES
+            .iter()
+            .map(|&b| run_point(w, b, sim_secs, opts.seed))
+            .collect();
+        let base = points[0].elements_per_sec;
+        for p in &points {
+            eprintln!(
+                "  {} batch {:>2}: {:>7.0} ms, {} elements, {:>9.0} el/s ({:.2}x), {:>9.0} \
+                 DES events/s",
+                w.name,
+                p.batch,
+                p.wall_ms,
+                p.elements,
+                p.elements_per_sec,
+                p.elements_per_sec / base.max(1e-9),
+                p.des_events_per_sec,
+            );
+        }
+        let comma = if wi + 1 < workloads.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"rate\": {}, \"points\": [\n",
+            w.name, w.rate
+        ));
+        for (i, p) in points.iter().enumerate() {
+            let pcomma = if i + 1 < points.len() { "," } else { "" };
+            json.push_str(&format!(
+                "      {{\"batch\": {}, \"wall_ms\": {}, \"elements\": {}, \
+                 \"elements_per_sec\": {}, \"des_events\": {}, \
+                 \"des_events_per_sec\": {}}}{pcomma}\n",
+                p.batch,
+                json_f(p.wall_ms),
+                p.elements,
+                json_f(p.elements_per_sec),
+                p.des_events,
+                json_f(p.des_events_per_sec),
+            ));
+        }
+        json.push_str(&format!("    ]}}{comma}\n"));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: could not write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("bench_batch: report written to {out}");
+}

@@ -22,6 +22,16 @@ use sps_bench::common::{Experiment, RunOpts, Scale};
 use sps_bench::experiments::*;
 use sps_bench::runner::Runner;
 
+// With `--features bench`, the serial pass also runs under the counting
+// global allocator and reports allocations/event per figure; without it,
+// the field is `null` in the report.
+#[cfg(feature = "bench")]
+use sps_sim::counting_alloc::{self, CountingAllocator};
+
+#[cfg(feature = "bench")]
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
 type FigureFn = fn(&Runner, Scale, u64) -> Experiment;
 
 /// Every figure and ablation, in the `all_figures` printing order.
@@ -59,6 +69,9 @@ struct FigureBench {
     events: u64,
     events_per_sec: f64,
     peak_queue_depth: u64,
+    /// Heap allocations per DES event over the figure's serial run.
+    /// `None` without `--features bench` (no counting allocator installed).
+    allocs_per_event: Option<f64>,
 }
 
 /// Reads `--out <path>` / `--out=<path>` from argv (default
@@ -102,10 +115,19 @@ fn main() {
     let mut serial_total_ms = 0.0;
     for &(name, f) in &figures {
         sps_sim::stats::take(); // delimit this figure's counter window
+        #[cfg(feature = "bench")]
+        let alloc0 = counting_alloc::allocations();
         let t0 = Instant::now();
         let _ = f(&serial, opts.scale, opts.seed);
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         let stats = sps_sim::stats::take();
+        #[cfg(feature = "bench")]
+        let allocs_per_event = Some(
+            (counting_alloc::allocations() - alloc0) as f64
+                / (stats.events_processed as f64).max(1.0),
+        );
+        #[cfg(not(feature = "bench"))]
+        let allocs_per_event = None;
         serial_total_ms += wall_ms;
         per_figure.push(FigureBench {
             name,
@@ -114,6 +136,7 @@ fn main() {
             events: stats.events_processed,
             events_per_sec: stats.events_processed as f64 / (wall_ms / 1e3).max(1e-9),
             peak_queue_depth: stats.peak_queue_depth,
+            allocs_per_event,
         });
         if stats.events_processed == 0 {
             eprintln!("  {name}: {wall_ms:.0} ms, analytic (no simulation)");
@@ -178,12 +201,17 @@ fn main() {
         } else {
             json.push_str(&format!(
                 "    {{\"name\": \"{}\", \"wall_ms\": {}, \"events\": {}, \
-                 \"events_per_sec\": {}, \"peak_queue_depth\": {}}}{comma}\n",
+                 \"events_per_sec\": {}, \"peak_queue_depth\": {}, \
+                 \"allocs_per_event\": {}}}{comma}\n",
                 b.name,
                 json_f(b.wall_ms),
                 b.events,
                 json_f(b.events_per_sec),
                 b.peak_queue_depth,
+                match b.allocs_per_event {
+                    Some(a) => json_f(a),
+                    None => "null".to_string(),
+                },
             ));
         }
     }

@@ -118,7 +118,7 @@ impl HaWorld {
             },
         );
         if quiescent {
-            self.snapshot_and_send(ctx, sj_id, vec![pe]);
+            self.snapshot_and_send(ctx, sj_id, &[pe]);
         } else {
             self.subjobs[sj_id.0 as usize].pe_ckpt_pausing.insert(pe);
         }
@@ -156,7 +156,7 @@ impl HaWorld {
             }
         }
         if waiting.is_empty() {
-            self.snapshot_and_send(ctx, sj_id, pes);
+            self.snapshot_and_send(ctx, sj_id, &pes);
         } else {
             self.subjobs[sj_id.0 as usize].pending =
                 Some(SubjobPending::SyncCheckpoint { waiting });
@@ -174,7 +174,7 @@ impl HaWorld {
         let sj = &mut self.subjobs[sj_id.0 as usize];
         // Per-PE checkpoint pause (sweeping/individual).
         if replica == sj.primary_replica && sj.pe_ckpt_pausing.remove(&pe) {
-            self.snapshot_and_send(ctx, sj_id, vec![pe]);
+            self.snapshot_and_send(ctx, sj_id, &[pe]);
             return;
         }
         // Multi-PE pauses.
@@ -184,7 +184,7 @@ impl HaWorld {
                 if waiting.is_empty() {
                     sj.pending = None;
                     let pes: Vec<PeId> = self.job.subjob_pes(sj_id).to_vec();
-                    self.snapshot_and_send(ctx, sj_id, pes);
+                    self.snapshot_and_send(ctx, sj_id, &pes);
                 }
             }
             Some(SubjobPending::RollbackRead { waiting }) if replica != sj.primary_replica => {
@@ -200,7 +200,7 @@ impl HaWorld {
 
     /// Snapshots the given (quiescent) PEs of the subjob's primary copy,
     /// resumes them, and ships the checkpoint message to the secondary.
-    fn snapshot_and_send(&mut self, ctx: &mut Ctx<Event>, sj_id: SubjobId, pes: Vec<PeId>) {
+    fn snapshot_and_send(&mut self, ctx: &mut Ctx<Event>, sj_id: SubjobId, pes: &[PeId]) {
         let (replica, primary_machine, secondary_machine, epoch) = {
             let sj = &self.subjobs[sj_id.0 as usize];
             let Some(sec) = sj.secondary_machine else {
@@ -210,7 +210,7 @@ impl HaWorld {
         };
         let mut ckpts = Vec::with_capacity(pes.len());
         let mut elements = 0u64;
-        for &pe in &pes {
+        for &pe in pes {
             let slot = slot_of(pe, replica);
             let Some(inst) = self.instances[slot].as_mut() else {
                 continue;
@@ -233,7 +233,7 @@ impl HaWorld {
             sj.pe_ckpt_inflight.insert(pe);
             ckpts.push(Arc::new(ckpt));
         }
-        for &pe in &pes {
+        for &pe in pes {
             self.try_start(ctx, slot_of(pe, replica));
         }
         if ckpts.is_empty() {

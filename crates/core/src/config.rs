@@ -136,6 +136,14 @@ pub struct HaConfig {
     /// Under AS/NONE (no checkpoint-driven acks), send a cumulative ack
     /// upstream every this many processed elements.
     pub ack_every_elements: u32,
+    /// Data-plane batching factor: sources generate and PEs dequeue up to
+    /// this many elements per tick, and the dispatch paths coalesce
+    /// same-destination contiguous runs into one range-stamped
+    /// [`Msg::DataBatch`](crate::Msg::DataBatch) per delivery. The default
+    /// of 1 is byte-identical to the unbatched runtime (every run is a
+    /// singleton [`Msg::Data`](crate::Msg::Data)); larger values trade
+    /// per-element scheduling overhead for coarser event granularity.
+    pub batch_size: u32,
     /// Wire size of one data element.
     pub element_bytes: u32,
     /// OS scheduling (wake-up) latency applied to latency-sensitive tasks
@@ -208,6 +216,7 @@ impl Default for HaConfig {
             hybrid_early_connections: true,
             read_state_on_rollback: true,
             ack_every_elements: 16,
+            batch_size: 1,
             element_bytes: 256,
             sched_latency: SchedLatency::default(),
             durable_checkpoints: false,
@@ -266,6 +275,7 @@ impl HaConfig {
             "heartbeat reply demand must be non-negative"
         );
         assert!(self.ack_every_elements >= 1, "ack batch must be >= 1");
+        assert!(self.batch_size >= 1, "data batch size must be >= 1");
         assert!(self.element_bytes >= 1, "element size must be >= 1 byte");
         // A zero sampling cadence would reschedule at the current instant
         // forever; name the offending field so the mistake is findable.

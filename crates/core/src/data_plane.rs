@@ -50,6 +50,14 @@ impl HaWorld {
         if src != dst {
             self.counters.record(class, elements);
         }
+        // Queue-depth accounting is in logical elements: a batched delivery
+        // is one event carrying `batch.len()` elements in flight. Every
+        // other message weighs 1, so batch size 1 matches the unweighted
+        // accounting exactly.
+        let weight = match &msg {
+            Msg::DataBatch { batch, .. } => batch.len() as u64,
+            _ => 1,
+        };
         if let Some(second) = delivery.duplicate_time() {
             self.tracer.emit(
                 ctx.now(),
@@ -59,15 +67,16 @@ impl HaWorld {
                     bytes,
                 },
             );
-            ctx.schedule_at(
+            ctx.schedule_at_weighted(
                 second,
                 Event::Deliver {
                     to: dst,
                     msg: msg.clone(),
                 },
+                weight,
             );
         }
-        ctx.schedule_at(at, Event::Deliver { to: dst, msg });
+        ctx.schedule_at_weighted(at, Event::Deliver { to: dst, msg }, weight);
     }
 
     /// Sends a control-plane message under the reliable layer when it is
@@ -291,19 +300,33 @@ impl HaWorld {
         }
     }
 
-    /// Starts the next element on an instance if its loop can run.
+    /// Starts the next batch of up to `batch_size` elements on an instance
+    /// if its loop can run (a single element at the default batch size 1).
     pub(crate) fn try_start(&mut self, ctx: &mut Ctx<Event>, slot: usize) {
         let machine = self.instance_machine[slot];
         if !self.cluster.machine(machine).is_up() {
             return;
         }
         let epoch = self.inst_epoch[slot];
-        let work = match self.instances[slot].as_mut().and_then(|i| i.start_next()) {
+        let batch = self.cfg.batch_size;
+        let work = match self.instances[slot]
+            .as_mut()
+            .and_then(|i| i.start_next_batch(batch))
+        {
             Some(w) => w,
             None => return,
         };
         if let Some(lin) = self.lineage.as_deref_mut() {
-            lin.note_proc_start((work.element.stream.0, work.element.seq), ctx.now());
+            // The batch only starts on an empty in-flight set, so every
+            // in-flight element was started just now.
+            let now = ctx.now();
+            for e in self.instances[slot]
+                .as_ref()
+                .expect("started")
+                .inflight_elems()
+            {
+                lin.note_proc_start((e.stream.0, e.seq), now);
+            }
         }
         self.submit_task(
             ctx,
@@ -323,9 +346,15 @@ impl HaWorld {
         if !self.sources[s].is_running() {
             return;
         }
-        self.sources[s].generate(ctx.now(), ctx.rng());
+        // Under batching a tick produces `batch_size` elements and the next
+        // tick moves out proportionally, preserving the configured rate
+        // (one element per `gap` on average). At batch size 1 this is one
+        // generate and one gap draw per tick — the unbatched schedule.
+        for _ in 0..self.cfg.batch_size {
+            self.sources[s].generate(ctx.now(), ctx.rng());
+        }
         self.dispatch_source_outputs(ctx, s);
-        let gap = self.sources[s].next_gap(ctx.now(), ctx.rng());
+        let gap = self.sources[s].next_gap(ctx.now(), ctx.rng()) * self.cfg.batch_size as u64;
         let g = self.source_timers[s].arm();
         ctx.schedule_in(gap, Event::SourceTick { source, gen: g });
     }
@@ -386,11 +415,7 @@ impl HaWorld {
                 lin.note_sent((e.stream.0, e.seq), now);
             }
         }
-        for &(dest, start, end) in &spans {
-            for &elem in &elems[start..end] {
-                self.send_data(ctx, src_machine, false, dest, elem);
-            }
-        }
+        self.transmit_spans(ctx, src_machine, false, &elems, &spans);
         elems.clear();
         spans.clear();
         conns.clear();
@@ -438,6 +463,85 @@ impl HaWorld {
             Msg::Data { to: dest, elem },
             class,
             1,
+        );
+    }
+
+    /// Transmits the drained spans through the world's [`OutputSession`]:
+    /// same-destination contiguous runs coalesce into one range-stamped
+    /// batch per delivery, capped at `batch_size`. Singleton runs go out
+    /// as plain [`Msg::Data`] — at batch size 1 every run is a singleton,
+    /// so the transmission sequence is exactly the unbatched one.
+    ///
+    /// [`OutputSession`]: sps_engine::OutputSession
+    fn transmit_spans(
+        &mut self,
+        ctx: &mut Ctx<Event>,
+        src_machine: MachineId,
+        produced_by_secondary: bool,
+        elems: &[DataElement],
+        spans: &[(Dest, usize, usize)],
+    ) {
+        let mut session = std::mem::take(&mut self.session_scratch);
+        for &(dest, start, end) in spans {
+            for &elem in &elems[start..end] {
+                session.give(dest, elem);
+            }
+        }
+        for i in 0..session.run_count() {
+            let (dest, run) = session.run(i);
+            if let &[elem] = run {
+                self.send_data(ctx, src_machine, produced_by_secondary, dest, elem);
+            } else {
+                self.send_data_batch(ctx, src_machine, produced_by_secondary, dest, run);
+            }
+        }
+        session.clear();
+        self.session_scratch = session;
+    }
+
+    /// Transmits a contiguous run of two or more elements as one
+    /// range-stamped [`Msg::DataBatch`], with the same classification and
+    /// per-element accounting as [`HaWorld::send_data`].
+    fn send_data_batch(
+        &mut self,
+        ctx: &mut Ctx<Event>,
+        src_machine: MachineId,
+        produced_by_secondary: bool,
+        dest: Dest,
+        run: &[DataElement],
+    ) {
+        let dst = self.dest_machine(dest);
+        let n = run.len() as u64;
+        let mut class = if produced_by_secondary {
+            MsgClass::DupData
+        } else {
+            MsgClass::Data
+        };
+        if let Dest::Pe { inst, .. } = dest {
+            if inst.replica == Replica::Secondary {
+                class = MsgClass::DupData;
+            }
+            let sj = &mut self.subjobs[self.job.subjob_of(inst.pe).0 as usize];
+            if sj.state == SjState::SwitchedOver && dst == sj.primary_machine && src_machine != dst
+            {
+                sj.switch_overhead_elements += n;
+            }
+        }
+        self.metric_inc(
+            Scope::machine("data_plane", src_machine.0),
+            "elements_sent",
+            n,
+        );
+        self.send_msg(
+            ctx,
+            src_machine,
+            dst,
+            Msg::DataBatch {
+                to: dest,
+                batch: sps_engine::DataBatch::from_run(run),
+            },
+            class,
+            n,
         );
     }
 
@@ -503,11 +607,7 @@ impl HaWorld {
             }
         }
         let produced_by_secondary = replica == Replica::Secondary;
-        for &(dest, start, end) in &spans {
-            for &elem in &elems[start..end] {
-                self.send_data(ctx, src_machine, produced_by_secondary, dest, elem);
-            }
-        }
+        self.transmit_spans(ctx, src_machine, produced_by_secondary, &elems, &spans);
         elems.clear();
         spans.clear();
         conns.clear();
@@ -556,32 +656,43 @@ impl HaWorld {
             return;
         }
         let (pe, replica) = unslot(slot);
-        // Lineage links outputs to the input that produced them; the input
-        // is still in flight here, so read it before finishing.
-        let parent_key = if self.lineage.is_some() {
-            self.instances[slot]
-                .as_ref()
-                .expect("checked")
-                .inflight_elem()
-                .map(|e| (e.stream.0, e.seq))
-        } else {
-            None
-        };
+        // One CPU task completes the whole in-flight batch (a single
+        // element at batch size 1): finish each element in dequeue order,
+        // preserving per-element semantics — lineage parents, processed
+        // positions, output stamping — exactly as repeated singleton
+        // completions would.
+        let batch_len = self.instances[slot]
+            .as_ref()
+            .expect("checked")
+            .inflight_len();
         // The produced elements land in the output queues and are dispatched
         // by draining connections below; the completion buffer is reused
         // world scratch so finishing an element allocates nothing.
         let mut finished = std::mem::take(&mut self.finish_scratch);
-        self.instances[slot]
-            .as_mut()
-            .expect("checked")
-            .finish_inflight_into(ctx.now(), &mut finished);
-        if let (Some(lin), Some(pk)) = (self.lineage.as_deref_mut(), parent_key) {
-            let now = ctx.now();
-            for &(_, e) in finished.iter() {
-                lin.record_hop(pk, (e.stream.0, e.seq), pe.0, replica_code(replica), now);
+        for _ in 0..batch_len {
+            // Lineage links outputs to the input that produced them; the
+            // input is still in flight here, so read it before finishing.
+            let parent_key = if self.lineage.is_some() {
+                self.instances[slot]
+                    .as_ref()
+                    .expect("checked")
+                    .inflight_elem()
+                    .map(|e| (e.stream.0, e.seq))
+            } else {
+                None
+            };
+            self.instances[slot]
+                .as_mut()
+                .expect("checked")
+                .finish_inflight_into(ctx.now(), &mut finished);
+            if let (Some(lin), Some(pk)) = (self.lineage.as_deref_mut(), parent_key) {
+                let now = ctx.now();
+                for &(_, e) in finished.iter() {
+                    lin.record_hop(pk, (e.stream.0, e.seq), pe.0, replica_code(replica), now);
+                }
             }
+            finished.clear();
         }
-        finished.clear();
         self.finish_scratch = finished;
         self.dispatch_outputs(ctx, slot);
 
@@ -589,14 +700,18 @@ impl HaWorld {
         // subjob acknowledges via the checkpoint protocol (§III-B ordering);
         // everyone else (NONE, AS copies, the hybrid secondary while
         // switched over) sends batched acknowledgments on processing.
+        // Backlog accounting is per element, so a batch crosses the ack
+        // threshold exactly where singleton completions would.
         let sj_id = self.job.subjob_of(pe);
         let sj = &self.subjobs[sj_id.0 as usize];
         let checkpoint_acked = sj.mode.checkpoints() && replica == sj.primary_replica;
         if !checkpoint_acked {
-            self.ack_backlog[slot] += 1;
-            if self.ack_backlog[slot] >= self.cfg.ack_every_elements as u64 {
-                self.ack_backlog[slot] = 0;
-                self.send_instance_acks(ctx, slot);
+            for _ in 0..batch_len {
+                self.ack_backlog[slot] += 1;
+                if self.ack_backlog[slot] >= self.cfg.ack_every_elements as u64 {
+                    self.ack_backlog[slot] = 0;
+                    self.send_instance_acks(ctx, slot);
+                }
             }
         }
 
@@ -704,13 +819,19 @@ impl HaWorld {
 
     pub(crate) fn on_deliver(&mut self, ctx: &mut Ctx<Event>, to: MachineId, msg: Msg) {
         if !self.cluster.machine(to).is_up() {
-            // Fail-stopped machines receive nothing.
-            if matches!(msg, Msg::Data { .. }) {
+            // Fail-stopped machines receive nothing. Drops are counted in
+            // elements, so a lost batch reports its full length.
+            let lost = match &msg {
+                Msg::Data { .. } => 1,
+                Msg::DataBatch { batch, .. } => batch.len() as u32,
+                _ => 0,
+            };
+            if lost > 0 {
                 self.tracer.emit(
                     ctx.now(),
                     TraceEvent::ElementDrop {
                         machine: to.0,
-                        elements: 1,
+                        elements: lost,
                         reason: DropReason::MachineDown,
                     },
                 );
@@ -719,6 +840,7 @@ impl HaWorld {
         }
         match msg {
             Msg::Data { to: dest, elem } => self.on_data(ctx, to, dest, elem),
+            Msg::DataBatch { to: dest, batch } => self.on_data_batch(ctx, to, dest, batch),
             Msg::Ack {
                 to: addr,
                 from,
@@ -878,6 +1000,142 @@ impl HaWorld {
         }
     }
 
+    /// Delivers a range-stamped batch: per-element offers preserve the
+    /// input queue's deduplication and position tracking (so a partial
+    /// retransmission overlapping an earlier delivery stays exactly-once),
+    /// while traces, metrics, and acknowledgments aggregate over the run.
+    fn on_data_batch(
+        &mut self,
+        ctx: &mut Ctx<Event>,
+        at: MachineId,
+        dest: Dest,
+        batch: sps_engine::DataBatch,
+    ) {
+        match dest {
+            Dest::Pe { inst, port } => {
+                let slot = slot_of(inst.pe, inst.replica);
+                if self.instances[slot].is_none() || self.instance_machine[slot] != at {
+                    // Stale delivery to a departed instance.
+                    self.tracer.emit(
+                        ctx.now(),
+                        TraceEvent::ElementDrop {
+                            machine: at.0,
+                            elements: batch.len() as u32,
+                            reason: DropReason::StaleEpoch,
+                        },
+                    );
+                    return;
+                }
+                let stream = batch.stream().0;
+                if let Some(lin) = self.lineage.as_deref_mut() {
+                    // The range stamp expands to per-tuple arrival records
+                    // here (first-writer-wins, like the singleton path).
+                    lin.note_recv_range(stream, batch.seq_start(), batch.seq_end(), ctx.now());
+                }
+                let (mut accepted, mut stashed, mut duplicates) = (0u32, 0u32, 0u32);
+                for &elem in batch.elems() {
+                    match self.instances[slot]
+                        .as_mut()
+                        .expect("checked")
+                        .offer(port, elem)
+                    {
+                        Offer::Accepted(n) => accepted += n as u32,
+                        Offer::Stashed => stashed += 1,
+                        Offer::Duplicate => duplicates += 1,
+                    }
+                }
+                let now = ctx.now();
+                self.tracer.emit_data(now, || TraceEvent::ElementRecv {
+                    pe: inst.pe.0,
+                    replica: replica_code(inst.replica),
+                    stream,
+                    accepted,
+                    stashed,
+                    duplicates,
+                });
+                if duplicates > 0 {
+                    self.metric_inc(
+                        Scope::machine("data_plane", at.0),
+                        "duplicates",
+                        duplicates as u64,
+                    );
+                    self.tracer.emit(
+                        now,
+                        TraceEvent::ElementDrop {
+                            machine: at.0,
+                            elements: duplicates,
+                            reason: DropReason::Duplicate,
+                        },
+                    );
+                    // Same re-ack rule as the singleton path, sent once per
+                    // batch: cumulative acks cover every duplicate in it.
+                    if self.cfg.reliable_control {
+                        let sj = &self.subjobs[self.job.subjob_of(inst.pe).0 as usize];
+                        if !(sj.mode.checkpoints() && inst.replica == sj.primary_replica) {
+                            self.send_instance_acks(ctx, slot);
+                        }
+                    }
+                }
+                self.try_start(ctx, slot);
+            }
+            Dest::Sink(sink) => {
+                let s = sink.0 as usize;
+                let stream = batch.stream();
+                if let Some(lin) = self.lineage.as_deref_mut() {
+                    lin.note_recv_range(stream.0, batch.seq_start(), batch.seq_end(), ctx.now());
+                }
+                let mut last_accept: Option<(StreamId, u64)> = None;
+                for &elem in batch.elems() {
+                    let created_at = elem.created_at;
+                    if let Some(accept) = self.sinks[s].deliver(ctx.now(), elem) {
+                        self.metric_inc(
+                            Scope::global("sink"),
+                            "accepted",
+                            accept.newly_accepted as u64,
+                        );
+                        let e2e_ms = ctx.now().saturating_since(created_at).as_millis_f64();
+                        self.metric_observe(Scope::global("sink"), "e2e_delay_ms", e2e_ms);
+                        if let Some(lin) = self.lineage.as_deref_mut() {
+                            lin.record_delivery(
+                                sink.0,
+                                accept.stream.0,
+                                accept.processed_through,
+                                ctx.now(),
+                            );
+                        }
+                        last_accept = Some((accept.stream, accept.processed_through));
+                    }
+                }
+                let from_machine = self.placement.sinks[s];
+                if let Some((astream, through)) = last_accept {
+                    // One cumulative ack per batch: acks are monotone, so
+                    // the final position covers every accepted element.
+                    self.send_acks_for_stream(
+                        ctx,
+                        from_machine,
+                        Dest::Sink(sink),
+                        astream,
+                        through,
+                    );
+                } else if self.cfg.reliable_control {
+                    // Wholly rejected batch: re-ack if it was all behind
+                    // the processed position (a retransmission whose ack
+                    // was lost), mirroring the singleton rule.
+                    let through = self.sinks[s].processed_through(stream);
+                    if through >= batch.seq_start() {
+                        self.send_acks_for_stream(
+                            ctx,
+                            from_machine,
+                            Dest::Sink(sink),
+                            stream,
+                            through,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     fn on_ack(
         &mut self,
         ctx: &mut Ctx<Event>,
@@ -1020,17 +1278,20 @@ impl HaWorld {
             if !self.cluster.machine(machine).is_up() {
                 continue;
             }
-            let obs: Vec<(usize, Dest, bool, u64, u64)> = {
+            // Connection observations stage in the world's bump arena (one
+            // region per producer, all released at the sweep's end), so the
+            // periodic sweep stops allocating once the arena is warm.
+            let obs = {
                 let q = self.sources[s].queue();
-                (0..q.connections().len())
-                    .map(|ci| {
+                self.sweep_arena
+                    .alloc_extend((0..q.connections().len()).map(|ci| {
                         let c = q.connection(ConnectionId(ci));
-                        (ci, c.dest, c.active, c.acked, c.next_to_send)
-                    })
-                    .collect()
+                        (0usize, ci, c.dest, c.active, c.acked, c.next_to_send)
+                    }))
             };
             let mut rewound = false;
-            for (ci, dest, active, acked, next) in obs {
+            for i in 0..obs.len() {
+                let (_, ci, dest, active, acked, next) = self.sweep_arena.slice(obs)[i];
                 if !self.sweep_observe((false, s, 0, ci), machine, dest, active, acked, next) {
                     continue;
                 }
@@ -1042,10 +1303,10 @@ impl HaWorld {
                     rewound = true;
                     if let Some(lin) = self.lineage.as_deref_mut() {
                         // Every element the cursor rewound over is about to
-                        // be transmitted again.
-                        for seq in target..next {
-                            lin.mark_retransmit((stream, seq));
-                        }
+                        // be transmitted again — one contiguous range. Under
+                        // batching the resend itself may split on the acked
+                        // boundary, but the rewind covers the full run.
+                        lin.mark_retransmit_range(stream, target, next - 1);
                     }
                     self.metric_inc(Scope::global("reliable"), "data_retransmits", next - target);
                 }
@@ -1059,20 +1320,20 @@ impl HaWorld {
             if self.instances[slot].is_none() || !self.cluster.machine(machine).is_up() {
                 continue;
             }
-            let obs: Vec<(usize, usize, Dest, bool, u64, u64)> = {
+            let obs = {
                 let inst = self.instances[slot].as_ref().expect("checked");
-                (0..inst.output_ports())
-                    .flat_map(|port| {
+                self.sweep_arena
+                    .alloc_extend((0..inst.output_ports()).flat_map(|port| {
                         let q = inst.output(port);
                         (0..q.connections().len()).map(move |ci| {
                             let c = q.connection(ConnectionId(ci));
                             (port, ci, c.dest, c.active, c.acked, c.next_to_send)
                         })
-                    })
-                    .collect()
+                    }))
             };
             let mut rewound = false;
-            for (port, ci, dest, active, acked, next) in obs {
+            for i in 0..obs.len() {
+                let (port, ci, dest, active, acked, next) = self.sweep_arena.slice(obs)[i];
                 if !self.sweep_observe((true, slot, port, ci), machine, dest, active, acked, next) {
                     continue;
                 }
@@ -1086,9 +1347,7 @@ impl HaWorld {
                     q.set_next_to_send(ConnectionId(ci), target);
                     rewound = true;
                     if let Some(lin) = self.lineage.as_deref_mut() {
-                        for seq in target..next {
-                            lin.mark_retransmit((stream, seq));
-                        }
+                        lin.mark_retransmit_range(stream, target, next - 1);
                     }
                     self.metric_inc(Scope::global("reliable"), "data_retransmits", next - target);
                 }
@@ -1097,6 +1356,8 @@ impl HaWorld {
                 self.dispatch_outputs(ctx, slot);
             }
         }
+        // Safe point: no observation range outlives its sweep.
+        self.sweep_arena.reset();
     }
 }
 

@@ -1239,9 +1239,7 @@ impl HaWorld {
             return;
         }
         if let Some(lin) = self.lineage.as_deref_mut() {
-            for seq in new..old {
-                lin.mark_retransmit((stream, seq));
-            }
+            lin.mark_retransmit_range(stream, new, old - 1);
         }
     }
 

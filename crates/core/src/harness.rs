@@ -228,7 +228,18 @@ impl HaSimulationBuilder {
 
     /// Builds the simulation, deploys everything, and schedules the initial
     /// events.
-    pub fn build(self) -> HaSimulation {
+    pub fn build(mut self) -> HaSimulation {
+        // `SPS_BATCH_SIZE=N` overrides the data-plane batch size globally
+        // (used by the CI batch smoke job to re-render figures at N > 1
+        // without touching the workload definitions). Batch size 1 is
+        // byte-identical to the unbatched runtime, so the default changes
+        // nothing.
+        if let Ok(v) = std::env::var("SPS_BATCH_SIZE") {
+            self.cfg.batch_size = v
+                .parse()
+                .expect("SPS_BATCH_SIZE must be a positive integer");
+        }
+        self.cfg.validate();
         let default_mode = self.cfg.mode;
         let modes: Vec<HaMode> = self
             .modes

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use sps_cluster::MachineId;
-use sps_engine::{DataElement, Dest, InstanceId, PeCheckpoint, SourceId, SubjobId};
+use sps_engine::{DataBatch, DataElement, Dest, InstanceId, PeCheckpoint, SourceId, SubjobId};
 
 /// Addresses the owner of an output queue (for acknowledgments).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +23,17 @@ pub enum Msg {
         to: Dest,
         /// The element.
         elem: DataElement,
+    },
+    /// A contiguous run of data elements under one
+    /// `(stream, seq_start..=seq_end)` range stamp, bound for a PE input
+    /// port or a sink. Only emitted for runs of two or more elements — a
+    /// coalesced singleton run goes out as [`Msg::Data`], which is what
+    /// keeps batch size 1 byte-identical to the unbatched runtime.
+    DataBatch {
+        /// Destination input.
+        to: Dest,
+        /// The range-stamped run.
+        batch: DataBatch,
     },
     /// A cumulative acknowledgment: every element of the connection's
     /// stream with sequence number `<= seq` has been processed (and, under
@@ -117,6 +128,8 @@ impl Msg {
     pub fn wire_bytes(&self, element_bytes: u32) -> u64 {
         match self {
             Msg::Data { elem, .. } => elem.size_bytes as u64 + 32,
+            // One header amortized over the run: the batching win on the wire.
+            Msg::DataBatch { batch, .. } => batch.payload_bytes() + 32,
             Msg::Ack { .. } => 48,
             Msg::Checkpoint { ckpts, .. } | Msg::StateRead { ckpts, .. } => ckpts
                 .iter()
@@ -155,6 +168,14 @@ mod tests {
         };
         assert_eq!(data.wire_bytes(256), 288);
         assert_eq!(Msg::Ping { monitor: 0, seq: 1 }.wire_bytes(256), 32);
+
+        // A batch amortizes the 32-byte header over the whole run.
+        let run: Vec<DataElement> = (1..=4).map(|seq| DataElement { seq, ..elem }).collect();
+        let batched = Msg::DataBatch {
+            to: Dest::Sink(sps_engine::SinkId(0)),
+            batch: DataBatch::from_run(&run),
+        };
+        assert_eq!(batched.wire_bytes(256), 4 * 256 + 32);
 
         let ckpt = PeCheckpoint {
             pe: PeId(0),

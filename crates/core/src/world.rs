@@ -566,6 +566,16 @@ pub struct HaWorld {
     /// Reusable buffer for machine ticks: the tasks that just completed on
     /// the ticking machine, emptied before return.
     pub(crate) task_scratch: Vec<sps_cluster::FinishedTask>,
+    /// Reusable same-tick coalescing session for the dispatch paths:
+    /// accumulates same-destination contiguous runs up to `batch_size`
+    /// elements, emptied before return. At batch size 1 every run is a
+    /// singleton, reproducing the unbatched transmission sequence exactly.
+    pub(crate) session_scratch: sps_engine::OutputSession<sps_engine::Dest>,
+    /// Bump arena for the retransmit sweep's per-producer connection
+    /// observations `(port, conn, dest, active, acked, next_to_send)`;
+    /// reset at the end of each sweep, so the cold rewind path stops
+    /// allocating once the arena is warm.
+    pub(crate) sweep_arena: sps_sim::BumpArena<(usize, usize, sps_engine::Dest, bool, u64, u64)>,
     /// Causal tuple lineage, when enabled on the builder. Boxed so the
     /// disabled (default) case costs one pointer and one branch per hook.
     pub(crate) lineage: Option<Box<LineageTable>>,
@@ -711,6 +721,8 @@ impl HaWorld {
             finish_scratch: Vec::new(),
             ack_scratch: Vec::new(),
             task_scratch: Vec::new(),
+            session_scratch: sps_engine::OutputSession::new(cfg.batch_size),
+            sweep_arena: sps_sim::BumpArena::new(),
             lineage: None,
             metrics: None,
             health: None,

@@ -532,3 +532,77 @@ fn lineage_invariants_hold_under_chaos_loss() {
         "burst loss under the reliable layer must rewind at least one element"
     );
 }
+
+/// Partial-batch retransmission: with a 16-element batched data plane
+/// under the same ack-eating weather, a retransmission sweep rewinds each
+/// starved connection to its acked boundary — which generally falls in
+/// the *middle* of an originally transmitted range-stamped batch. The
+/// resent run re-chunks from the split point. The sink must still see
+/// every element exactly once, every rewound element must be
+/// retransmit-flagged exactly once on its own hop, and at least one
+/// rewind boundary must demonstrably split a batch: a flagged element
+/// whose same-stream predecessor went out in the same original range but
+/// was never resent.
+#[test]
+fn partial_batch_retransmission_is_exactly_once_across_split() {
+    let plan = ChaosPlan::default().loss_window(
+        SimTime::from_millis(500),
+        SimTime::from_secs(7),
+        lossy_weather(),
+    );
+    let mut sim = HaSimulation::builder(chain_job())
+        .mode(HaMode::Hybrid)
+        .source_rate(500.0)
+        .seed(23)
+        .tune(|c| {
+            c.reliable_control = true;
+            c.batch_size = 16;
+        })
+        .chaos(plan)
+        .lineage(true)
+        .build();
+    sim.stop_sources_at(SimTime::from_secs(9));
+    sim.run_for(SimDuration::from_secs(14));
+
+    let world = sim.world();
+    let produced = world.sources()[0].produced();
+    assert!(produced > 2_000, "source ran: {produced}");
+    assert_eq!(
+        world.sinks()[0].accepted(),
+        produced,
+        "exactly-once delivery under partial-batch retransmission"
+    );
+
+    let lineage = world.lineage().expect("lineage enabled");
+    let mut seen = std::collections::BTreeSet::new();
+    let mut flagged = std::collections::BTreeSet::new();
+    for &(key, _) in lineage.delivered() {
+        let Some(hops) = lineage.decompose(key) else {
+            continue;
+        };
+        for h in &hops {
+            seen.insert(h.key);
+            let r = lineage.record(h.key).expect("hop elements are recorded");
+            // Flagged exactly once: the boolean rides the element's own
+            // hop and mirrors its rewind count, however many sweeps
+            // re-sent it.
+            assert_eq!(h.retransmitted, r.retransmits > 0);
+            if h.retransmitted {
+                flagged.insert(h.key);
+            }
+        }
+    }
+    assert!(
+        !flagged.is_empty(),
+        "burst loss must rewind at least one element"
+    );
+    // The split boundary: a resent element whose immediate same-stream
+    // predecessor was delivered without a resend. At batch size 16 the
+    // two necessarily shared an original range-stamped batch unless the
+    // boundary sat exactly on a batch edge — across every rewind in the
+    // run, at least one must fall mid-batch.
+    let split = flagged.iter().any(|&(stream, seq)| {
+        seq > 1 && seen.contains(&(stream, seq - 1)) && !flagged.contains(&(stream, seq - 1))
+    });
+    assert!(split, "no rewind boundary fell inside a batch");
+}

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod batch;
 mod chunk;
 mod element;
 mod job;
@@ -39,9 +40,10 @@ mod operator;
 mod pe;
 mod queue;
 
+pub use batch::{DataBatch, OutputSession};
 pub use chunk::{ChunkedDeque, CHUNK_CAP};
 pub use element::{DataElement, Payload, PeId, StreamId, DEFAULT_ELEMENT_BYTES, FIRST_SEQ};
 pub use job::{BuildJobError, Consumer, Job, JobBuilder, PeSpec, Producer, SourceId, SubjobId};
 pub use operator::{AggKind, Emitter, Operator, OperatorFactory, OperatorSpec, OperatorState};
-pub use pe::{Dest, InstanceId, PeCheckpoint, PeInstance, Replica, SinkId, WorkItem};
+pub use pe::{Dest, InstanceId, PeCheckpoint, PeInstance, Replica, SinkId, WorkBatch, WorkItem};
 pub use queue::{Connection, ConnectionId, InputQueue, Offer, OutputQueue, OutputQueueState};

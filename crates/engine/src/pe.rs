@@ -150,6 +150,17 @@ pub struct WorkItem {
     pub demand_secs: f64,
 }
 
+/// A batch of in-flight elements submitted as one CPU task: up to
+/// `batch_size` elements dequeued round-robin, with their demands summed.
+/// At batch size 1 this is exactly one [`WorkItem`]'s worth of work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkBatch {
+    /// Elements taken in flight by this batch.
+    pub elements: u32,
+    /// Summed CPU demand in seconds.
+    pub demand_secs: f64,
+}
+
 /// One deployed copy of a PE.
 #[derive(Debug)]
 pub struct PeInstance {
@@ -160,7 +171,11 @@ pub struct PeInstance {
     outputs: Vec<OutputQueue<Dest>>,
     suspended: bool,
     pause_requested: bool,
-    inflight: Option<(DataElement, usize)>,
+    /// Elements currently on the CPU, oldest first. Singleton except when
+    /// the runtime starts a multi-element batch; completion drains it in
+    /// dequeue order so per-element semantics (lineage parents, acks,
+    /// output stamping) are preserved under batching.
+    inflight: std::collections::VecDeque<(DataElement, usize)>,
     next_input_port: usize,
     processed_total: u64,
     /// Reused per-element output collector; capacity persists across
@@ -185,7 +200,7 @@ impl PeInstance {
             outputs: out_streams.iter().map(|&s| OutputQueue::new(s)).collect(),
             suspended: false,
             pause_requested: false,
-            inflight: None,
+            inflight: std::collections::VecDeque::new(),
             next_input_port: 0,
             processed_total: 0,
             scratch_emitter: Emitter::default(),
@@ -256,7 +271,7 @@ impl PeInstance {
     pub fn can_start(&self) -> bool {
         !self.suspended
             && !self.pause_requested
-            && self.inflight.is_none()
+            && self.inflight.is_empty()
             && self.inputs.iter().any(|q| q.pending_len() > 0)
     }
 
@@ -271,7 +286,7 @@ impl PeInstance {
             let port = (self.next_input_port + i) % ports;
             if let Some(elem) = self.inputs[port].take_next() {
                 self.next_input_port = (port + 1) % ports;
-                self.inflight = Some((elem, port));
+                self.inflight.push_back((elem, port));
                 return Some(WorkItem {
                     element: elem,
                     port,
@@ -282,10 +297,40 @@ impl PeInstance {
         None
     }
 
-    /// Completes the in-flight element: applies the operator, advances the
-    /// processed position, and stamps the outputs into the output queues.
-    /// Returns the produced elements as `(port, element)` pairs; the runtime
-    /// transmits them by draining each connection.
+    /// Dequeues up to `max` elements (round-robin across ports, exactly as
+    /// repeated [`PeInstance::start_next`] would) into one in-flight batch
+    /// and returns the summed CPU work, or `None` if nothing can start. At
+    /// `max == 1` this is equivalent to `start_next`.
+    pub fn start_next_batch(&mut self, max: u32) -> Option<WorkBatch> {
+        if !self.can_start() {
+            return None;
+        }
+        let ports = self.inputs.len();
+        let mut elements = 0u32;
+        let mut demand_secs = 0.0f64;
+        'fill: while elements < max {
+            for i in 0..ports {
+                let port = (self.next_input_port + i) % ports;
+                if let Some(elem) = self.inputs[port].take_next() {
+                    self.next_input_port = (port + 1) % ports;
+                    demand_secs += self.operator.demand_secs(&elem);
+                    self.inflight.push_back((elem, port));
+                    elements += 1;
+                    continue 'fill;
+                }
+            }
+            break;
+        }
+        (elements > 0).then_some(WorkBatch {
+            elements,
+            demand_secs,
+        })
+    }
+
+    /// Completes the oldest in-flight element: applies the operator,
+    /// advances the processed position, and stamps the outputs into the
+    /// output queues. Returns the produced elements as `(port, element)`
+    /// pairs; the runtime transmits them by draining each connection.
     ///
     /// # Panics
     ///
@@ -299,6 +344,8 @@ impl PeInstance {
     /// Like [`PeInstance::finish_inflight`], but appends the produced
     /// elements to a caller-owned buffer — the runtime's hot path reuses one
     /// scratch buffer per world so completing an element allocates nothing.
+    /// Under batching the runtime calls this once per in-flight element, in
+    /// dequeue order, when the batch's CPU task completes.
     ///
     /// # Panics
     ///
@@ -306,7 +353,7 @@ impl PeInstance {
     pub fn finish_inflight_into(&mut self, now: SimTime, out: &mut Vec<(usize, DataElement)>) {
         let (elem, port) = self
             .inflight
-            .take()
+            .pop_front()
             .expect("finish_inflight called with no element in flight");
         let mut emitter = std::mem::take(&mut self.scratch_emitter);
         self.operator.process(port, &elem, &mut emitter);
@@ -320,21 +367,33 @@ impl PeInstance {
         self.scratch_emitter = emitter;
     }
 
-    /// `true` while an element is being processed on the CPU.
+    /// `true` while at least one element is being processed on the CPU.
     pub fn has_inflight(&self) -> bool {
-        self.inflight.is_some()
+        !self.inflight.is_empty()
     }
 
-    /// The element currently being processed, if any (lineage tracking
-    /// reads it to link produced outputs to their input).
+    /// Number of elements currently being processed on the CPU (the size
+    /// of the in-flight batch).
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// The in-flight elements in dequeue order (lineage stamps processing
+    /// start for each element of a just-started batch).
+    pub fn inflight_elems(&self) -> impl Iterator<Item = &DataElement> {
+        self.inflight.iter().map(|(elem, _)| elem)
+    }
+
+    /// The oldest element currently being processed, if any (lineage
+    /// tracking reads it to link produced outputs to their input).
     pub fn inflight_elem(&self) -> Option<&DataElement> {
-        self.inflight.as_ref().map(|(elem, _)| elem)
+        self.inflight.front().map(|(elem, _)| elem)
     }
 
-    /// Drops the in-flight element without applying it (machine fail-stop;
-    /// the element is still retained upstream).
+    /// Drops all in-flight elements without applying them (machine
+    /// fail-stop; the elements are still retained upstream).
     pub fn abort_inflight(&mut self) {
-        self.inflight = None;
+        self.inflight.clear();
     }
 
     /// Total elements fully processed by this instance.
@@ -391,12 +450,12 @@ impl PeInstance {
     /// wait for the in-flight completion before snapshotting.
     pub fn request_pause(&mut self) -> bool {
         self.pause_requested = true;
-        self.inflight.is_none()
+        self.inflight.is_empty()
     }
 
     /// `true` once a requested pause has quiesced.
     pub fn is_quiescent(&self) -> bool {
-        self.pause_requested && self.inflight.is_none()
+        self.pause_requested && self.inflight.is_empty()
     }
 
     /// Clears the pause and resumes the processing loop.
@@ -418,7 +477,7 @@ impl PeInstance {
     /// `ackPEPause()` handshake.
     pub fn snapshot(&self, now: SimTime) -> PeCheckpoint {
         assert!(
-            self.inflight.is_none(),
+            self.inflight.is_empty(),
             "cannot snapshot {} mid-element; pause first",
             self.id
         );
@@ -484,7 +543,7 @@ impl PeInstance {
                 q.offer(elem);
             }
         }
-        self.inflight = None;
+        self.inflight.clear();
     }
 
     /// The processed positions of every input port (for acknowledgment

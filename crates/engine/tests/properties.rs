@@ -206,3 +206,73 @@ fn replicas_are_equivalent_through_the_runtime() {
     assert_eq!(out_a, out_b);
     assert_eq!(a.snapshot(SimTime::ZERO), b.snapshot(SimTime::ZERO));
 }
+
+/// Coalescing: for random dispatch interleavings (destinations, streams,
+/// and stream switches chosen at random), draining an [`OutputSession`]
+/// run-by-run delivers exactly the same elements in exactly the same order
+/// as a naive one-element-per-message reference, and expanding each run's
+/// `(stream, seq_start..=seq_end)` range stamp reproduces the reference's
+/// per-tuple lineage totals — no element is absorbed into or invented by a
+/// range.
+#[test]
+fn output_session_coalescing_matches_naive_reference() {
+    use std::collections::BTreeMap;
+
+    use sps_engine::OutputSession;
+
+    let mut rng = SimRng::seed_from(0xBA7C);
+    for case in 0..64 {
+        let batch_size = [1u32, 2, 3, 8, 64][rng.uniform_u64(0, 5) as usize];
+        let mut session: OutputSession<u8> = OutputSession::new(batch_size);
+        let mut naive: Vec<(u8, DataElement)> = Vec::new();
+        let mut next_seq = [1u64; 2];
+        for _ in 0..rng.uniform_u64(1, 200) {
+            let dest = rng.uniform_u64(0, 3) as u8;
+            let stream = rng.uniform_u64(0, 2) as usize;
+            let e = elem(stream as u32, next_seq[stream], 0.0);
+            next_seq[stream] += 1;
+            session.give(dest, e);
+            naive.push((dest, e));
+        }
+        assert_eq!(session.element_count(), naive.len(), "case {case}");
+
+        let mut flattened: Vec<(u8, DataElement)> = Vec::new();
+        let mut range_totals: BTreeMap<(u32, u64), u64> = BTreeMap::new();
+        for i in 0..session.run_count() {
+            let (dest, run) = session.run(i);
+            assert!(!run.is_empty(), "case {case}: empty run");
+            assert!(
+                run.len() <= batch_size as usize,
+                "case {case}: run exceeds batch size"
+            );
+            for (j, e) in run.iter().enumerate() {
+                assert_eq!(e.stream, run[0].stream, "case {case}: mixed-stream run");
+                assert_eq!(
+                    e.seq,
+                    run[0].seq + j as u64,
+                    "case {case}: non-consecutive run"
+                );
+                flattened.push((dest, *e));
+            }
+            // The range stamp a DataBatch would carry for this run.
+            let (seq_start, seq_end) = (run[0].seq, run[run.len() - 1].seq);
+            for seq in seq_start..=seq_end {
+                *range_totals.entry((run[0].stream.0, seq)).or_insert(0) += 1;
+            }
+        }
+        assert_eq!(flattened, naive, "case {case}: delivered order differs");
+
+        let mut naive_totals: BTreeMap<(u32, u64), u64> = BTreeMap::new();
+        for (_, e) in &naive {
+            *naive_totals.entry((e.stream.0, e.seq)).or_insert(0) += 1;
+        }
+        assert_eq!(
+            range_totals, naive_totals,
+            "case {case}: lineage decomposition differs"
+        );
+
+        session.clear();
+        assert_eq!(session.run_count(), 0);
+        assert_eq!(session.element_count(), 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! A safe bump arena for cold-path scratch allocations.
+//!
+//! Several cold paths above this crate (checkpoint assembly, rewind and
+//! retransmission buffers) briefly need variable-length scratch lists whose
+//! lifetimes all end at a known safe point. Allocating a fresh `Vec` per use
+//! shows up in the allocation profile; a [`BumpArena`] instead hands out
+//! index ranges into one growing backing `Vec` and releases everything at
+//! once with [`BumpArena::reset`], which keeps the capacity. After warm-up
+//! the arena allocates only when a burst exceeds every previous burst.
+//!
+//! The arena is deliberately `unsafe`-free: "allocations" are `(start, end)`
+//! index ranges resolved through [`BumpArena::slice`], so the borrow checker
+//! still sees one owner. That costs an index indirection on access — fine
+//! for cold paths, which is the only place this type belongs.
+
+/// A region allocated from a [`BumpArena`]: a `(start, end)` index range
+/// into the arena's backing storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaRange {
+    start: usize,
+    end: usize,
+}
+
+impl ArenaRange {
+    /// Number of items in the range.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` if the range holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// A bump arena over items of type `T`.
+///
+/// ```
+/// use sps_sim::BumpArena;
+///
+/// let mut arena: BumpArena<u32> = BumpArena::new();
+/// let r = arena.alloc_extend([1, 2, 3]);
+/// assert_eq!(arena.slice(r), &[1, 2, 3]);
+/// arena.reset(); // all ranges released, capacity kept
+/// assert_eq!(arena.len(), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct BumpArena<T> {
+    items: Vec<T>,
+    high_water: usize,
+}
+
+impl<T> BumpArena<T> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        BumpArena {
+            items: Vec::new(),
+            high_water: 0,
+        }
+    }
+
+    /// Bump-allocates a region holding the items of `iter`, in order.
+    pub fn alloc_extend(&mut self, iter: impl IntoIterator<Item = T>) -> ArenaRange {
+        let start = self.items.len();
+        self.items.extend(iter);
+        let end = self.items.len();
+        if end > self.high_water {
+            self.high_water = end;
+        }
+        ArenaRange { start, end }
+    }
+
+    /// The items of a previously allocated range.
+    pub fn slice(&self, range: ArenaRange) -> &[T] {
+        &self.items[range.start..range.end]
+    }
+
+    /// Items currently allocated (across all live ranges).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing is allocated.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Largest occupancy ever reached, in items — the arena's steady-state
+    /// capacity demand.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Releases every range at once, keeping the backing capacity. All
+    /// previously returned [`ArenaRange`]s are invalidated (using one
+    /// afterwards panics or reads newer data); callers reset only at safe
+    /// points where no range is live.
+    pub fn reset(&mut self) {
+        self.items.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_are_independent_and_ordered() {
+        let mut arena: BumpArena<u64> = BumpArena::new();
+        let a = arena.alloc_extend([1, 2]);
+        let b = arena.alloc_extend(3..=5);
+        let empty = arena.alloc_extend(std::iter::empty());
+        assert_eq!(arena.slice(a), &[1, 2]);
+        assert_eq!(arena.slice(b), &[3, 4, 5]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+        assert_eq!(a.len(), 2);
+        assert_eq!(arena.len(), 5);
+        assert!(!arena.is_empty());
+    }
+
+    #[test]
+    fn reset_keeps_capacity_and_tracks_high_water() {
+        let mut arena: BumpArena<u32> = BumpArena::new();
+        arena.alloc_extend(0..100);
+        assert_eq!(arena.high_water(), 100);
+        arena.reset();
+        assert!(arena.is_empty());
+        assert_eq!(arena.high_water(), 100, "high water survives reset");
+        let r = arena.alloc_extend(0..10);
+        assert_eq!(arena.slice(r).len(), 10);
+        assert_eq!(arena.high_water(), 100, "smaller bursts do not raise it");
+    }
+}

@@ -49,6 +49,7 @@
 #![cfg_attr(feature = "bench", deny(unsafe_code))]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod arena;
 #[cfg(feature = "bench")]
 pub mod counting_alloc;
 mod queue;
@@ -58,6 +59,7 @@ pub mod stats;
 mod time;
 mod timer;
 
+pub use arena::{ArenaRange, BumpArena};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 #[cfg(feature = "bench")]

@@ -59,6 +59,12 @@ pub struct EventQueue<E> {
     wheel: Wheel<E>,
     next_seq: u64,
     peak_len: usize,
+    /// Summed weights of pending events. Weight is the number of logical
+    /// elements an event represents (1 for everything but batched data
+    /// deliveries), so this — not entry count — is the queue-depth figure
+    /// that stays comparable across batch sizes.
+    pending_weight: u64,
+    peak_weight: u64,
 }
 
 /// Log2 of the wheel tick length in nanoseconds: one tick ≈ 1.05 ms.
@@ -226,6 +232,9 @@ impl<E> Wheel<E> {
 struct Entry<E> {
     time: SimTime,
     seq: u64,
+    /// Logical elements this event represents (see
+    /// [`EventQueue::push_weighted`]); never consulted for ordering.
+    weight: u64,
     event: E,
 }
 
@@ -264,14 +273,31 @@ impl<E> EventQueue<E> {
             wheel: Wheel::new(),
             next_seq: 0,
             peak_len: 0,
+            pending_weight: 0,
+            peak_weight: 0,
         }
     }
 
-    /// Schedules `event` to fire at `time`.
+    /// Schedules `event` to fire at `time`, with weight 1.
     pub fn push(&mut self, time: SimTime, event: E) {
+        self.push_weighted(time, event, 1);
+    }
+
+    /// Schedules `event` to fire at `time`, carrying `weight` logical
+    /// elements. Weight affects only the [`EventQueue::pending_weight`] /
+    /// [`EventQueue::peak_weight`] accounting, never ordering: a batched
+    /// data delivery is one heap entry but `batch.len()` elements in
+    /// flight, and depth statistics must count the latter to stay
+    /// comparable across batch sizes.
+    pub fn push_weighted(&mut self, time: SimTime, event: E, weight: u64) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let entry = Entry { time, seq, event };
+        let entry = Entry {
+            time,
+            seq,
+            weight,
+            event,
+        };
         let tick = time.as_nanos() >> TICK_SHIFT;
         let delta = tick.saturating_sub(self.wheel.cur);
         if (WHEEL_MIN_DELTA..SPAN[2]).contains(&delta) {
@@ -289,6 +315,12 @@ impl<E> EventQueue<E> {
         let len = self.len();
         if len > self.peak_len {
             self.peak_len = len;
+        }
+        // Wheel settles only move entries between internal structures, so
+        // pending weight changes here and in `pop_front` alone.
+        self.pending_weight += weight;
+        if self.pending_weight > self.peak_weight {
+            self.peak_weight = self.pending_weight;
         }
     }
 
@@ -337,10 +369,12 @@ impl<E> EventQueue<E> {
     }
 
     fn pop_front(&mut self, which: Front) -> Option<(SimTime, E)> {
-        match which {
-            Front::Near => self.near.pop_front().map(|e| (e.time, e.event)),
-            Front::Heap => self.heap.pop().map(|e| (e.time, e.event)),
-        }
+        let entry = match which {
+            Front::Near => self.near.pop_front(),
+            Front::Heap => self.heap.pop(),
+        }?;
+        self.pending_weight -= entry.weight;
+        Some((entry.time, entry.event))
     }
 
     /// Removes and returns the earliest event, FIFO among ties.
@@ -389,6 +423,18 @@ impl<E> EventQueue<E> {
     /// High-water mark of pending events over the queue's lifetime.
     pub fn peak_len(&self) -> usize {
         self.peak_len
+    }
+
+    /// Summed weights (logical elements) of pending events.
+    pub fn pending_weight(&self) -> u64 {
+        self.pending_weight
+    }
+
+    /// High-water mark of [`EventQueue::pending_weight`] over the queue's
+    /// lifetime. Equal to [`EventQueue::peak_len`] when every push used
+    /// weight 1.
+    pub fn peak_weight(&self) -> u64 {
+        self.peak_weight
     }
 }
 
@@ -448,6 +494,38 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert_eq!(q.scheduled_total(), 2);
         assert_eq!(q.peak_len(), 2, "peak is a high-water mark");
+    }
+
+    #[test]
+    fn weighted_pushes_count_logical_elements() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, 0); // weight 1
+        q.push_weighted(SimTime::from_millis(1), 1, 16); // a 16-element batch
+        assert_eq!(q.len(), 2, "entry count is unchanged by weight");
+        assert_eq!(q.pending_weight(), 17);
+        assert_eq!(q.peak_weight(), 17);
+        q.pop();
+        assert_eq!(q.pending_weight(), 16);
+        q.pop();
+        assert_eq!(q.pending_weight(), 0);
+        assert_eq!(q.peak_weight(), 17, "peak weight is a high-water mark");
+        assert_eq!(q.peak_len(), 2);
+    }
+
+    /// Weight accounting must survive the wheel's internal settles: a
+    /// far-future weighted push moves wheel → heap without touching the
+    /// pending weight.
+    #[test]
+    fn weighted_pushes_survive_wheel_staging() {
+        let mut q = EventQueue::new();
+        q.push_weighted(SimTime::from_secs(30), 'a', 64); // staged in the wheel
+        q.push_weighted(SimTime::from_millis(3), 'b', 4);
+        assert_eq!(q.pending_weight(), 68);
+        assert_eq!(q.pop(), Some((SimTime::from_millis(3), 'b')));
+        assert_eq!(q.pending_weight(), 64, "settle did not double-count");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(30), 'a')));
+        assert_eq!(q.pending_weight(), 0);
+        assert_eq!(q.peak_weight(), 68);
     }
 
     #[test]

@@ -91,6 +91,18 @@ impl<E> Ctx<E> {
         self.queue.push(at.max(self.now), event);
     }
 
+    /// Like [`Ctx::schedule_at`], but the event carries `weight` logical
+    /// elements for queue-depth accounting (a batched data delivery is one
+    /// event but `batch.len()` elements in flight).
+    pub fn schedule_at_weighted(&mut self, at: SimTime, event: E, weight: u64) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
+        self.queue.push_weighted(at.max(self.now), event, weight);
+    }
+
     /// The simulation RNG.
     pub fn rng(&mut self) -> &mut SimRng {
         &mut self.rng
@@ -117,10 +129,13 @@ impl<E> Drop for Ctx<E> {
         // Fold this run's totals into the process-wide counters so harnesses
         // (e.g. `bench_runner`) can report events/sec without threading a
         // handle through every figure.
+        // Peak depth is reported in logical elements (`peak_weight`), not
+        // heap entries, so the figure stays comparable across batch sizes;
+        // with every event at weight 1 the two are identical.
         crate::stats::record_run(
             self.processed,
             self.queue.scheduled_total(),
-            self.queue.peak_len() as u64,
+            self.queue.peak_weight(),
         );
     }
 }

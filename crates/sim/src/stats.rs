@@ -1,8 +1,10 @@
 //! Process-wide simulation throughput counters.
 //!
 //! Every [`Simulation`](crate::Simulation) folds its lifetime totals (events
-//! processed, events scheduled, peak pending-queue depth) into these atomics
-//! when its context is dropped. Benchmark harnesses read them with
+//! processed, events scheduled, peak pending-queue depth in *logical
+//! elements* — a batched delivery counts its batch length, not one heap
+//! entry) into these atomics when its context is dropped. Benchmark
+//! harnesses read them with
 //! [`snapshot`] or [`take`] to report events/sec for a batch of runs without
 //! threading a stats handle through every experiment.
 //!
@@ -32,7 +34,9 @@ pub struct SimStats {
     pub events_processed: u64,
     /// Events ever scheduled across all completed runs.
     pub events_scheduled: u64,
-    /// Largest pending-queue depth any single run reached.
+    /// Largest pending-queue depth any single run reached, counted in
+    /// logical elements in flight (an event scheduled with weight `w`
+    /// contributes `w`), so the figure is comparable across batch sizes.
     pub peak_queue_depth: u64,
 }
 

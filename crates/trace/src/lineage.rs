@@ -178,6 +178,24 @@ impl LineageTable {
         }
     }
 
+    /// [`LineageTable::note_sent`] over the inclusive sequence range
+    /// `seq_start..=seq_end` of `stream` — how a range-stamped batch
+    /// expands to per-tuple stamps. The expansion stays lazy on the batch
+    /// side: the batch carries one stamp, and only this table fans it out.
+    pub fn note_sent_range(&mut self, stream: u32, seq_start: u64, seq_end: u64, at: SimTime) {
+        for seq in seq_start..=seq_end {
+            self.note_sent((stream, seq), at);
+        }
+    }
+
+    /// [`LineageTable::note_recv`] over the inclusive sequence range
+    /// `seq_start..=seq_end` of `stream`.
+    pub fn note_recv_range(&mut self, stream: u32, seq_start: u64, seq_end: u64, at: SimTime) {
+        for seq in seq_start..=seq_end {
+            self.note_recv((stream, seq), at);
+        }
+    }
+
     /// Records the first processing start of `key` (later copies no-op).
     pub fn note_proc_start(&mut self, key: ElementKey, at: SimTime) {
         if let Some(r) = self.records.get_mut(&key) {
@@ -192,6 +210,16 @@ impl LineageTable {
     pub fn mark_retransmit(&mut self, key: ElementKey) {
         if let Some(r) = self.records.get_mut(&key) {
             r.retransmits += 1;
+        }
+    }
+
+    /// [`LineageTable::mark_retransmit`] over the inclusive sequence range
+    /// `seq_start..=seq_end` of `stream` (a rewound send cursor covers a
+    /// contiguous run; under batching the resend splits on the acked
+    /// boundary but the rewind itself is still one range).
+    pub fn mark_retransmit_range(&mut self, stream: u32, seq_start: u64, seq_end: u64) {
+        for seq in seq_start..=seq_end {
+            self.mark_retransmit((stream, seq));
         }
     }
 
@@ -345,6 +373,28 @@ mod tests {
         l.record_delivery(0, 2, 4, t(12)); // gap fill covers 3 and 4
         let seqs: Vec<u64> = l.delivered().iter().map(|((_, s), _)| *s).collect();
         assert_eq!(seqs, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn range_stamps_expand_to_per_tuple_records() {
+        let mut l = LineageTable::new();
+        for s in 1..=5 {
+            l.record_root((3, s), t(s));
+        }
+        l.note_sent_range(3, 2, 4, t(10));
+        l.note_recv_range(3, 2, 4, t(12));
+        l.mark_retransmit_range(3, 3, 4);
+        assert_eq!(l.record((3, 1)).unwrap().sent_at, None, "outside range");
+        for s in 2..=4 {
+            let r = l.record((3, s)).unwrap();
+            assert_eq!(r.sent_at, Some(t(10)));
+            assert_eq!(r.recv_at, Some(t(12)));
+            assert_eq!(r.retransmitted(), s >= 3);
+        }
+        // Range stamps are first-writer-wins per tuple, like the scalar API.
+        l.note_sent_range(3, 1, 5, t(20));
+        assert_eq!(l.record((3, 2)).unwrap().sent_at, Some(t(10)));
+        assert_eq!(l.record((3, 5)).unwrap().sent_at, Some(t(20)));
     }
 
     #[test]
