@@ -72,6 +72,10 @@ struct FigureBench {
     /// Heap allocations per DES event over the figure's serial run.
     /// `None` without `--features bench` (no counting allocator installed).
     allocs_per_event: Option<f64>,
+    /// Live-heap high-water mark during the figure's serial run (the
+    /// counting allocator's peak is reset before each figure). `None`
+    /// without `--features bench`.
+    peak_live_bytes: Option<u64>,
 }
 
 /// Reads `--out <path>` / `--out=<path>` from argv (default
@@ -116,18 +120,24 @@ fn main() {
     for &(name, f) in &figures {
         sps_sim::stats::take(); // delimit this figure's counter window
         #[cfg(feature = "bench")]
-        let alloc0 = counting_alloc::allocations();
+        let alloc0 = {
+            counting_alloc::reset_peak_live();
+            counting_alloc::allocations()
+        };
         let t0 = Instant::now();
         let _ = f(&serial, opts.scale, opts.seed);
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         let stats = sps_sim::stats::take();
         #[cfg(feature = "bench")]
-        let allocs_per_event = Some(
-            (counting_alloc::allocations() - alloc0) as f64
-                / (stats.events_processed as f64).max(1.0),
+        let (allocs_per_event, peak_live_bytes) = (
+            Some(
+                (counting_alloc::allocations() - alloc0) as f64
+                    / (stats.events_processed as f64).max(1.0),
+            ),
+            Some(counting_alloc::peak_live_bytes()),
         );
         #[cfg(not(feature = "bench"))]
-        let allocs_per_event = None;
+        let (allocs_per_event, peak_live_bytes) = (None, None);
         serial_total_ms += wall_ms;
         per_figure.push(FigureBench {
             name,
@@ -137,6 +147,7 @@ fn main() {
             events_per_sec: stats.events_processed as f64 / (wall_ms / 1e3).max(1e-9),
             peak_queue_depth: stats.peak_queue_depth,
             allocs_per_event,
+            peak_live_bytes,
         });
         if stats.events_processed == 0 {
             eprintln!("  {name}: {wall_ms:.0} ms, analytic (no simulation)");
@@ -202,7 +213,7 @@ fn main() {
             json.push_str(&format!(
                 "    {{\"name\": \"{}\", \"wall_ms\": {}, \"events\": {}, \
                  \"events_per_sec\": {}, \"peak_queue_depth\": {}, \
-                 \"allocs_per_event\": {}}}{comma}\n",
+                 \"allocs_per_event\": {}, \"peak_live_bytes\": {}}}{comma}\n",
                 b.name,
                 json_f(b.wall_ms),
                 b.events,
@@ -210,6 +221,10 @@ fn main() {
                 b.peak_queue_depth,
                 match b.allocs_per_event {
                     Some(a) => json_f(a),
+                    None => "null".to_string(),
+                },
+                match b.peak_live_bytes {
+                    Some(p) => p.to_string(),
                     None => "null".to_string(),
                 },
             ));
@@ -225,6 +240,13 @@ fn main() {
         json_f(parallel_total_ms)
     ));
     json.push_str(&format!("  \"speedup\": {},\n", json_f(speedup)));
+    json.push_str(&format!(
+        "  \"peak_rss_bytes\": {},\n",
+        match sps_bench::common::peak_rss_bytes() {
+            Some(rss) => rss.to_string(),
+            None => "null".to_string(),
+        }
+    ));
     json.push_str(&format!(
         "  \"parallel_note\": {}\n",
         match &parallel_note {

@@ -179,6 +179,19 @@ impl Experiment {
     }
 }
 
+/// The process's peak resident set size in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where procfs is unavailable (non-Linux
+/// hosts). This is an OS-level high-water mark for the whole process —
+/// cumulative across cells, so per-figure attribution needs the
+/// `bench`-feature live-bytes counters; the RSS reading contextualizes
+/// them against real memory pressure.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 /// Formats a float with 2 decimals.
 pub fn f2(x: f64) -> String {
     format!("{x:.2}")
@@ -275,6 +288,13 @@ mod tests {
         let written = std::fs::read_to_string(dir.join("figure_99.csv")).unwrap();
         assert_eq!(written, "x\n1\n");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        if let Some(rss) = peak_rss_bytes() {
+            assert!(rss > 0);
+        }
     }
 
     #[test]

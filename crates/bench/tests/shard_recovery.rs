@@ -1,0 +1,147 @@
+//! Per-shard recovery in a key-partitioned sharded job.
+//!
+//! The sharded topology (router + one subjob per shard) must recover a
+//! failed shard through that shard's own checkpoint/standby machinery
+//! while every other shard keeps processing undisturbed — the whole point
+//! of making each shard its own subjob.
+
+use sps_cluster::FaultTopology;
+use sps_engine::SubjobId;
+use sps_ha::{HaMode, HaSimulation, RateProfile, SjState};
+use sps_sim::{SimDuration, SimTime};
+use sps_workloads::{sharded_job, sharded_placement, single_failure, ZipfKeys};
+
+const SHARDS: usize = 4;
+
+/// Builds a 4-shard Zipf-keyed job on an 83-machine grid; returns the sim
+/// plus the placement (for failure injection).
+fn build(
+    mode: Option<HaMode>,
+    per_shard: &[(usize, HaMode)],
+    seed: u64,
+) -> (HaSimulation, sps_ha::Placement) {
+    let job = sharded_job(SHARDS, 5e-4, 32);
+    let topology = FaultTopology::grid(83, 4, 3);
+    let placement = sharded_placement(&job, 83, &topology);
+    let mut b = HaSimulation::builder(job)
+        .topology(topology)
+        .placement(placement.clone())
+        .tune(|c| c.checkpoint_interval = SimDuration::from_secs(1))
+        .source_profile(
+            0,
+            RateProfile::Constant { per_sec: 1_000.0 },
+            ZipfKeys::new(100_000, 1.2).payload_gen(),
+        )
+        .log_sink_accepts(true)
+        .seed(seed);
+    if let Some(m) = mode {
+        b = b.mode(m);
+    }
+    for &(shard, m) in per_shard {
+        let sj = SubjobId(1 + shard as u32);
+        b = b.subjob_mode(sj, m);
+    }
+    (b.build(), placement)
+}
+
+/// Failing the hot shard's primary recovers that shard through its own
+/// checkpoint path; the other shards never leave `Normal` and the sink
+/// keeps accepting throughout.
+#[test]
+fn hot_shard_recovers_without_disturbing_others() {
+    let zipf = ZipfKeys::new(100_000, 1.2);
+    let hot = zipf.hot_shard(SHARDS as u32) as usize;
+    let (mut sim, placement) = build(Some(HaMode::Passive), &[], 42);
+    let subjob = SubjobId(1 + hot as u32);
+    let failure_at = SimTime::from_secs(5);
+    sim.inject_spike_windows(
+        placement.primaries[subjob.0 as usize],
+        &single_failure(failure_at, SimDuration::from_secs(10)),
+    );
+
+    sim.run_until(failure_at + SimDuration::from_millis(150));
+    let accepted_mid = sim.report().sink_accepted;
+    // Healthy shards keep feeding the sink even while the hot shard is down.
+    assert!(
+        accepted_mid > 0,
+        "sink should have accepted elements by +150ms"
+    );
+    for s in 0..SHARDS {
+        if s == hot {
+            continue;
+        }
+        assert_eq!(
+            sim.world().subjob(SubjobId(1 + s as u32)).state,
+            SjState::Normal,
+            "healthy shard {s} left Normal during the hot shard's outage"
+        );
+    }
+
+    sim.run_until(failure_at + SimDuration::from_secs(2));
+    let timeline = sim
+        .recovery_timeline(subjob, failure_at)
+        .expect("hot shard should have a recovery timeline");
+    assert!(
+        timeline.detected_ms > 0.0 && timeline.ready_ms >= timeline.detected_ms,
+        "detect {} ms / ready {} ms out of order",
+        timeline.detected_ms,
+        timeline.ready_ms
+    );
+    assert_eq!(
+        sim.world().subjob(subjob).state,
+        SjState::Normal,
+        "hot shard should be back to Normal two seconds after the failure"
+    );
+    let accepted_late = sim.report().sink_accepted;
+    assert!(
+        accepted_late > accepted_mid,
+        "sink accepts should keep growing after recovery ({accepted_late} vs {accepted_mid})"
+    );
+}
+
+/// The same failure leaves a *different* (cold) shard's subjob untouched:
+/// its recovery_timeline stays empty because it never failed.
+#[test]
+fn unfailed_shards_have_no_recovery_timeline() {
+    let zipf = ZipfKeys::new(100_000, 1.2);
+    let hot = zipf.hot_shard(SHARDS as u32) as usize;
+    let cold = zipf.cold_shard(SHARDS as u32) as usize;
+    assert_ne!(hot, cold);
+    let (mut sim, placement) = build(Some(HaMode::Passive), &[], 42);
+    let failure_at = SimTime::from_secs(5);
+    sim.inject_spike_windows(
+        placement.primaries[1 + hot],
+        &single_failure(failure_at, SimDuration::from_secs(10)),
+    );
+    sim.run_until(failure_at + SimDuration::from_secs(2));
+    assert!(sim
+        .recovery_timeline(SubjobId(1 + hot as u32), failure_at)
+        .is_some());
+    assert!(
+        sim.recovery_timeline(SubjobId(1 + cold as u32), failure_at)
+            .is_none(),
+        "cold shard never failed, so it must not report a recovery"
+    );
+}
+
+/// Shards can run different HA modes side by side (per-subjob overrides):
+/// the job still builds, runs, and delivers elements, and each shard's
+/// subjob reports the mode it was given.
+#[test]
+fn per_shard_modes_coexist() {
+    let overrides = [
+        (0, HaMode::Active),
+        (1, HaMode::Passive),
+        (2, HaMode::Hybrid),
+    ];
+    let (mut sim, _) = build(None, &overrides, 7);
+    sim.run_for(SimDuration::from_secs(5));
+    for &(shard, mode) in &overrides {
+        let sj = sim.world().subjob(SubjobId(1 + shard as u32));
+        assert_eq!(sj.mode, mode, "shard {shard} should run its override mode");
+    }
+    assert!(
+        sim.report().sink_accepted > 0,
+        "mixed-mode sharded job should still deliver elements"
+    );
+}

@@ -8,6 +8,31 @@
 //! than teleport. Loopback messages (same machine) pay only a small local
 //! cost.
 //!
+//! # Storage: dense per-machine, sparse per-link
+//!
+//! A cluster of `n` machines has `n²` ordered links, but at any instant
+//! only the links that recently carried traffic or have chaos installed
+//! matter. Per-*machine* state (partition/fault degrees used to gate the
+//! lookups below) lives in dense `O(n)` vectors grown by amortized
+//! doubling. Per-*link* state is `O(active links)`:
+//!
+//! * busy-until times in a hash map keyed by the packed `(src, dst)` pair
+//!   (a fixed, deterministic hasher — no per-process seed), with expired
+//!   entries reclaimed in bulk once the map crosses a size threshold
+//!   (an entry whose serializer freed at or before `now` is
+//!   indistinguishable from an absent one, so reclamation never changes
+//!   a verdict; the DES clock is monotone, which makes the sweep safe);
+//! * partition flags in a sorted set of packed unordered pairs;
+//! * chaos profiles in a sorted map of packed ordered pairs;
+//! * Gilbert–Elliott "bad state" bits as a sorted set of the links
+//!   currently bad (absent ⇔ good, exactly like the dense `false`).
+//!
+//! At 5,000 machines the previous dense `stride × stride` matrices held
+//! ~67M entries *per matrix* (see [`Network::dense_equivalent_bytes`]);
+//! the sparse layout holds one entry per active link and is byte-for-byte
+//! indistinguishable in behavior — delivery times, RNG draw order, and
+//! counters are all unchanged.
+//!
 //! # Fault injection
 //!
 //! A [`FaultProfile`] installed on a directed link (or as the network-wide
@@ -29,6 +54,9 @@
 //! * A duplicated message counts once in `messages_sent` and once in
 //!   [`Network::messages_duplicated`]; the extra copy is bookkept by the
 //!   receiver, not here.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use sps_sim::{SimDuration, SimRng, SimTime};
 
@@ -92,6 +120,53 @@ impl Delivery {
     }
 }
 
+/// Packs the directed link `src -> dst` into one map key.
+#[inline]
+fn link_key(src: MachineId, dst: MachineId) -> u64 {
+    ((src.0 as u64) << 32) | dst.0 as u64
+}
+
+/// Packs the unordered pair `{a, b}` into one map key, normalized to
+/// `(min, max)` so both directions agree.
+#[inline]
+fn pair_key(a: MachineId, b: MachineId) -> u64 {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    link_key(lo, hi)
+}
+
+/// A fixed multiplicative hasher for packed link keys: deterministic
+/// across processes and platforms (unlike `RandomState`), so any
+/// incidental dependence on map internals can never vary run to run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LinkKeyHasher(u64);
+
+impl Hasher for LinkKeyHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-1a fallback; the link maps only ever hash u64 keys.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        // splitmix64 finalizer: full-avalanche, cheap, deterministic.
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type LinkMap<V> = HashMap<u64, V, BuildHasherDefault<LinkKeyHasher>>;
+
+/// Sweep the busy map no earlier than this size: small runs never pay
+/// for reclamation, big runs amortize it against map growth.
+const BUSY_RECLAIM_MIN: usize = 1024;
+
 /// A full-duplex switched network between machines.
 ///
 /// ```
@@ -105,28 +180,29 @@ impl Delivery {
 #[derive(Debug)]
 pub struct Network {
     config: NetworkConfig,
-    /// Per ordered (src, dst) pair: when the link serializer frees up.
-    /// Machine ids are small and dense, so all per-link state lives in
-    /// row-major `stride × stride` matrices indexed by raw ids — the send
-    /// path's per-message lookups are array indexes rather than hashes.
-    link_busy: Vec<SimTime>,
-    /// Per unordered pair (stored at the `(min, max)` index): `true` while
-    /// the pair is partitioned and messages between them are dropped.
-    partitioned: Vec<bool>,
-    /// Per ordered (src, dst) pair: installed chaos fault profile.
-    faults: Vec<Option<FaultProfile>>,
-    /// Per ordered (src, dst) pair: `true` while the link sits in the
-    /// Gilbert–Elliott bad state.
-    burst_bad: Vec<bool>,
-    /// Side length of the link matrices (max machine id seen + 1, rounded
-    /// up to a power of two).
-    stride: usize,
-    /// Number of `true` entries in `partitioned`; lets the send path skip
-    /// the partition lookup entirely on healthy networks.
-    partition_count: usize,
-    /// Number of `Some` entries in `faults`; with `default_faults` it lets
-    /// the send path skip the profile lookup when no chaos is installed.
-    fault_count: usize,
+    /// Per ordered (src, dst) pair with an in-flight or recent message:
+    /// when the link serializer frees up. An absent entry means the link
+    /// is idle (equivalently: freed at `SimTime::ZERO`).
+    link_busy: LinkMap<SimTime>,
+    /// Sweep `link_busy` for expired entries once it reaches this size;
+    /// doubles with the surviving population so reclamation stays O(1)
+    /// amortized per send.
+    busy_reclaim_at: usize,
+    /// Unordered pairs (packed `(min, max)` keys) currently partitioned.
+    partitioned: BTreeSet<u64>,
+    /// Ordered pairs (packed keys) with an installed chaos fault profile.
+    faults: BTreeMap<u64, FaultProfile>,
+    /// Ordered pairs currently in the Gilbert–Elliott bad state. Absent
+    /// means good, so links never touched by a burst draw cost nothing.
+    burst_bad: BTreeSet<u64>,
+    /// Dense per-machine layer: how many active partitions touch each
+    /// machine. Lets the send path skip the pair lookup unless *both*
+    /// endpoints are involved in some partition.
+    partition_degree: Vec<u32>,
+    /// Dense per-machine layer: how many per-link profiles have this
+    /// machine as the source. Skips the profile lookup for machines that
+    /// only the default profile (if any) covers.
+    fault_out_degree: Vec<u32>,
     /// Profile applied to links without a per-link profile.
     default_faults: Option<FaultProfile>,
     /// Dedicated RNG stream for chaos draws; consumed only for sends that
@@ -149,13 +225,13 @@ impl Network {
         );
         Network {
             config,
-            link_busy: Vec::new(),
-            partitioned: Vec::new(),
-            faults: Vec::new(),
-            burst_bad: Vec::new(),
-            stride: 0,
-            partition_count: 0,
-            fault_count: 0,
+            link_busy: LinkMap::default(),
+            busy_reclaim_at: BUSY_RECLAIM_MIN,
+            partitioned: BTreeSet::new(),
+            faults: BTreeMap::new(),
+            burst_bad: BTreeSet::new(),
+            partition_degree: Vec::new(),
+            fault_out_degree: Vec::new(),
             default_faults: None,
             chaos_rng: SimRng::seed_from(0),
             messages_sent: 0,
@@ -174,18 +250,27 @@ impl Network {
         // Offered-traffic counters always move together (see module docs).
         self.messages_sent += 1;
         self.bytes_sent += bytes;
-        self.ensure_stride(src, dst);
-        if self.partition_count > 0 && self.partitioned[self.pair_idx(src, dst)] {
+        self.reclaim_expired(now);
+        if !self.partitioned.is_empty()
+            && self.degree(&self.partition_degree, src) > 0
+            && self.degree(&self.partition_degree, dst) > 0
+            && self.partitioned.contains(&pair_key(src, dst))
+        {
             self.messages_dropped += 1;
             self.bytes_dropped += bytes;
             return Delivery::Dropped;
         }
         // Loopback never traverses a faulty link, and most runs install no
         // profiles at all — skip the per-send lookup in both cases.
-        let profile = if src == dst || (self.fault_count == 0 && self.default_faults.is_none()) {
+        let profile = if src == dst || (self.faults.is_empty() && self.default_faults.is_none()) {
             None
         } else {
-            self.faults[self.link_idx(src, dst)].or(self.default_faults)
+            let per_link = if self.degree(&self.fault_out_degree, src) > 0 {
+                self.faults.get(&link_key(src, dst)).copied()
+            } else {
+                None
+            };
+            per_link.or(self.default_faults)
         };
         if let Some(p) = profile {
             if self.chaos_loses(src, dst, &p) {
@@ -203,10 +288,11 @@ impl Network {
             bytes as f64 / self.config.bandwidth_bytes_per_sec * delay_factor,
         );
         let latency = SimDuration::from_secs_f64(self.config.latency.as_secs_f64() * delay_factor);
-        let busy = &mut self.link_busy[src.0 as usize * self.stride + dst.0 as usize];
-        let start = if *busy > now { *busy } else { now };
+        let key = link_key(src, dst);
+        let busy = self.link_busy.get(&key).copied().unwrap_or(SimTime::ZERO);
+        let start = if busy > now { busy } else { now };
         let done_serializing = start + ser;
-        *busy = done_serializing;
+        self.link_busy.insert(key, done_serializing);
         let mut arrival = done_serializing + latency;
         if let Some(p) = profile {
             if p.jitter > SimDuration::ZERO {
@@ -225,61 +311,50 @@ impl Network {
         Delivery::At(arrival)
     }
 
-    /// Grows every link matrix on first contact with a new machine id.
-    /// Growth is rare (ids are assigned densely at cluster construction)
-    /// and rebuilds preserve existing link state.
-    fn ensure_stride(&mut self, src: MachineId, dst: MachineId) {
-        let need = (src.0 as usize).max(dst.0 as usize) + 1;
-        if need <= self.stride {
+    /// Reads a dense per-machine degree without growing the vector:
+    /// machines beyond the written range have degree zero.
+    #[inline]
+    fn degree(&self, v: &[u32], m: MachineId) -> u32 {
+        v.get(m.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Drops busy-until entries whose serializer freed at or before `now`
+    /// once the map is large enough to be worth sweeping. Such entries are
+    /// semantically identical to absent ones (`start = max(busy, now)`), so
+    /// this never changes a delivery verdict; the DES clock never moves
+    /// backwards, so no later send can observe the reclaimed state.
+    fn reclaim_expired(&mut self, now: SimTime) {
+        if self.link_busy.len() < self.busy_reclaim_at {
             return;
         }
-        let old = self.stride;
-        let new = need.next_power_of_two();
-        let mut busy = vec![SimTime::ZERO; new * new];
-        let mut partitioned = vec![false; new * new];
-        let mut faults = vec![None; new * new];
-        let mut burst_bad = vec![false; new * new];
-        for row in 0..old {
-            for col in 0..old {
-                busy[row * new + col] = self.link_busy[row * old + col];
-                partitioned[row * new + col] = self.partitioned[row * old + col];
-                faults[row * new + col] = self.faults[row * old + col];
-                burst_bad[row * new + col] = self.burst_bad[row * old + col];
-            }
+        self.link_busy.retain(|_, &mut free_at| free_at > now);
+        self.busy_reclaim_at = (self.link_busy.len() * 2).max(BUSY_RECLAIM_MIN);
+    }
+
+    /// Grows a dense per-machine vector to cover `m`, doubling capacity so
+    /// repeated one-id growth is O(1) amortized (no per-id recopy storms).
+    fn ensure_machine(v: &mut Vec<u32>, m: MachineId) {
+        let need = m.0 as usize + 1;
+        if need > v.len() {
+            v.resize(need.next_power_of_two(), 0);
         }
-        self.link_busy = busy;
-        self.partitioned = partitioned;
-        self.faults = faults;
-        self.burst_bad = burst_bad;
-        self.stride = new;
-    }
-
-    /// Matrix index of the directed link `src -> dst`. Both ids must be
-    /// below the current stride.
-    #[inline]
-    fn link_idx(&self, src: MachineId, dst: MachineId) -> usize {
-        src.0 as usize * self.stride + dst.0 as usize
-    }
-
-    /// Matrix index of the unordered pair `{a, b}`, normalized to the
-    /// `(min, max)` slot so both directions agree.
-    #[inline]
-    fn pair_idx(&self, a: MachineId, b: MachineId) -> usize {
-        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        self.link_idx(lo, hi)
     }
 
     /// Runs the loss draws for one covered send: Gilbert–Elliott chain
     /// first (state re-drawn per message), then independent loss.
     fn chaos_loses(&mut self, src: MachineId, dst: MachineId, p: &FaultProfile) -> bool {
         if let Some(b) = &p.burst {
-            let idx = self.link_idx(src, dst);
-            let bad_now = if self.burst_bad[idx] {
+            let key = link_key(src, dst);
+            let bad_now = if self.burst_bad.contains(&key) {
                 !self.chaos_rng.chance(b.bad_to_good)
             } else {
                 self.chaos_rng.chance(b.good_to_bad)
             };
-            self.burst_bad[idx] = bad_now;
+            if bad_now {
+                self.burst_bad.insert(key);
+            } else {
+                self.burst_bad.remove(&key);
+            }
             if bad_now && self.chaos_rng.chance(b.bad_loss_prob) {
                 return true;
             }
@@ -298,25 +373,20 @@ impl Network {
     /// [`FaultProfile::blackhole`] models a one-way partition.
     pub fn set_link_faults(&mut self, src: MachineId, dst: MachineId, profile: FaultProfile) {
         profile.validate();
-        self.ensure_stride(src, dst);
-        let idx = self.link_idx(src, dst);
-        if self.faults[idx].is_none() {
-            self.fault_count += 1;
+        Self::ensure_machine(&mut self.fault_out_degree, src);
+        if self.faults.insert(link_key(src, dst), profile).is_none() {
+            self.fault_out_degree[src.0 as usize] += 1;
         }
-        self.faults[idx] = Some(profile);
     }
 
     /// Removes any profile from the directed link `src -> dst` and resets
     /// its burst state.
     pub fn clear_link_faults(&mut self, src: MachineId, dst: MachineId) {
-        if (src.0 as usize).max(dst.0 as usize) >= self.stride {
-            return;
+        let key = link_key(src, dst);
+        if self.faults.remove(&key).is_some() {
+            self.fault_out_degree[src.0 as usize] -= 1;
         }
-        let idx = self.link_idx(src, dst);
-        if self.faults[idx].take().is_some() {
-            self.fault_count -= 1;
-        }
-        self.burst_bad[idx] = false;
+        self.burst_bad.remove(&key);
     }
 
     /// Sets (or with `None` clears) the profile applied to every inter-machine
@@ -327,51 +397,83 @@ impl Network {
             p.validate();
         }
         if profile.is_none() {
-            for (bad, fault) in self.burst_bad.iter_mut().zip(&self.faults) {
-                if fault.is_none() {
-                    *bad = false;
-                }
-            }
+            let faults = &self.faults;
+            self.burst_bad.retain(|key| faults.contains_key(key));
         }
         self.default_faults = profile;
     }
 
     /// The profile covering the directed link `src -> dst`, if any.
     pub fn profile_for(&self, src: MachineId, dst: MachineId) -> Option<FaultProfile> {
-        let per_link = if (src.0 as usize).max(dst.0 as usize) < self.stride {
-            self.faults[self.link_idx(src, dst)]
-        } else {
-            None
-        };
-        per_link.or(self.default_faults)
+        self.faults
+            .get(&link_key(src, dst))
+            .copied()
+            .or(self.default_faults)
     }
 
     /// Removes all per-link and default fault profiles and burst state.
     /// Partitions are untouched (they are topology, not chaos).
     pub fn clear_all_faults(&mut self) {
-        self.faults.fill(None);
-        self.fault_count = 0;
+        self.faults.clear();
+        self.fault_out_degree.fill(0);
         self.default_faults = None;
-        self.burst_bad.fill(false);
+        self.burst_bad.clear();
     }
 
     /// Cuts (or heals) the link between two machines, in both directions.
     pub fn set_partitioned(&mut self, a: MachineId, b: MachineId, partitioned: bool) {
-        self.ensure_stride(a, b);
-        let idx = self.pair_idx(a, b);
-        if self.partitioned[idx] != partitioned {
-            self.partitioned[idx] = partitioned;
-            if partitioned {
-                self.partition_count += 1;
-            } else {
-                self.partition_count -= 1;
+        Self::ensure_machine(&mut self.partition_degree, a);
+        Self::ensure_machine(&mut self.partition_degree, b);
+        let key = pair_key(a, b);
+        let changed = if partitioned {
+            self.partitioned.insert(key)
+        } else {
+            self.partitioned.remove(&key)
+        };
+        if changed {
+            let delta: i64 = if partitioned { 1 } else { -1 };
+            for m in [a.0 as usize, b.0 as usize] {
+                self.partition_degree[m] = (self.partition_degree[m] as i64 + delta) as u32;
+                if a == b {
+                    break; // a self-partition touches one machine once
+                }
             }
         }
     }
 
     /// `true` if messages between `a` and `b` are currently dropped.
     pub fn is_partitioned(&self, a: MachineId, b: MachineId) -> bool {
-        (a.0 as usize).max(b.0 as usize) < self.stride && self.partitioned[self.pair_idx(a, b)]
+        self.partitioned.contains(&pair_key(a, b))
+    }
+
+    /// Number of links currently tracked by the busy map (sent recently
+    /// and not yet reclaimed) — the "active" in O(active links).
+    pub fn active_busy_links(&self) -> usize {
+        self.link_busy.len()
+    }
+
+    /// Lower-bound payload bytes held by the sparse per-link structures
+    /// (keys and values only; excludes map/node overhead).
+    pub fn sparse_state_bytes(&self) -> u64 {
+        let busy = self.link_busy.len() * (size_of::<u64>() + size_of::<SimTime>());
+        let parts = self.partitioned.len() * size_of::<u64>();
+        let faults = self.faults.len() * (size_of::<u64>() + size_of::<FaultProfile>());
+        let bursts = self.burst_bad.len() * size_of::<u64>();
+        let degrees = (self.partition_degree.len() + self.fault_out_degree.len()) * 4;
+        (busy + parts + faults + bursts + degrees) as u64
+    }
+
+    /// Bytes the retired dense representation would spend on a cluster of
+    /// `machines` machines: four row-major `stride × stride` matrices
+    /// (busy-until, partition flags, fault profiles, burst bits) with the
+    /// stride rounded up to a power of two.
+    pub fn dense_equivalent_bytes(machines: usize) -> u64 {
+        let stride = machines.next_power_of_two() as u64;
+        let per_link = size_of::<SimTime>()
+            + size_of::<bool>()
+            + size_of::<Option<FaultProfile>>()
+            + size_of::<bool>();
+        stride * stride * per_link as u64
     }
 
     /// Total messages offered to the network (delivered or not).
@@ -774,5 +876,84 @@ mod tests {
         };
         assert_eq!(run(1234), run(1234));
         assert_ne!(run(1234), run(5678));
+    }
+
+    #[test]
+    fn busy_entries_expire_and_are_reclaimed() {
+        // Touch well over the reclaim threshold at t=0. The mid-spray sweep
+        // (at 1,024 entries) keeps everything — nothing has expired yet —
+        // and doubles the threshold to 2,048.
+        let mut n = net();
+        let side = 40u32; // 40 x 39 = 1,560 ordered links
+        for s in 0..side {
+            for d in 0..side {
+                if s != d {
+                    n.send(SimTime::ZERO, MachineId(s), MachineId(d), 100);
+                }
+            }
+        }
+        assert_eq!(n.active_busy_links(), 1_560);
+        // Long after those drain, fresh traffic pushes the map back across
+        // the threshold; that sweep sheds every expired t=0 entry while
+        // keeping the in-flight ones.
+        let later = SimTime::from_secs(3600);
+        for i in 0..600u32 {
+            n.send(later, MachineId(1_000 + i), MachineId(2_000 + i), 100);
+        }
+        assert!(
+            n.active_busy_links() < 700,
+            "stale busy entries survive the sweep: {}",
+            n.active_busy_links()
+        );
+        // Delivery math is unchanged by reclamation: the (0,1) link's
+        // expired entry and an absent entry behave identically.
+        let d = n.send(later, MachineId(0), MachineId(1), 1_000);
+        assert_eq!(d, Delivery::At(later + SimDuration::from_micros(1_100)));
+    }
+
+    #[test]
+    fn partition_degree_gates_are_consistent() {
+        // A partition on {0,1} must not disturb traffic where only one
+        // endpoint has partition involvement.
+        let mut n = net();
+        n.set_partitioned(MachineId(0), MachineId(1), true);
+        assert!(matches!(
+            n.send(SimTime::ZERO, MachineId(0), MachineId(2), 10),
+            Delivery::At(_)
+        ));
+        assert!(matches!(
+            n.send(SimTime::ZERO, MachineId(2), MachineId(1), 10),
+            Delivery::At(_)
+        ));
+        // Heal and re-cut through the reversed pair; degrees stay balanced.
+        n.set_partitioned(MachineId(1), MachineId(0), false);
+        n.set_partitioned(MachineId(1), MachineId(0), true);
+        assert_eq!(
+            n.send(SimTime::ZERO, MachineId(0), MachineId(1), 10),
+            Delivery::Dropped
+        );
+        n.set_partitioned(MachineId(0), MachineId(1), false);
+        assert!(matches!(
+            n.send(SimTime::ZERO, MachineId(0), MachineId(1), 10),
+            Delivery::At(_)
+        ));
+    }
+
+    #[test]
+    fn sparse_footprint_beats_dense_at_scale() {
+        // 5,000 machines: dense needs four 8192² matrices; sparse holds
+        // only what traffic and chaos actually touch.
+        let dense = Network::dense_equivalent_bytes(5_000);
+        assert!(dense > 4_000_000_000, "dense 5k-machine bytes: {dense}");
+        let mut n = net();
+        // A ring of 5,000 machines' worth of traffic: 5,000 active links.
+        for i in 0..5_000u32 {
+            n.send(SimTime::ZERO, MachineId(i), MachineId((i + 1) % 5_000), 100);
+        }
+        let sparse = n.sparse_state_bytes();
+        assert!(
+            sparse * 10 < dense,
+            "sparse ({sparse} B) should be well under 10% of dense ({dense} B)"
+        );
     }
 }

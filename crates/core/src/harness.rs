@@ -328,6 +328,13 @@ impl HaSimulation {
         self.sim.events_processed()
     }
 
+    /// This run's peak logical event-queue weight, attributable to this
+    /// simulation alone (the process-wide [`sps_sim::stats`] fold
+    /// interleaves when several cells share the process).
+    pub fn peak_queue_weight(&self) -> u64 {
+        self.sim.peak_queue_weight()
+    }
+
     /// Pops and handles one event under the self-profiler (bench builds
     /// only): `classify` labels the event *before* it is handled — use
     /// [`Event::kind_name`] and/or [`HaWorld::protocol_phase`] — and the

@@ -70,7 +70,7 @@ pub use detect::{
 pub use harness::{HaSimulation, HaSimulationBuilder, RunReport};
 pub use message::{Msg, ProducerAddr};
 pub use sink::{SinkAccept, SinkRuntime};
-pub use source::{PayloadGen, RateProfile, SourceRuntime};
+pub use source::{zipf_rank, PayloadGen, RateProfile, SourceRuntime};
 pub use world::{
     Event, HaEvent, HaEventKind, HaWorld, MonitorRt, Placement, SjState, SubjobHa, TaskTag,
 };

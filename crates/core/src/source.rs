@@ -65,6 +65,36 @@ pub enum PayloadGen {
         /// Largest per-tick volume.
         max_volume: u64,
     },
+    /// Zipf-skewed keys drawn from `1..=keys` via [`zipf_rank`]: rank 1 is
+    /// the hottest key. With a sharded job this concentrates load on the
+    /// shard owning rank 1 — the "hot shard" in scaling experiments —
+    /// while `exponent` tunes how cold the tail gets.
+    Zipf {
+        /// Number of distinct keys.
+        keys: u64,
+        /// Skew exponent `s` (`1.0` is classic Zipf; larger is hotter).
+        exponent: f64,
+    },
+}
+
+/// Draws a Zipf(`s`)-distributed rank in `1..=n` (rank 1 most likely).
+///
+/// Uses the analytic inverse of the continuous Zipf CDF — for `s ≠ 1`,
+/// `F(x) = (x^(1-s) - 1) / (n^(1-s) - 1)`, and `F(x) = ln x / ln n` at
+/// `s = 1` — so each draw costs exactly one uniform variate and no
+/// per-rank tables, which keeps sources O(1) in memory no matter how many
+/// distinct keys a scaled-out job spreads over its shards.
+pub fn zipf_rank(rng: &mut SimRng, n: u64, s: f64) -> u64 {
+    assert!(n >= 1, "zipf_rank needs at least one rank");
+    assert!(s >= 0.0 && s.is_finite(), "zipf exponent must be ≥ 0");
+    let u = rng.unit();
+    let n_f = n as f64;
+    let rank = if (s - 1.0).abs() < 1e-9 {
+        n_f.powf(u)
+    } else {
+        ((n_f.powf(1.0 - s) - 1.0) * u + 1.0).powf(1.0 / (1.0 - s))
+    };
+    (rank as u64).clamp(1, n)
 }
 
 /// A deployed source.
@@ -95,7 +125,7 @@ impl SourceRuntime {
     ) -> Self {
         let price = match payload_gen {
             PayloadGen::Market { base_price, .. } => base_price,
-            PayloadGen::Synthetic => 0.0,
+            PayloadGen::Synthetic | PayloadGen::Zipf { .. } => 0.0,
         };
         SourceRuntime {
             id,
@@ -167,6 +197,11 @@ impl SourceRuntime {
                     size_bytes: self.element_bytes,
                 }
             }
+            PayloadGen::Zipf { keys, exponent } => Payload {
+                key: zipf_rank(rng, keys, exponent),
+                value: (seq_hint as f64 * 0.001).sin() * 100.0,
+                size_bytes: self.element_bytes,
+            },
         };
         Some(self.queue.produce(payload, now))
     }
@@ -291,6 +326,57 @@ mod tests {
         let has_fast = gaps.iter().any(|&g| g < 0.001);
         let has_slow = gaps.iter().any(|&g| g > 0.05);
         assert!(has_fast && has_slow, "both phases observed");
+    }
+
+    #[test]
+    fn zipf_ranks_stay_in_range_and_skew_to_the_head() {
+        let mut rng = SimRng::seed_from(11);
+        let n = 10_000;
+        let mut head = 0u64; // draws landing in the top 1% of ranks
+        for _ in 0..20_000 {
+            let r = zipf_rank(&mut rng, n, 1.1);
+            assert!((1..=n).contains(&r));
+            if r <= n / 100 {
+                head += 1;
+            }
+        }
+        // Under uniform keys the top 1% of ranks would see ~1% of draws;
+        // Zipf(1.1) concentrates well over half of them there.
+        assert!(head > 10_000, "got {head} head draws out of 20000");
+    }
+
+    #[test]
+    fn zipf_handles_the_s_equals_one_branch_and_tiny_n() {
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..1_000 {
+            assert!((1..=100).contains(&zipf_rank(&mut rng, 100, 1.0)));
+            assert_eq!(zipf_rank(&mut rng, 1, 1.3), 1);
+        }
+    }
+
+    #[test]
+    fn zipf_payloads_are_seed_deterministic() {
+        let make = || {
+            SourceRuntime::new(
+                SourceId(0),
+                StreamId(0),
+                RateProfile::Constant { per_sec: 1.0 },
+                PayloadGen::Zipf {
+                    keys: 1_000_000,
+                    exponent: 1.05,
+                },
+                256,
+            )
+        };
+        let (mut a, mut b) = (make(), make());
+        let mut rng1 = SimRng::seed_from(42);
+        let mut rng2 = SimRng::seed_from(42);
+        for _ in 0..100 {
+            let x = a.generate(SimTime::ZERO, &mut rng1).unwrap();
+            let y = b.generate(SimTime::ZERO, &mut rng2).unwrap();
+            assert_eq!(x.key, y.key);
+            assert!((1..=1_000_000).contains(&x.key));
+        }
     }
 
     #[test]

@@ -393,6 +393,53 @@ impl Job {
         b.build().expect("chain topology is always valid")
     }
 
+    /// A key-partitioned sharded operator: one stateless
+    /// [`ShardRouter`](OperatorSpec::ShardRouter) PE fans the source stream
+    /// out to `shards` parallel PEs running `operator`, each of which feeds
+    /// the single sink. Every PE is its **own subjob** — subjob 0 is the
+    /// router, subjob `1 + s` is shard `s` (see [`Job::shard_subjob`]) — so
+    /// each shard gets its own checkpoints, HA mode, and standby from the
+    /// existing per-subjob machinery, and recovering one shard never
+    /// disturbs the others.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn sharded(
+        name: impl Into<String>,
+        operator: &OperatorSpec,
+        shards: usize,
+        router_demand_secs: f64,
+    ) -> Job {
+        assert!(shards > 0, "a sharded job needs at least one shard");
+        let mut b = JobBuilder::new(name);
+        let src = b.add_source("source");
+        let sink = b.add_sink("sink");
+        let router = b.add_pe(
+            "router",
+            OperatorSpec::ShardRouter {
+                shards: shards as u32,
+                demand_secs: router_demand_secs,
+            },
+        );
+        b.connect_source(src, router, 0);
+        let mut subjobs = Vec::with_capacity(shards + 1);
+        subjobs.push(vec![router]);
+        for s in 0..shards {
+            let pe = b.add_pe(format!("shard{s}"), operator.clone());
+            b.connect(router, s, pe, 0);
+            b.connect_sink(pe, 0, sink);
+            subjobs.push(vec![pe]);
+        }
+        b.subjobs(subjobs);
+        b.build().expect("sharded topology is always valid")
+    }
+
+    /// The subjob running shard `s` of a [`Job::sharded`] job.
+    pub fn shard_subjob(&self, s: usize) -> SubjobId {
+        SubjobId(1 + s as u32)
+    }
+
     /// The job's name.
     pub fn name(&self) -> &str {
         &self.name
@@ -527,6 +574,40 @@ mod tests {
         assert_eq!(job.sink_count(), 1);
         // 1 source stream + 8 PE output streams.
         assert_eq!(job.stream_count(), 9);
+    }
+
+    #[test]
+    fn sharded_topology_shape() {
+        let job = Job::sharded("shards", &counter(), 4, 1e-6);
+        // Router + 4 shard PEs, each its own subjob.
+        assert_eq!(job.pe_count(), 5);
+        assert_eq!(job.subjob_count(), 5);
+        assert_eq!(job.subjob_pes(SubjobId(0)), &[PeId(0)]);
+        for s in 0..4usize {
+            assert_eq!(job.shard_subjob(s), SubjobId(1 + s as u32));
+            assert_eq!(job.subjob_pes(job.shard_subjob(s)), &[PeId(1 + s as u32)]);
+        }
+        // Router fans out over one port per shard; each port feeds exactly
+        // its shard, and every shard feeds the single sink.
+        let router = PeId(0);
+        assert_eq!(job.out_ports(router), 4);
+        for s in 0..4usize {
+            let stream = job.pe_stream(router, s);
+            assert_eq!(
+                job.consumers(stream),
+                &[Consumer::Pe(PeId(1 + s as u32), 0)]
+            );
+            let out = job.pe_stream(PeId(1 + s as u32), 0);
+            assert_eq!(job.consumers(out), &[Consumer::Sink(SinkId(0))]);
+        }
+        assert_eq!(job.source_count(), 1);
+        assert_eq!(job.sink_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn sharded_panics_on_zero_shards() {
+        let _ = Job::sharded("bad", &counter(), 0, 1e-6);
     }
 
     #[test]

@@ -44,6 +44,8 @@ pub use batch::{DataBatch, OutputSession};
 pub use chunk::{ChunkedDeque, CHUNK_CAP};
 pub use element::{DataElement, Payload, PeId, StreamId, DEFAULT_ELEMENT_BYTES, FIRST_SEQ};
 pub use job::{BuildJobError, Consumer, Job, JobBuilder, PeSpec, Producer, SourceId, SubjobId};
-pub use operator::{AggKind, Emitter, Operator, OperatorFactory, OperatorSpec, OperatorState};
+pub use operator::{
+    shard_of, AggKind, Emitter, Operator, OperatorFactory, OperatorSpec, OperatorState,
+};
 pub use pe::{Dest, InstanceId, PeCheckpoint, PeInstance, Replica, SinkId, WorkBatch, WorkItem};
 pub use queue::{Connection, ConnectionId, InputQueue, Offer, OutputQueue, OutputQueueState};

@@ -158,6 +158,18 @@ pub enum OperatorSpec {
         /// CPU seconds per input element.
         demand_secs: f64,
     },
+    /// Key-partitioning router: forwards each element unchanged to output
+    /// port [`shard_of(key, shards)`](shard_of). The front half of a
+    /// sharded operator — each output port feeds one shard PE, so millions
+    /// of logical keys stable-hash onto `shards` partitions and every
+    /// element of one key always visits the same shard. Stateless, so a
+    /// recovered router replays identically.
+    ShardRouter {
+        /// Number of downstream shard PEs (= output ports).
+        shards: u32,
+        /// CPU seconds per routed element (hashing is cheap).
+        demand_secs: f64,
+    },
     /// A user-defined operator, built by a shared factory.
     ///
     /// ```
@@ -255,6 +267,16 @@ impl PartialEq for OperatorSpec {
                 },
             ) => a1 == b1 && a2 == b2,
             (Counter { demand_secs: a }, Counter { demand_secs: b }) => a == b,
+            (
+                ShardRouter {
+                    shards: a1,
+                    demand_secs: a2,
+                },
+                ShardRouter {
+                    shards: b1,
+                    demand_secs: b2,
+                },
+            ) => a1 == b1 && a2 == b2,
             (Custom(a), Custom(b)) => std::sync::Arc::ptr_eq(a, b),
             _ => false,
         }
@@ -328,9 +350,32 @@ impl OperatorSpec {
                 demand_secs,
                 count: 0,
             }),
+            OperatorSpec::ShardRouter {
+                shards,
+                demand_secs,
+            } => Box::new(ShardRouterOp {
+                shards: shards.max(1),
+                demand_secs,
+            }),
             OperatorSpec::Custom(ref factory) => factory.build(),
         }
     }
+}
+
+/// The shard a logical key belongs to, out of `shards` partitions.
+///
+/// A splitmix64-style finalizer mixed down with a modulo: stable across
+/// runs, platforms, and process restarts, so a key's shard assignment is
+/// part of the job's deterministic contract (checkpoints taken by shard
+/// `s` are only ever restored by shard `s`). The full-avalanche mix keeps
+/// dense key ranges (`0..n`) spread evenly even when `shards` is a power
+/// of two.
+pub fn shard_of(key: u64, shards: u32) -> u32 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % shards.max(1) as u64) as u32
 }
 
 fn initial_acc(agg: AggKind) -> f64 {
@@ -568,6 +613,32 @@ impl Operator for CounterOp {
     }
 }
 
+/// See [`OperatorSpec::ShardRouter`].
+#[derive(Debug)]
+struct ShardRouterOp {
+    shards: u32,
+    demand_secs: f64,
+}
+
+impl Operator for ShardRouterOp {
+    fn process(&mut self, _port: usize, input: &DataElement, out: &mut Emitter) {
+        out.emit(
+            shard_of(input.key, self.shards) as usize,
+            Payload::from(input),
+        );
+    }
+    fn demand_secs(&self, _input: &DataElement) -> f64 {
+        self.demand_secs
+    }
+    fn state_size_elements(&self) -> u64 {
+        0
+    }
+    fn snapshot(&self) -> OperatorState {
+        OperatorState::default()
+    }
+    fn restore(&mut self, _state: &OperatorState) {}
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -788,5 +859,48 @@ mod tests {
         let mut b = spec.build();
         assert_eq!(drive(a.as_mut(), &inputs), drive(b.as_mut(), &inputs));
         assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn shard_of_is_stable_in_range_and_balanced() {
+        let shards = 16u32;
+        let keys = 100_000u64;
+        let mut counts = vec![0u64; shards as usize];
+        for k in 0..keys {
+            let s = shard_of(k, shards);
+            assert!(s < shards);
+            assert_eq!(s, shard_of(k, shards), "assignment is deterministic");
+            counts[s as usize] += 1;
+        }
+        let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
+        // Dense key ranges spread evenly despite the power-of-two modulus.
+        assert!(
+            max < 2 * min,
+            "shard imbalance on sequential keys: min {min}, max {max}"
+        );
+        // One shard never degenerates.
+        assert_eq!(shard_of(42, 1), 0);
+    }
+
+    #[test]
+    fn shard_router_routes_by_key_and_is_stateless() {
+        let shards = 8u32;
+        let mut op = OperatorSpec::ShardRouter {
+            shards,
+            demand_secs: 1e-6,
+        }
+        .build();
+        let mut out = Emitter::default();
+        for key in [0u64, 1, 7, 63, 1_000_003, u64::MAX] {
+            op.process(0, &elem(1, key, 3.5), &mut out);
+            let emitted = out.take();
+            assert_eq!(emitted.len(), 1);
+            let (port, payload) = &emitted[0];
+            assert_eq!(*port, shard_of(key, shards) as usize);
+            assert_eq!(payload.key, key, "payload passes through unchanged");
+            assert_eq!(payload.value, 3.5);
+        }
+        assert_eq!(op.state_size_elements(), 0);
+        assert_eq!(op.snapshot(), OperatorState::default());
     }
 }

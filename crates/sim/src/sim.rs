@@ -122,6 +122,14 @@ impl<E> Ctx<E> {
     pub fn events_pending(&self) -> usize {
         self.queue.len()
     }
+
+    /// High-water mark of the pending queue's logical weight (elements,
+    /// not heap entries) for *this* simulation — unlike the process-wide
+    /// [`crate::stats`] fold, this stays attributable per run even when
+    /// several simulations share the process.
+    pub fn peak_queue_weight(&self) -> u64 {
+        self.queue.peak_weight()
+    }
 }
 
 impl<E> Drop for Ctx<E> {
@@ -190,6 +198,12 @@ impl<W: World> Simulation<W> {
     /// The world together with its context, for setup code that needs both.
     pub fn parts_mut(&mut self) -> (&mut W, &mut Ctx<W::Event>) {
         (&mut self.world, &mut self.ctx)
+    }
+
+    /// This run's peak logical event-queue weight (see
+    /// [`Ctx::peak_queue_weight`]).
+    pub fn peak_queue_weight(&self) -> u64 {
+        self.ctx.peak_queue_weight()
     }
 
     /// Schedules an event `delay` after the current time.

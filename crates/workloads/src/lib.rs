@@ -10,6 +10,8 @@
 //!   machine (Fig 5);
 //! * [`failure_load`] / [`single_failure`] — the §V-B transient-failure
 //!   loads;
+//! * [`ZipfKeys`] / [`sharded_job`] / [`sharded_placement`] — skewed-key
+//!   scale-out workloads for key-partitioned sharded operators;
 //! * [`ClusterStudy`] / [`run_weather_app`] — the §II-B measurement study
 //!   behind Figs 1–3, synthesized per the substitution notes in DESIGN.md.
 
@@ -18,6 +20,7 @@
 
 mod cluster_study;
 mod scenarios;
+mod zipf;
 
 pub use cluster_study::{
     run_weather_app, sampled_utilization, ClusterStudy, ClusterStudyConfig, MachineStudy,
@@ -27,3 +30,4 @@ pub use scenarios::{
     chain_job_with, eval_chain_job, failure_load, financial_job, marginal_spike_share,
     multiplexed_placement, primary_machine_of, single_failure, traffic_job, tree_job,
 };
+pub use zipf::{sharded_job, sharded_placement, ZipfKeys};

@@ -1,0 +1,214 @@
+//! Zipf-skewed key workloads for sharded (scale-out) jobs.
+//!
+//! Scaling experiments need two things the paper-era scenarios don't
+//! provide: a key distribution skewed enough to create a *hot shard*
+//! (almost all traffic hashing to one subjob while the tail shards idle),
+//! and placements that fit thousands of shard subjobs inside a fixed
+//! machine budget. [`ZipfKeys`] wraps the O(1)-memory sampler from
+//! [`sps_ha::zipf_rank`] and predicts which shard runs hot;
+//! [`sharded_placement`] degrades gracefully from the domain-aware layout
+//! to a budgeted round-robin one when the cluster is smaller than
+//! `2 × subjobs`.
+
+use sps_cluster::{FaultTopology, MachineId};
+use sps_engine::{shard_of, Job, OperatorSpec};
+use sps_ha::{zipf_rank, PayloadGen, Placement};
+use sps_sim::SimRng;
+
+/// A Zipf-skewed key universe: `keys` distinct keys, rank 1 hottest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfKeys {
+    /// Number of distinct keys.
+    pub keys: u64,
+    /// Skew exponent `s` (`1.0` is classic Zipf; larger is hotter).
+    pub exponent: f64,
+}
+
+impl ZipfKeys {
+    /// A key universe of `keys` keys with skew `exponent`.
+    pub fn new(keys: u64, exponent: f64) -> ZipfKeys {
+        assert!(keys >= 1, "need at least one key");
+        assert!(
+            exponent >= 0.0 && exponent.is_finite(),
+            "zipf exponent must be ≥ 0"
+        );
+        ZipfKeys { keys, exponent }
+    }
+
+    /// The matching source payload generator.
+    pub fn payload_gen(self) -> PayloadGen {
+        PayloadGen::Zipf {
+            keys: self.keys,
+            exponent: self.exponent,
+        }
+    }
+
+    /// Draws one key.
+    pub fn draw(self, rng: &mut SimRng) -> u64 {
+        zipf_rank(rng, self.keys, self.exponent)
+    }
+
+    /// Expected fraction of traffic landing on each of `shards` shards.
+    ///
+    /// Computed from the Zipf weights of the first `top` ranks only; with
+    /// `exponent > 1` the head carries almost all probability mass, so a
+    /// few thousand ranks approximate the full distribution closely.
+    pub fn shard_loads(self, shards: u32, top: u64) -> Vec<f64> {
+        let shards = shards.max(1);
+        let top = top.clamp(1, self.keys);
+        let mut mass = vec![0.0f64; shards as usize];
+        let mut total = 0.0f64;
+        for rank in 1..=top {
+            let w = (rank as f64).powf(-self.exponent);
+            mass[shard_of(rank, shards) as usize] += w;
+            total += w;
+        }
+        for m in &mut mass {
+            *m /= total;
+        }
+        mass
+    }
+
+    /// The shard owning rank 1 — the hottest shard under this skew.
+    pub fn hot_shard(self, shards: u32) -> u32 {
+        shard_of(1, shards)
+    }
+
+    /// The shard with the least expected load (over the head of the
+    /// distribution) — the "cold shard" in recovery comparisons.
+    pub fn cold_shard(self, shards: u32) -> u32 {
+        let loads = self.shard_loads(shards, 4096);
+        let mut best = 0usize;
+        for (i, &l) in loads.iter().enumerate() {
+            if l < loads[best] {
+                best = i;
+            }
+        }
+        best as u32
+    }
+}
+
+/// A key-partitioned scale-out job: one shard-router PE fanning out to
+/// `shards` synthetic stateful PEs, each its own subjob (see
+/// [`Job::sharded`]).
+pub fn sharded_job(shards: usize, demand_secs: f64, state_elements: u64) -> Job {
+    Job::sharded(
+        "scaleout",
+        &OperatorSpec::Synthetic {
+            selectivity: 1.0,
+            demand_secs,
+            state_elements,
+        },
+        shards,
+        demand_secs * 0.1,
+    )
+}
+
+/// A placement for a many-subjob sharded job inside a budget of `machines`.
+///
+/// When the budget covers the classic layout (`2 × subjobs + sinks + 2`
+/// machines) this is exactly [`Placement::domain_aware_for`]. Otherwise it
+/// multiplexes: primaries round-robin over the low half of the cluster,
+/// standbys round-robin over the high half (preferring a domain-disjoint
+/// machine under `topology`), sinks on the highest machines, and no
+/// dedicated spares — the layout a scheduler would produce when a
+/// 500-machine cluster must host a 2 × 257-copy job.
+///
+/// # Panics
+///
+/// Panics when `machines < 4` or the budget exceeds the topology.
+pub fn sharded_placement(job: &Job, machines: usize, topology: &FaultTopology) -> Placement {
+    assert!(machines >= 4, "need at least 4 machines, got {machines}");
+    assert!(
+        machines <= topology.machines(),
+        "budget {machines} exceeds topology ({} machines)",
+        topology.machines()
+    );
+    let n = job.subjob_count();
+    let full = 2 * n + job.sink_count() + 2;
+    if machines >= full {
+        return Placement::domain_aware_for(job, topology);
+    }
+    let half = machines / 2;
+    let hi = machines - half;
+    let primaries: Vec<MachineId> = (0..n).map(|i| MachineId((i % half) as u32)).collect();
+    let mut secondaries = Vec::with_capacity(n);
+    for (i, &p) in primaries.iter().enumerate() {
+        let pick = (0..hi)
+            .map(|step| MachineId((half + (i + step) % hi) as u32))
+            .find(|&m| topology.domain_disjoint(p, m))
+            .unwrap_or(MachineId((half + i % hi) as u32));
+        secondaries.push(Some(pick));
+    }
+    let sinks: Vec<MachineId> = (0..job.sink_count())
+        .map(|i| MachineId((machines - 1 - (i % half)) as u32))
+        .collect();
+    Placement {
+        primaries,
+        secondaries,
+        sources: vec![MachineId(0); job.source_count()],
+        sinks,
+        spares: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_shard_attracts_most_sampled_traffic() {
+        let zipf = ZipfKeys::new(1_000_000, 1.2);
+        let shards = 16;
+        let mut counts = vec![0u64; shards as usize];
+        let mut rng = SimRng::seed_from(9);
+        for _ in 0..20_000 {
+            counts[shard_of(zipf.draw(&mut rng), shards) as usize] += 1;
+        }
+        let hot = zipf.hot_shard(shards) as usize;
+        let max = (0..shards as usize).max_by_key(|&i| counts[i]).unwrap();
+        assert_eq!(max, hot, "counts {counts:?}");
+        let cold = zipf.cold_shard(shards) as usize;
+        assert_ne!(hot, cold);
+        assert!(counts[hot] > 4 * counts[cold].max(1));
+    }
+
+    #[test]
+    fn shard_loads_sum_to_one_and_match_hot_shard() {
+        let zipf = ZipfKeys::new(10_000, 1.1);
+        let loads = zipf.shard_loads(8, 4096);
+        let sum: f64 = loads.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        let max = (0..8)
+            .max_by(|&a, &b| loads[a].total_cmp(&loads[b]))
+            .unwrap();
+        assert_eq!(max as u32, zipf.hot_shard(8));
+    }
+
+    #[test]
+    fn sharded_placement_uses_domain_aware_layout_when_budget_allows() {
+        let job = sharded_job(8, 1e-5, 100);
+        let topo = FaultTopology::grid(83, 4, 3);
+        let p = sharded_placement(&job, 83, &topo);
+        let reference = Placement::domain_aware_for(&job, &topo);
+        assert_eq!(p.primaries, reference.primaries);
+        assert_eq!(p.secondaries, reference.secondaries);
+    }
+
+    #[test]
+    fn budgeted_placement_fits_and_separates_replicas() {
+        let job = sharded_job(256, 1e-5, 100);
+        assert_eq!(job.subjob_count(), 257);
+        let topo = FaultTopology::grid(500, 10, 5);
+        let p = sharded_placement(&job, 500, &topo);
+        assert!(p.machine_count() <= 500, "used {}", p.machine_count());
+        for (i, &prim) in p.primaries.iter().enumerate() {
+            let sec = p.secondaries[i].unwrap();
+            assert_ne!(prim, sec, "subjob {i} replicas share a machine");
+            assert!(
+                topo.domain_disjoint(prim, sec),
+                "subjob {i}: {prim:?} and {sec:?} share a fault domain"
+            );
+        }
+    }
+}
