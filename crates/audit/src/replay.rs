@@ -1,0 +1,447 @@
+//! Offline frontend: replay a recorded flight-recorder dump through the
+//! same [`Auditor`] the online probe runs, re-deriving an identical report.
+//!
+//! The dump is the JSONL dialect `TraceRecord::to_json` writes; lines are
+//! parsed with the dependency-free flat-JSON reader from `sps-observe`.
+//! Only *audited* kinds are reconstructed — data-plane traffic and other
+//! control-plane records are skipped, exactly as the online auditor skips
+//! them, so the two frontends agree on the audited event count and thus on
+//! the report bytes. Previously recorded `audit_violation` lines are
+//! counted separately (they came from the online probe of the recorded
+//! run) rather than re-fed, which would double-count.
+
+use sps_observe::jsonl::{get, parse_flat_object, FlatObject};
+use sps_sim::SimTime;
+use sps_trace::{
+    AbortReason, AuditInvariant, EpochCause, HaModeTag, RecoveryPhase, TraceEvent, TraceProbe,
+    TraceRecord,
+};
+
+use crate::{Auditor, Violation};
+
+/// How many causally related prior records the first-violation backtrace
+/// shows.
+const BACKTRACE_CAP: usize = 12;
+
+/// The first violation the replay derived, with causal context.
+#[derive(Debug, Clone)]
+pub struct FirstViolation {
+    /// The rendered violation line (same format as the report).
+    pub rendered: String,
+    /// 1-based dump line after which the violation was derived (the last
+    /// dump line for end-of-run liveness violations).
+    pub line: usize,
+    /// Up to [`BACKTRACE_CAP`] prior dump lines that share an identity
+    /// (subjob / pe / sink / machine / transfer id) with the violation,
+    /// oldest first — the lineage the checker walked to the verdict.
+    pub backtrace: Vec<String>,
+}
+
+/// Result of replaying a dump offline.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// The checker report — byte-identical to the online probe's report
+    /// for the same (fully retained) event stream.
+    pub report: String,
+    /// Violations derived by this replay.
+    pub violations: u64,
+    /// `audit_violation` lines already present in the dump (derived online
+    /// while the run was recorded).
+    pub recorded_violations: u64,
+    /// Context for the first derived violation, if any.
+    pub first: Option<FirstViolation>,
+}
+
+fn req_u64(obj: &FlatObject, key: &str, line: usize) -> Result<u64, String> {
+    get(obj, key)
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| format!("line {line}: missing or non-integer \"{key}\""))
+}
+
+fn req_bool(obj: &FlatObject, key: &str, line: usize) -> Result<bool, String> {
+    get(obj, key)
+        .and_then(|v| v.as_bool())
+        .ok_or_else(|| format!("line {line}: missing or non-bool \"{key}\""))
+}
+
+fn req_str<'a>(obj: &'a FlatObject, key: &str, line: usize) -> Result<&'a str, String> {
+    get(obj, key)
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| format!("line {line}: missing or non-string \"{key}\""))
+}
+
+/// Rebuild the audited-kind `TraceEvent` a dump line encodes; `Ok(None)`
+/// for kinds the auditor does not consume.
+fn event_from(kind: &str, obj: &FlatObject, line: usize) -> Result<Option<TraceEvent>, String> {
+    let u32of = |key: &str| -> Result<u32, String> { Ok(req_u64(obj, key, line)? as u32) };
+    let event = match kind {
+        "audit_meta" => TraceEvent::AuditMeta {
+            subjobs: u32of("subjobs")?,
+            flat: req_bool(obj, "flat", line)?,
+            lossless: req_bool(obj, "lossless", line)?,
+            quiescent: req_bool(obj, "quiescent", line)?,
+        },
+        "subjob_meta" => TraceEvent::SubjobMeta {
+            subjob: u32of("subjob")?,
+            mode: HaModeTag::parse(req_str(obj, "mode", line)?)
+                .ok_or_else(|| format!("line {line}: unknown ha mode"))?,
+        },
+        "sink_deliver" => TraceEvent::SinkDeliver {
+            sink: u32of("sink")?,
+            stream: u32of("stream")?,
+            seq_start: req_u64(obj, "seq_start", line)?,
+            seq_end: req_u64(obj, "seq_end", line)?,
+            newly_accepted: u32of("newly_accepted")?,
+            duplicates: u32of("duplicates")?,
+            processed_through: req_u64(obj, "processed_through", line)?,
+        },
+        "checkpoint_covered" => TraceEvent::CheckpointCovered {
+            pe: u32of("pe")?,
+            replica: req_u64(obj, "replica", line)? as u8,
+            stream: u32of("stream")?,
+            seq: req_u64(obj, "seq", line)?,
+        },
+        "ack_sent" => TraceEvent::AckSent {
+            pe: u32of("pe")?,
+            replica: req_u64(obj, "replica", line)? as u8,
+            stream: u32of("stream")?,
+            seq: req_u64(obj, "seq", line)?,
+        },
+        "epoch_change" => TraceEvent::EpochChange {
+            subjob: u32of("subjob")?,
+            epoch: req_u64(obj, "epoch", line)?,
+            cause: EpochCause::parse(req_str(obj, "cause", line)?)
+                .ok_or_else(|| format!("line {line}: unknown epoch cause"))?,
+            primary_machine: u32of("primary_machine")?,
+            primary_replica: req_u64(obj, "primary_replica", line)? as u8,
+        },
+        "recovery" => TraceEvent::Recovery {
+            subjob: u32of("subjob")?,
+            phase: RecoveryPhase::parse(req_str(obj, "phase", line)?)
+                .ok_or_else(|| format!("line {line}: unknown recovery phase"))?,
+        },
+        "failover_aborted" => TraceEvent::FailoverAborted {
+            subjob: u32of("subjob")?,
+            machine: u32of("machine")?,
+            // The auditor only uses the subjob; any reason discharges
+            // coverage identically.
+            reason: AbortReason::NoStandby,
+        },
+        "standby_provision" => TraceEvent::StandbyProvision {
+            subjob: u32of("subjob")?,
+            machine: u32of("machine")?,
+            fresh: req_bool(obj, "fresh", line)?,
+            primary_domain: u32of("primary_domain")?,
+            standby_domain: u32of("standby_domain")?,
+        },
+        "retransmit" => TraceEvent::Retransmit {
+            src: u32of("src")?,
+            dst: u32of("dst")?,
+            tx: req_u64(obj, "tx", line)?,
+            attempt: u32of("attempt")?,
+        },
+        _ => return Ok(None),
+    };
+    Ok(Some(event))
+}
+
+/// The `(key, value)` identities a violation shares with its causes, used
+/// to filter the backtrace.
+fn identity_keys(v: &Violation) -> Vec<(&'static str, u64)> {
+    let mut keys = Vec::new();
+    match v.invariant {
+        AuditInvariant::SinkExactlyOnce | AuditInvariant::SinkSeqGap => {
+            keys.push(("sink", v.entity as u64));
+        }
+        AuditInvariant::CkptAckOrder => keys.push(("pe", v.entity as u64)),
+        AuditInvariant::RetransmitReflag => keys.push(("tx", v.seq)),
+        AuditInvariant::DomainDisjoint => {
+            keys.push(("subjob", v.subjob as u64));
+            keys.push(("machine", v.entity as u64));
+        }
+        AuditInvariant::EpochRegression
+        | AuditInvariant::SplitBrain
+        | AuditInvariant::IllegalPhase
+        | AuditInvariant::StandbyCoverage => keys.push(("subjob", v.subjob as u64)),
+    }
+    keys
+}
+
+/// Walk backwards from the violation site collecting prior dump lines that
+/// share an identity with the violation (oldest first).
+fn backtrace_for(v: &Violation, lines: &[(usize, String)], upto: usize) -> Vec<String> {
+    let keys = identity_keys(v);
+    let mut picked = Vec::new();
+    for (no, text) in lines[..upto].iter().rev() {
+        if picked.len() >= BACKTRACE_CAP {
+            break;
+        }
+        let Ok(obj) = parse_flat_object(text) else {
+            continue;
+        };
+        let matches = keys
+            .iter()
+            .any(|&(key, want)| get(&obj, key).and_then(|val| val.as_u64()) == Some(want));
+        if matches {
+            picked.push(format!("line {no}: {text}"));
+        }
+    }
+    picked.reverse();
+    picked
+}
+
+/// Replay a recorded JSONL dump through the shared checker core.
+///
+/// Blank lines are skipped; a malformed line is an error (a dump that
+/// cannot be parsed cannot be audited). Returns the deterministic report,
+/// the violation totals, and first-violation context for the CLI.
+pub fn replay_dump(text: &str) -> Result<ReplayOutcome, String> {
+    let mut auditor = Auditor::new();
+    let mut derived = Vec::new();
+    let mut recorded_violations = 0u64;
+    // (1-based line number, raw text) of audited lines, for backtraces.
+    let mut audited_lines: Vec<(usize, String)> = Vec::new();
+    let mut first: Option<(Violation, usize)> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let obj = parse_flat_object(raw).map_err(|e| format!("line {line_no}: {e}"))?;
+        let kind = req_str(&obj, "kind", line_no)?;
+        if kind == "audit_violation" {
+            recorded_violations += 1;
+            continue;
+        }
+        let Some(event) = event_from(kind, &obj, line_no)? else {
+            continue;
+        };
+        let at = SimTime::from_nanos(req_u64(&obj, "t", line_no)?);
+        let before = auditor.violations().len();
+        auditor.observe(&TraceRecord { at, event }, &mut derived);
+        if first.is_none() && auditor.violations().len() > before {
+            first = Some((auditor.violations()[before], audited_lines.len() + 1));
+        }
+        audited_lines.push((line_no, raw.to_string()));
+        derived.clear();
+    }
+
+    auditor.finish(&mut derived);
+    if first.is_none() {
+        if let Some(v) = auditor.violations().first() {
+            first = Some((*v, audited_lines.len()));
+        }
+    }
+    derived.clear();
+
+    let first = first.map(|(v, upto)| FirstViolation {
+        rendered: v.render(),
+        line: audited_lines
+            .get(upto.saturating_sub(1))
+            .map(|&(no, _)| no)
+            .unwrap_or(0),
+        backtrace: backtrace_for(&v, &audited_lines, upto),
+    });
+
+    Ok(ReplayOutcome {
+        report: auditor.report(),
+        violations: auditor.violation_total(),
+        recorded_violations,
+        first,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sps_trace::TraceRecord;
+
+    fn jsonl(records: &[TraceRecord]) -> String {
+        let mut s = String::new();
+        for r in records {
+            s.push_str(&r.to_json());
+            s.push('\n');
+        }
+        s
+    }
+
+    fn rec(ms: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::from_millis(ms),
+            event,
+        }
+    }
+
+    fn online_report(records: &[TraceRecord]) -> (String, u64) {
+        let mut a = Auditor::new();
+        let mut out = Vec::new();
+        for r in records {
+            a.observe(r, &mut out);
+        }
+        a.finish(&mut out);
+        (a.report(), a.violation_total())
+    }
+
+    fn sample_records(break_dedup: bool) -> Vec<TraceRecord> {
+        let mut records = vec![
+            rec(
+                0,
+                TraceEvent::AuditMeta {
+                    subjobs: 1,
+                    flat: true,
+                    lossless: true,
+                    quiescent: true,
+                },
+            ),
+            rec(
+                0,
+                TraceEvent::SubjobMeta {
+                    subjob: 0,
+                    mode: HaModeTag::Hybrid,
+                },
+            ),
+            rec(
+                0,
+                TraceEvent::EpochChange {
+                    subjob: 0,
+                    epoch: 0,
+                    cause: EpochCause::Init,
+                    primary_machine: 1,
+                    primary_replica: 0,
+                },
+            ),
+        ];
+        for seq in 1..=4u64 {
+            records.push(rec(
+                seq,
+                TraceEvent::SinkDeliver {
+                    sink: 0,
+                    stream: 3,
+                    seq_start: seq,
+                    seq_end: seq,
+                    newly_accepted: 1,
+                    duplicates: 0,
+                    processed_through: seq,
+                },
+            ));
+        }
+        if break_dedup {
+            records.push(rec(
+                5,
+                TraceEvent::SinkDeliver {
+                    sink: 0,
+                    stream: 3,
+                    seq_start: 4,
+                    seq_end: 4,
+                    newly_accepted: 1,
+                    duplicates: 0,
+                    processed_through: 4,
+                },
+            ));
+        }
+        records
+    }
+
+    #[test]
+    fn clean_dump_replays_to_identical_pass_report() {
+        let records = sample_records(false);
+        let (want, total) = online_report(&records);
+        assert_eq!(total, 0);
+        let outcome = replay_dump(&jsonl(&records)).unwrap();
+        assert_eq!(outcome.report, want);
+        assert_eq!(outcome.violations, 0);
+        assert_eq!(outcome.recorded_violations, 0);
+        assert!(outcome.first.is_none());
+    }
+
+    #[test]
+    fn broken_dump_replays_to_identical_fail_report_with_backtrace() {
+        let records = sample_records(true);
+        let (want, total) = online_report(&records);
+        assert_eq!(total, 1);
+        let outcome = replay_dump(&jsonl(&records)).unwrap();
+        assert_eq!(outcome.report, want);
+        assert_eq!(outcome.violations, 1);
+        let first = outcome.first.expect("first violation context");
+        assert!(first.rendered.contains("sink_exactly_once"));
+        assert_eq!(first.line, 8, "the duplicate-accepting line");
+        assert!(!first.backtrace.is_empty());
+        assert!(first.backtrace.iter().all(|l| l.contains("\"sink\":0")));
+    }
+
+    #[test]
+    fn recorded_violations_are_counted_not_refed() {
+        let mut records = sample_records(true);
+        // Simulate an online probe having already derived the violation
+        // into the recorded stream.
+        records.push(rec(
+            5,
+            TraceEvent::AuditViolation {
+                invariant: AuditInvariant::SinkExactlyOnce,
+                subjob: u32::MAX,
+                entity: 0,
+                seq: 4,
+                detail: 4,
+            },
+        ));
+        let outcome = replay_dump(&jsonl(&records)).unwrap();
+        assert_eq!(outcome.violations, 1, "not double-counted");
+        assert_eq!(outcome.recorded_violations, 1);
+    }
+
+    #[test]
+    fn unaudited_kinds_are_skipped_and_do_not_disturb_counts() {
+        let mut records = sample_records(false);
+        records.push(rec(
+            6,
+            TraceEvent::HeartbeatPing {
+                machine: 0,
+                seq: 12,
+            },
+        ));
+        let (want, _) = online_report(&records);
+        let outcome = replay_dump(&jsonl(&records)).unwrap();
+        assert_eq!(outcome.report, want);
+        assert!(outcome.report.contains("events audited: 7"));
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        let err = replay_dump("{\"t\":1,\"kind\":\"sink_deliver\"\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let err = replay_dump("{\"t\":1,\"kind\":\"sink_deliver\",\"sink\":0}\n").unwrap_err();
+        assert!(err.contains("stream"), "{err}");
+    }
+
+    #[test]
+    fn end_of_run_violation_backtraces_from_dump_tail() {
+        let records = vec![
+            rec(
+                0,
+                TraceEvent::AuditMeta {
+                    subjobs: 1,
+                    flat: true,
+                    lossless: true,
+                    quiescent: true,
+                },
+            ),
+            rec(
+                1,
+                TraceEvent::EpochChange {
+                    subjob: 2,
+                    epoch: 1,
+                    cause: EpochCause::Promote,
+                    primary_machine: 6,
+                    primary_replica: 1,
+                },
+            ),
+        ];
+        let outcome = replay_dump(&jsonl(&records)).unwrap();
+        assert_eq!(outcome.violations, 1);
+        let first = outcome.first.unwrap();
+        assert!(first.rendered.contains("standby_coverage"));
+        assert_eq!(first.line, 2, "stamped at the last audited line");
+        assert!(first.backtrace[0].contains("epoch_change"));
+    }
+}

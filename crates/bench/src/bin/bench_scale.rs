@@ -22,10 +22,14 @@
 //! If a `BENCH_runner.json` sits in the working directory, the report also
 //! embeds the runner's aggregate serial events/second and the ratio of the
 //! 83-machine cell against it, for cross-harness throughput comparison.
+//!
+//! `--metrics-out` and `--audit-out` run the same instrumented capture
+//! scenarios as the figure binaries (status on stderr, stdout unchanged).
 
 use std::time::Instant;
 
 use sps_bench::common::{peak_rss_bytes, RunOpts, Scale};
+use sps_bench::{audit_capture, metrics_capture};
 use sps_cluster::{FaultTopology, Network};
 use sps_engine::SubjobId;
 use sps_ha::{HaMode, HaSimulation, RateProfile, SjState};
@@ -447,4 +451,6 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("bench_scale: report written to {out}");
+    metrics_capture::maybe_capture(opts.metrics_out.as_deref(), opts.seed);
+    audit_capture::maybe_capture(opts.audit_out.as_deref(), opts.seed);
 }

@@ -8,8 +8,11 @@
 //! the heaviest-loss run is written there; the dump is a deterministic
 //! function of the seed, which the CI determinism job checks by
 //! byte-diffing two runs. `--metrics-out` and `--health-out` run the same
-//! instrumented capture scenarios as the figure binaries.
+//! instrumented capture scenarios as the figure binaries. `--audit-out
+//! <path>` attaches the protocol auditor to every real sweep cell and
+//! writes the per-cell reports there (status on stderr, stdout unchanged).
 
+use sps_audit::Auditor;
 use sps_bench::common::{Experiment, RunOpts};
 use sps_bench::{health_capture, metrics_capture};
 use sps_cluster::{BurstLoss, ChaosPlan, FaultProfile, MachineId};
@@ -33,9 +36,13 @@ struct CampaignRun {
     /// are what crosses back to the submitting thread.
     trace_jsonl: Vec<u8>,
     trace_records: usize,
+    /// The protocol auditor's end-of-run report, when `--audit-out`
+    /// attached the auditor to this cell's trace bus.
+    audit_report: Option<String>,
+    audit_violations: u64,
 }
 
-fn run_campaign(loss: f64, seed: u64) -> CampaignRun {
+fn run_campaign(loss: f64, seed: u64, audit: bool) -> CampaignRun {
     // The zero-loss baseline gets a clean network (no burst chain either).
     let weather = if loss > 0.0 {
         FaultProfile::loss(loss).with_burst(BurstLoss {
@@ -52,7 +59,7 @@ fn run_campaign(loss: f64, seed: u64) -> CampaignRun {
     // Control-plane-only keeps the JSONL dump small enough to byte-diff
     // in CI while retaining every fault, chaos, and recovery record.
     let recorder = SharedRecorder::default().control_plane_only();
-    let mut sim = HaSimulation::builder(eval_chain_job())
+    let mut builder = HaSimulation::builder(eval_chain_job())
         .mode(HaMode::Hybrid)
         .source_rate(500.0)
         .seed(seed)
@@ -62,9 +69,22 @@ fn run_campaign(loss: f64, seed: u64) -> CampaignRun {
         })
         .chaos(plan)
         .trace_sink(Box::new(recorder.clone()))
-        .build();
+        // The run promises losslessness and quiescence — the table's own
+        // exactly_once/quiescent columns assert the same. Declared
+        // unconditionally so the JSONL preamble (and hence an offline
+        // `sps-inspect audit` of the dump) is identical with and without
+        // `--audit-out`.
+        .audit_expectations(true, true);
+    if audit {
+        // The auditor rides this cell's real trace bus: a strictly
+        // read-only probe, so the sweep stays byte-identical with and
+        // without it.
+        builder = builder.trace_probe(Box::new(Auditor::new()));
+    }
+    let mut sim = builder.build();
     sim.stop_sources_at(SimTime::from_secs(10));
     sim.run_for(SimDuration::from_secs(16));
+    sim.finish_probes();
 
     let mut telemetry = Telemetry::new();
     recorder.with(|r| telemetry.ingest_all(r.records()));
@@ -91,6 +111,8 @@ fn run_campaign(loss: f64, seed: u64) -> CampaignRun {
         all_normal,
         trace_jsonl,
         trace_records,
+        audit_report: sim.audit_report(),
+        audit_violations: sim.audit_violations(),
     }
 }
 
@@ -104,9 +126,10 @@ fn main() {
     // Each loss level is an independent simulation cell; results come back
     // in sweep order, so the table (and the heaviest-loss recorder kept for
     // the deterministic JSONL dump) match the serial sweep byte for byte.
+    let audit = opts.audit_out.is_some();
     let runs = opts
         .runner()
-        .map(losses.clone(), |loss| run_campaign(loss, seed));
+        .map(losses.clone(), move |loss| run_campaign(loss, seed, audit));
 
     let mut table = Table::new(vec![
         "loss_pct",
@@ -121,6 +144,8 @@ fn main() {
     ]);
     let mut last_trace = None;
     let mut all_ok = true;
+    let mut audit_reports = String::new();
+    let mut audit_violations = 0u64;
     for (&loss, run) in losses.iter().zip(runs) {
         let exactly_once = run.accepted == run.produced;
         all_ok &= exactly_once && run.all_normal && run.promotions == 2;
@@ -135,6 +160,13 @@ fn main() {
             run.all_normal.to_string(),
             exactly_once.to_string(),
         ]);
+        if let Some(report) = &run.audit_report {
+            audit_reports.push_str(&format!(
+                "=== cell loss={:.1}% ===\n{report}\n",
+                loss * 100.0
+            ));
+            audit_violations += run.audit_violations;
+        }
         last_trace = Some((run.trace_jsonl, run.trace_records));
     }
 
@@ -162,6 +194,21 @@ fn main() {
         match std::fs::write(path, trace) {
             Ok(()) => println!("trace: {records} records written to {}", path.display()),
             Err(e) => eprintln!("warning: could not write trace to {}: {e}", path.display()),
+        }
+    }
+    if let Some(path) = &opts.audit_out {
+        // Status on stderr: the campaign stdout stays byte-identical with
+        // and without auditing, which CI byte-compares.
+        match std::fs::write(path, &audit_reports) {
+            Ok(()) => eprintln!(
+                "audit: {audit_violations} violations across {} cells, reports written to {}",
+                losses.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!(
+                "warning: could not write audit reports to {}: {e}",
+                path.display()
+            ),
         }
     }
     metrics_capture::maybe_capture(opts.metrics_out.as_deref(), opts.seed);

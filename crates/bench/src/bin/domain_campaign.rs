@@ -17,11 +17,16 @@
 //! <path>` the flight-recorder JSONL of the heaviest cell is written
 //! there; `--health-out <path>` captures a separate health-instrumented
 //! standby-rack failure whose report closes a `redundancy_loss` anomaly
-//! span (the CI soak step greps for it).
+//! span (the CI soak step greps for it); `--metrics-out <path>` runs the
+//! same instrumented metrics capture as the figure binaries; `--audit-out
+//! <path>` attaches the protocol auditor to every real sweep cell and
+//! writes the per-cell reports there (status on stderr, stdout unchanged).
 
 use std::path::Path;
 
+use sps_audit::Auditor;
 use sps_bench::common::{Experiment, RunOpts};
+use sps_bench::metrics_capture;
 use sps_cluster::{ChaosPlan, DomainId, FaultTopology, MachineId};
 use sps_engine::SubjobId;
 use sps_ha::{HaEventKind, HaMode, HaSimulation, Placement, SjState};
@@ -89,16 +94,26 @@ struct CampaignRun {
     pairs_disjoint: bool,
     trace_jsonl: Vec<u8>,
     trace_records: usize,
+    /// The protocol auditor's end-of-run report, when `--audit-out`
+    /// attached the auditor to this cell's trace bus.
+    audit_report: Option<String>,
+    audit_violations: u64,
 }
 
-fn run_campaign(placement: Placement, k: usize, seed: u64) -> CampaignRun {
+fn run_campaign(
+    placement: Placement,
+    domain_aware: bool,
+    k: usize,
+    seed: u64,
+    audit: bool,
+) -> CampaignRun {
     let topology = topology();
     let mut plan = ChaosPlan::default();
     for (at, rack) in fault_racks(k) {
         plan = plan.domain_fail_stop(at, rack);
     }
     let recorder = SharedRecorder::default().control_plane_only();
-    let mut sim = HaSimulation::builder(eval_chain_job())
+    let mut builder = HaSimulation::builder(eval_chain_job())
         .mode(HaMode::Hybrid)
         .source_rate(500.0)
         .seed(seed)
@@ -110,9 +125,25 @@ fn run_campaign(placement: Placement, k: usize, seed: u64) -> CampaignRun {
         .topology(topology.clone())
         .chaos(plan)
         .trace_sink(Box::new(recorder.clone()))
-        .build();
+        // Domain-aware cells promise lossless, quiescent runs — the same
+        // claim the table's avail/quiescent columns make. Static cells
+        // deliberately lose both replicas to one rack, so only the
+        // always-on invariants apply there (the end-of-run gap and
+        // coverage checks would flag placement policy, not protocol
+        // bugs). Declared unconditionally so the JSONL preamble (and an
+        // offline `sps-inspect audit` of the dump) is identical with and
+        // without `--audit-out`.
+        .audit_expectations(domain_aware, domain_aware);
+    if audit {
+        // The auditor is a strictly read-only probe on this cell's real
+        // trace bus: the campaign output stays byte-identical with and
+        // without it.
+        builder = builder.trace_probe(Box::new(Auditor::new()));
+    }
+    let mut sim = builder.build();
     sim.stop_sources_at(SimTime::from_secs(15));
     sim.run_for(SimDuration::from_secs(22));
+    sim.finish_probes();
 
     let world = sim.world();
     let promotions = world
@@ -148,6 +179,8 @@ fn run_campaign(placement: Placement, k: usize, seed: u64) -> CampaignRun {
         pairs_disjoint,
         trace_jsonl,
         trace_records,
+        audit_report: sim.audit_report(),
+        audit_violations: sim.audit_violations(),
     }
 }
 
@@ -207,13 +240,14 @@ fn main() {
     // Static first, domain-aware second, so the flight-recorder dump kept
     // for `--trace-out` is the heaviest domain-aware cell.
     let cells: Vec<(usize, bool)> = ks.iter().flat_map(|&k| [(k, false), (k, true)]).collect();
-    let runs = opts.runner().map(cells.clone(), |(k, domain_aware)| {
+    let audit = opts.audit_out.is_some();
+    let runs = opts.runner().map(cells.clone(), move |(k, domain_aware)| {
         let placement = if domain_aware {
             domain_aware_placement()
         } else {
             static_placement()
         };
-        run_campaign(placement, k, seed)
+        run_campaign(placement, domain_aware, k, seed, audit)
     });
 
     let mut table = Table::new(vec![
@@ -230,6 +264,8 @@ fn main() {
     let mut last_trace = None;
     let mut aware_ok = true;
     let mut static_degraded = false;
+    let mut audit_reports = String::new();
+    let mut audit_violations = 0u64;
     for (&(k, domain_aware), run) in cells.iter().zip(runs) {
         let avail = if run.produced == 0 {
             100.0
@@ -255,6 +291,13 @@ fn main() {
             run.all_normal.to_string(),
             run.pairs_disjoint.to_string(),
         ]);
+        if let Some(report) = &run.audit_report {
+            audit_reports.push_str(&format!(
+                "=== cell faults={k} placement={} ===\n{report}\n",
+                if domain_aware { "domain" } else { "static" }
+            ));
+            audit_violations += run.audit_violations;
+        }
         last_trace = Some((run.trace_jsonl, run.trace_records));
     }
 
@@ -298,5 +341,21 @@ fn main() {
             Err(e) => eprintln!("warning: could not write trace to {}: {e}", path.display()),
         }
     }
+    if let Some(path) = &opts.audit_out {
+        // Status on stderr, like the trace export: the campaign stdout
+        // stays byte-identical to the committed golden.
+        match std::fs::write(path, &audit_reports) {
+            Ok(()) => eprintln!(
+                "audit: {audit_violations} violations across {} cells, reports written to {}",
+                cells.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!(
+                "warning: could not write audit reports to {}: {e}",
+                path.display()
+            ),
+        }
+    }
+    metrics_capture::maybe_capture(opts.metrics_out.as_deref(), opts.seed);
     maybe_capture_domain_health(opts.health_out.as_deref(), opts.seed);
 }

@@ -2,7 +2,7 @@
 
 use sps_bench::common::RunOpts;
 use sps_bench::experiments::fig01_03::fig02 as experiment;
-use sps_bench::{health_capture, metrics_capture, trace_capture};
+use sps_bench::{audit_capture, health_capture, metrics_capture, trace_capture};
 
 fn main() {
     let opts = RunOpts::parse();
@@ -10,4 +10,5 @@ fn main() {
     trace_capture::maybe_capture(opts.trace_out.as_deref(), opts.seed);
     metrics_capture::maybe_capture(opts.metrics_out.as_deref(), opts.seed);
     health_capture::maybe_capture(opts.health_out.as_deref(), opts.seed);
+    audit_capture::maybe_capture(opts.audit_out.as_deref(), opts.seed);
 }

@@ -50,6 +50,12 @@ pub struct RunOpts {
     /// anomaly spans, rate series). Status goes to stderr so stdout stays
     /// byte-identical with and without the flag.
     pub health_out: Option<PathBuf>,
+    /// `--audit-out PATH` (or `SPS_AUDIT_OUT`): protocol-audit report
+    /// destination. The auditor rides the trace bus of the instrumented
+    /// capture run (or, for the campaign binaries, the real runs) and
+    /// writes its deterministic end-of-run report here. Status goes to
+    /// stderr so stdout stays byte-identical with and without the flag.
+    pub audit_out: Option<PathBuf>,
 }
 
 impl RunOpts {
@@ -68,6 +74,7 @@ impl RunOpts {
         let mut trace_out: Option<PathBuf> = None;
         let mut metrics_out: Option<PathBuf> = None;
         let mut health_out: Option<PathBuf> = None;
+        let mut audit_out: Option<PathBuf> = None;
         let mut args = args.into_iter();
         while let Some(a) = args.next() {
             let mut take = |inline: Option<&str>| -> Option<String> {
@@ -87,6 +94,8 @@ impl RunOpts {
                 metrics_out = take(a.strip_prefix("--metrics-out=")).map(PathBuf::from);
             } else if a == "--health-out" || a.starts_with("--health-out=") {
                 health_out = take(a.strip_prefix("--health-out=")).map(PathBuf::from);
+            } else if a == "--audit-out" || a.starts_with("--audit-out=") {
+                audit_out = take(a.strip_prefix("--audit-out=")).map(PathBuf::from);
             }
         }
         let jobs = jobs
@@ -106,6 +115,9 @@ impl RunOpts {
         if health_out.is_none() {
             health_out = std::env::var_os("SPS_HEALTH_OUT").map(PathBuf::from);
         }
+        if audit_out.is_none() {
+            audit_out = std::env::var_os("SPS_AUDIT_OUT").map(PathBuf::from);
+        }
         RunOpts {
             scale: if quick { Scale::Quick } else { Scale::Full },
             jobs,
@@ -113,6 +125,7 @@ impl RunOpts {
             trace_out,
             metrics_out,
             health_out,
+            audit_out,
         }
     }
 
@@ -225,7 +238,7 @@ mod tests {
     fn run_opts_parse_flags() {
         let to_args = |s: &str| s.split_whitespace().map(str::to_string).collect::<Vec<_>>();
         let o = RunOpts::from_args(to_args(
-            "--quick --jobs 3 --seed 77 --trace-out t.jsonl --metrics-out m.jsonl --health-out h.jsonl",
+            "--quick --jobs 3 --seed 77 --trace-out t.jsonl --metrics-out m.jsonl --health-out h.jsonl --audit-out a.jsonl",
         ));
         assert_eq!(o.scale, Scale::Quick);
         assert_eq!(o.jobs, 3);
@@ -242,9 +255,13 @@ mod tests {
             o.health_out.as_deref(),
             Some(std::path::Path::new("h.jsonl"))
         );
+        assert_eq!(
+            o.audit_out.as_deref(),
+            Some(std::path::Path::new("a.jsonl"))
+        );
 
         let o = RunOpts::from_args(to_args(
-            "--jobs=8 --seed=5 --trace-out=x.jsonl --metrics-out=m.csv --health-out=h2.jsonl",
+            "--jobs=8 --seed=5 --trace-out=x.jsonl --metrics-out=m.csv --health-out=h2.jsonl --audit-out=a2.txt",
         ));
         assert_eq!(o.scale, Scale::Full);
         assert_eq!(o.jobs, 8);
@@ -261,6 +278,7 @@ mod tests {
             o.health_out.as_deref(),
             Some(std::path::Path::new("h2.jsonl"))
         );
+        assert_eq!(o.audit_out.as_deref(), Some(std::path::Path::new("a2.txt")));
 
         // Unknown flags are ignored; defaults hold.
         let o = RunOpts::from_args(to_args("--out somewhere.json"));

@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_debug_implementations)]
 
+pub mod audit_capture;
 pub mod common;
 pub mod health_capture;
 pub mod metrics_capture;

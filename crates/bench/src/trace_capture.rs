@@ -135,6 +135,13 @@ mod tests {
             "net_duplicate",
             "retransmit",
             "chaos_phase",
+            "audit_meta",
+            "subjob_meta",
+            "sink_deliver",
+            "checkpoint_covered",
+            "ack_sent",
+            "epoch_change",
+            "standby_provision",
         ] {
             assert!(kinds.contains(kind), "missing event kind {kind}: {kinds:?}");
         }

@@ -388,6 +388,21 @@ impl HaWorld {
                     port,
                 };
                 for (stream, seq) in streams {
+                    // Audit tap: the stored checkpoint covers this input
+                    // position, which is what licenses the upstream ack
+                    // about to be sent (§III-B ordering). Emitted *before*
+                    // the ack so the auditor sees coverage first.
+                    if self.tracer.is_enabled() && seq > 0 {
+                        self.tracer.emit(
+                            ctx.now(),
+                            TraceEvent::CheckpointCovered {
+                                pe: pe.0,
+                                replica: replica_code(replica),
+                                stream: stream.0,
+                                seq,
+                            },
+                        );
+                    }
                     self.send_acks_for_stream(ctx, from_machine, from, stream, seq);
                 }
             }

@@ -196,6 +196,19 @@ pub struct HaConfig {
     /// requires only a live, fault-free standby machine, exactly the
     /// pre-ladder behavior.
     pub standby_freshness_budget: SimDuration,
+    /// Test-only fault hook: sinks count duplicate deliveries as freshly
+    /// accepted instead of dropping them, breaking receiver-side
+    /// exactly-once. Exists so the protocol auditor's mutation canary can
+    /// prove the `sink_exactly_once` check fires; never set outside tests.
+    #[doc(hidden)]
+    pub test_break_sink_dedup: bool,
+    /// Test-only fault hook: promotions skip re-provisioning a replacement
+    /// standby (and skip declaring the failover aborted), silently leaving
+    /// the subjob without redundancy. Exists so the auditor's mutation
+    /// canary can prove the `standby_coverage` check fires; never set
+    /// outside tests.
+    #[doc(hidden)]
+    pub test_skip_standby_reprovision: bool,
 }
 
 impl Default for HaConfig {
@@ -229,6 +242,8 @@ impl Default for HaConfig {
             rel_max_retries: 12,
             rel_sweep_interval: SimDuration::from_millis(100),
             standby_freshness_budget: SimDuration::ZERO,
+            test_break_sink_dedup: false,
+            test_skip_standby_reprovision: false,
         }
     }
 }

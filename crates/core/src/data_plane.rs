@@ -770,6 +770,26 @@ impl HaWorld {
         if seq == 0 {
             return; // nothing processed yet
         }
+        if self.tracer.is_enabled() {
+            // Audit tap: a checkpoint-acked primary may only acknowledge
+            // positions a stored checkpoint covers (§III-B ordering). Only
+            // those acks are interesting to the auditor; batched
+            // processing-time acks from everyone else are unconstrained.
+            if let Dest::Pe { inst, .. } = from {
+                let sj = &self.subjobs[self.job.subjob_of(inst.pe).0 as usize];
+                if sj.mode.checkpoints() && inst.replica == sj.primary_replica {
+                    self.tracer.emit(
+                        ctx.now(),
+                        TraceEvent::AckSent {
+                            pe: inst.pe.0,
+                            replica: replica_code(inst.replica),
+                            stream: stream.0,
+                            seq,
+                        },
+                    );
+                }
+            }
+        }
         for (addr, machine) in self.ack_targets(stream).into_iter().flatten() {
             self.send_msg(
                 ctx,
@@ -951,7 +971,12 @@ impl HaWorld {
                 if let Some(lin) = self.lineage.as_deref_mut() {
                     lin.note_recv((stream.0, seq), ctx.now());
                 }
-                if let Some(accept) = self.sinks[s].deliver(ctx.now(), elem) {
+                let delivered = if self.cfg.test_break_sink_dedup {
+                    self.sinks[s].deliver_without_dedup(ctx.now(), elem)
+                } else {
+                    self.sinks[s].deliver(ctx.now(), elem)
+                };
+                if let Some(accept) = delivered {
                     self.metric_inc(
                         Scope::global("sink"),
                         "accepted",
@@ -970,6 +995,18 @@ impl HaWorld {
                             ctx.now(),
                         );
                     }
+                    self.tracer.emit(
+                        ctx.now(),
+                        TraceEvent::SinkDeliver {
+                            sink: sink.0,
+                            stream: stream.0,
+                            seq_start: seq,
+                            seq_end: seq,
+                            newly_accepted: accept.newly_accepted as u32,
+                            duplicates: 0,
+                            processed_through: accept.processed_through,
+                        },
+                    );
                     let from_machine = self.placement.sinks[s];
                     self.send_acks_for_stream(
                         ctx,
@@ -978,22 +1015,40 @@ impl HaWorld {
                         accept.stream,
                         accept.processed_through,
                     );
-                } else if self.cfg.reliable_control {
+                } else {
                     // Rejected arrival: a duplicate (behind the processed
                     // position — likely a retransmission whose ack was
-                    // lost) or stashed out of order. Re-ack only the
-                    // former; cumulative acks are monotone, so resending
-                    // the current position is always safe.
-                    let through = self.sinks[s].processed_through(stream);
-                    if through >= seq {
-                        let from_machine = self.placement.sinks[s];
-                        self.send_acks_for_stream(
-                            ctx,
-                            from_machine,
-                            Dest::Sink(sink),
-                            stream,
-                            through,
+                    // lost) or stashed out of order.
+                    if self.tracer.is_enabled() {
+                        let through = self.sinks[s].processed_through(stream);
+                        self.tracer.emit(
+                            ctx.now(),
+                            TraceEvent::SinkDeliver {
+                                sink: sink.0,
+                                stream: stream.0,
+                                seq_start: seq,
+                                seq_end: seq,
+                                newly_accepted: 0,
+                                duplicates: u32::from(through >= seq),
+                                processed_through: through,
+                            },
                         );
+                    }
+                    if self.cfg.reliable_control {
+                        // Re-ack only duplicates; cumulative acks are
+                        // monotone, so resending the current position is
+                        // always safe.
+                        let through = self.sinks[s].processed_through(stream);
+                        if through >= seq {
+                            let from_machine = self.placement.sinks[s];
+                            self.send_acks_for_stream(
+                                ctx,
+                                from_machine,
+                                Dest::Sink(sink),
+                                stream,
+                                through,
+                            );
+                        }
                     }
                 }
             }
@@ -1085,9 +1140,17 @@ impl HaWorld {
                     lin.note_recv_range(stream.0, batch.seq_start(), batch.seq_end(), ctx.now());
                 }
                 let mut last_accept: Option<(StreamId, u64)> = None;
+                let trace = self.tracer.is_enabled();
+                let mut newly_accepted: u32 = 0;
+                let mut duplicates: u32 = 0;
                 for &elem in batch.elems() {
                     let created_at = elem.created_at;
-                    if let Some(accept) = self.sinks[s].deliver(ctx.now(), elem) {
+                    let delivered = if self.cfg.test_break_sink_dedup {
+                        self.sinks[s].deliver_without_dedup(ctx.now(), elem)
+                    } else {
+                        self.sinks[s].deliver(ctx.now(), elem)
+                    };
+                    if let Some(accept) = delivered {
                         self.metric_inc(
                             Scope::global("sink"),
                             "accepted",
@@ -1103,8 +1166,29 @@ impl HaWorld {
                                 ctx.now(),
                             );
                         }
+                        newly_accepted += accept.newly_accepted as u32;
                         last_accept = Some((accept.stream, accept.processed_through));
+                    } else if trace && elem.seq <= self.sinks[s].processed_through(stream) {
+                        duplicates += 1;
                     }
+                }
+                if trace {
+                    let through = match last_accept {
+                        Some((_, t)) => t,
+                        None => self.sinks[s].processed_through(stream),
+                    };
+                    self.tracer.emit(
+                        ctx.now(),
+                        TraceEvent::SinkDeliver {
+                            sink: sink.0,
+                            stream: stream.0,
+                            seq_start: batch.seq_start(),
+                            seq_end: batch.seq_end(),
+                            newly_accepted,
+                            duplicates,
+                            processed_through: through,
+                        },
+                    );
                 }
                 let from_machine = self.placement.sinks[s];
                 if let Some((astream, through)) = last_accept {

@@ -8,18 +8,93 @@ use sps_engine::{Dest, InstanceId, PeCheckpoint, PeId, Producer, Replica, Stream
 use sps_metrics::MsgClass;
 use sps_sim::Ctx;
 
-use sps_trace::{AbortReason, TraceEvent};
+use sps_trace::{AbortReason, EpochCause, TraceEvent};
 
 use crate::config::HaMode;
 use crate::data_plane::find_conn;
 use crate::detect::{BenchAction, HbVerdict};
 use crate::message::Msg;
-use crate::world::{slot_of, Event, HaEventKind, HaWorld, SjState, SubjobPending};
+use crate::world::{replica_code, slot_of, Event, HaEventKind, HaWorld, SjState, SubjobPending};
 
 impl HaWorld {
     fn log_event(&mut self, at: sps_sim::SimTime, subjob: SubjobId, kind: HaEventKind) {
         self.metric_inc(sps_metrics::Scope::global("recovery"), kind.as_str(), 1);
         self.tracer.emit_phase(at, subjob.0, kind);
+    }
+
+    /// Audit tap: a subjob's recovery epoch just changed. Emits the new
+    /// epoch, its cause, and the (possibly reassigned) primary identity so
+    /// the protocol auditor can check epoch monotonicity and
+    /// at-most-one-active-primary per epoch.
+    fn emit_epoch_change(&mut self, at: sps_sim::SimTime, sj_id: SubjobId, cause: EpochCause) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let (epoch, machine, replica) = {
+            let sj = &self.subjobs[sj_id.0 as usize];
+            (
+                sj.epoch,
+                sj.primary_machine.0,
+                replica_code(sj.primary_replica),
+            )
+        };
+        self.tracer.emit(
+            at,
+            TraceEvent::EpochChange {
+                subjob: sj_id.0,
+                epoch,
+                cause,
+                primary_machine: machine,
+                primary_replica: replica,
+            },
+        );
+    }
+
+    /// Audit tap: a standby target was (re)assigned after a failover step.
+    /// `fresh` marks a machine newly taken from the spare pool (initial
+    /// placements and kept machines are not re-checked for disjointness);
+    /// `paired_with` is the primary the standby must be domain-disjoint
+    /// from, or `None` when the whole subjob is being redeployed and no
+    /// pair constraint applies yet. The domain fields are equal exactly
+    /// when the pair shares a fault domain (rack or switch).
+    fn emit_standby_provision(
+        &mut self,
+        at: sps_sim::SimTime,
+        sj_id: SubjobId,
+        machine: Option<MachineId>,
+        fresh: bool,
+        paired_with: Option<MachineId>,
+    ) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let (m, pd, sd) = match (machine, paired_with) {
+            (Some(s), Some(p)) => {
+                let topo = self.cluster.topology();
+                let pd = topo.rack_of(p).0;
+                let sd = if topo.domain_disjoint(p, s) {
+                    topo.rack_of(s).0
+                } else {
+                    pd
+                };
+                (s.0, pd, sd)
+            }
+            (Some(s), None) => {
+                let topo = self.cluster.topology();
+                (s.0, u32::MAX, topo.rack_of(s).0)
+            }
+            (None, _) => (u32::MAX, u32::MAX, u32::MAX),
+        };
+        self.tracer.emit(
+            at,
+            TraceEvent::StandbyProvision {
+                subjob: sj_id.0,
+                machine: m,
+                fresh,
+                primary_domain: pd,
+                standby_domain: sd,
+            },
+        );
     }
 
     // ---- heartbeat ----
@@ -173,6 +248,7 @@ impl HaWorld {
                 let sj = &mut self.subjobs[sj_id.0 as usize];
                 sj.epoch += 1;
                 sj.state = SjState::Normal;
+                self.emit_epoch_change(ctx.now(), sj_id, EpochCause::SwitchoverAbort);
             }
             SjState::SwitchedOver => {
                 if self.cfg.read_state_on_rollback {
@@ -293,6 +369,7 @@ impl HaWorld {
         sj.epoch += 1;
         sj.state = SjState::SwitchingOver;
         let epoch = sj.epoch;
+        self.emit_epoch_change(ctx.now(), sj_id, EpochCause::Switchover);
         self.log_event(ctx.now(), sj_id, HaEventKind::Detected);
         // With pre-deployment, "we only need to reset the flag to resume
         // the processing loop" — a fraction of an on-demand deployment.
@@ -509,6 +586,7 @@ impl HaWorld {
         sj.epoch += 1;
         sj.state = SjState::Deploying;
         let epoch = sj.epoch;
+        self.emit_epoch_change(ctx.now(), sj_id, EpochCause::PsDetect);
         self.log_event(ctx.now(), sj_id, HaEventKind::Detected);
         ctx.schedule_in(
             self.cfg.deploy_delay,
@@ -595,14 +673,16 @@ impl HaWorld {
             sj.last_ckpt_at.clear();
             (old_machine, sj.primary_machine)
         };
-        let target = if self.cluster.machine(old_machine).is_up()
+        self.emit_epoch_change(ctx.now(), sj_id, EpochCause::PsConnect);
+        let (target, fresh) = if self.cluster.machine(old_machine).is_up()
             && !self.domain_has_active_fault(old_machine)
         {
-            Some(old_machine)
+            (Some(old_machine), false)
         } else {
-            self.take_safe_spare(Some(new_machine))
+            (self.take_safe_spare(Some(new_machine)), true)
         };
         self.subjobs[subjob as usize].secondary_machine = target;
+        self.emit_standby_provision(ctx.now(), sj_id, target, fresh, Some(new_machine));
         self.reset_monitor_of(sj_id);
         self.log_event(ctx.now(), sj_id, HaEventKind::PsConnected);
         // A hybrid (or active-standby) subjob that migrated through this
@@ -698,11 +778,26 @@ impl HaWorld {
             sj.last_ckpt_at.clear();
             sj.primary_machine
         };
+        self.emit_epoch_change(ctx.now(), sj_id, EpochCause::Promote);
         // Automatic standby re-provisioning: a fresh standby on a healthy
         // machine domain-disjoint from the new primary (with a flat
-        // topology this is exactly the spare `pop()` always took).
-        let new_secondary_machine = self.take_safe_spare(Some(new_primary_machine));
+        // topology this is exactly the spare `pop()` always took). The
+        // test-only break leaves redundancy silently unrestored — without
+        // even the aborted-failover dead-end marker — which is exactly the
+        // standby-coverage liveness violation the auditor exists to catch.
+        let new_secondary_machine = if self.cfg.test_skip_standby_reprovision {
+            None
+        } else {
+            self.take_safe_spare(Some(new_primary_machine))
+        };
         self.subjobs[sj_id.0 as usize].secondary_machine = new_secondary_machine;
+        self.emit_standby_provision(
+            ctx.now(),
+            sj_id,
+            new_secondary_machine,
+            true,
+            Some(new_primary_machine),
+        );
         self.reset_monitor_of(sj_id);
         self.log_event(ctx.now(), sj_id, HaEventKind::Promoted);
         match new_secondary_machine {
@@ -716,6 +811,7 @@ impl HaWorld {
                     },
                 );
             }
+            None if self.cfg.test_skip_standby_reprovision => {}
             // Promotion succeeded but redundancy could not be restored:
             // make the dead-end observable.
             None => self.abort_failover(ctx, sj_id, None, AbortReason::NoStandby),
@@ -776,6 +872,10 @@ impl HaWorld {
             sj.snap_positions.clear();
             sj.last_ckpt_at.clear();
         }
+        self.emit_epoch_change(ctx.now(), sj_id, EpochCause::SpareRedeploy);
+        // No pair constraint yet: the dead primary is about to be replaced
+        // by this very machine through the migration path.
+        self.emit_standby_provision(ctx.now(), sj_id, Some(spare), true, None);
         self.metric_inc(sps_metrics::Scope::global("failover"), "spare_redeploy", 1);
         let epoch = self.subjobs[sj_id.0 as usize].epoch;
         ctx.schedule_in(
@@ -835,10 +935,12 @@ impl HaWorld {
             sj.epoch += 1;
             sj.state = SjState::Normal;
         }
+        self.emit_epoch_change(ctx.now(), sj_id, EpochCause::StandbyLost);
         self.metric_inc(sps_metrics::Scope::global("failover"), "standby_lost", 1);
         let primary_machine = self.subjobs[idx].primary_machine;
         let spare = self.take_safe_spare(Some(primary_machine));
         self.subjobs[idx].secondary_machine = spare;
+        self.emit_standby_provision(ctx.now(), sj_id, spare, true, Some(primary_machine));
         self.reset_monitor_of(sj_id);
         match spare {
             Some(_) => {

@@ -9,7 +9,7 @@ use sps_cluster::{
 use sps_engine::{Job, SubjobId};
 use sps_metrics::{MsgCounters, RecoveryKind, RecoveryTimeline};
 use sps_sim::{SimDuration, SimTime, Simulation};
-use sps_trace::TraceSink;
+use sps_trace::{TraceProbe, TraceSink};
 
 use crate::config::{HaConfig, HaMode};
 use crate::data_plane::schedule_initial_events;
@@ -43,6 +43,9 @@ pub struct HaSimulationBuilder {
     seed: u64,
     log_sink_accepts: bool,
     trace_sinks: Vec<Box<dyn TraceSink>>,
+    trace_probes: Vec<Box<dyn TraceProbe>>,
+    audit_lossless: bool,
+    audit_quiescent: bool,
     chaos: Option<ChaosPlan>,
     lineage: bool,
     collect_metrics: bool,
@@ -57,6 +60,7 @@ impl fmt::Debug for HaSimulationBuilder {
             .field("seed", &self.seed)
             .field("log_sink_accepts", &self.log_sink_accepts)
             .field("trace_sinks", &self.trace_sinks.len())
+            .field("trace_probes", &self.trace_probes.len())
             .field("chaos", &self.chaos.as_ref().map(|p| p.steps().len()))
             .field("lineage", &self.lineage)
             .field("collect_metrics", &self.collect_metrics)
@@ -87,6 +91,9 @@ impl HaSimulationBuilder {
             seed: 0,
             log_sink_accepts: false,
             trace_sinks: Vec::new(),
+            trace_probes: Vec::new(),
+            audit_lossless: false,
+            audit_quiescent: false,
             chaos: None,
             lineage: false,
             collect_metrics: false,
@@ -180,6 +187,29 @@ impl HaSimulationBuilder {
         self
     }
 
+    /// Installs a trace probe (e.g. the `sps-audit` protocol auditor): a
+    /// streaming observer on the trace bus whose derived records (audit
+    /// violations) are fanned back out to the installed sinks. Probes are
+    /// read-only observation — they see copies of records and cannot touch
+    /// the event schedule — so installing one never perturbs the run.
+    pub fn trace_probe(mut self, probe: Box<dyn TraceProbe>) -> Self {
+        self.trace_probes.push(probe);
+        self
+    }
+
+    /// Declares the run's audit expectations, recorded in the trace
+    /// preamble for streaming/offline auditors: `lossless` promises no
+    /// element is ever dropped irrecoverably (so a sink sequence gap at end
+    /// of run is a violation), `quiescent` promises the run ends drained
+    /// (sources stopped and in-flight work settled, so end-of-run liveness
+    /// checks — gap-freedom and standby coverage — are decidable). Both
+    /// default to `false`, which disables those end-of-run checks.
+    pub fn audit_expectations(mut self, lossless: bool, quiescent: bool) -> Self {
+        self.audit_lossless = lossless;
+        self.audit_quiescent = quiescent;
+        self
+    }
+
     /// Installs a chaos plan: its steps are scheduled at their instants and
     /// the network's fault RNG is reseeded from a deterministic fork of the
     /// simulation seed. Enabling chaos does *not* switch on the reliable
@@ -264,6 +294,12 @@ impl HaSimulationBuilder {
         for sink in self.trace_sinks {
             world.tracer_mut().add_sink(sink);
         }
+        for probe in self.trace_probes {
+            world.tracer_mut().add_probe(probe);
+        }
+        // The preamble (run shape, per-subjob modes, initial epochs) leads
+        // every trace so auditors can replay from the first record.
+        world.emit_audit_preamble(self.audit_lossless, self.audit_quiescent);
         let env_lineage = std::env::var("SPS_LINEAGE").is_ok_and(|v| v == "1");
         if self.lineage || env_lineage {
             world.enable_lineage();
@@ -458,6 +494,25 @@ impl HaSimulation {
         let det = self.sim.world_mut().add_benchmark_detector(machine, config);
         self.sim.schedule_in(interval, Event::BenchSample { det });
         det
+    }
+
+    /// Runs every installed trace probe's end-of-run checks (liveness
+    /// invariants such as sink gap-freedom and standby coverage), fanning
+    /// any final violation records out to the trace sinks. Call once,
+    /// after the run is complete and before reading the audit report.
+    pub fn finish_probes(&mut self) {
+        self.sim.world_mut().tracer_mut().finish_probes();
+    }
+
+    /// The concatenated deterministic reports of every installed trace
+    /// probe, or `None` when no probe is installed.
+    pub fn audit_report(&self) -> Option<String> {
+        self.sim.world().tracer().probe_report()
+    }
+
+    /// Total audit violations across all installed probes.
+    pub fn audit_violations(&self) -> u64 {
+        self.sim.world().tracer().probe_violations()
     }
 
     /// Summarizes the run.

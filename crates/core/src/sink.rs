@@ -91,6 +91,35 @@ impl SinkRuntime {
         }
     }
 
+    /// Test-only broken delivery path (`HaConfig::test_break_sink_dedup`):
+    /// duplicates of already-processed positions are *counted as accepted*
+    /// instead of dropped, deliberately violating receiver exactly-once so
+    /// the protocol auditor's mutation canary has something to catch.
+    /// Stashed out-of-order arrivals still return `None`.
+    #[doc(hidden)]
+    pub fn deliver_without_dedup(&mut self, now: SimTime, elem: DataElement) -> Option<SinkAccept> {
+        if let Some(accept) = self.deliver(now, elem) {
+            return Some(accept);
+        }
+        let through = self.processed_through(elem.stream);
+        if elem.seq > through {
+            return None; // stashed, not a duplicate
+        }
+        // Double-count the duplicate as a fresh accept: the position does
+        // not advance, which is exactly the signature the auditor flags.
+        self.accepted += 1;
+        self.latency.record(
+            elem.created_at.as_secs_f64(),
+            now.saturating_since(elem.created_at).as_millis_f64(),
+        );
+        self.last_accept_at = Some(now);
+        Some(SinkAccept {
+            stream: elem.stream,
+            processed_through: through,
+            newly_accepted: 1,
+        })
+    }
+
     /// Total elements accepted (after deduplication).
     pub fn accepted(&self) -> u64 {
         self.accepted

@@ -19,7 +19,7 @@ use sps_metrics::MsgClass;
 use sps_metrics::MsgCounters;
 use sps_metrics::{Registry, Scope};
 use sps_sim::{Ctx, SimTime, TimerGen, TimerSlot, World};
-use sps_trace::{ChaosKind, LineageTable, TraceEvent, Tracer};
+use sps_trace::{ChaosKind, EpochCause, HaModeTag, LineageTable, TraceEvent, Tracer};
 
 use crate::config::{HaConfig, HaMode};
 use crate::detect::{BenchmarkConfig, BenchmarkDetector, HeartbeatMonitor};
@@ -964,6 +964,65 @@ impl HaWorld {
         &mut self.tracer
     }
 
+    /// Emits the audit preamble — the run's shape ([`TraceEvent::AuditMeta`]),
+    /// each subjob's HA mode ([`TraceEvent::SubjobMeta`]), and each subjob's
+    /// initial epoch/primary — so a streaming auditor (online probe or
+    /// offline replay of a recorded dump) knows the expectations to check
+    /// against. A no-op unless tracing is enabled (build-time only).
+    pub(crate) fn emit_audit_preamble(&mut self, lossless: bool, quiescent: bool) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let flat = {
+            let topo = self.cluster.topology();
+            let machines = topo.machines();
+            topo.rack_count() == machines && topo.switch_count() == machines
+        };
+        self.tracer.emit(
+            SimTime::ZERO,
+            TraceEvent::AuditMeta {
+                subjobs: self.subjobs.len() as u32,
+                flat,
+                lossless,
+                quiescent,
+            },
+        );
+        let metas: Vec<(u32, HaModeTag, u64, u32, u8)> = self
+            .subjobs
+            .iter()
+            .enumerate()
+            .map(|(i, sj)| {
+                let mode = match sj.mode {
+                    HaMode::None => HaModeTag::None,
+                    HaMode::Active => HaModeTag::Active,
+                    HaMode::Passive => HaModeTag::Passive,
+                    HaMode::Hybrid => HaModeTag::Hybrid,
+                };
+                (
+                    i as u32,
+                    mode,
+                    sj.epoch,
+                    sj.primary_machine.0,
+                    replica_code(sj.primary_replica),
+                )
+            })
+            .collect();
+        for (subjob, mode, epoch, primary_machine, primary_replica) in metas {
+            self.tracer
+                .emit(SimTime::ZERO, TraceEvent::SubjobMeta { subjob, mode });
+            self.tracer.emit(
+                SimTime::ZERO,
+                TraceEvent::EpochChange {
+                    subjob,
+                    epoch,
+                    cause: EpochCause::Init,
+                    primary_machine,
+                    primary_replica,
+                },
+            );
+        }
+    }
+
     /// Per-subjob HA state.
     pub fn subjob(&self, sj: SubjobId) -> &SubjobHa {
         &self.subjobs[sj.0 as usize]
@@ -1264,6 +1323,21 @@ impl HaWorld {
             "standbys_missing",
             standbys_missing as f64,
         );
+        // Audit gauges: per-invariant violation totals from any installed
+        // protocol-auditor probes (all zero on a healthy run). The health
+        // engine watches `audit/violations_total`.
+        if self.tracer.has_probes() {
+            let mut totals = Vec::new();
+            self.tracer.probe_totals(&mut totals);
+            let mut sum = 0u64;
+            for (name, count) in totals {
+                sum += count;
+                hub.registry
+                    .set_gauge(Scope::global("audit"), name, count as f64);
+            }
+            hub.registry
+                .set_gauge(Scope::global("audit"), "violations_total", sum as f64);
+        }
         hub.registry.scrape(now.as_nanos());
         // Step the health engine over the fresh snapshot. Still strictly
         // read-only: the engine sees the registry, the always-on phase log,

@@ -288,6 +288,48 @@ impl RedundancyLossDetector {
     }
 }
 
+/// Audit violations: fires the first time the protocol auditor's
+/// `audit/violations_total` gauge (exported when an audit probe is
+/// installed) goes above zero. Violations are facts about the run, not a
+/// transient signal, so the verdict never clears; later increases only
+/// raise the reported total.
+#[derive(Debug, Clone, Default)]
+pub struct AuditViolationsDetector {
+    seen: f64,
+}
+
+impl AuditViolationsDetector {
+    /// A new detector that has seen no violations.
+    pub fn new() -> Self {
+        AuditViolationsDetector::default()
+    }
+
+    /// The violation total at the last scrape.
+    pub fn total(&self) -> f64 {
+        self.seen
+    }
+
+    /// Feeds one scrape; returns the onset transition the first time the
+    /// total becomes nonzero.
+    pub fn step(&mut self, registry: &Registry) -> Option<AnomalyTransition> {
+        let mut total = 0.0;
+        for (scope, name, v) in registry.gauges() {
+            if scope.component == "audit" && name == "violations_total" {
+                total += v;
+            }
+        }
+        let first = self.seen == 0.0 && total > 0.0;
+        self.seen = self.seen.max(total);
+        if first {
+            return Some(AnomalyTransition {
+                onset: true,
+                value: total,
+            });
+        }
+        None
+    }
+}
+
 /// Heartbeat flakiness: per machine, suspect/refute churn (misses plus
 /// cleared suspicions per window) above the enter rate. Hysteresis keeps
 /// a single isolated miss from flagging the machine.

@@ -15,8 +15,8 @@ use sps_metrics::Registry;
 use sps_trace::{AnomalyKind, PhaseRecord, RecoveryPhase, TraceEvent};
 
 use crate::anomaly::{
-    AnomalySpan, BackpressureDetector, CheckpointStallDetector, HeartbeatFlakyDetector,
-    RedundancyLossDetector,
+    AnomalySpan, AuditViolationsDetector, BackpressureDetector, CheckpointStallDetector,
+    HeartbeatFlakyDetector, RedundancyLossDetector,
 };
 use crate::report::HealthReport;
 use crate::slo::{BreachSpan, SloCmp, SloMonitor, SloSpec, SloStat};
@@ -155,6 +155,7 @@ pub struct HealthEngine {
     ckpt_stall: CheckpointStallDetector,
     redundancy: RedundancyLossDetector,
     flaky: HeartbeatFlakyDetector,
+    audit: AuditViolationsDetector,
     /// Per-subjob open recovery cycle.
     cycles: BTreeMap<u32, OpenCycle>,
     phases_consumed: usize,
@@ -196,6 +197,7 @@ impl HealthEngine {
             ),
             ckpt_stall: CheckpointStallDetector::new(cfg.checkpoint_stall_budget_ns),
             redundancy: RedundancyLossDetector::new(),
+            audit: AuditViolationsDetector::new(),
             flaky: HeartbeatFlakyDetector::new(
                 cfg.flaky_window_ns,
                 cfg.flaky_enter_churn,
@@ -451,6 +453,36 @@ impl HealthEngine {
                 onset: t.onset,
                 value: t.value,
             });
+        }
+
+        // Layer 3c: protocol-audit verdict. The auditor's gauge is
+        // monotone, so this span opens once and never closes; later
+        // violations only raise the open span's peak.
+        if let Some(t) = self.audit.step(registry) {
+            self.anomaly_spans.push(AnomalySpan {
+                detector: AnomalyKind::AuditViolations,
+                machine: None,
+                pe: None,
+                start_ns: now_ns,
+                end_ns: None,
+                peak: t.value,
+            });
+            events.push(TraceEvent::Anomaly {
+                detector: AnomalyKind::AuditViolations,
+                machine: u32::MAX,
+                pe: u32::MAX,
+                onset: true,
+                value: t.value,
+            });
+        } else if self.audit.total() > 0.0 {
+            if let Some(span) = self
+                .anomaly_spans
+                .iter_mut()
+                .rev()
+                .find(|s| s.detector == AnomalyKind::AuditViolations && s.end_ns.is_none())
+            {
+                span.peak = span.peak.max(self.audit.total());
+            }
         }
 
         // Layer 1: tumbling per-scope counter rate series.

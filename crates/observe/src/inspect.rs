@@ -147,6 +147,40 @@ pub fn summary(dump: &Dump) -> String {
             .sum();
         let _ = writeln!(s, "  total recovery span time: {total:.1}ms");
     }
+    // Trace dumps: audit-violation roll-up (present when the run was
+    // recorded with the protocol auditor installed).
+    let violations: Vec<&FlatObject> = dump
+        .lines
+        .iter()
+        .filter(|l| kind_of(l) == Some("audit_violation"))
+        .collect();
+    if !violations.is_empty() {
+        let _ = writeln!(s, "audit violations: {}", violations.len());
+        let mut by_invariant: BTreeMap<&str, usize> = BTreeMap::new();
+        for v in &violations {
+            let inv = get(v, "invariant")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("?");
+            *by_invariant.entry(inv).or_insert(0) += 1;
+        }
+        for (inv, n) in &by_invariant {
+            let _ = writeln!(s, "  {inv:<22} {n}");
+        }
+        for v in violations.iter().take(8) {
+            let _ = writeln!(
+                s,
+                "  {} {} subjob={} entity={} seq={} detail={}",
+                fmt_t(get(v, "t").and_then(JsonValue::as_u64).unwrap_or(0)),
+                get(v, "invariant")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("?"),
+                get(v, "subjob").map(fmt_opt).unwrap_or_else(|| "-".into()),
+                get(v, "entity").map(fmt_opt).unwrap_or_else(|| "-".into()),
+                get(v, "seq").map(fmt_opt).unwrap_or_else(|| "-".into()),
+                get(v, "detail").map(fmt_opt).unwrap_or_else(|| "-".into()),
+            );
+        }
+    }
     // Health reports: breach/anomaly roll-up.
     for l in &dump.lines {
         match kind_of(l) {
@@ -255,13 +289,30 @@ pub fn timeline(dump: &Dump) -> String {
 /// Compares two artifacts line-by-line and reports the first divergent
 /// signal. Returns `(report, identical)`.
 pub fn diff(a: &Dump, b: &Dump) -> (String, bool) {
+    diff_with_context(a, b, 0)
+}
+
+/// [`diff`] with `context` lines of surrounding agreement shown around the
+/// first divergence (the `--context N` CLI flag), so the divergent record
+/// can be read against the events leading into and out of it.
+pub fn diff_with_context(a: &Dump, b: &Dump, context: usize) -> (String, bool) {
     let mut s = String::new();
     let n = a.raw.len().min(b.raw.len());
     for i in 0..n {
         if a.raw[i] != b.raw[i] {
             let _ = writeln!(s, "first divergence at line {}:", i + 1);
+            for j in i.saturating_sub(context)..i {
+                let _ = writeln!(s, "    [{}] {}", j + 1, a.raw[j]);
+            }
             let _ = writeln!(s, "  - [{}] {}", a.path, a.raw[i]);
             let _ = writeln!(s, "  + [{}] {}", b.path, b.raw[i]);
+            for j in (i + 1)..n.min(i + 1 + context) {
+                if a.raw[j] == b.raw[j] {
+                    let _ = writeln!(s, "    [{}] {}", j + 1, a.raw[j]);
+                } else {
+                    let _ = writeln!(s, "    [{}] (also diverges)", j + 1);
+                }
+            }
             // Name the first differing field for signal-level diagnosis.
             for (k, va) in &a.lines[i] {
                 match get(&b.lines[i], k) {
@@ -412,6 +463,38 @@ mod tests {
         let (report, same) = diff(&a, &c);
         assert!(!same);
         assert!(report.contains("lengths diverge"), "{report}");
+    }
+
+    #[test]
+    fn diff_context_shows_surrounding_agreement() {
+        let a = Dump::from_str("a", TRACE).unwrap();
+        let b_text = TRACE.replace("\"miss_streak\":1", "\"miss_streak\":3");
+        let b = Dump::from_str("b", &b_text).unwrap();
+        let (report, same) = diff_with_context(&a, &b, 1);
+        assert!(!same);
+        assert!(report.contains("first divergence at line 2"), "{report}");
+        assert!(report.contains("[1] {"), "{report}");
+        assert!(report.contains("[3] {"), "{report}");
+        // Zero context matches the plain diff exactly.
+        assert_eq!(diff_with_context(&a, &b, 0), diff(&a, &b));
+    }
+
+    #[test]
+    fn summary_rolls_up_audit_violations() {
+        let text = format!(
+            "{TRACE}{}\n{}\n",
+            "{\"t\":4500000000,\"kind\":\"audit_violation\",\"invariant\":\"sink_exactly_once\",\"subjob\":4294967295,\"entity\":0,\"seq\":9,\"detail\":9}",
+            "{\"t\":4600000000,\"kind\":\"audit_violation\",\"invariant\":\"split_brain\",\"subjob\":1,\"entity\":6,\"seq\":2,\"detail\":2}"
+        );
+        let d = Dump::from_str("t.jsonl", &text).unwrap();
+        let s = summary(&d);
+        assert!(s.contains("audit violations: 2"), "{s}");
+        assert!(s.contains("sink_exactly_once"), "{s}");
+        assert!(s.contains("split_brain"), "{s}");
+        assert!(s.contains("4.600s split_brain subjob=1 entity=6"), "{s}");
+        // Clean dumps have no audit section at all.
+        let clean = Dump::from_str("t.jsonl", TRACE).unwrap();
+        assert!(!summary(&clean).contains("audit violations"));
     }
 
     #[test]

@@ -64,6 +64,31 @@ pub fn get<'a>(obj: &'a FlatObject, key: &str) -> Option<&'a JsonValue> {
     obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
 }
 
+/// Escapes `s` into the JSON string dialect this parser reads, appending
+/// to `out` (no surrounding quotes). ASCII controls and non-ASCII go
+/// through `\uXXXX` (astral characters as a surrogate pair), so the output
+/// is 7-bit clean — the exact inverse of [`parse_flat_object`]'s string
+/// decoding.
+pub fn escape_json(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (' '..='\u{7E}').contains(&c) => out.push(c),
+            c => {
+                let mut units = [0u16; 2];
+                for unit in c.encode_utf16(&mut units) {
+                    let _ = write!(out, "\\u{unit:04X}");
+                }
+            }
+        }
+    }
+}
+
 /// Parses one flat JSON object line. Returns a message naming the byte
 /// offset on malformed input.
 pub fn parse_flat_object(line: &str) -> Result<FlatObject, String> {
@@ -154,15 +179,31 @@ impl Parser<'_> {
                     Some(b't') => s.push('\t'),
                     Some(b'r') => s.push('\r'),
                     Some(b'u') => {
-                        let mut code = 0u32;
-                        for _ in 0..4 {
-                            let d = self
-                                .next()
-                                .and_then(|b| (b as char).to_digit(16))
-                                .ok_or_else(|| self.err("bad \\u escape"))?;
-                            code = code * 16 + d;
+                        let code = self.hex4()?;
+                        match code {
+                            // High surrogate: a `\uXXXX` low surrogate must
+                            // follow; the pair decodes to one astral char.
+                            0xD800..=0xDBFF => {
+                                if self.next() != Some(b'\\') || self.next() != Some(b'u') {
+                                    return Err(self.err("unpaired high surrogate"));
+                                }
+                                let low = self.hex4()?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(self.err("bad low surrogate"));
+                                }
+                                let c = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                s.push(char::from_u32(c).ok_or_else(|| self.err("bad codepoint"))?);
+                            }
+                            0xDC00..=0xDFFF => {
+                                return Err(self.err("unpaired low surrogate"));
+                            }
+                            _ => {
+                                s.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| self.err("bad codepoint"))?,
+                                );
+                            }
                         }
-                        s.push(char::from_u32(code).ok_or_else(|| self.err("bad codepoint"))?);
                     }
                     other => return Err(self.err(&format!("bad escape {other:?}"))),
                 },
@@ -183,6 +224,18 @@ impl Parser<'_> {
                 None => return Err(self.err("unterminated string")),
             }
         }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let d = self
+                .next()
+                .and_then(|b| (b as char).to_digit(16))
+                .ok_or_else(|| self.err("bad \\u escape"))?;
+            code = code * 16 + d;
+        }
+        Ok(code)
     }
 
     fn value(&mut self) -> Result<JsonValue, String> {
@@ -282,5 +335,78 @@ mod tests {
     fn utf8_strings_survive() {
         let obj = parse_flat_object("{\"s\":\"héllo→\"}").unwrap();
         assert_eq!(obj[0].1.as_str(), Some("héllo→"));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_astral_chars() {
+        // U+1F600 = \uD83D\uDE00
+        let obj = parse_flat_object("{\"s\":\"\\uD83D\\uDE00\"}").unwrap();
+        assert_eq!(obj[0].1.as_str(), Some("\u{1F600}"));
+        // Mixed with BMP escapes and literals.
+        let obj = parse_flat_object("{\"s\":\"a\\u00E9\\uD83D\\uDE00z\"}").unwrap();
+        assert_eq!(obj[0].1.as_str(), Some("aé\u{1F600}z"));
+    }
+
+    #[test]
+    fn malformed_escapes_are_errors_not_panics() {
+        for bad in [
+            "{\"s\":\"\\uD83D\"}",        // lone high surrogate, string ends
+            "{\"s\":\"\\uD83Dx\"}",       // high surrogate followed by raw char
+            "{\"s\":\"\\uD83D\\n\"}",     // high surrogate followed by other escape
+            "{\"s\":\"\\uD83D\\u0041\"}", // high surrogate + non-surrogate
+            "{\"s\":\"\\uDE00\"}",        // lone low surrogate
+            "{\"s\":\"\\uD8\"}",          // truncated hex
+            "{\"s\":\"\\uZZZZ\"}",        // non-hex digits
+            "{\"s\":\"\\q\"}",            // unknown escape
+            "{\"s\":\"\\\"}",             // escape at end of input
+        ] {
+            assert!(parse_flat_object(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    /// Round-trip property: any string the workspace's exporters could
+    /// emit — escaped with [`escape_json`], framed as a flat object, and
+    /// fed back through the parser — must decode to the original. The
+    /// sampler deliberately over-weights escapes, controls, BMP
+    /// boundaries, and astral characters (surrogate pairs on the wire).
+    #[test]
+    fn randomized_strings_round_trip_through_escape_and_parse() {
+        let mut rng = sps_sim::SimRng::seed_from(0xA0D17);
+        for case in 0..500 {
+            let len = (rng.next_u64() % 24) as usize;
+            let mut original = String::new();
+            for _ in 0..len {
+                let c = match rng.next_u64() % 8 {
+                    0 => char::from(b' ' + (rng.next_u64() % 95) as u8), // printable ASCII
+                    1 => ['"', '\\', '/', '\n', '\t', '\r'][(rng.next_u64() % 6) as usize],
+                    2 => char::from_u32((rng.next_u64() % 0x20) as u32).unwrap(), // controls
+                    3 => '\u{FFFD}',
+                    4 => char::from_u32(0x1F300 + (rng.next_u64() % 0x200) as u32).unwrap(),
+                    5 => char::from_u32(0x10000 + (rng.next_u64() % 0x1000) as u32).unwrap(),
+                    _ => loop {
+                        // Arbitrary BMP scalar (skip the surrogate range).
+                        let code = (rng.next_u64() % 0xFFFF) as u32;
+                        if let Some(c) = char::from_u32(code) {
+                            break c;
+                        }
+                    },
+                };
+                original.push(c);
+            }
+            let mut line = String::from("{\"s\":\"");
+            escape_json(&original, &mut line);
+            line.push_str("\"}");
+            assert!(
+                line.is_ascii(),
+                "case {case}: escape output not 7-bit clean"
+            );
+            let obj = parse_flat_object(&line)
+                .unwrap_or_else(|e| panic!("case {case}: {e} for {line:?}"));
+            assert_eq!(
+                get(&obj, "s").unwrap().as_str(),
+                Some(original.as_str()),
+                "case {case}: {line:?}"
+            );
+        }
     }
 }

@@ -44,8 +44,8 @@ mod slo;
 mod window;
 
 pub use anomaly::{
-    AnomalySpan, AnomalyTransition, BackpressureDetector, CheckpointStallDetector,
-    HeartbeatFlakyDetector, Hysteresis, RedundancyLossDetector,
+    AnomalySpan, AnomalyTransition, AuditViolationsDetector, BackpressureDetector,
+    CheckpointStallDetector, HeartbeatFlakyDetector, Hysteresis, RedundancyLossDetector,
 };
 pub use engine::{default_slos, HealthConfig, HealthEngine, RECOVERY_MONITOR};
 pub use report::{HealthReport, MonitorSummary};

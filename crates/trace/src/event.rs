@@ -161,6 +161,167 @@ impl RecoveryPhase {
     }
 }
 
+/// The HA mode of one subjob, as carried by [`TraceEvent::SubjobMeta`].
+///
+/// Mirrors `sps_ha::HaMode` without depending on it: the trace crate sits
+/// below the protocol crate, and offline analyzers (the auditor's replay
+/// frontend) must reconstruct modes from dumps alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HaModeTag {
+    /// Single copy, no failure handling.
+    None,
+    /// Active standby (two serving copies, downstream dedup).
+    Active,
+    /// Passive standby (checkpoints, deploy on demand).
+    Passive,
+    /// The paper's hybrid.
+    Hybrid,
+}
+
+impl HaModeTag {
+    /// Stable lower-snake name used in the JSONL encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HaModeTag::None => "none",
+            HaModeTag::Active => "active",
+            HaModeTag::Passive => "passive",
+            HaModeTag::Hybrid => "hybrid",
+        }
+    }
+
+    /// Inverse of [`as_str`](Self::as_str) for offline replay.
+    pub fn parse(name: &str) -> Option<HaModeTag> {
+        Some(match name {
+            "none" => HaModeTag::None,
+            "active" => HaModeTag::Active,
+            "passive" => HaModeTag::Passive,
+            "hybrid" => HaModeTag::Hybrid,
+            _ => return None,
+        })
+    }
+}
+
+/// Which protocol transition bumped a subjob's epoch (see
+/// [`TraceEvent::EpochChange`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EpochCause {
+    /// Initial deployment (epoch 0, emitted once per subjob at build).
+    Init,
+    /// A switch-over in flight was aborted by a fresh pong (false alarm).
+    SwitchoverAbort,
+    /// Hybrid switch-over began (secondary resuming).
+    Switchover,
+    /// PS declared a failure and started an on-demand deploy.
+    PsDetect,
+    /// A deployed copy finished connecting and took over (role swap).
+    PsConnect,
+    /// Fail-stop promotion: the secondary became the primary.
+    Promote,
+    /// Promotion fell back to a spare redeploy (dead primary, PS path).
+    SpareRedeploy,
+    /// The standby machine died; the subjob dropped to one copy.
+    StandbyLost,
+}
+
+impl EpochCause {
+    /// Stable lower-snake name used in the JSONL encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EpochCause::Init => "init",
+            EpochCause::SwitchoverAbort => "switchover_abort",
+            EpochCause::Switchover => "switchover",
+            EpochCause::PsDetect => "ps_detect",
+            EpochCause::PsConnect => "ps_connect",
+            EpochCause::Promote => "promote",
+            EpochCause::SpareRedeploy => "spare_redeploy",
+            EpochCause::StandbyLost => "standby_lost",
+        }
+    }
+
+    /// Inverse of [`as_str`](Self::as_str) for offline replay.
+    pub fn parse(name: &str) -> Option<EpochCause> {
+        Some(match name {
+            "init" => EpochCause::Init,
+            "switchover_abort" => EpochCause::SwitchoverAbort,
+            "switchover" => EpochCause::Switchover,
+            "ps_detect" => EpochCause::PsDetect,
+            "ps_connect" => EpochCause::PsConnect,
+            "promote" => EpochCause::Promote,
+            "spare_redeploy" => EpochCause::SpareRedeploy,
+            "standby_lost" => EpochCause::StandbyLost,
+            _ => return None,
+        })
+    }
+}
+
+/// The protocol invariant an [`TraceEvent::AuditViolation`] breaks.
+///
+/// The checker semantics live in `sps-audit`; the names live here so the
+/// violation event encodes/parses like every other trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AuditInvariant {
+    /// A sink accepted an already-processed sequence number (receiver
+    /// dedup failed) or its processed-through position regressed.
+    SinkExactlyOnce,
+    /// At end of a quiescent lossless run, a sink's processed-through
+    /// position never caught up with the highest sequence it saw.
+    SinkSeqGap,
+    /// A checkpoint-acked primary acknowledged upstream beyond its last
+    /// stored checkpoint position (§III-B ordering).
+    CkptAckOrder,
+    /// A subjob's epoch failed to increase across a transition.
+    EpochRegression,
+    /// Two different primaries were declared for the same subjob epoch.
+    SplitBrain,
+    /// A recovery-phase transition that the subjob's HA mode cannot
+    /// legally produce.
+    IllegalPhase,
+    /// A reliable-transfer retransmission attempt number repeated or
+    /// regressed (the flagged-once rule).
+    RetransmitReflag,
+    /// A promotion completed without re-provisioning a standby and
+    /// without declaring the failover aborted.
+    StandbyCoverage,
+    /// A freshly provisioned standby landed in the primary's fault domain
+    /// on a non-flat topology.
+    DomainDisjoint,
+}
+
+impl AuditInvariant {
+    /// Every invariant, in report order.
+    pub const ALL: [AuditInvariant; 9] = [
+        AuditInvariant::SinkExactlyOnce,
+        AuditInvariant::SinkSeqGap,
+        AuditInvariant::CkptAckOrder,
+        AuditInvariant::EpochRegression,
+        AuditInvariant::SplitBrain,
+        AuditInvariant::IllegalPhase,
+        AuditInvariant::RetransmitReflag,
+        AuditInvariant::StandbyCoverage,
+        AuditInvariant::DomainDisjoint,
+    ];
+
+    /// Stable lower-snake name used in the JSONL encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AuditInvariant::SinkExactlyOnce => "sink_exactly_once",
+            AuditInvariant::SinkSeqGap => "sink_seq_gap",
+            AuditInvariant::CkptAckOrder => "ckpt_ack_order",
+            AuditInvariant::EpochRegression => "epoch_regression",
+            AuditInvariant::SplitBrain => "split_brain",
+            AuditInvariant::IllegalPhase => "illegal_phase",
+            AuditInvariant::RetransmitReflag => "retransmit_reflag",
+            AuditInvariant::StandbyCoverage => "standby_coverage",
+            AuditInvariant::DomainDisjoint => "domain_disjoint",
+        }
+    }
+
+    /// Inverse of [`as_str`](Self::as_str) for offline replay.
+    pub fn parse(name: &str) -> Option<AuditInvariant> {
+        AuditInvariant::ALL.into_iter().find(|i| i.as_str() == name)
+    }
+}
+
 /// The detector family a [`TraceEvent::Anomaly`] verdict belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AnomalyKind {
@@ -175,6 +336,8 @@ pub enum AnomalyKind {
     /// A subjob is running without a live standby (redundancy lost until
     /// re-provisioning completes).
     RedundancyLoss,
+    /// The protocol auditor's violation count increased (any invariant).
+    AuditViolations,
 }
 
 impl AnomalyKind {
@@ -186,6 +349,7 @@ impl AnomalyKind {
             AnomalyKind::HeartbeatFlaky => "heartbeat_flaky",
             AnomalyKind::RecoveryBudgetBurn => "recovery_budget_burn",
             AnomalyKind::RedundancyLoss => "redundancy_loss",
+            AnomalyKind::AuditViolations => "audit_violations",
         }
     }
 }
@@ -445,6 +609,121 @@ pub enum TraceEvent {
         /// The detector's signal value at the transition.
         value: f64,
     },
+    /// Run-level audit metadata, emitted once at build time whenever the
+    /// tracer is enabled. Makes recorded dumps self-describing for the
+    /// offline auditor (`sps-inspect audit`).
+    AuditMeta {
+        /// Number of subjobs in the job.
+        subjobs: u32,
+        /// `true` when the fault topology is flat (every machine its own
+        /// domain) — domain-disjointness is then vacuous and unaudited.
+        flat: bool,
+        /// The scenario expects every produced element to reach its sink
+        /// (reliable control plane and/or no unrecovered loss).
+        lossless: bool,
+        /// The scenario stops its sources and drains before the end of the
+        /// run, so end-of-run liveness checks (seq gaps, standby coverage)
+        /// are meaningful.
+        quiescent: bool,
+    },
+    /// Per-subjob audit metadata (HA mode), emitted after
+    /// [`AuditMeta`](Self::AuditMeta) at build time.
+    SubjobMeta {
+        /// Subjob index.
+        subjob: u32,
+        /// The subjob's HA mode.
+        mode: HaModeTag,
+    },
+    /// A data delivery arrived at a sink: the receiver-side exactly-once
+    /// ledger, aggregated per message (batch-aware via the range stamp).
+    SinkDeliver {
+        /// Sink index.
+        sink: u32,
+        /// Stream the delivery belongs to.
+        stream: u32,
+        /// Lowest sequence number in the delivery.
+        seq_start: u64,
+        /// Highest sequence number in the delivery.
+        seq_end: u64,
+        /// Elements newly accepted (including drained stash).
+        newly_accepted: u32,
+        /// Elements rejected as duplicates of already-processed positions.
+        duplicates: u32,
+        /// The sink's cumulative processed-through position afterwards.
+        processed_through: u64,
+    },
+    /// A stored checkpoint covers acknowledgments up to `seq` on one input
+    /// stream of a checkpoint-acked primary PE (§III-B: the positions
+    /// snapshotted with the checkpoint, released when the store confirms).
+    CheckpointCovered {
+        /// PE whose checkpoint stored.
+        pe: u32,
+        /// Replica of that PE.
+        replica: u8,
+        /// Input stream the covered position belongs to.
+        stream: u32,
+        /// Covered (ackable) sequence position.
+        seq: u64,
+    },
+    /// A checkpoint-acked primary sent a cumulative upstream ack. Legal
+    /// only at or below the last [`CheckpointCovered`](Self::CheckpointCovered)
+    /// position for the same (pe, replica, stream).
+    AckSent {
+        /// Acking PE.
+        pe: u32,
+        /// Acking replica.
+        replica: u8,
+        /// Stream being acknowledged.
+        stream: u32,
+        /// Acknowledged-through sequence position.
+        seq: u64,
+    },
+    /// A subjob epoch bump: every role/life-cycle transition the stale-epoch
+    /// guard keys on, with the post-transition primary identity.
+    EpochChange {
+        /// Affected subjob index.
+        subjob: u32,
+        /// The new epoch value.
+        epoch: u64,
+        /// Which transition bumped it.
+        cause: EpochCause,
+        /// Machine playing the primary role after the transition.
+        primary_machine: u32,
+        /// Replica slot playing the primary role after the transition.
+        primary_replica: u8,
+    },
+    /// The standby slot of a subjob was (re)assigned after a failover
+    /// transition — or left empty (`machine == u32::MAX`), which must be
+    /// accompanied by a [`FailoverAborted`](Self::FailoverAborted).
+    StandbyProvision {
+        /// Affected subjob index.
+        subjob: u32,
+        /// The new standby machine, or `u32::MAX` when none remained.
+        machine: u32,
+        /// `true` when the machine was freshly taken from the spare pool
+        /// (domain-disjointness is then required on non-flat topologies).
+        fresh: bool,
+        /// Fault domain of the primary machine (`u32::MAX` when unknown).
+        primary_domain: u32,
+        /// Fault domain of the standby machine (`u32::MAX` when none).
+        standby_domain: u32,
+    },
+    /// The streaming auditor observed a protocol-invariant violation.
+    /// Field meaning depends on the invariant; the audit report renders
+    /// them (`entity` is a sink/PE/subjob/machine index, `seq` a sequence
+    /// number/epoch/phase code, `detail` the bound that was broken).
+    AuditViolation {
+        /// Which invariant was broken.
+        invariant: AuditInvariant,
+        /// Affected subjob (`u32::MAX` when not subjob-scoped).
+        subjob: u32,
+        /// Invariant-specific entity id (`u32::MAX` when unused).
+        entity: u32,
+        /// Invariant-specific sequence/epoch/code.
+        seq: u64,
+        /// Invariant-specific bound or prior value.
+        detail: u64,
+    },
 }
 
 impl TraceEvent {
@@ -476,6 +755,14 @@ impl TraceEvent {
             TraceEvent::ChaosPhase { .. } => "chaos_phase",
             TraceEvent::SloBreach { .. } => "slo_breach",
             TraceEvent::Anomaly { .. } => "anomaly",
+            TraceEvent::AuditMeta { .. } => "audit_meta",
+            TraceEvent::SubjobMeta { .. } => "subjob_meta",
+            TraceEvent::SinkDeliver { .. } => "sink_deliver",
+            TraceEvent::CheckpointCovered { .. } => "checkpoint_covered",
+            TraceEvent::AckSent { .. } => "ack_sent",
+            TraceEvent::EpochChange { .. } => "epoch_change",
+            TraceEvent::StandbyProvision { .. } => "standby_provision",
+            TraceEvent::AuditViolation { .. } => "audit_violation",
         }
     }
 
@@ -731,6 +1018,94 @@ impl TraceRecord {
                     fmt_f64(value)
                 );
             }
+            TraceEvent::AuditMeta {
+                subjobs,
+                flat,
+                lossless,
+                quiescent,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"subjobs\":{subjobs},\"flat\":{flat},\"lossless\":{lossless},\"quiescent\":{quiescent}"
+                );
+            }
+            TraceEvent::SubjobMeta { subjob, mode } => {
+                let _ = write!(s, ",\"subjob\":{subjob},\"mode\":\"{}\"", mode.as_str());
+            }
+            TraceEvent::SinkDeliver {
+                sink,
+                stream,
+                seq_start,
+                seq_end,
+                newly_accepted,
+                duplicates,
+                processed_through,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"sink\":{sink},\"stream\":{stream},\"seq_start\":{seq_start},\"seq_end\":{seq_end},\"newly_accepted\":{newly_accepted},\"duplicates\":{duplicates},\"processed_through\":{processed_through}"
+                );
+            }
+            TraceEvent::CheckpointCovered {
+                pe,
+                replica,
+                stream,
+                seq,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"pe\":{pe},\"replica\":{replica},\"stream\":{stream},\"seq\":{seq}"
+                );
+            }
+            TraceEvent::AckSent {
+                pe,
+                replica,
+                stream,
+                seq,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"pe\":{pe},\"replica\":{replica},\"stream\":{stream},\"seq\":{seq}"
+                );
+            }
+            TraceEvent::EpochChange {
+                subjob,
+                epoch,
+                cause,
+                primary_machine,
+                primary_replica,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"subjob\":{subjob},\"epoch\":{epoch},\"cause\":\"{}\",\"primary_machine\":{primary_machine},\"primary_replica\":{primary_replica}",
+                    cause.as_str()
+                );
+            }
+            TraceEvent::StandbyProvision {
+                subjob,
+                machine,
+                fresh,
+                primary_domain,
+                standby_domain,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"subjob\":{subjob},\"machine\":{machine},\"fresh\":{fresh},\"primary_domain\":{primary_domain},\"standby_domain\":{standby_domain}"
+                );
+            }
+            TraceEvent::AuditViolation {
+                invariant,
+                subjob,
+                entity,
+                seq,
+                detail,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"invariant\":\"{}\",\"subjob\":{subjob},\"entity\":{entity},\"seq\":{seq},\"detail\":{detail}",
+                    invariant.as_str()
+                );
+            }
         }
         s.push('}');
         s
@@ -860,6 +1235,121 @@ mod tests {
         assert_eq!(ChaosKind::FailDomain.as_str(), "fail_domain");
         assert_eq!(ChaosKind::PartitionSwitch.as_str(), "partition_switch");
         assert_eq!(ChaosKind::HealSwitch.as_str(), "heal_switch");
+    }
+
+    #[test]
+    fn audit_events_encode_stably() {
+        let deliver = TraceRecord {
+            at: SimTime::from_millis(250),
+            event: TraceEvent::SinkDeliver {
+                sink: 0,
+                stream: 9,
+                seq_start: 17,
+                seq_end: 20,
+                newly_accepted: 4,
+                duplicates: 0,
+                processed_through: 20,
+            },
+        };
+        assert_eq!(
+            deliver.to_json(),
+            "{\"t\":250000000,\"kind\":\"sink_deliver\",\"sink\":0,\"stream\":9,\"seq_start\":17,\"seq_end\":20,\"newly_accepted\":4,\"duplicates\":0,\"processed_through\":20}"
+        );
+        let epoch = TraceRecord {
+            at: SimTime::from_millis(4_000),
+            event: TraceEvent::EpochChange {
+                subjob: 1,
+                epoch: 3,
+                cause: EpochCause::Promote,
+                primary_machine: 6,
+                primary_replica: 1,
+            },
+        };
+        assert_eq!(
+            epoch.to_json(),
+            "{\"t\":4000000000,\"kind\":\"epoch_change\",\"subjob\":1,\"epoch\":3,\"cause\":\"promote\",\"primary_machine\":6,\"primary_replica\":1}"
+        );
+        let violation = TraceRecord {
+            at: SimTime::from_millis(5_000),
+            event: TraceEvent::AuditViolation {
+                invariant: AuditInvariant::SinkExactlyOnce,
+                subjob: u32::MAX,
+                entity: 0,
+                seq: 42,
+                detail: 42,
+            },
+        };
+        assert_eq!(
+            violation.to_json(),
+            "{\"t\":5000000000,\"kind\":\"audit_violation\",\"invariant\":\"sink_exactly_once\",\"subjob\":4294967295,\"entity\":0,\"seq\":42,\"detail\":42}"
+        );
+        // None of the audit kinds are data-plane: they must land in
+        // control-plane-only campaign dumps for offline replay.
+        for ev in [
+            deliver.event,
+            epoch.event,
+            violation.event,
+            TraceEvent::AuditMeta {
+                subjobs: 5,
+                flat: true,
+                lossless: true,
+                quiescent: true,
+            },
+            TraceEvent::SubjobMeta {
+                subjob: 0,
+                mode: HaModeTag::Hybrid,
+            },
+            TraceEvent::CheckpointCovered {
+                pe: 1,
+                replica: 0,
+                stream: 2,
+                seq: 7,
+            },
+            TraceEvent::AckSent {
+                pe: 1,
+                replica: 0,
+                stream: 2,
+                seq: 7,
+            },
+            TraceEvent::StandbyProvision {
+                subjob: 1,
+                machine: 9,
+                fresh: true,
+                primary_domain: 0,
+                standby_domain: 1,
+            },
+        ] {
+            assert!(!ev.is_data_plane(), "{} must be control-plane", ev.kind());
+        }
+    }
+
+    #[test]
+    fn audit_enums_roundtrip() {
+        for inv in AuditInvariant::ALL {
+            assert_eq!(AuditInvariant::parse(inv.as_str()), Some(inv));
+        }
+        assert_eq!(AuditInvariant::parse("nope"), None);
+        for c in [
+            EpochCause::Init,
+            EpochCause::SwitchoverAbort,
+            EpochCause::Switchover,
+            EpochCause::PsDetect,
+            EpochCause::PsConnect,
+            EpochCause::Promote,
+            EpochCause::SpareRedeploy,
+            EpochCause::StandbyLost,
+        ] {
+            assert_eq!(EpochCause::parse(c.as_str()), Some(c));
+        }
+        for m in [
+            HaModeTag::None,
+            HaModeTag::Active,
+            HaModeTag::Passive,
+            HaModeTag::Hybrid,
+        ] {
+            assert_eq!(HaModeTag::parse(m.as_str()), Some(m));
+        }
+        assert_eq!(AnomalyKind::AuditViolations.as_str(), "audit_violations");
     }
 
     #[test]

@@ -40,9 +40,10 @@ pub use critical_path::{
     longest_critical_path, recovery_critical_paths, CriticalPathEdge, RecoveryCriticalPath,
 };
 pub use event::{
-    AbortReason, AnomalyKind, ChaosKind, DropReason, RecoveryPhase, TraceEvent, TraceRecord,
+    AbortReason, AnomalyKind, AuditInvariant, ChaosKind, DropReason, EpochCause, HaModeTag,
+    RecoveryPhase, TraceEvent, TraceRecord,
 };
 pub use lineage::{ElementKey, HopTiming, LineageTable, TupleRecord, SOURCE_PE};
 pub use recorder::{FlightRecorder, SharedRecorder, DEFAULT_CAPACITY};
 pub use series::{recovery_spans, RecoverySpan, Telemetry};
-pub use sink::{PhaseRecord, TraceSink, Tracer};
+pub use sink::{PhaseRecord, TraceProbe, TraceSink, Tracer};

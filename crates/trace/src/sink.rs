@@ -39,21 +39,62 @@ pub trait TraceSink {
     fn record(&mut self, record: &TraceRecord);
 }
 
+/// A streaming observer on the trace bus that may *react* to records by
+/// producing new (control-plane) records of its own — the subscription
+/// surface the protocol auditor runs on.
+///
+/// Unlike a [`TraceSink`], a probe's output is fanned back out to the
+/// installed sinks, so e.g. audit violations land in flight-recorder
+/// dumps next to the events that caused them. Probe output is *not*
+/// re-offered to probes (no feedback loops). Probes are read-only with
+/// respect to the simulation: they see copies of records and cannot
+/// influence scheduling, which is what keeps auditing zero-perturbation.
+pub trait TraceProbe {
+    /// Whether this probe wants the high-rate data-plane kinds. Defaults
+    /// to `false`: the auditor works from control-plane events alone so
+    /// installing it never widens the data-plane emission gate.
+    fn wants_data_plane(&self) -> bool {
+        false
+    }
+
+    /// Observe one record; push any derived records (violations) onto
+    /// `out`. Called in sim-time order.
+    fn observe(&mut self, record: &TraceRecord, out: &mut Vec<TraceRecord>);
+
+    /// End-of-run checks (liveness invariants); push final derived records
+    /// onto `out`. Called at most once, after the last `observe`.
+    fn finish(&mut self, out: &mut Vec<TraceRecord>);
+
+    /// A deterministic, human-readable report of everything observed.
+    fn report(&self) -> String;
+
+    /// Total derived violations so far.
+    fn violation_total(&self) -> u64;
+
+    /// Per-invariant violation totals, appended as `(name, count)` pairs
+    /// in a stable order (the metrics scrape gauges these as `audit/*`).
+    fn invariant_totals(&self, out: &mut Vec<(&'static str, u64)>);
+}
+
 /// The event bus: fans records out to sinks and keeps the bounded
 /// control-plane phase log.
 #[derive(Default)]
 pub struct Tracer {
     sinks: Vec<Box<dyn TraceSink>>,
+    probes: Vec<Box<dyn TraceProbe>>,
     /// Cached `any(sink.wants_data_plane())`: the one branch on the
     /// disabled hot path.
     any_data: bool,
     phases: Vec<PhaseRecord>,
+    /// Reused scratch for probe-derived records.
+    probe_out: Vec<TraceRecord>,
 }
 
 impl fmt::Debug for Tracer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Tracer")
             .field("sinks", &self.sinks.len())
+            .field("probes", &self.probes.len())
             .field("any_data", &self.any_data)
             .field("phases", &self.phases.len())
             .finish()
@@ -73,9 +114,16 @@ impl Tracer {
         self.sinks.push(sink);
     }
 
-    /// Whether any sink is installed.
+    /// Install a probe. All subsequent emissions are offered to it after
+    /// the sinks, and anything it derives is fanned out to the sinks.
+    pub fn add_probe(&mut self, probe: Box<dyn TraceProbe>) {
+        self.any_data |= probe.wants_data_plane();
+        self.probes.push(probe);
+    }
+
+    /// Whether any sink or probe is installed.
     pub fn is_enabled(&self) -> bool {
-        !self.sinks.is_empty()
+        !self.sinks.is_empty() || !self.probes.is_empty()
     }
 
     /// Whether any installed sink wants data-plane events. Components may
@@ -85,9 +133,9 @@ impl Tracer {
         self.any_data
     }
 
-    /// Emit a control-plane event to all interested sinks.
+    /// Emit a control-plane event to all interested sinks and probes.
     pub fn emit(&mut self, at: SimTime, event: TraceEvent) {
-        if self.sinks.is_empty() {
+        if self.sinks.is_empty() && self.probes.is_empty() {
             return;
         }
         let record = TraceRecord { at, event };
@@ -97,6 +145,71 @@ impl Tracer {
                 sink.record(&record);
             }
         }
+        if self.probes.is_empty() {
+            return;
+        }
+        let mut out = std::mem::take(&mut self.probe_out);
+        for probe in &mut self.probes {
+            if !data || probe.wants_data_plane() {
+                probe.observe(&record, &mut out);
+            }
+        }
+        self.deliver_derived(&mut out);
+    }
+
+    /// Fan probe-derived records (violations) out to the sinks. Derived
+    /// records are control-plane by construction and never re-enter the
+    /// probes.
+    fn deliver_derived(&mut self, out: &mut Vec<TraceRecord>) {
+        for derived in out.iter() {
+            for sink in &mut self.sinks {
+                sink.record(derived);
+            }
+        }
+        out.clear();
+        self.probe_out = std::mem::take(out);
+    }
+
+    /// Run every probe's end-of-run checks, fanning final derived records
+    /// (liveness violations) out to the sinks.
+    pub fn finish_probes(&mut self) {
+        let mut out = std::mem::take(&mut self.probe_out);
+        for probe in &mut self.probes {
+            probe.finish(&mut out);
+        }
+        self.deliver_derived(&mut out);
+    }
+
+    /// The concatenated reports of every installed probe, or `None` when
+    /// no probe is installed.
+    pub fn probe_report(&self) -> Option<String> {
+        if self.probes.is_empty() {
+            return None;
+        }
+        Some(
+            self.probes
+                .iter()
+                .map(|p| p.report())
+                .collect::<Vec<_>>()
+                .join("\n"),
+        )
+    }
+
+    /// Total violations across all probes.
+    pub fn probe_violations(&self) -> u64 {
+        self.probes.iter().map(|p| p.violation_total()).sum()
+    }
+
+    /// Per-invariant violation totals across all probes, appended to `out`.
+    pub fn probe_totals(&self, out: &mut Vec<(&'static str, u64)>) {
+        for probe in &self.probes {
+            probe.invariant_totals(out);
+        }
+    }
+
+    /// Whether any probe is installed.
+    pub fn has_probes(&self) -> bool {
+        !self.probes.is_empty()
     }
 
     /// Emit a data-plane event, building the payload lazily. With tracing
@@ -171,6 +284,75 @@ mod tests {
         }));
         assert!(t.is_enabled());
         assert!(!t.data_plane_enabled());
+    }
+
+    struct Deriving {
+        seen: u64,
+        derived: u64,
+    }
+
+    impl TraceProbe for Deriving {
+        fn observe(&mut self, record: &TraceRecord, out: &mut Vec<TraceRecord>) {
+            self.seen += 1;
+            if matches!(record.event, TraceEvent::FailureInject { .. }) {
+                self.derived += 1;
+                out.push(TraceRecord {
+                    at: record.at,
+                    event: TraceEvent::AuditViolation {
+                        invariant: crate::AuditInvariant::SplitBrain,
+                        subjob: 0,
+                        entity: 0,
+                        seq: 0,
+                        detail: 0,
+                    },
+                });
+            }
+        }
+        fn finish(&mut self, _out: &mut Vec<TraceRecord>) {}
+        fn report(&self) -> String {
+            format!("seen={} derived={}", self.seen, self.derived)
+        }
+        fn violation_total(&self) -> u64 {
+            self.derived
+        }
+        fn invariant_totals(&self, out: &mut Vec<(&'static str, u64)>) {
+            out.push(("split_brain", self.derived));
+        }
+    }
+
+    #[test]
+    fn probes_observe_and_derive_records_to_sinks() {
+        let mut t = Tracer::new();
+        assert!(!t.is_enabled());
+        t.add_probe(Box::new(Deriving {
+            seen: 0,
+            derived: 0,
+        }));
+        // A probe alone enables the tracer (control-plane taps fire) but
+        // not the data plane (default wants_data_plane = false).
+        assert!(t.is_enabled());
+        assert!(t.has_probes());
+        assert!(!t.data_plane_enabled());
+        t.emit(
+            SimTime::from_millis(1),
+            TraceEvent::FailureInject {
+                machine: 0,
+                fail_stop: true,
+            },
+        );
+        t.emit(
+            SimTime::from_millis(2),
+            TraceEvent::HeartbeatMiss {
+                machine: 0,
+                streak: 1,
+            },
+        );
+        t.finish_probes();
+        assert_eq!(t.probe_violations(), 1);
+        assert_eq!(t.probe_report().as_deref(), Some("seen=2 derived=1"));
+        let mut totals = Vec::new();
+        t.probe_totals(&mut totals);
+        assert_eq!(totals, vec![("split_brain", 1)]);
     }
 
     #[test]

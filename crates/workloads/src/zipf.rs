@@ -185,6 +185,112 @@ mod tests {
         assert_eq!(max as u32, zipf.hot_shard(8));
     }
 
+    /// CDF of the sampler's continuous power-law model: `zipf_rank` is the
+    /// inverse-CDF transform of the density `x^-s` on `[1, n]`, floored to
+    /// a rank, so the analytic pmf of rank `r` is the mass of `[r, r+1)`.
+    fn power_law_cdf(x: f64, n: f64, s: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-9 {
+            x.ln() / n.ln()
+        } else {
+            (x.powf(1.0 - s) - 1.0) / (n.powf(1.0 - s) - 1.0)
+        }
+    }
+
+    /// Pearson chi-square statistic of observed rank counts against the
+    /// sampler's analytic pmf. The top two ranks are merged into one bin:
+    /// rank `n` only occurs when the continuous draw lands exactly on `n`
+    /// (measure zero), so its own bin would have zero expectation.
+    fn chi_square(zipf: ZipfKeys, seed: u64, draws: u64) -> f64 {
+        let n = zipf.keys;
+        let mut counts = vec![0u64; n as usize];
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..draws {
+            let rank = zipf.draw(&mut rng);
+            assert!((1..=n).contains(&rank), "rank {rank} out of range");
+            counts[(rank - 1) as usize] += 1;
+        }
+        let last = counts[(n - 1) as usize];
+        counts[(n - 2) as usize] += last;
+        counts.truncate((n - 1) as usize);
+        let mut stat = 0.0f64;
+        for (i, &obs) in counts.iter().enumerate() {
+            let lo = (i + 1) as f64;
+            let hi = ((i + 2) as f64).min(n as f64);
+            let p = power_law_cdf(hi, n as f64, zipf.exponent)
+                - power_law_cdf(lo, n as f64, zipf.exponent);
+            let exp = p * draws as f64;
+            stat += (obs as f64 - exp) * (obs as f64 - exp) / exp;
+        }
+        stat
+    }
+
+    #[test]
+    fn empirical_rank_frequencies_match_analytic_pmf() {
+        // 63 bins → 62 degrees of freedom; the 99.9th percentile of
+        // chi-square(62) is ≈ 103, so 150 fails only on a sampler bug,
+        // not on sampling noise. The smallest expected cell count (the
+        // merged tail bin at s = 1.1) is ≈ 150 draws, well above the
+        // ≥ 5 rule of thumb.
+        let stat = chi_square(ZipfKeys::new(64, 1.1), 0x21F, 50_000);
+        assert!(stat < 150.0, "chi-square {stat:.1} vs analytic Zipf pmf");
+    }
+
+    #[test]
+    fn zero_exponent_degenerates_to_uniform() {
+        // s → 0 collapses the sampler's density to uniform on [1, keys]:
+        // the chi-square against the (now flat) analytic pmf stays small,
+        // and the predicted shard loads flatten to each shard's share of
+        // the key universe.
+        let zipf = ZipfKeys::new(64, 0.0);
+        let stat = chi_square(zipf, 0x5EED, 50_000);
+        assert!(stat < 150.0, "chi-square {stat:.1} vs uniform pmf");
+        let shards = 8u32;
+        let loads = zipf.shard_loads(shards, zipf.keys);
+        // With flat weights a shard's predicted load is exactly its share
+        // of the key universe under the (hash-based) `shard_of` mapping.
+        let mut owned = vec![0u64; shards as usize];
+        for rank in 1..=zipf.keys {
+            owned[shard_of(rank, shards) as usize] += 1;
+        }
+        for (i, &l) in loads.iter().enumerate() {
+            let share = owned[i] as f64 / zipf.keys as f64;
+            assert!(
+                (l - share).abs() < 1e-9,
+                "shard {i} load {l} != key share {share}"
+            );
+        }
+    }
+
+    #[test]
+    fn hot_and_cold_shards_are_deterministic_across_machine_counts() {
+        // `hot_shard`/`cold_shard` are pure functions of (keys, s, shards):
+        // re-evaluating them — or rebuilding the workload — for any cluster
+        // size must give the same answer, so scaling sweeps that re-derive
+        // them per machine-count cell agree with each other.
+        let zipf = ZipfKeys::new(1_000_000, 1.2);
+        for shards in [2u32, 4, 16, 64, 257, 1024] {
+            let hot = zipf.hot_shard(shards);
+            let cold = zipf.cold_shard(shards);
+            for _ in 0..3 {
+                let rebuilt = ZipfKeys::new(zipf.keys, zipf.exponent);
+                assert_eq!(rebuilt.hot_shard(shards), hot, "shards={shards}");
+                assert_eq!(rebuilt.cold_shard(shards), cold, "shards={shards}");
+            }
+            assert_eq!(hot, shard_of(1, shards));
+            if shards > 1 {
+                assert_ne!(hot, cold, "shards={shards}");
+            }
+            let loads = zipf.shard_loads(shards, 4096);
+            assert_eq!(
+                cold,
+                (0..shards)
+                    .min_by(|&a, &b| loads[a as usize].total_cmp(&loads[b as usize]))
+                    .unwrap(),
+                "cold_shard disagrees with the load table at shards={shards}"
+            );
+        }
+    }
+
     #[test]
     fn sharded_placement_uses_domain_aware_layout_when_budget_allows() {
         let job = sharded_job(8, 1e-5, 100);
